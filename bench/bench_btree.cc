@@ -1,0 +1,94 @@
+// Index micro-benchmarks: B+tree vs hash index build and probe, including
+// the ordered range probes only the tree supports efficiently.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace pascalr {
+namespace {
+
+Ref R(uint32_t slot) { return Ref{1, slot, 1}; }
+
+template <typename IndexT>
+void BuildIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937 rng(7);
+  std::vector<int64_t> values(n);
+  for (auto& v : values) v = static_cast<int64_t>(rng() % (n * 2));
+  for (auto _ : state) {
+    IndexT idx;
+    for (uint32_t i = 0; i < n; ++i) {
+      idx.Add(Value::MakeInt(values[i]), R(i));
+    }
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_BTreeBuild(benchmark::State& state) { BuildIndex<BTreeIndex>(state); }
+void BM_HashBuild(benchmark::State& state) { BuildIndex<HashIndex>(state); }
+BENCHMARK(BM_BTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HashBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+template <typename IndexT>
+void EqProbe(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IndexT idx;
+  std::mt19937 rng(7);
+  for (uint32_t i = 0; i < n; ++i) {
+    idx.Add(Value::MakeInt(static_cast<int64_t>(rng() % (n * 2))), R(i));
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    size_t hits = 0;
+    idx.Probe(CompareOp::kEq, Value::MakeInt(probe++ % (static_cast<int64_t>(n) * 2)),
+              [&](const Ref&) {
+                ++hits;
+                return true;
+              });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_BTreeEqProbe(benchmark::State& state) { EqProbe<BTreeIndex>(state); }
+void BM_HashEqProbe(benchmark::State& state) { EqProbe<HashIndex>(state); }
+BENCHMARK(BM_BTreeEqProbe)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HashEqProbe)->Arg(10000)->Arg(100000);
+
+// Range probes: the tree visits only the qualifying leaves; the hash index
+// must scan every entry.
+template <typename IndexT>
+void RangeProbe(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IndexT idx;
+  for (uint32_t i = 0; i < n; ++i) {
+    idx.Add(Value::MakeInt(static_cast<int64_t>(i)), R(i));
+  }
+  for (auto _ : state) {
+    size_t hits = 0;
+    // v < n/100: a 1% range.
+    idx.Probe(CompareOp::kLt, Value::MakeInt(static_cast<int64_t>(n / 100)),
+              [&](const Ref&) {
+                ++hits;
+                return true;
+              });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_BTreeRangeProbe(benchmark::State& state) {
+  RangeProbe<BTreeIndex>(state);
+}
+void BM_HashRangeProbe(benchmark::State& state) {
+  RangeProbe<HashIndex>(state);
+}
+BENCHMARK(BM_BTreeRangeProbe)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HashRangeProbe)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace pascalr

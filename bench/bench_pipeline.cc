@@ -1,0 +1,60 @@
+// Experiment Q (DESIGN.md): the headline series — the full Example 2.1
+// query at every optimization level O0..O4 over growing scale factors.
+//
+// Expected shape (paper §4, overall claim): the naive combination phase
+// grows with the *product* of the range cardinalities while O1..O4 stay
+// near-linear; each added strategy reduces total work, with the largest
+// single step from O3/O4's treatment of the universal quantifier.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace pascalr {
+namespace {
+
+using bench_util::ExportStats;
+using bench_util::MakeScaledDb;
+using bench_util::MustRun;
+
+void RunPipeline(benchmark::State& state) {
+  OptLevel level = static_cast<OptLevel>(state.range(0));
+  size_t n = static_cast<size_t>(state.range(1));
+  auto db = MakeScaledDb(n);
+  QueryRun last;
+  for (auto _ : state) {
+    last = MustRun(*db, Example21QuerySource(), level);
+    benchmark::DoNotOptimize(last.tuples);
+  }
+  ExportStats(state, last.stats, last.tuples.size());
+  state.SetLabel(std::string(OptLevelToString(level)));
+}
+
+BENCHMARK(RunPipeline)
+    // O0: the full n-tuple products cap the feasible scale.
+    ->Args({0, 8})
+    ->Args({0, 16})
+    ->Args({0, 24})
+    ->Args({1, 8})
+    ->Args({1, 16})
+    ->Args({1, 24})
+    ->Args({2, 8})
+    ->Args({2, 16})
+    ->Args({2, 24})
+    ->Args({2, 32})
+    ->Args({3, 8})
+    ->Args({3, 16})
+    ->Args({3, 24})
+    ->Args({3, 48})
+    ->Args({3, 64})
+    ->Args({4, 8})
+    ->Args({4, 16})
+    ->Args({4, 24})
+    ->Args({4, 48})
+    ->Args({4, 96})
+    ->Args({4, 1000})
+    ->Args({4, 4000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,74 @@
+// Shared benchmark helpers: scaled university databases and query running
+// with counter extraction.
+
+#ifndef PASCALR_BENCH_BENCH_UTIL_H_
+#define PASCALR_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pascalr/pascalr.h"
+
+namespace pascalr {
+namespace bench_util {
+
+/// A university database scaled by `n` employees (papers 2n, courses n/2,
+/// timetable 3n — the proportions of the paper's running example).
+inline std::unique_ptr<Database> MakeScaledDb(size_t n, uint64_t seed = 42) {
+  auto db = std::make_unique<Database>();
+  Status st = CreateUniversitySchema(db.get());
+  if (!st.ok()) std::abort();
+  UniversityScale scale;
+  scale.employees = n;
+  scale.papers = 2 * n;
+  scale.courses = n / 2 + 1;
+  scale.timetable = 3 * n;
+  scale.seed = seed;
+  st = PopulateSynthetic(db.get(), scale);
+  if (!st.ok()) std::abort();
+  return db;
+}
+
+/// Binds and runs `query` at `level`, aborting on error (benchmarks assume
+/// correct plumbing; correctness is the test suite's job).
+inline QueryRun MustRun(const Database& db, const std::string& query,
+                        OptLevel level,
+                        DivisionAlgorithm division = DivisionAlgorithm::kHash) {
+  Parser parser(query);
+  Result<SelectionExpr> sel = parser.ParseSelectionOnly();
+  if (!sel.ok()) std::abort();
+  Binder binder(&db);
+  Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
+  if (!bound.ok()) std::abort();
+  PlannerOptions options;
+  options.level = level;
+  options.division = division;
+  Result<QueryRun> run = RunQuery(db, std::move(bound).value(), options);
+  if (!run.ok()) std::abort();
+  return std::move(run).value();
+}
+
+/// Publishes the paper-relevant counters on a benchmark state.
+inline void ExportStats(benchmark::State& state, const ExecStats& stats,
+                        size_t result_size) {
+  state.counters["relations_read"] =
+      static_cast<double>(stats.relations_read);
+  state.counters["elements_scanned"] =
+      static_cast<double>(stats.elements_scanned);
+  state.counters["sl_refs"] = static_cast<double>(stats.single_list_refs);
+  state.counters["ij_refs"] = static_cast<double>(stats.indirect_join_refs);
+  state.counters["combination_rows"] =
+      static_cast<double>(stats.combination_rows);
+  state.counters["division_rows"] =
+      static_cast<double>(stats.division_input_rows);
+  state.counters["quant_probes"] =
+      static_cast<double>(stats.quantifier_probes);
+  state.counters["total_work"] = static_cast<double>(stats.TotalWork());
+  state.counters["result"] = static_cast<double>(result_size);
+}
+
+}  // namespace bench_util
+}  // namespace pascalr
+
+#endif  // PASCALR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// Interactive PASCAL/R shell: type statements, end each with ';'.
+//
+//   $ build/examples/pascalr_shell [--university]
+//
+// Meta commands (one per line):
+//   .help            this text
+//   .level N         optimization level 0..4 (default 4)
+//   .stats           cumulative session statistics
+//   .dump            export the database as a replayable script
+//   .quit            exit
+//
+// Everything else is PASCAL/R: TYPE/VAR declarations, `rel :+ [<...>];`
+// inserts, `name := [<...> OF EACH ... : wff];` queries, PRINT, EXPLAIN.
+
+#include <iostream>
+#include <string>
+
+#include "pascalr/export.h"
+#include "pascalr/pascalr.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "statements end with ';'. Examples:\n"
+      "  VAR r : RELATION <a> OF RECORD a : 1..99; s : STRING(10) END;\n"
+      "  r :+ [<1, 'hello'>];\n"
+      "  out := [<x.s> OF EACH x IN r: x.a < 10];\n"
+      "  PRINT out;\n"
+      "  EXPLAIN [<x.s> OF EACH x IN r: x.a < 10];\n"
+      "meta: .help .level N .stats .dump .quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pascalr::Database db;
+  pascalr::Session session(&db, &std::cout);
+
+  if (argc > 1 && std::string(argv[1]) == "--university") {
+    if (auto st = pascalr::CreateUniversitySchema(&db); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    if (auto st = pascalr::PopulateSmallExample(&db); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "(loaded the paper's Figure 1 university database)\n";
+  }
+
+  std::cout << "pascalr shell — .help for help\n";
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "pascalr> " : "     ..> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".quit" || line == ".exit") break;
+      if (line == ".help") {
+        PrintHelp();
+      } else if (line == ".stats") {
+        std::cout << session.total_stats().ToString() << "\n";
+      } else if (line == ".dump") {
+        auto script = pascalr::ExportScript(db);
+        if (script.ok()) {
+          std::cout << *script;
+        } else {
+          std::cout << "error: " << script.status().ToString() << "\n";
+        }
+      } else if (line.rfind(".level", 0) == 0) {
+        int level = std::atoi(line.substr(6).c_str());
+        if (level < 0 || level > 4) {
+          std::cout << "level must be 0..4\n";
+        } else {
+          session.options().level = static_cast<pascalr::OptLevel>(level);
+          std::cout << "optimization "
+                    << pascalr::OptLevelToString(session.options().level)
+                    << "\n";
+        }
+      } else {
+        std::cout << "unknown meta command; .help for help\n";
+      }
+      continue;
+    }
+
+    buffer += line;
+    buffer += "\n";
+    // Execute once the buffer ends in ';' (outside a string literal this
+    // is a statement terminator; good enough for interactive use).
+    std::string::size_type last = buffer.find_last_not_of(" \t\n");
+    if (last == std::string::npos || buffer[last] != ';') continue;
+
+    pascalr::Status st = session.ExecuteScript(buffer);
+    if (!st.ok()) std::cout << "error: " << st.ToString() << "\n";
+    buffer.clear();
+  }
+  std::cout << "\n";
+  return 0;
+}

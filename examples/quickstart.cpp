@@ -1,0 +1,112 @@
+// Quickstart: declare the paper's Figure 1 database in the PASCAL/R query
+// language, load a few elements with `:+`, and run Example 2.1.
+//
+//   $ build/examples/quickstart
+
+#include <iostream>
+
+#include "pascalr/pascalr.h"
+
+namespace {
+
+// Figure 1, verbatim modulo surface syntax (named scalar types inlined).
+constexpr const char* kFigure1Schema = R"(
+TYPE statustype = (student, technician, assistant, professor);
+TYPE leveltype  = (freshman, sophomore, junior, senior);
+TYPE daytype    = (monday, tuesday, wednesday, thursday, friday);
+
+VAR employees : RELATION <enr> OF RECORD
+      enr     : 1..99;
+      ename   : STRING(10);
+      estatus : statustype
+    END;
+
+VAR papers : RELATION <ptitle, penr> OF RECORD
+      penr   : 1..99;
+      pyear  : 1900..1999;
+      ptitle : STRING(40)
+    END;
+
+VAR courses : RELATION <cnr> OF RECORD
+      cnr    : 1..99;
+      clevel : leveltype;
+      ctitle : STRING(40)
+    END;
+
+VAR timetable : RELATION <tenr, tcnr, tday> OF RECORD
+      tenr  : 1..99;
+      tcnr  : 1..99;
+      tday  : daytype;
+      ttime : 8000900..18002000;
+      troom : STRING(5)
+    END;
+)";
+
+constexpr const char* kData = R"(
+employees :+ [<1, 'Alice', professor>];
+employees :+ [<2, 'Bob', professor>];
+employees :+ [<3, 'Carol', professor>];
+employees :+ [<4, 'Dave', assistant>];
+employees :+ [<5, 'Erin', student>];
+employees :+ [<6, 'Frank', professor>];
+
+papers :+ [<1, 1977, 'Views'>];
+papers :+ [<1, 1975, 'Joins'>];
+papers :+ [<2, 1976, 'Sorts'>];
+papers :+ [<4, 1977, 'Trees'>];
+papers :+ [<3, 1977, 'Logs'>];
+
+courses :+ [<10, freshman, 'Intro'>];
+courses :+ [<11, sophomore, 'Data'>];
+courses :+ [<12, junior, 'Logic'>];
+courses :+ [<13, senior, 'Systems'>];
+
+timetable :+ [<1, 11, monday, 9001000, 'R1'>];
+timetable :+ [<1, 12, tuesday, 9001000, 'R2'>];
+timetable :+ [<2, 12, monday, 10001100, 'R1'>];
+timetable :+ [<3, 13, monday, 10001100, 'R3'>];
+timetable :+ [<4, 11, tuesday, 11001200, 'R1'>];
+timetable :+ [<6, 12, monday, 11001200, 'R2'>];
+)";
+
+// Example 2.1: professors who did not publish in 1977 or who currently
+// offer a course at sophomore level or lower.
+constexpr const char* kExample21 = R"(
+enames := [<e.ename> OF EACH e IN employees:
+    (e.estatus = professor)
+    AND
+    (ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))
+     OR
+     SOME c IN courses ((c.clevel <= sophomore)
+       AND
+       SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))];
+
+PRINT enames;
+)";
+
+}  // namespace
+
+int main() {
+  pascalr::Database db;
+  pascalr::Session session(&db, &std::cout);
+
+  for (const char* script : {kFigure1Schema, kData}) {
+    pascalr::Status status = session.ExecuteScript(script);
+    if (!status.ok()) {
+      std::cerr << "setup failed: " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "Figure 1 database loaded:\n" << db.DebugString() << "\n";
+  std::cout << "Running Example 2.1 (expected: Alice, Bob, Frank)\n\n";
+
+  pascalr::Status status = session.ExecuteScript(kExample21);
+  if (!status.ok()) {
+    std::cerr << "query failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nsession stats: " << session.total_stats().ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Lightweight logging and invariant-check macros.
+//
+// PASCALR_CHECK* abort the process with a diagnostic; they guard *internal*
+// invariants only. API misuse is reported through Status, never through
+// CHECK failures.
+
+#ifndef PASCALR_BASE_LOGGING_H_
+#define PASCALR_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pascalr {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates a message and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pascalr
+
+#define PASCALR_LOG_INFO                                            \
+  ::pascalr::internal::LogMessage(                                  \
+      ::pascalr::internal::LogSeverity::kInfo, __FILE__, __LINE__)  \
+      .stream()
+#define PASCALR_LOG_WARNING                                            \
+  ::pascalr::internal::LogMessage(                                     \
+      ::pascalr::internal::LogSeverity::kWarning, __FILE__, __LINE__)  \
+      .stream()
+#define PASCALR_LOG_FATAL                                            \
+  ::pascalr::internal::LogMessage(                                   \
+      ::pascalr::internal::LogSeverity::kFatal, __FILE__, __LINE__)  \
+      .stream()
+
+#define PASCALR_CHECK(cond)                                      \
+  if (!(cond)) PASCALR_LOG_FATAL << "Check failed: " #cond " "
+
+#define PASCALR_CHECK_EQ(a, b) PASCALR_CHECK((a) == (b))
+#define PASCALR_CHECK_NE(a, b) PASCALR_CHECK((a) != (b))
+#define PASCALR_CHECK_LT(a, b) PASCALR_CHECK((a) < (b))
+#define PASCALR_CHECK_LE(a, b) PASCALR_CHECK((a) <= (b))
+#define PASCALR_CHECK_GT(a, b) PASCALR_CHECK((a) > (b))
+#define PASCALR_CHECK_GE(a, b) PASCALR_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define PASCALR_DCHECK(cond) PASCALR_CHECK(cond)
+#else
+#define PASCALR_DCHECK(cond) \
+  if (false) PASCALR_LOG_FATAL << ""
+#endif
+
+#endif  // PASCALR_BASE_LOGGING_H_

@@ -1,0 +1,138 @@
+// Status: exception-free error propagation in the style of LevelDB/RocksDB
+// and Google's style guide (exceptions are not used in this codebase).
+
+#ifndef PASCALR_BASE_STATUS_H_
+#define PASCALR_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pascalr {
+
+/// Error categories used across the library. Keep this list short and
+/// semantic: call sites branch on the code, humans read the message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kNotFound = 2,          ///< named entity (relation, component, key) absent
+  kAlreadyExists = 3,     ///< duplicate key / duplicate declaration
+  kTypeMismatch = 4,      ///< operands of a join term do not agree
+  kParseError = 5,        ///< lexer/parser rejection, with position info
+  kUnsupported = 6,       ///< recognised but deliberately not implemented
+  kOutOfRange = 7,        ///< subrange or cardinality violation
+  kInternal = 8,          ///< invariant breach: a bug in pascalr itself
+};
+
+/// Returns a stable human-readable name ("NotFound") for a code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: either OK or a code plus message.
+///
+/// The common idiom:
+///
+///   Status s = relation->Insert(tuple);
+///   if (!s.ok()) return s;
+///
+/// or via the PASCALR_RETURN_IF_ERROR macro below.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Minimal StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  ///   Result<int> F() { if (bad) return Status::InvalidArgument("…");
+  ///                     return 42; }
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pascalr
+
+/// Propagates a non-OK Status from the enclosing function.
+#define PASCALR_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::pascalr::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, binding the value.
+#define PASCALR_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  PASCALR_ASSIGN_OR_RETURN_IMPL(                  \
+      PASCALR_STATUS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define PASCALR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define PASCALR_STATUS_CONCAT(a, b) PASCALR_STATUS_CONCAT_IMPL(a, b)
+#define PASCALR_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // PASCALR_BASE_STATUS_H_

@@ -1,0 +1,113 @@
+#include "calculus/printer.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+// Precedence: OR < AND < NOT/quant/atom. Parenthesise a child whose
+// precedence is lower than the context requires.
+int Precedence(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kOr:
+      return 1;
+    case FormulaKind::kAnd:
+      return 2;
+    case FormulaKind::kQuant:
+      return 3;
+    case FormulaKind::kNot:
+      return 4;
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return 5;
+  }
+  return 5;
+}
+
+std::string Render(const Formula& f, int parent_prec) {
+  std::string out;
+  int prec = Precedence(f);
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+      out = f.const_value() ? "TRUE" : "FALSE";
+      break;
+    case FormulaKind::kCompare:
+      out = f.term().ToString();
+      break;
+    case FormulaKind::kNot:
+      out = "NOT " + Render(f.child(), prec);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<std::string> parts;
+      for (const FormulaPtr& c : f.children()) {
+        parts.push_back(Render(*c, prec));
+      }
+      out = Join(parts, f.kind() == FormulaKind::kAnd ? " AND " : " OR ");
+      break;
+    }
+    case FormulaKind::kQuant:
+      out = std::string(QuantifierToString(f.quantifier())) + " " + f.var() +
+            " IN " + f.range().ToString(f.var()) + " (" +
+            Render(f.child(), 0) + ")";
+      break;
+  }
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
+}
+
+void RenderIndented(const Formula& f, int indent, std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      *out += pad + Render(f, 0) + "\n";
+      return;
+    case FormulaKind::kNot:
+      *out += pad + "NOT\n";
+      RenderIndented(f.child(), indent + 1, out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      *out += pad + (f.kind() == FormulaKind::kAnd ? "AND" : "OR") + "\n";
+      for (const FormulaPtr& c : f.children()) {
+        RenderIndented(*c, indent + 1, out);
+      }
+      return;
+    case FormulaKind::kQuant:
+      *out += pad + std::string(QuantifierToString(f.quantifier())) + " " +
+              f.var() + " IN " + f.range().ToString(f.var()) + "\n";
+      RenderIndented(f.child(), indent + 1, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string FormatFormula(const Formula& f) { return Render(f, 0); }
+
+std::string FormatFormulaIndented(const Formula& f, int indent) {
+  std::string out;
+  RenderIndented(f, indent, &out);
+  return out;
+}
+
+std::string FormatSelection(const SelectionExpr& sel) {
+  std::vector<std::string> proj;
+  for (const OutputComponent& c : sel.projection) proj.push_back(c.ToString());
+  std::vector<std::string> ranges;
+  for (const RangeDecl& d : sel.free_vars) {
+    ranges.push_back("EACH " + d.var + " IN " + d.range.ToString(d.var));
+  }
+  std::string out = "[<" + Join(proj, ", ") + "> OF " + Join(ranges, ", ");
+  if (sel.wff != nullptr) out += ": " + FormatFormula(*sel.wff);
+  out += "]";
+  return out;
+}
+
+std::string Formula::ToString() const { return FormatFormula(*this); }
+
+std::string SelectionExpr::ToString() const { return FormatSelection(*this); }
+
+}  // namespace pascalr

@@ -1,0 +1,25 @@
+// Paper-style rendering of formulas and selections, used by EXPLAIN output,
+// golden tests, and error messages.
+
+#ifndef PASCALR_CALCULUS_PRINTER_H_
+#define PASCALR_CALCULUS_PRINTER_H_
+
+#include <string>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// Single-line rendering: `(e.estatus = professor) AND SOME t IN timetable
+/// ((t.tenr = e.enr))`.
+std::string FormatFormula(const Formula& f);
+
+/// Multi-line, indented rendering for EXPLAIN output.
+std::string FormatFormulaIndented(const Formula& f, int indent = 0);
+
+/// `[<e.ename> OF EACH e IN employees: wff]`.
+std::string FormatSelection(const SelectionExpr& sel);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CALCULUS_PRINTER_H_

@@ -1,0 +1,149 @@
+#include "catalog/database.h"
+
+#include "base/str_util.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace pascalr {
+
+Status Database::RegisterEnum(std::shared_ptr<const EnumInfo> info) {
+  if (info == nullptr || info->name.empty()) {
+    return Status::InvalidArgument("enum type needs a name");
+  }
+  if (enums_.count(info->name) > 0) {
+    return Status::AlreadyExists("type '" + info->name + "' already declared");
+  }
+  if (info->labels.empty()) {
+    return Status::InvalidArgument("enum type '" + info->name +
+                                   "' needs at least one label");
+  }
+  enums_[info->name] = std::move(info);
+  return Status::OK();
+}
+
+std::shared_ptr<const EnumInfo> Database::FindEnum(
+    const std::string& name) const {
+  auto it = enums_.find(name);
+  return it == enums_.end() ? nullptr : it->second;
+}
+
+Result<Relation*> Database::CreateRelation(const std::string& name,
+                                           Schema schema) {
+  if (name.empty()) return Status::InvalidArgument("relation needs a name");
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already declared");
+  }
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(std::make_unique<Relation>(id, name, std::move(schema)));
+  by_name_[name] = id;
+  return relations_.back().get();
+}
+
+Status Database::DropRelation(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  // Ids are positional; keep the slot but null the entry.
+  relations_[it->second].reset();
+  by_name_.erase(it);
+  for (auto idx = indexes_.begin(); idx != indexes_.end();) {
+    if (idx->first.rfind(name + ".", 0) == 0) {
+      idx = indexes_.erase(idx);
+    } else {
+      ++idx;
+    }
+  }
+  return Status::OK();
+}
+
+Relation* Database::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return relations_[it->second].get();
+}
+
+Relation* Database::FindRelation(RelationId id) const {
+  if (id >= relations_.size()) return nullptr;
+  return relations_[id].get();
+}
+
+Result<const Tuple*> Database::Deref(const Ref& ref) const {
+  Relation* rel = FindRelation(ref.relation);
+  if (rel == nullptr) {
+    return Status::NotFound(
+        StrFormat("reference into unknown relation %u", ref.relation));
+  }
+  return rel->Deref(ref);
+}
+
+Result<ComponentIndex*> Database::EnsureIndex(const std::string& relation,
+                                              const std::string& component,
+                                              bool ordered) {
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  int pos = rel->schema().FindComponent(component);
+  if (pos < 0) {
+    return Status::NotFound("relation '" + relation + "' has no component '" +
+                            component + "'");
+  }
+  std::string key = IndexKey(relation, component);
+  auto it = indexes_.find(key);
+  if (it != indexes_.end() && it->second.ordered == ordered &&
+      it->second.built_at_mod == rel->mod_count()) {
+    return it->second.index.get();
+  }
+  IndexEntry entry;
+  entry.component_pos = static_cast<size_t>(pos);
+  entry.ordered = ordered;
+  std::string index_name = "ind_" + relation + "_" + component;
+  if (ordered) {
+    entry.index = std::make_unique<BTreeIndex>(index_name);
+  } else {
+    entry.index = std::make_unique<HashIndex>(index_name);
+  }
+  rel->Scan([&](const Ref& r, const Tuple& t) {
+    entry.index->Add(t.at(entry.component_pos), r);
+    return true;
+  });
+  entry.built_at_mod = rel->mod_count();
+  ComponentIndex* out = entry.index.get();
+  indexes_[key] = std::move(entry);
+  return out;
+}
+
+ComponentIndex* Database::FindFreshIndex(const std::string& relation,
+                                         const std::string& component) const {
+  auto it = indexes_.find(IndexKey(relation, component));
+  if (it == indexes_.end()) return nullptr;
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr || it->second.built_at_mod != rel->mod_count()) {
+    return nullptr;
+  }
+  return it->second.index.get();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) out.push_back(name);
+  return out;
+}
+
+std::string Database::DebugString() const {
+  std::string out = "database:\n";
+  for (const auto& [name, id] : by_name_) {
+    const Relation* rel = relations_[id].get();
+    out += StrFormat("  %s : %s  -- %zu elements\n", name.c_str(),
+                     rel->schema().ToString().c_str(), rel->cardinality());
+  }
+  for (const auto& [key, entry] : indexes_) {
+    out += StrFormat("  index %s (%s, %zu entries)\n", key.c_str(),
+                     entry.ordered ? "ordered" : "hash", entry.index->size());
+  }
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,85 @@
+// Database: the catalog of named relations, named enumeration types, and
+// permanent component indexes (paper Example 3.1's enrindex).
+//
+// Permanent indexes are self-maintaining: each records the relation
+// mod_count it was built at and is rebuilt lazily when the relation has
+// changed since (the paper maintains them inside application code; a
+// library must do it for the user).
+
+#ifndef PASCALR_CATALOG_DATABASE_H_
+#define PASCALR_CATALOG_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "index/index.h"
+#include "storage/relation.h"
+#include "value/type.h"
+
+namespace pascalr {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Declares `TYPE name = (label, ...)`.
+  Status RegisterEnum(std::shared_ptr<const EnumInfo> info);
+  /// Returns nullptr if no enum type of this name exists.
+  std::shared_ptr<const EnumInfo> FindEnum(const std::string& name) const;
+
+  /// Declares `VAR name : RELATION <key> OF RECORD ... END`.
+  Result<Relation*> CreateRelation(const std::string& name, Schema schema);
+  Status DropRelation(const std::string& name);
+
+  /// Lookup by name / id; nullptr when absent.
+  Relation* FindRelation(const std::string& name) const;
+  Relation* FindRelation(RelationId id) const;
+
+  /// Routes a reference to its owning relation and dereferences it.
+  Result<const Tuple*> Deref(const Ref& ref) const;
+
+  /// Ensures a permanent index on `relation.component` exists and is fresh.
+  /// `ordered` selects a B+tree (supports <, <=, >, >=) over a hash index.
+  /// Requesting an ordered index where an unordered one exists (or vice
+  /// versa) replaces it.
+  Result<ComponentIndex*> EnsureIndex(const std::string& relation,
+                                      const std::string& component,
+                                      bool ordered);
+
+  /// Returns the permanent index on `relation.component` if it exists AND
+  /// is fresh; nullptr otherwise. Never builds.
+  ComponentIndex* FindFreshIndex(const std::string& relation,
+                                 const std::string& component) const;
+
+  std::vector<std::string> RelationNames() const;
+
+  /// Human-readable catalog summary.
+  std::string DebugString() const;
+
+ private:
+  struct IndexEntry {
+    std::unique_ptr<ComponentIndex> index;
+    uint64_t built_at_mod = 0;
+    size_t component_pos = 0;
+    bool ordered = false;
+  };
+
+  static std::string IndexKey(const std::string& relation,
+                              const std::string& component) {
+    return relation + "." + component;
+  }
+
+  std::vector<std::unique_ptr<Relation>> relations_;  // index == RelationId
+  std::map<std::string, RelationId> by_name_;
+  std::map<std::string, std::shared_ptr<const EnumInfo>> enums_;
+  std::map<std::string, IndexEntry> indexes_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CATALOG_DATABASE_H_

@@ -1,0 +1,212 @@
+#include "exec/collection.h"
+
+#include <set>
+
+#include "base/str_util.h"
+#include "exec/eval_util.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Applies one indirect-join emission for the element (ref, tuple) of the
+/// probe variable.
+void RunIjEmit(const IndirectJoinEmit& emit, const Ref& ref,
+               const Tuple& tuple, const CollectionResult& partial,
+               RefRelation* out, ExecStats* stats) {
+  if (!EvalGates(emit.gates, tuple, stats)) return;
+  // Mutual restriction (S2): every co-probe must find at least one match.
+  for (const ProbeCheck& check : emit.corestrictions) {
+    if (stats != nullptr) ++stats->index_probes;
+    const Value& x = tuple.at(static_cast<size_t>(check.probe_component_pos));
+    // The index stores build-side values v; the term reads `x op v`, and
+    // ComponentIndex::Probe answers `v op' x`, so mirror the operator.
+    if (!partial.indexes[check.index_id]->ProbeAny(MirrorOp(check.op), x)) {
+      return;
+    }
+  }
+  if (stats != nullptr) ++stats->index_probes;
+  const Value& x = tuple.at(static_cast<size_t>(emit.probe_component_pos));
+  partial.indexes[emit.index_id]->Probe(
+      MirrorOp(emit.op), x, [&](const Ref& build_ref) {
+        RefRow row = emit.probe_column_first ? RefRow{ref, build_ref}
+                                             : RefRow{build_ref, ref};
+        if (out->Add(std::move(row)) && stats != nullptr) {
+          stats->indirect_join_refs += 2;
+        }
+        return true;
+      });
+}
+
+}  // namespace
+
+Result<CollectionResult> ExecuteCollection(const QueryPlan& plan,
+                                           const Database& db,
+                                           ExecStats* stats) {
+  CollectionResult result;
+  result.structures.reserve(plan.structures.size());
+  for (const StructureDef& def : plan.structures) {
+    result.structures.emplace_back(def.columns);
+  }
+  std::vector<bool> borrowed(plan.indexes.size(), false);
+  for (const IndexBuildSpec& spec : plan.indexes) {
+    if (spec.try_permanent && spec.gates.empty()) {
+      // Paper §3.2: "The first step can be omitted, if permanent indexes
+      // exist." Reuse a fresh catalog index instead of building one.
+      auto it = plan.sf.vars.find(spec.var);
+      if (it != plan.sf.vars.end() && it->second.relation != nullptr) {
+        const Schema& schema = it->second.relation->schema();
+        const std::string& component =
+            schema.component(static_cast<size_t>(spec.component_pos)).name;
+        ComponentIndex* permanent =
+            db.FindFreshIndex(it->second.relation_name, component);
+        if (permanent != nullptr) {
+          borrowed[spec.id] = true;
+          result.indexes.push_back(permanent);
+          if (stats != nullptr) ++stats->permanent_index_hits;
+          continue;
+        }
+      }
+    }
+    if (spec.ordered) {
+      result.owned_indexes.push_back(
+          std::make_unique<BTreeIndex>(spec.debug_name));
+    } else {
+      result.owned_indexes.push_back(
+          std::make_unique<HashIndex>(spec.debug_name));
+    }
+    result.indexes.push_back(result.owned_indexes.back().get());
+  }
+  for (const ValueListSpec& spec : plan.value_lists) {
+    result.value_lists.emplace_back(spec.mode);
+  }
+
+  // Which scan first materialises each variable's range.
+  std::set<std::string> range_done;
+
+  for (const RelationScan& scan : plan.scans) {
+    const Relation* rel = db.FindRelation(scan.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("no relation named '" + scan.relation + "'");
+    }
+    std::vector<bool> collect_range(scan.actions.size());
+    for (size_t a = 0; a < scan.actions.size(); ++a) {
+      collect_range[a] = range_done.insert(scan.actions[a].var).second;
+    }
+    if (stats != nullptr) ++stats->relations_read;
+
+    Status scan_status = Status::OK();
+    rel->Scan([&](const Ref& ref, const Tuple& tuple) {
+      if (stats != nullptr) ++stats->elements_scanned;
+      for (size_t a = 0; a < scan.actions.size(); ++a) {
+        const ScanAction& action = scan.actions[a];
+        const QuantifiedVar* qv = plan.sf.FindVar(action.var);
+        if (qv != nullptr && qv->range.IsExtended() &&
+            !EvalRestriction(*qv->range.restriction, tuple, stats)) {
+          continue;  // element outside the (extended) range of this var
+        }
+        if (collect_range[a]) result.range_refs[action.var].push_back(ref);
+
+        for (const SingleListEmit& emit : action.single_lists) {
+          if (!EvalGates(emit.gates, tuple, stats)) continue;
+          if (result.structures[emit.structure_id].Add({ref}) &&
+              stats != nullptr) {
+            ++stats->single_list_refs;
+          }
+        }
+        for (size_t index_id : action.index_builds) {
+          if (borrowed[index_id]) continue;  // permanent index reused as-is
+          const IndexBuildSpec& spec = plan.indexes[index_id];
+          if (!EvalGates(spec.gates, tuple, stats)) continue;
+          result.indexes[index_id]->Add(
+              tuple.at(static_cast<size_t>(spec.component_pos)), ref);
+        }
+        for (size_t vl_id : action.value_list_builds) {
+          const ValueListSpec& spec = plan.value_lists[vl_id];
+          if (!EvalGates(spec.gates, tuple, stats)) continue;
+          bool gated_out = false;
+          for (const QuantProbeGate& g : spec.probe_gates) {
+            if (stats != nullptr) ++stats->quantifier_probes;
+            const Value& x =
+                tuple.at(static_cast<size_t>(g.probe_component_pos));
+            const ValueList& inner = result.value_lists[g.value_list_id];
+            Result<bool> holds = g.quantifier == Quantifier::kSome
+                                     ? inner.SatisfiesSome(g.op, x)
+                                     : inner.SatisfiesAll(g.op, x);
+            if (!holds.ok()) {
+              scan_status = holds.status();
+              return false;
+            }
+            if (!*holds) {
+              gated_out = true;
+              break;
+            }
+          }
+          if (gated_out) continue;
+          result.value_lists[vl_id].Add(
+              tuple.at(static_cast<size_t>(spec.component_pos)));
+        }
+        for (const IndirectJoinEmit& emit : action.ij_emits) {
+          RunIjEmit(emit, ref, tuple, result,
+                    &result.structures[emit.structure_id], stats);
+        }
+        for (const QuantProbeEmit& emit : action.quant_probes) {
+          if (!EvalGates(emit.gates, tuple, stats)) continue;
+          if (stats != nullptr) ++stats->quantifier_probes;
+          const Value& x =
+              tuple.at(static_cast<size_t>(emit.probe.probe_component_pos));
+          const ValueList& vl = result.value_lists[emit.probe.value_list_id];
+          Result<bool> holds =
+              emit.probe.quantifier == Quantifier::kSome
+                  ? vl.SatisfiesSome(emit.probe.op, x)
+                  : vl.SatisfiesAll(emit.probe.op, x);
+          if (!holds.ok()) {
+            scan_status = holds.status();
+            return false;
+          }
+          if (*holds &&
+              result.structures[emit.structure_id].Add({ref}) &&
+              stats != nullptr) {
+            ++stats->single_list_refs;
+          }
+        }
+      }
+      return true;
+    });
+    PASCALR_RETURN_IF_ERROR(scan_status);
+  }
+
+  // Post-scan probes (e.g. self joins): iterate the variable's range and
+  // dereference — the paper's index-nested-loop over an already-collected
+  // reference list.
+  for (const PostScanProbe& probe : plan.post_probes) {
+    auto it = result.range_refs.find(probe.var);
+    if (it == result.range_refs.end()) {
+      return Status::Internal("post-scan probe over uncollected range '" +
+                              probe.var + "'");
+    }
+    for (const Ref& ref : it->second) {
+      PASCALR_ASSIGN_OR_RETURN(const Tuple* tuple, db.Deref(ref));
+      if (stats != nullptr) ++stats->elements_scanned;
+      RunIjEmit(probe.emit, ref, *tuple, result,
+                &result.structures[probe.emit.structure_id], stats);
+    }
+  }
+
+  // Every prefix variable must have a materialised range (the planner
+  // schedules an empty-action scan when no term touches a variable).
+  for (const QuantifiedVar& qv : plan.sf.prefix) {
+    if (plan.IsEliminated(qv.var)) continue;
+    if (range_done.count(qv.var) == 0) {
+      return Status::Internal("range of variable '" + qv.var +
+                              "' was never collected");
+    }
+    // touch the entry so lookups are total
+    result.range_refs[qv.var];
+  }
+  return result;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,43 @@
+// The collection phase (paper §3.3, step 1): evaluates range expressions
+// and join terms, producing single lists, indirect joins, indexes, and —
+// under strategy 4 — value lists and derived single lists. Performs the
+// paper's "data compression (records to references) and data reduction
+// (testing join terms)".
+
+#ifndef PASCALR_EXEC_COLLECTION_H_
+#define PASCALR_EXEC_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+#include "refstruct/ref_relation.h"
+#include "refstruct/value_list.h"
+
+namespace pascalr {
+
+struct CollectionResult {
+  /// Indexed by structure id.
+  std::vector<RefRelation> structures;
+  /// Materialised (possibly extended) range of every prefix variable.
+  std::map<std::string, std::vector<Ref>> range_refs;
+  /// Indexed by index id. Entries either point into `owned_indexes` or —
+  /// when a fresh permanent catalog index was reused (paper §3.2) — into
+  /// the Database, which must outlive this result.
+  std::vector<ComponentIndex*> indexes;
+  std::vector<std::unique_ptr<ComponentIndex>> owned_indexes;
+  /// Indexed by value list id.
+  std::vector<ValueList> value_lists;
+};
+
+Result<CollectionResult> ExecuteCollection(const QueryPlan& plan,
+                                           const Database& db,
+                                           ExecStats* stats);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_COLLECTION_H_

@@ -1,0 +1,125 @@
+#include "exec/combination.h"
+
+#include <algorithm>
+
+#include "refstruct/division.h"
+#include "refstruct/ops.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Joins the conjunction's structures, preferring joins over products:
+/// start from the smallest structure, repeatedly take the smallest
+/// remaining structure that shares a column, and fall back to the smallest
+/// overall (a genuine Cartesian step) when none connects.
+RefRelation JoinStructures(std::vector<const RefRelation*> inputs,
+                           ExecStats* stats) {
+  if (inputs.empty()) {
+    RefRelation unit{std::vector<std::string>{}};
+    unit.Add({});  // arity-0 relation containing the empty row: TRUE
+    return unit;
+  }
+  auto smallest = std::min_element(
+      inputs.begin(), inputs.end(),
+      [](const RefRelation* a, const RefRelation* b) {
+        return a->size() < b->size();
+      });
+  RefRelation acc = **smallest;
+  inputs.erase(smallest);
+  while (!inputs.empty()) {
+    size_t best = inputs.size();
+    size_t best_connected = inputs.size();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      bool connected = false;
+      for (const std::string& col : inputs[i]->columns()) {
+        if (acc.ColumnIndex(col) >= 0) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected && (best_connected == inputs.size() ||
+                        inputs[i]->size() < inputs[best_connected]->size())) {
+        best_connected = i;
+      }
+      if (best == inputs.size() || inputs[i]->size() < inputs[best]->size()) {
+        best = i;
+      }
+    }
+    size_t pick = best_connected != inputs.size() ? best_connected : best;
+    acc = NaturalJoin(acc, *inputs[pick], stats);
+    inputs.erase(inputs.begin() + static_cast<long>(pick));
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
+                                       const CollectionResult& coll,
+                                       ExecStats* stats) {
+  // Active variables: the prefix minus strategy-4 eliminations, in prefix
+  // order. Free variables come first by construction.
+  std::vector<QuantifiedVar> active;
+  for (const QuantifiedVar& qv : plan.sf.prefix) {
+    if (!plan.IsEliminated(qv.var)) active.push_back(qv.Clone());
+  }
+  std::vector<std::string> active_names;
+  for (const QuantifiedVar& qv : active) active_names.push_back(qv.var);
+
+  std::vector<std::string> free_names;
+  for (const QuantifiedVar& qv : active) {
+    if (qv.quantifier == Quantifier::kFree) free_names.push_back(qv.var);
+  }
+
+  if (plan.sf.matrix.IsFalse()) {
+    return RefRelation(free_names);  // no disjunct: empty result
+  }
+
+  // Step 1 + 2: evaluate each conjunction, union the n-tuple sets.
+  RefRelation combined(active_names);
+  for (size_t c = 0; c < plan.sf.matrix.disjuncts.size(); ++c) {
+    std::vector<const RefRelation*> inputs;
+    for (size_t id : plan.conj_inputs[c]) {
+      inputs.push_back(&coll.structures[id]);
+    }
+    RefRelation conj_result = JoinStructures(std::move(inputs), stats);
+    // Extend to all active variables (the n-tuple invariant of §3.3).
+    for (const QuantifiedVar& qv : active) {
+      if (conj_result.ColumnIndex(qv.var) >= 0) continue;
+      auto it = coll.range_refs.find(qv.var);
+      if (it == coll.range_refs.end()) {
+        return Status::Internal("no materialised range for '" + qv.var + "'");
+      }
+      conj_result = ProductWithRefs(conj_result, qv.var, it->second, stats);
+    }
+    PASCALR_ASSIGN_OR_RETURN(RefRelation aligned,
+                             Project(conj_result, active_names, stats));
+    PASCALR_ASSIGN_OR_RETURN(combined, UnionRows(combined, aligned, stats));
+  }
+
+  // Step 3: quantifiers right to left.
+  for (size_t i = active.size(); i-- > 0;) {
+    const QuantifiedVar& qv = active[i];
+    if (qv.quantifier == Quantifier::kFree) break;
+    if (qv.quantifier == Quantifier::kSome) {
+      std::vector<std::string> keep;
+      for (const std::string& col : combined.columns()) {
+        if (col != qv.var) keep.push_back(col);
+      }
+      PASCALR_ASSIGN_OR_RETURN(combined, Project(combined, keep, stats));
+    } else {
+      auto it = coll.range_refs.find(qv.var);
+      if (it == coll.range_refs.end()) {
+        return Status::Internal("no materialised range for '" + qv.var + "'");
+      }
+      PASCALR_ASSIGN_OR_RETURN(
+          combined, Divide(combined, qv.var, it->second, stats, plan.division));
+    }
+  }
+
+  PASCALR_ASSIGN_OR_RETURN(combined, Project(combined, free_names, stats));
+  return combined;
+}
+
+}  // namespace pascalr

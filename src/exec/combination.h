@@ -1,0 +1,25 @@
+// The combination phase (paper §3.3, step 2): manipulates only reference
+// relations. Per conjunction it joins the collected structures into
+// n-tuples of references (n = number of prefix variables still active),
+// unions the disjuncts, and evaluates quantifiers right to left —
+// projection for SOME, relational division for ALL.
+
+#ifndef PASCALR_EXEC_COMBINATION_H_
+#define PASCALR_EXEC_COMBINATION_H_
+
+#include "base/status.h"
+#include "exec/collection.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+
+namespace pascalr {
+
+/// Returns the reference relation over the free variables that satisfies
+/// the whole selection expression.
+Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
+                                       const CollectionResult& coll,
+                                       ExecStats* stats);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_COMBINATION_H_

@@ -1,0 +1,38 @@
+#include "exec/construction.h"
+
+#include <unordered_set>
+
+namespace pascalr {
+
+Result<std::vector<Tuple>> ExecuteConstruction(const QueryPlan& plan,
+                                               const RefRelation& table,
+                                               const Database& db,
+                                               ExecStats* stats) {
+  // Resolve projection columns once.
+  std::vector<int> column_of_var;
+  for (const OutputComponent& oc : plan.sf.projection) {
+    int col = table.ColumnIndex(oc.var);
+    if (col < 0) {
+      return Status::Internal("combination result lacks column '" + oc.var +
+                              "'");
+    }
+    column_of_var.push_back(col);
+  }
+
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const RefRow& row : table.rows()) {
+    Tuple result;
+    for (size_t i = 0; i < plan.sf.projection.size(); ++i) {
+      const OutputComponent& oc = plan.sf.projection[i];
+      const Ref& ref = row[static_cast<size_t>(column_of_var[i])];
+      PASCALR_ASSIGN_OR_RETURN(const Tuple* tuple, db.Deref(ref));
+      if (stats != nullptr) ++stats->dereferences;
+      result.Append(tuple->at(static_cast<size_t>(oc.component_pos)));
+    }
+    if (seen.insert(result).second) out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace pascalr

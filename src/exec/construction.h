@@ -1,0 +1,27 @@
+// The construction phase (paper §3.3, step 3): dereferences the reference
+// tuples delivered by the combination phase and projects them onto the
+// component selection.
+
+#ifndef PASCALR_EXEC_CONSTRUCTION_H_
+#define PASCALR_EXEC_CONSTRUCTION_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+#include "refstruct/ref_relation.h"
+
+namespace pascalr {
+
+/// Produces the (deduplicated) result tuples in the projection's component
+/// order.
+Result<std::vector<Tuple>> ExecuteConstruction(const QueryPlan& plan,
+                                               const RefRelation& table,
+                                               const Database& db,
+                                               ExecStats* stats);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_CONSTRUCTION_H_

@@ -1,0 +1,66 @@
+// Shared element-at-a-time evaluation helpers: monadic join terms and
+// single-variable restriction formulas applied to one tuple.
+
+#ifndef PASCALR_EXEC_EVAL_UTIL_H_
+#define PASCALR_EXEC_EVAL_UTIL_H_
+
+#include "calculus/ast.h"
+#include "exec/stats.h"
+#include "value/tuple.h"
+
+namespace pascalr {
+
+/// Evaluates a term whose component operands all come from the same tuple
+/// (monadic terms, e.g. `e.estatus = professor` or `t.tenr = t.tcnr`).
+inline bool EvalMonadicTerm(const JoinTerm& t, const Tuple& tuple,
+                            ExecStats* stats) {
+  if (stats != nullptr) ++stats->comparisons;
+  const Value& lhs = t.lhs.is_literal()
+                         ? t.lhs.literal
+                         : tuple.at(static_cast<size_t>(t.lhs.component_pos));
+  const Value& rhs = t.rhs.is_literal()
+                         ? t.rhs.literal
+                         : tuple.at(static_cast<size_t>(t.rhs.component_pos));
+  return lhs.Satisfies(t.op, rhs);
+}
+
+/// Evaluates all gates; true when every one holds.
+inline bool EvalGates(const std::vector<JoinTerm>& gates, const Tuple& tuple,
+                      ExecStats* stats) {
+  for (const JoinTerm& g : gates) {
+    if (!EvalMonadicTerm(g, tuple, stats)) return false;
+  }
+  return true;
+}
+
+/// Evaluates a quantifier-free single-variable formula (extended-range
+/// restriction) on one tuple.
+inline bool EvalRestriction(const Formula& f, const Tuple& tuple,
+                            ExecStats* stats) {
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+      return f.const_value();
+    case FormulaKind::kCompare:
+      return EvalMonadicTerm(f.term(), tuple, stats);
+    case FormulaKind::kNot:
+      return !EvalRestriction(f.child(), tuple, stats);
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& c : f.children()) {
+        if (!EvalRestriction(*c, tuple, stats)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        if (EvalRestriction(*c, tuple, stats)) return true;
+      }
+      return false;
+    case FormulaKind::kQuant:
+      // Range restrictions are quantifier-free by construction.
+      return false;
+  }
+  return false;
+}
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_EVAL_UTIL_H_

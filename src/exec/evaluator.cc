@@ -1,0 +1,21 @@
+#include "exec/evaluator.h"
+
+#include "exec/combination.h"
+#include "exec/construction.h"
+
+namespace pascalr {
+
+Result<ExecOutcome> ExecutePlan(const QueryPlan& plan, const Database& db,
+                                ExecStats* stats) {
+  ExecOutcome outcome;
+  PASCALR_ASSIGN_OR_RETURN(outcome.collection,
+                           ExecuteCollection(plan, db, stats));
+  PASCALR_ASSIGN_OR_RETURN(
+      RefRelation combined,
+      ExecuteCombination(plan, outcome.collection, stats));
+  PASCALR_ASSIGN_OR_RETURN(
+      outcome.tuples, ExecuteConstruction(plan, combined, db, stats));
+  return outcome;
+}
+
+}  // namespace pascalr

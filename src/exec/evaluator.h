@@ -1,0 +1,27 @@
+// Drives a compiled QueryPlan through the three phases.
+
+#ifndef PASCALR_EXEC_EVALUATOR_H_
+#define PASCALR_EXEC_EVALUATOR_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/collection.h"
+#include "exec/plan.h"
+
+namespace pascalr {
+
+struct ExecOutcome {
+  std::vector<Tuple> tuples;
+  /// Exposed for explain output and the Figure-2 example: the materialised
+  /// single lists, indirect joins, indexes, and value lists.
+  CollectionResult collection;
+};
+
+Result<ExecOutcome> ExecutePlan(const QueryPlan& plan, const Database& db,
+                                ExecStats* stats);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_EVALUATOR_H_

@@ -1,0 +1,142 @@
+#include "exec/naive.h"
+
+#include <unordered_set>
+
+#include "exec/eval_util.h"
+
+namespace pascalr {
+
+Status NaiveEvaluator::ForEachInRange(
+    const RangeExpr& range, ExecStats* stats,
+    const std::function<Result<bool>(const Ref&, const Tuple&)>& visit) {
+  const Relation* rel = db_->FindRelation(range.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + range.relation + "'");
+  }
+  Status status = Status::OK();
+  rel->Scan([&](const Ref& ref, const Tuple& tuple) {
+    if (stats != nullptr) ++stats->elements_scanned;
+    if (range.IsExtended() &&
+        !EvalRestriction(*range.restriction, tuple, stats)) {
+      return true;
+    }
+    Result<bool> keep_going = visit(ref, tuple);
+    if (!keep_going.ok()) {
+      status = keep_going.status();
+      return false;
+    }
+    return *keep_going;
+  });
+  return status;
+}
+
+Result<bool> NaiveEvaluator::EvalTerm(
+    const JoinTerm& term, const std::map<std::string, const Tuple*>& bindings,
+    ExecStats* stats) {
+  if (stats != nullptr) ++stats->comparisons;
+  auto value_of = [&](const Operand& op) -> Result<Value> {
+    if (op.is_literal()) return op.literal;
+    auto it = bindings.find(op.var);
+    if (it == bindings.end()) {
+      return Status::Internal("unbound variable '" + op.var + "'");
+    }
+    return it->second->at(static_cast<size_t>(op.component_pos));
+  };
+  PASCALR_ASSIGN_OR_RETURN(Value lhs, value_of(term.lhs));
+  PASCALR_ASSIGN_OR_RETURN(Value rhs, value_of(term.rhs));
+  return lhs.Satisfies(term.op, rhs);
+}
+
+Result<bool> NaiveEvaluator::EvalFormula(
+    const Formula& f, std::map<std::string, const Tuple*>* bindings,
+    ExecStats* stats) {
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+      return f.const_value();
+    case FormulaKind::kCompare:
+      return EvalTerm(f.term(), *bindings, stats);
+    case FormulaKind::kNot: {
+      PASCALR_ASSIGN_OR_RETURN(bool v, EvalFormula(f.child(), bindings, stats));
+      return !v;
+    }
+    case FormulaKind::kAnd: {
+      for (const FormulaPtr& c : f.children()) {
+        PASCALR_ASSIGN_OR_RETURN(bool v, EvalFormula(*c, bindings, stats));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      for (const FormulaPtr& c : f.children()) {
+        PASCALR_ASSIGN_OR_RETURN(bool v, EvalFormula(*c, bindings, stats));
+        if (v) return true;
+      }
+      return false;
+    }
+    case FormulaKind::kQuant: {
+      bool is_some = f.quantifier() == Quantifier::kSome;
+      bool verdict = !is_some;  // SOME starts false, ALL starts true
+      Status st = ForEachInRange(
+          f.range(), stats,
+          [&](const Ref&, const Tuple& tuple) -> Result<bool> {
+            (*bindings)[f.var()] = &tuple;
+            Result<bool> v = EvalFormula(f.child(), bindings, stats);
+            bindings->erase(f.var());
+            if (!v.ok()) return v;
+            if (is_some && *v) {
+              verdict = true;
+              return false;  // witness found
+            }
+            if (!is_some && !*v) {
+              verdict = false;
+              return false;  // counterexample found
+            }
+            return true;
+          });
+      PASCALR_RETURN_IF_ERROR(st);
+      return verdict;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<std::vector<Tuple>> NaiveEvaluator::Evaluate(const BoundQuery& query,
+                                                    ExecStats* stats) {
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::map<std::string, const Tuple*> bindings;
+
+  // Nested loops over the free variables, innermost evaluates the wff.
+  std::function<Status(size_t)> loop = [&](size_t depth) -> Status {
+    if (depth == query.selection.free_vars.size()) {
+      PASCALR_ASSIGN_OR_RETURN(
+          bool v, EvalFormula(*query.selection.wff, &bindings, stats));
+      if (v) {
+        Tuple result;
+        for (const OutputComponent& oc : query.selection.projection) {
+          result.Append(bindings.at(oc.var)->at(
+              static_cast<size_t>(oc.component_pos)));
+        }
+        if (seen.insert(result).second) out.push_back(std::move(result));
+      }
+      return Status::OK();
+    }
+    const RangeDecl& decl = query.selection.free_vars[depth];
+    Status inner = Status::OK();
+    Status st = ForEachInRange(
+        decl.range, stats,
+        [&](const Ref&, const Tuple& tuple) -> Result<bool> {
+          bindings[decl.var] = &tuple;
+          inner = loop(depth + 1);
+          bindings.erase(decl.var);
+          if (!inner.ok()) return inner;
+          return true;
+        });
+    PASCALR_RETURN_IF_ERROR(st);
+    return inner;
+  };
+  PASCALR_RETURN_IF_ERROR(loop(0));
+  return out;
+}
+
+}  // namespace pascalr

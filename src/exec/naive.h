@@ -1,0 +1,49 @@
+// NaiveEvaluator: direct nested-loop interpretation of a bound selection —
+// no normalization, no reference structures, no phases. Exponential and
+// slow by design; it is the *correctness oracle* every optimized plan is
+// property-tested against, and the "evaluate queries directly as given by
+// the user" baseline the paper contrasts with (§2).
+
+#ifndef PASCALR_EXEC_NAIVE_H_
+#define PASCALR_EXEC_NAIVE_H_
+
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/stats.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+
+class NaiveEvaluator {
+ public:
+  explicit NaiveEvaluator(const Database* db) : db_(db) {}
+
+  /// Evaluates the selection, returning deduplicated result tuples.
+  Result<std::vector<Tuple>> Evaluate(const BoundQuery& query,
+                                      ExecStats* stats = nullptr);
+
+  /// Evaluates a formula under the given variable bindings (element
+  /// tuples). Exposed for the Lemma-1 / one-sorted test suites.
+  Result<bool> EvalFormula(const Formula& f,
+                           std::map<std::string, const Tuple*>* bindings,
+                           ExecStats* stats = nullptr);
+
+ private:
+  Result<bool> EvalTerm(const JoinTerm& term,
+                        const std::map<std::string, const Tuple*>& bindings,
+                        ExecStats* stats);
+
+  /// Iterates the (possibly extended) range.
+  Status ForEachInRange(
+      const RangeExpr& range, ExecStats* stats,
+      const std::function<Result<bool>(const Ref&, const Tuple&)>& visit);
+
+  const Database* db_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_NAIVE_H_

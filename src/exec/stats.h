@@ -1,0 +1,43 @@
+// ExecStats: work counters for query evaluation. The paper's strategies
+// are justified by the work they avoid (relation reads, intermediate
+// structure sizes, combination blow-up); these counters make that visible
+// deterministically, independent of wall-clock noise.
+
+#ifndef PASCALR_EXEC_STATS_H_
+#define PASCALR_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pascalr {
+
+struct ExecStats {
+  uint64_t relations_read = 0;     ///< number of relation scans started
+  uint64_t elements_scanned = 0;   ///< elements visited by collection scans
+  uint64_t index_probes = 0;       ///< probes into transient/permanent indexes
+  uint64_t single_list_refs = 0;   ///< refs materialised into single lists
+  uint64_t indirect_join_refs = 0; ///< refs materialised into indirect joins
+  uint64_t combination_rows = 0;   ///< rows materialised in the combination phase
+  uint64_t division_input_rows = 0;///< rows fed into relational division
+  uint64_t quantifier_probes = 0;  ///< strategy-4 value-list probes
+  uint64_t comparisons = 0;        ///< join-term comparisons evaluated
+  uint64_t dereferences = 0;       ///< construction-phase dereferences
+  uint64_t replans = 0;            ///< runtime adaptations (empty ranges)
+  uint64_t permanent_index_hits = 0;  ///< transient index builds skipped
+
+  ExecStats& operator+=(const ExecStats& o);
+
+  /// Aggregate "work" measure used by bench shape checks: everything the
+  /// evaluator touched.
+  uint64_t TotalWork() const {
+    return elements_scanned + index_probes + combination_rows +
+           division_input_rows + quantifier_probes + comparisons +
+           dereferences;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_STATS_H_

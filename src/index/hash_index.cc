@@ -1,0 +1,54 @@
+#include "index/hash_index.h"
+
+#include <algorithm>
+
+namespace pascalr {
+
+void HashIndex::Add(const Value& v, const Ref& ref) {
+  std::vector<Ref>& refs = map_[v];
+  if (std::find(refs.begin(), refs.end(), ref) != refs.end()) return;
+  refs.push_back(ref);
+  ++entry_count_;
+}
+
+bool HashIndex::Remove(const Value& v, const Ref& ref) {
+  auto it = map_.find(v);
+  if (it == map_.end()) return false;
+  auto& refs = it->second;
+  auto pos = std::find(refs.begin(), refs.end(), ref);
+  if (pos == refs.end()) return false;
+  refs.erase(pos);
+  --entry_count_;
+  if (refs.empty()) map_.erase(it);
+  return true;
+}
+
+void HashIndex::Probe(CompareOp op, const Value& probe,
+                      const std::function<bool(const Ref&)>& visit) const {
+  if (op == CompareOp::kEq) {
+    auto it = map_.find(probe);
+    if (it == map_.end()) return;
+    for (const Ref& r : it->second) {
+      if (!visit(r)) return;
+    }
+    return;
+  }
+  // Fallback scan for ordering operators and <>.
+  for (const auto& [value, refs] : map_) {
+    if (!value.Satisfies(op, probe)) continue;
+    for (const Ref& r : refs) {
+      if (!visit(r)) return;
+    }
+  }
+}
+
+void HashIndex::ForEachEntry(
+    const std::function<bool(const Value&, const Ref&)>& visit) const {
+  for (const auto& [value, refs] : map_) {
+    for (const Ref& r : refs) {
+      if (!visit(value, r)) return;
+    }
+  }
+}
+
+}  // namespace pascalr

@@ -1,0 +1,43 @@
+// HashIndex: equality-optimised ComponentIndex. Non-equality probes fall
+// back to a full entry scan (correct, linear); the planner prefers a
+// BTreeIndex when a term uses an ordering operator.
+
+#ifndef PASCALR_INDEX_HASH_INDEX_H_
+#define PASCALR_INDEX_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+
+namespace pascalr {
+
+class HashIndex : public ComponentIndex {
+ public:
+  HashIndex() = default;
+  explicit HashIndex(std::string name) : name_(std::move(name)) {}
+
+  void Add(const Value& v, const Ref& ref) override;
+  bool Remove(const Value& v, const Ref& ref) override;
+  size_t size() const override { return entry_count_; }
+
+  void Probe(CompareOp op, const Value& probe,
+             const std::function<bool(const Ref&)>& visit) const override;
+
+  void ForEachEntry(const std::function<bool(const Value&, const Ref&)>& visit)
+      const override;
+
+  std::string name() const override { return name_; }
+
+  /// Number of distinct indexed values.
+  size_t num_distinct_values() const { return map_.size(); }
+
+ private:
+  std::string name_ = "hash";
+  std::unordered_map<Value, std::vector<Ref>, ValueHash> map_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_INDEX_HASH_INDEX_H_

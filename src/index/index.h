@@ -1,0 +1,63 @@
+// ComponentIndex: an index from one component's value to the references of
+// the elements holding that value (paper §3.2, Figure 2: ind_t_cnr etc.).
+//
+// Indexes are built either permanently (Example 3.1's enrindex) or
+// transiently during the collection phase, and are probed with any of the
+// six comparison operators: Probe(op, x) yields every ref whose *stored*
+// value v satisfies `v op x`.
+
+#ifndef PASCALR_INDEX_INDEX_H_
+#define PASCALR_INDEX_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "storage/ref.h"
+#include "value/value.h"
+
+namespace pascalr {
+
+class ComponentIndex {
+ public:
+  virtual ~ComponentIndex() = default;
+
+  /// Registers `ref` under value `v`. Duplicate (v, ref) pairs collapse.
+  virtual void Add(const Value& v, const Ref& ref) = 0;
+
+  /// Unregisters (v, ref); returns false if absent.
+  virtual bool Remove(const Value& v, const Ref& ref) = 0;
+
+  /// Number of (value, ref) entries.
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  /// Visits every ref whose stored value v satisfies `v op probe`.
+  /// Returning false from the visitor stops early.
+  virtual void Probe(CompareOp op, const Value& probe,
+                     const std::function<bool(const Ref&)>& visit) const = 0;
+
+  /// True if some stored value v satisfies `v op probe` (semi-join test).
+  bool ProbeAny(CompareOp op, const Value& probe) const {
+    bool found = false;
+    Probe(op, probe, [&](const Ref&) {
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  /// Visits every (value, ref) entry. Ordered indexes visit in value order.
+  virtual void ForEachEntry(
+      const std::function<bool(const Value&, const Ref&)>& visit) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct ValueHash {
+  uint64_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_INDEX_INDEX_H_

@@ -1,0 +1,172 @@
+#include "normalize/dnf.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/str_util.h"
+
+namespace pascalr {
+
+std::vector<std::string> Conjunction::Variables() const {
+  std::vector<std::string> out;
+  for (const JoinTerm& t : terms) {
+    for (const std::string& v : t.Variables()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool Conjunction::References(const std::string& var) const {
+  for (const JoinTerm& t : terms) {
+    if (t.References(var)) return true;
+  }
+  return false;
+}
+
+std::vector<const JoinTerm*> Conjunction::TermsOver(
+    const std::string& var) const {
+  std::vector<const JoinTerm*> out;
+  for (const JoinTerm& t : terms) {
+    if (t.References(var)) out.push_back(&t);
+  }
+  return out;
+}
+
+bool Conjunction::operator==(const Conjunction& other) const {
+  if (terms.size() != other.terms.size()) return false;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (!(terms[i] == other.terms[i])) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  if (terms.empty()) return "TRUE";
+  std::vector<std::string> parts;
+  for (const JoinTerm& t : terms) parts.push_back(t.ToString());
+  return Join(parts, " AND ");
+}
+
+std::string DnfMatrix::ToString() const {
+  if (IsFalse()) return "FALSE";
+  std::vector<std::string> parts;
+  for (const Conjunction& c : disjuncts) parts.push_back(c.ToString());
+  return Join(parts, "\n  OR ");
+}
+
+FormulaPtr DnfMatrix::ToFormula() const {
+  if (IsFalse()) return Formula::False();
+  std::vector<FormulaPtr> ors;
+  for (const Conjunction& c : disjuncts) {
+    std::vector<FormulaPtr> ands;
+    for (const JoinTerm& t : c.terms) ands.push_back(Formula::Compare(t));
+    ors.push_back(Formula::And(std::move(ands)));
+  }
+  return Formula::Or(std::move(ors));
+}
+
+namespace {
+
+/// A term and its complement cannot both hold. Two terms are complementary
+/// if they compare the same operands with complementary operators (in
+/// either orientation).
+bool Complementary(const JoinTerm& a, const JoinTerm& b) {
+  JoinTerm neg = a.Negated();
+  return neg == b || neg.Mirrored() == b;
+}
+
+bool SameTerm(const JoinTerm& a, const JoinTerm& b) {
+  return a == b || a.Mirrored() == b;
+}
+
+/// Adds `term` to `conj`; returns false if the conjunction became
+/// contradictory.
+bool AddTerm(Conjunction* conj, const JoinTerm& term) {
+  for (const JoinTerm& existing : conj->terms) {
+    if (SameTerm(existing, term)) return true;  // duplicate
+    if (Complementary(existing, term)) return false;
+  }
+  conj->terms.push_back(term);
+  return true;
+}
+
+void DnfImpl(const Formula& f, std::vector<Conjunction>* out) {
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+      if (f.const_value()) out->push_back(Conjunction{});  // TRUE
+      // FALSE contributes no disjunct.
+      return;
+    case FormulaKind::kCompare: {
+      Conjunction c;
+      c.terms.push_back(f.term());
+      out->push_back(std::move(c));
+      return;
+    }
+    case FormulaKind::kOr:
+      for (const FormulaPtr& child : f.children()) DnfImpl(*child, out);
+      return;
+    case FormulaKind::kAnd: {
+      // Cartesian product of the children's DNFs.
+      std::vector<Conjunction> acc;
+      acc.push_back(Conjunction{});
+      for (const FormulaPtr& child : f.children()) {
+        std::vector<Conjunction> child_dnf;
+        DnfImpl(*child, &child_dnf);
+        std::vector<Conjunction> next;
+        for (const Conjunction& left : acc) {
+          for (const Conjunction& right : child_dnf) {
+            Conjunction merged = left;
+            bool consistent = true;
+            for (const JoinTerm& t : right.terms) {
+              if (!AddTerm(&merged, t)) {
+                consistent = false;
+                break;
+              }
+            }
+            if (consistent) next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+        if (acc.empty()) return;  // the AND is unsatisfiable
+      }
+      for (Conjunction& c : acc) out->push_back(std::move(c));
+      return;
+    }
+    case FormulaKind::kNot:
+    case FormulaKind::kQuant:
+      PASCALR_LOG_FATAL << "ToDnf requires a quantifier-free NNF matrix";
+      return;
+  }
+}
+
+}  // namespace
+
+DnfMatrix ToDnf(const Formula& matrix) {
+  DnfMatrix out;
+  DnfImpl(matrix, &out.disjuncts);
+  // An empty conjunction (TRUE) absorbs everything else.
+  for (const Conjunction& c : out.disjuncts) {
+    if (c.terms.empty()) {
+      out.disjuncts.clear();
+      out.disjuncts.push_back(Conjunction{});
+      return out;
+    }
+  }
+  // Deduplicate disjuncts.
+  std::vector<Conjunction> unique;
+  for (Conjunction& c : out.disjuncts) {
+    bool seen = false;
+    for (const Conjunction& u : unique) {
+      if (u == c) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(std::move(c));
+  }
+  out.disjuncts = std::move(unique);
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,50 @@
+// Disjunctive normal form of a quantifier-free matrix: a disjunction of
+// conjunctions of join terms, with constant folding, duplicate-term
+// elimination, contradiction pruning (a conjunction containing both a term
+// and its complement is dropped), and duplicate-conjunction elimination.
+
+#ifndef PASCALR_NORMALIZE_DNF_H_
+#define PASCALR_NORMALIZE_DNF_H_
+
+#include <string>
+#include <vector>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// A conjunction of join terms. An empty term list means TRUE.
+struct Conjunction {
+  std::vector<JoinTerm> terms;
+
+  /// Distinct variables referenced by the conjunction, in first-use order.
+  std::vector<std::string> Variables() const;
+  bool References(const std::string& var) const;
+  /// Terms referencing `var` (monadic over var or dyadic touching it).
+  std::vector<const JoinTerm*> TermsOver(const std::string& var) const;
+  bool operator==(const Conjunction& other) const;
+  std::string ToString() const;
+};
+
+/// Disjunction of conjunctions. No disjuncts means FALSE; a single empty
+/// conjunction means TRUE.
+struct DnfMatrix {
+  std::vector<Conjunction> disjuncts;
+
+  bool IsFalse() const { return disjuncts.empty(); }
+  bool IsTrue() const {
+    return disjuncts.size() == 1 && disjuncts[0].terms.empty();
+  }
+  std::string ToString() const;
+  /// Rebuilds an equivalent Formula tree.
+  FormulaPtr ToFormula() const;
+};
+
+/// Converts a quantifier-free NNF formula to DNF. The expansion of AND over
+/// OR is worst-case exponential in the number of OR alternatives — inherent
+/// to DNF — which the paper accepts because selection expressions are small.
+DnfMatrix ToDnf(const Formula& matrix);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_DNF_H_

@@ -1,0 +1,95 @@
+#include "normalize/fold_empty.h"
+
+namespace pascalr {
+
+namespace {
+
+FormulaPtr SimplifyConnective(Formula* node, bool is_and) {
+  std::vector<FormulaPtr> kids = node->TakeChildren();
+  std::vector<FormulaPtr> kept;
+  for (FormulaPtr& c : kids) {
+    c = SimplifyConstants(std::move(c));
+    if (c->kind() == FormulaKind::kConst) {
+      if (c->const_value() == is_and) continue;  // neutral element
+      return Formula::Constant(!is_and);         // absorbing element
+    }
+    kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return Formula::Constant(is_and);
+  return is_and ? Formula::And(std::move(kept)) : Formula::Or(std::move(kept));
+}
+
+}  // namespace
+
+FormulaPtr SimplifyConstants(FormulaPtr f) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return f;
+    case FormulaKind::kNot: {
+      FormulaPtr inner = SimplifyConstants(f->TakeChild());
+      if (inner->kind() == FormulaKind::kConst) {
+        return Formula::Constant(!inner->const_value());
+      }
+      return Formula::Not(std::move(inner));
+    }
+    case FormulaKind::kAnd:
+      return SimplifyConnective(f.get(), /*is_and=*/true);
+    case FormulaKind::kOr:
+      return SimplifyConnective(f.get(), /*is_and=*/false);
+    case FormulaKind::kQuant: {
+      FormulaPtr body = SimplifyConstants(f->TakeChild());
+      if (body->kind() == FormulaKind::kConst) {
+        // SOME v (FALSE) is false over any range; ALL v (TRUE) is true over
+        // any range. The dual cases (SOME/TRUE, ALL/FALSE) equal the
+        // non-emptiness of the range and are left to FoldEmptyRanges.
+        if (f->quantifier() == Quantifier::kSome && !body->const_value()) {
+          return Formula::False();
+        }
+        if (f->quantifier() == Quantifier::kAll && body->const_value()) {
+          return Formula::True();
+        }
+      }
+      return Formula::Quant(f->quantifier(), f->var(), std::move(f->range()),
+                            std::move(body));
+    }
+  }
+  return f;
+}
+
+namespace {
+
+FormulaPtr FoldImpl(FormulaPtr f, const RangeEmptyFn& is_empty) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return f;
+    case FormulaKind::kNot:
+      return Formula::Not(FoldImpl(f->TakeChild(), is_empty));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      FormulaKind kind = f->kind();
+      std::vector<FormulaPtr> kids = f->TakeChildren();
+      for (FormulaPtr& c : kids) c = FoldImpl(std::move(c), is_empty);
+      return kind == FormulaKind::kAnd ? Formula::And(std::move(kids))
+                                       : Formula::Or(std::move(kids));
+    }
+    case FormulaKind::kQuant: {
+      if (is_empty(f->range())) {
+        return Formula::Constant(f->quantifier() == Quantifier::kAll);
+      }
+      FormulaPtr body = FoldImpl(f->TakeChild(), is_empty);
+      return Formula::Quant(f->quantifier(), f->var(), std::move(f->range()),
+                            std::move(body));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr FoldEmptyRanges(FormulaPtr f, const RangeEmptyFn& is_empty) {
+  return SimplifyConstants(FoldImpl(std::move(f), is_empty));
+}
+
+}  // namespace pascalr

@@ -1,0 +1,42 @@
+// Runtime adaptation for empty range relations (paper Lemma 1 and
+// Example 2.2).
+//
+// The standard form is compiled assuming every range relation is
+// non-empty. When that assumption fails at runtime, the *original* (NNF,
+// pre-prenex) formula is constant-folded with
+//
+//     SOME v IN r (B)  =  FALSE   if r is empty
+//     ALL  v IN r (B)  =  TRUE    if r is empty
+//
+// and the query is re-normalised. This is semantically exact: the two
+// identities above are the base facts from which Lemma 1's empty-relation
+// cases follow.
+
+#ifndef PASCALR_NORMALIZE_FOLD_EMPTY_H_
+#define PASCALR_NORMALIZE_FOLD_EMPTY_H_
+
+#include <functional>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// Predicate deciding whether a range expression currently denotes an
+/// empty set (for extended ranges this may require evaluating the
+/// restriction; callers that cannot afford it may answer false — folding
+/// is an optimisation of correctness only when the answer is exact).
+using RangeEmptyFn = std::function<bool(const RangeExpr& range)>;
+
+/// Folds quantifiers over empty ranges to constants, then simplifies
+/// constants through connectives. Consumes `f`.
+FormulaPtr FoldEmptyRanges(FormulaPtr f, const RangeEmptyFn& is_empty);
+
+/// Constant propagation only: TRUE/FALSE absorption in AND/OR/NOT and
+/// quantifier bodies that reduce to constants (SOME v (FALSE) = FALSE,
+/// ALL v (TRUE) = TRUE; the dual cases still depend on range emptiness and
+/// are *not* folded here).
+FormulaPtr SimplifyConstants(FormulaPtr f);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_FOLD_EMPTY_H_

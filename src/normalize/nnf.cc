@@ -1,0 +1,67 @@
+#include "normalize/nnf.h"
+
+namespace pascalr {
+
+namespace {
+
+FormulaPtr NnfImpl(FormulaPtr f, bool negated);
+
+FormulaPtr NnfChildren(Formula* node, bool negated, FormulaKind out_kind) {
+  std::vector<FormulaPtr> kids = node->TakeChildren();
+  for (FormulaPtr& c : kids) c = NnfImpl(std::move(c), negated);
+  return out_kind == FormulaKind::kAnd ? Formula::And(std::move(kids))
+                                       : Formula::Or(std::move(kids));
+}
+
+FormulaPtr NnfImpl(FormulaPtr f, bool negated) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+      return Formula::Constant(negated ? !f->const_value() : f->const_value());
+    case FormulaKind::kCompare:
+      if (negated) return Formula::Compare(f->term().Negated());
+      return f;
+    case FormulaKind::kNot:
+      return NnfImpl(f->TakeChild(), !negated);
+    case FormulaKind::kAnd:
+      return NnfChildren(f.get(), negated,
+                         negated ? FormulaKind::kOr : FormulaKind::kAnd);
+    case FormulaKind::kOr:
+      return NnfChildren(f.get(), negated,
+                         negated ? FormulaKind::kAnd : FormulaKind::kOr);
+    case FormulaKind::kQuant: {
+      Quantifier q = f->quantifier();
+      if (negated) {
+        q = (q == Quantifier::kSome) ? Quantifier::kAll : Quantifier::kSome;
+      }
+      FormulaPtr body = NnfImpl(f->TakeChild(), negated);
+      return Formula::Quant(q, f->var(), std::move(f->range()),
+                            std::move(body));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(FormulaPtr f) { return NnfImpl(std::move(f), false); }
+
+bool IsNnf(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return true;
+    case FormulaKind::kNot:
+      return false;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        if (!IsNnf(*c)) return false;
+      }
+      return true;
+    case FormulaKind::kQuant:
+      return IsNnf(f.child());
+  }
+  return false;
+}
+
+}  // namespace pascalr

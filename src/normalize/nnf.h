@@ -1,0 +1,28 @@
+// Negation normal form: pushes NOT inward until it disappears.
+//
+//   NOT (A AND B)            ->  NOT A OR NOT B
+//   NOT (A OR B)             ->  NOT A AND NOT B
+//   NOT SOME v IN range (B)  ->  ALL v IN range (NOT B)
+//   NOT ALL v IN range (B)   ->  SOME v IN range (NOT B)
+//   NOT (a op b)             ->  a complement(op) b
+//   NOT TRUE / NOT FALSE     ->  FALSE / TRUE
+//
+// The quantifier dualities hold verbatim for *extended* ranges because the
+// restriction stays on the range side of the quantifier.
+
+#ifndef PASCALR_NORMALIZE_NNF_H_
+#define PASCALR_NORMALIZE_NNF_H_
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// Consumes `f` and returns its negation normal form.
+FormulaPtr ToNnf(FormulaPtr f);
+
+/// True if no kNot node occurs in the tree.
+bool IsNnf(const Formula& f);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_NNF_H_

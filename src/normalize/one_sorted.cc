@@ -1,0 +1,196 @@
+#include "normalize/one_sorted.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+OneSortedPtr MakeNode(OneSortedFormula::Kind kind) {
+  auto n = std::make_unique<OneSortedFormula>();
+  n->kind = kind;
+  return n;
+}
+
+/// Membership guard for a (possibly extended) range: `var IN rel` AND the
+/// converted restriction.
+OneSortedPtr RangeGuard(const std::string& var, const RangeExpr& range) {
+  auto in = MakeNode(OneSortedFormula::Kind::kIn);
+  in->var = var;
+  in->relation = range.relation;
+  if (!range.IsExtended()) return in;
+  auto conj = MakeNode(OneSortedFormula::Kind::kAnd);
+  conj->children.push_back(std::move(in));
+  conj->children.push_back(ToOneSorted(*range.restriction));
+  return conj;
+}
+
+}  // namespace
+
+OneSortedPtr ToOneSorted(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kConst: {
+      auto n = MakeNode(OneSortedFormula::Kind::kConst);
+      n->const_value = f.const_value();
+      return n;
+    }
+    case FormulaKind::kCompare: {
+      auto n = MakeNode(OneSortedFormula::Kind::kCompare);
+      n->term = f.term();
+      return n;
+    }
+    case FormulaKind::kNot: {
+      auto n = MakeNode(OneSortedFormula::Kind::kNot);
+      n->children.push_back(ToOneSorted(f.child()));
+      return n;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      auto n = MakeNode(f.kind() == FormulaKind::kAnd
+                            ? OneSortedFormula::Kind::kAnd
+                            : OneSortedFormula::Kind::kOr);
+      for (const FormulaPtr& c : f.children()) {
+        n->children.push_back(ToOneSorted(*c));
+      }
+      return n;
+    }
+    case FormulaKind::kQuant: {
+      if (f.quantifier() == Quantifier::kSome) {
+        // SOME rec ((rec IN rel) AND W)
+        auto body = MakeNode(OneSortedFormula::Kind::kAnd);
+        body->children.push_back(RangeGuard(f.var(), f.range()));
+        body->children.push_back(ToOneSorted(f.child()));
+        auto n = MakeNode(OneSortedFormula::Kind::kSome);
+        n->var = f.var();
+        n->children.push_back(std::move(body));
+        return n;
+      }
+      // ALL rec (NOT (rec IN rel) OR W)
+      auto neg = MakeNode(OneSortedFormula::Kind::kNot);
+      neg->children.push_back(RangeGuard(f.var(), f.range()));
+      auto body = MakeNode(OneSortedFormula::Kind::kOr);
+      body->children.push_back(std::move(neg));
+      body->children.push_back(ToOneSorted(f.child()));
+      auto n = MakeNode(OneSortedFormula::Kind::kAll);
+      n->var = f.var();
+      n->children.push_back(std::move(body));
+      return n;
+    }
+  }
+  return nullptr;
+}
+
+std::string OneSortedFormula::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return const_value ? "TRUE" : "FALSE";
+    case Kind::kCompare:
+      return term.ToString();
+    case Kind::kIn:
+      return "(" + var + " IN " + relation + ")";
+    case Kind::kNot:
+      return "NOT " + children[0]->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const OneSortedPtr& c : children) parts.push_back(c->ToString());
+      return "(" + Join(parts, kind == Kind::kAnd ? " AND " : " OR ") + ")";
+    }
+    case Kind::kSome:
+    case Kind::kAll:
+      return std::string(kind == Kind::kSome ? "SOME " : "ALL ") + var + " " +
+             children[0]->ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+Result<Value> EvalOperand(const Operand& op, const Database& db,
+                          const std::map<std::string, Ref>& bindings) {
+  if (op.is_literal()) return op.literal;
+  auto it = bindings.find(op.var);
+  if (it == bindings.end()) {
+    return Status::Internal("unbound variable '" + op.var + "'");
+  }
+  PASCALR_ASSIGN_OR_RETURN(const Tuple* tuple, db.Deref(it->second));
+  if (op.component_pos < 0 ||
+      static_cast<size_t>(op.component_pos) >= tuple->size()) {
+    return Status::TypeMismatch(
+        "ill-sorted component access " + op.ToString() +
+        " (element of the wrong sort reached an unguarded term)");
+  }
+  return tuple->at(static_cast<size_t>(op.component_pos));
+}
+
+}  // namespace
+
+Result<bool> EvaluateOneSorted(const OneSortedFormula& f, const Database& db,
+                               std::map<std::string, Ref>* bindings) {
+  switch (f.kind) {
+    case OneSortedFormula::Kind::kConst:
+      return f.const_value;
+    case OneSortedFormula::Kind::kCompare: {
+      PASCALR_ASSIGN_OR_RETURN(Value lhs,
+                               EvalOperand(f.term.lhs, db, *bindings));
+      PASCALR_ASSIGN_OR_RETURN(Value rhs,
+                               EvalOperand(f.term.rhs, db, *bindings));
+      if (!lhs.SameKind(rhs)) {
+        return Status::TypeMismatch("comparing values of different sorts in " +
+                                    f.term.ToString());
+      }
+      return lhs.Satisfies(f.term.op, rhs);
+    }
+    case OneSortedFormula::Kind::kIn: {
+      auto it = bindings->find(f.var);
+      if (it == bindings->end()) {
+        return Status::Internal("unbound variable '" + f.var + "'");
+      }
+      const Relation* rel = db.FindRelation(f.relation);
+      if (rel == nullptr) {
+        return Status::NotFound("no relation named '" + f.relation + "'");
+      }
+      return rel->IsLive(it->second);
+    }
+    case OneSortedFormula::Kind::kNot: {
+      PASCALR_ASSIGN_OR_RETURN(bool v,
+                               EvaluateOneSorted(*f.children[0], db, bindings));
+      return !v;
+    }
+    case OneSortedFormula::Kind::kAnd: {
+      for (const OneSortedPtr& c : f.children) {
+        PASCALR_ASSIGN_OR_RETURN(bool v, EvaluateOneSorted(*c, db, bindings));
+        if (!v) return false;  // short-circuit protects unguarded terms
+      }
+      return true;
+    }
+    case OneSortedFormula::Kind::kOr: {
+      for (const OneSortedPtr& c : f.children) {
+        PASCALR_ASSIGN_OR_RETURN(bool v, EvaluateOneSorted(*c, db, bindings));
+        if (v) return true;
+      }
+      return false;
+    }
+    case OneSortedFormula::Kind::kSome:
+    case OneSortedFormula::Kind::kAll: {
+      bool is_some = f.kind == OneSortedFormula::Kind::kSome;
+      // The universe: every live element of every relation.
+      for (const std::string& rel_name : db.RelationNames()) {
+        const Relation* rel = db.FindRelation(rel_name);
+        std::vector<Ref> refs = rel->AllRefs();
+        for (const Ref& ref : refs) {
+          (*bindings)[f.var] = ref;
+          Result<bool> v = EvaluateOneSorted(*f.children[0], db, bindings);
+          bindings->erase(f.var);
+          if (!v.ok()) return v;
+          if (is_some && *v) return true;
+          if (!is_some && !*v) return false;
+        }
+      }
+      return !is_some;  // empty universe: SOME false, ALL true
+    }
+  }
+  return Status::Internal("unreachable one-sorted kind");
+}
+
+}  // namespace pascalr

@@ -1,0 +1,66 @@
+// The Schmidt (1938) many-sorted -> one-sorted conversion the paper cites
+// to justify its transformation rules (§2):
+//
+//   SOME rec IN rel (W)  becomes  SOME rec ((rec IN rel) AND W)
+//   ALL  rec IN rel (W)  becomes  ALL  rec (NOT (rec IN rel) OR W)
+//
+// with `rec IN rel` a new kind of atomic formula and quantifiers ranging
+// over the *whole universe* (every element of every relation). Extended
+// ranges contribute their restriction to the membership guard.
+//
+// This module exists to *prove Lemma 1 executable*: the test suite checks
+// that many-sorted evaluation and one-sorted evaluation of the converted
+// formula agree on randomized databases, including empty relations.
+
+#ifndef PASCALR_NORMALIZE_ONE_SORTED_H_
+#define PASCALR_NORMALIZE_ONE_SORTED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calculus/ast.h"
+#include "catalog/database.h"
+
+namespace pascalr {
+
+struct OneSortedFormula;
+using OneSortedPtr = std::unique_ptr<OneSortedFormula>;
+
+struct OneSortedFormula {
+  enum class Kind : uint8_t {
+    kConst,
+    kCompare,  ///< a join term
+    kIn,       ///< var IN relation (the new atomic formula)
+    kNot,
+    kAnd,
+    kOr,
+    kSome,  ///< unsorted: ranges over the whole universe
+    kAll,
+  };
+
+  Kind kind = Kind::kConst;
+  bool const_value = false;
+  JoinTerm term;
+  std::string var;       ///< kIn / kSome / kAll
+  std::string relation;  ///< kIn
+  std::vector<OneSortedPtr> children;
+
+  std::string ToString() const;
+};
+
+/// Converts a bound many-sorted formula (NNF not required).
+OneSortedPtr ToOneSorted(const Formula& f);
+
+/// Evaluates a one-sorted formula over the universe of all elements of all
+/// relations in `db`, with free variables pre-bound by `bindings`.
+/// Connectives evaluate left to right with short-circuiting, so membership
+/// guards protect ill-sorted component accesses; accessing a component on
+/// an element of the wrong sort yields TypeMismatch.
+Result<bool> EvaluateOneSorted(const OneSortedFormula& f, const Database& db,
+                               std::map<std::string, Ref>* bindings);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_ONE_SORTED_H_

@@ -1,0 +1,41 @@
+#include "normalize/prenex.h"
+
+#include "base/logging.h"
+
+namespace pascalr {
+
+namespace {
+
+FormulaPtr Extract(FormulaPtr f, std::vector<QuantifiedVar>* prefix) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return f;
+    case FormulaKind::kNot:
+      PASCALR_LOG_FATAL << "ToPrenex requires NNF input";
+      return f;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      FormulaKind kind = f->kind();
+      std::vector<FormulaPtr> kids = f->TakeChildren();
+      for (FormulaPtr& c : kids) c = Extract(std::move(c), prefix);
+      return kind == FormulaKind::kAnd ? Formula::And(std::move(kids))
+                                       : Formula::Or(std::move(kids));
+    }
+    case FormulaKind::kQuant: {
+      prefix->emplace_back(f->quantifier(), f->var(), std::move(f->range()));
+      return Extract(f->TakeChild(), prefix);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+PrenexForm ToPrenex(FormulaPtr f) {
+  PrenexForm out;
+  out.matrix = Extract(std::move(f), &out.prefix);
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,55 @@
+// Prenex normal form: pulls every quantifier in front of a quantifier-free
+// matrix. Requires NNF input with globally unique variable names.
+//
+// The prefix preserves the left-to-right order in which quantifiers appear
+// in the formula (depth-first), which is the order the paper's examples
+// exhibit (Example 2.2: ALL p SOME c SOME t).
+//
+// Many-sorted caveat (paper Lemma 1): pulling SOME out of an OR, or ALL out
+// of an AND, assumes the quantifier's range relation is non-empty. The
+// compiled standard form is built under that assumption — exactly as the
+// PASCAL/R compiler does — and the executor adapts at runtime via
+// FoldEmptyRanges when a range turns out to be empty.
+
+#ifndef PASCALR_NORMALIZE_PRENEX_H_
+#define PASCALR_NORMALIZE_PRENEX_H_
+
+#include <string>
+#include <vector>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// One entry of a quantifier prefix. kFree entries are produced by
+/// StandardForm (free variables precede all quantifiers); ToPrenex itself
+/// only emits kSome / kAll.
+struct QuantifiedVar {
+  Quantifier quantifier = Quantifier::kSome;
+  std::string var;
+  RangeExpr range;
+
+  QuantifiedVar() = default;
+  QuantifiedVar(Quantifier q, std::string v, RangeExpr r)
+      : quantifier(q), var(std::move(v)), range(std::move(r)) {}
+  QuantifiedVar Clone() const {
+    return QuantifiedVar(quantifier, var, range.Clone());
+  }
+  std::string ToString() const {
+    return std::string(QuantifierToString(quantifier)) + " " + var + " IN " +
+           range.ToString(var);
+  }
+};
+
+struct PrenexForm {
+  std::vector<QuantifiedVar> prefix;
+  FormulaPtr matrix;  ///< quantifier-free
+};
+
+/// Consumes an NNF formula (unique variable names) and returns its prenex
+/// form.
+PrenexForm ToPrenex(FormulaPtr f);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_PRENEX_H_

@@ -1,0 +1,58 @@
+#include "normalize/rename.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+std::string FreshName(const std::string& base, std::set<std::string>* used) {
+  if (used->insert(base).second) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = StrFormat("%s_%d", base.c_str(), i);
+    if (used->insert(candidate).second) return candidate;
+  }
+}
+
+namespace {
+
+void Walk(Formula* f, std::set<std::string>* used) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+    case FormulaKind::kCompare:
+      return;
+    case FormulaKind::kNot:
+      Walk(f->mutable_child(), used);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f->children()) Walk(c.get(), used);
+      return;
+    case FormulaKind::kQuant: {
+      std::string old_name = f->var();
+      if (used->count(old_name) > 0) {
+        std::string fresh = FreshName(old_name, used);
+        if (f->range().IsExtended()) {
+          RenameVariable(f->range().restriction.get(), old_name, fresh);
+        }
+        RenameVariable(f->mutable_child(), old_name, fresh);
+        f->set_var(fresh);
+      } else {
+        used->insert(old_name);
+      }
+      if (f->range().IsExtended()) {
+        Walk(f->range().restriction.get(), used);
+      }
+      Walk(f->mutable_child(), used);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> MakeVariableNamesUnique(Formula* f,
+                                              std::set<std::string> reserved) {
+  Walk(f, &reserved);
+  return reserved;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,29 @@
+// Alpha renaming: guarantees that every quantified variable in a formula
+// has a globally unique name. The binder already produces unique names for
+// bound queries; this pass exists for formulas constructed programmatically
+// (tests, the DSL) and as a safety net before prenexing, which is only
+// sound when no two quantifiers bind the same name.
+
+#ifndef PASCALR_NORMALIZE_RENAME_H_
+#define PASCALR_NORMALIZE_RENAME_H_
+
+#include <set>
+#include <string>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+
+/// Renames quantified variables so that no name is bound twice and no
+/// quantified name collides with `reserved` (the free variables).
+/// Returns the set of all variable names in use afterwards.
+std::set<std::string> MakeVariableNamesUnique(Formula* f,
+                                              std::set<std::string> reserved);
+
+/// Produces a name not contained in `used` by suffixing `base`, and inserts
+/// it into `used`.
+std::string FreshName(const std::string& base, std::set<std::string>* used);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_RENAME_H_

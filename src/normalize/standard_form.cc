@@ -1,0 +1,88 @@
+#include "normalize/standard_form.h"
+
+#include "base/str_util.h"
+#include "calculus/printer.h"
+#include "normalize/nnf.h"
+
+namespace pascalr {
+
+StandardForm StandardForm::Clone() const {
+  StandardForm out;
+  for (const QuantifiedVar& qv : prefix) out.prefix.push_back(qv.Clone());
+  out.matrix = matrix;
+  out.projection = projection;
+  out.output_schema = output_schema;
+  out.vars = vars;
+  out.original_nnf = original_nnf == nullptr ? nullptr : original_nnf->Clone();
+  return out;
+}
+
+std::string StandardForm::ToString() const {
+  std::vector<std::string> proj;
+  for (const OutputComponent& oc : projection) proj.push_back(oc.ToString());
+  std::string out = "[<" + Join(proj, ", ") + "> OF\n";
+  for (const QuantifiedVar& qv : prefix) {
+    out += "  " + qv.ToString() + "\n";
+  }
+  out += ": " + matrix.ToString() + "\n]";
+  return out;
+}
+
+namespace {
+
+Status ValidateMatrixVariables(const StandardForm& sf) {
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    for (const std::string& v : c.Variables()) {
+      if (sf.FindVar(v) == nullptr) {
+        return Status::Internal("matrix references unbound variable '" + v +
+                                "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StandardForm> BuildStandardForm(BoundQuery query) {
+  StandardForm sf;
+  sf.projection = std::move(query.selection.projection);
+  sf.output_schema = std::move(query.output_schema);
+  sf.vars = std::move(query.vars);
+
+  for (RangeDecl& decl : query.selection.free_vars) {
+    sf.prefix.emplace_back(Quantifier::kFree, decl.var, std::move(decl.range));
+  }
+
+  FormulaPtr nnf = ToNnf(std::move(query.selection.wff));
+  sf.original_nnf = nnf->Clone();
+
+  PrenexForm prenex = ToPrenex(std::move(nnf));
+  for (QuantifiedVar& qv : prenex.prefix) sf.prefix.push_back(std::move(qv));
+  sf.matrix = ToDnf(*prenex.matrix);
+
+  PASCALR_RETURN_IF_ERROR(ValidateMatrixVariables(sf));
+  return sf;
+}
+
+Result<StandardForm> RebuildStandardForm(const StandardForm& base,
+                                         FormulaPtr adapted_nnf) {
+  StandardForm sf;
+  sf.projection = base.projection;
+  sf.output_schema = base.output_schema;
+  sf.vars = base.vars;
+  size_t num_free = base.NumFreeVars();
+  for (size_t i = 0; i < num_free; ++i) {
+    sf.prefix.push_back(base.prefix[i].Clone());
+  }
+  sf.original_nnf = adapted_nnf->Clone();
+
+  PrenexForm prenex = ToPrenex(std::move(adapted_nnf));
+  for (QuantifiedVar& qv : prenex.prefix) sf.prefix.push_back(std::move(qv));
+  sf.matrix = ToDnf(*prenex.matrix);
+
+  PASCALR_RETURN_IF_ERROR(ValidateMatrixVariables(sf));
+  return sf;
+}
+
+}  // namespace pascalr

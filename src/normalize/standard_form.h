@@ -1,0 +1,64 @@
+// The paper's *standard form* (§2): prenex normal form whose matrix is in
+// disjunctive normal form, with free variables preceding the quantifier
+// prefix. Built under the assumption that all range relations are
+// non-empty; the evaluator adapts at runtime (fold_empty.h) when they are
+// not — exactly the division of labour the PASCAL/R compiler uses.
+
+#ifndef PASCALR_NORMALIZE_STANDARD_FORM_H_
+#define PASCALR_NORMALIZE_STANDARD_FORM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "normalize/dnf.h"
+#include "normalize/prenex.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+
+struct StandardForm {
+  /// Free variables first (quantifier == kFree, in declaration order), then
+  /// the prenex prefix left to right.
+  std::vector<QuantifiedVar> prefix;
+  DnfMatrix matrix;
+
+  // Context carried along for planning, execution and runtime adaptation.
+  std::vector<OutputComponent> projection;
+  Schema output_schema;
+  std::map<std::string, VarBinding> vars;
+  /// The bound wff in NNF, *before* prenexing — the semantically exact
+  /// form that FoldEmptyRanges operates on when a range is empty.
+  FormulaPtr original_nnf;
+
+  size_t NumFreeVars() const {
+    size_t n = 0;
+    while (n < prefix.size() && prefix[n].quantifier == Quantifier::kFree) ++n;
+    return n;
+  }
+
+  const QuantifiedVar* FindVar(const std::string& name) const {
+    for (const QuantifiedVar& qv : prefix) {
+      if (qv.var == name) return &qv;
+    }
+    return nullptr;
+  }
+
+  StandardForm Clone() const;
+
+  /// Example 2.2-style rendering: projection, prefix lines, DNF matrix.
+  std::string ToString() const;
+};
+
+/// Normalises a bound query: NNF -> prenex -> DNF matrix.
+Result<StandardForm> BuildStandardForm(BoundQuery query);
+
+/// Rebuilds a standard form from an adapted (already bound, NNF) formula —
+/// the runtime path after empty-range folding. `base` supplies projection,
+/// output schema, bindings and free-variable ranges.
+Result<StandardForm> RebuildStandardForm(const StandardForm& base,
+                                         FormulaPtr adapted_nnf);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_NORMALIZE_STANDARD_FORM_H_

@@ -1,0 +1,168 @@
+#include "opt/explain.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+std::string_view OptLevelToString(OptLevel level) {
+  switch (level) {
+    case OptLevel::kNaive:
+      return "O0 (naive Palermo)";
+    case OptLevel::kParallel:
+      return "O1 (+ parallel subexpressions)";
+    case OptLevel::kOneStep:
+      return "O2 (+ one-step nested evaluation)";
+    case OptLevel::kRangeExt:
+      return "O3 (+ extended range expressions)";
+    case OptLevel::kQuantPush:
+      return "O4 (+ collection-phase quantifiers)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string DescribeGates(const std::vector<JoinTerm>& gates) {
+  if (gates.empty()) return "";
+  std::vector<std::string> parts;
+  for (const JoinTerm& g : gates) parts.push_back(g.ToString());
+  return " IF " + Join(parts, " AND ");
+}
+
+const char* ModeName(ValueList::Mode mode) {
+  switch (mode) {
+    case ValueList::Mode::kFull:
+      return "full";
+    case ValueList::Mode::kMinOnly:
+      return "min-only";
+    case ValueList::Mode::kMaxOnly:
+      return "max-only";
+    case ValueList::Mode::kAtMostOne:
+      return "at-most-one";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlannedQuery& planned) {
+  const QueryPlan& plan = planned.plan;
+  std::string out;
+  out += "== optimization level: " + std::string(OptLevelToString(plan.level)) +
+         " ==\n";
+  if (!planned.adaptation_notes.empty()) {
+    out += "runtime adaptation:\n" + planned.adaptation_notes;
+  }
+  out += "standard form:\n" + plan.sf.ToString() + "\n";
+  out += "strategy 3:\n" + planned.range_extension.ToString();
+  out += "strategy 4:\n" + planned.quant_pushdown_summary.ToString();
+
+  out += "collection phase:\n";
+  for (const RelationScan& scan : plan.scans) {
+    out += "  scan " + scan.relation;
+    if (!scan.debug_label.empty() && scan.debug_label != "scan " + scan.relation) {
+      out += " [" + scan.debug_label + "]";
+    }
+    out += "\n";
+    for (const ScanAction& action : scan.actions) {
+      const QuantifiedVar* qv = plan.sf.FindVar(action.var);
+      out += "    " + action.var;
+      if (qv != nullptr && qv->range.IsExtended()) {
+        out += " IN " + qv->range.ToString(action.var);
+      }
+      if (plan.IsEliminated(action.var)) out += " (collection-phase only)";
+      out += ":\n";
+      for (const SingleListEmit& e : action.single_lists) {
+        out += "      emit " + plan.structures[e.structure_id].debug_name +
+               DescribeGates(e.gates) + "\n";
+      }
+      for (size_t id : action.index_builds) {
+        const IndexBuildSpec& spec = plan.indexes[id];
+        out += "      build " + spec.debug_name +
+               (spec.ordered ? " (ordered)" : " (hash)") +
+               DescribeGates(spec.gates) + "\n";
+      }
+      for (size_t id : action.value_list_builds) {
+        const ValueListSpec& spec = plan.value_lists[id];
+        out += StrFormat("      value list %s [%s]%s\n",
+                         spec.debug_name.c_str(), ModeName(spec.mode),
+                         DescribeGates(spec.gates).c_str());
+        for (const QuantProbeGate& g : spec.probe_gates) {
+          out += StrFormat("        gated by value list %zu (%s)\n",
+                           g.value_list_id,
+                           std::string(QuantifierToString(g.quantifier)).c_str());
+        }
+      }
+      for (const IndirectJoinEmit& e : action.ij_emits) {
+        out += "      probe " + plan.indexes[e.index_id].debug_name +
+               " emit " + plan.structures[e.structure_id].debug_name +
+               DescribeGates(e.gates);
+        if (!e.corestrictions.empty()) {
+          out += StrFormat(" (+%zu mutual restriction(s))",
+                           e.corestrictions.size());
+        }
+        out += "\n";
+      }
+      for (const QuantProbeEmit& e : action.quant_probes) {
+        out += StrFormat(
+            "      %s-probe value list %zu emit %s\n",
+            std::string(QuantifierToString(e.probe.quantifier)).c_str(),
+            e.probe.value_list_id,
+            plan.structures[e.structure_id].debug_name.c_str());
+      }
+    }
+  }
+  for (const PostScanProbe& p : plan.post_probes) {
+    out += "  post-scan probe over " + p.var + " emit " +
+           plan.structures[p.emit.structure_id].debug_name + "\n";
+  }
+
+  out += "combination phase:\n";
+  for (size_t c = 0; c < plan.conj_inputs.size(); ++c) {
+    std::vector<std::string> names;
+    for (size_t id : plan.conj_inputs[c]) {
+      names.push_back(plan.structures[id].debug_name);
+    }
+    out += StrFormat("  conjunction %zu: join {%s}\n", c,
+                     Join(names, ", ").c_str());
+  }
+  out += "  union of all conjunctions, then quantifiers right-to-left:\n";
+  for (size_t i = plan.sf.prefix.size(); i-- > 0;) {
+    const QuantifiedVar& qv = plan.sf.prefix[i];
+    if (qv.quantifier == Quantifier::kFree) continue;
+    if (plan.IsEliminated(qv.var)) {
+      out += "    " + qv.var + ": already evaluated in collection phase\n";
+    } else if (qv.quantifier == Quantifier::kSome) {
+      out += "    SOME " + qv.var + ": projection\n";
+    } else {
+      out += "    ALL " + qv.var + ": division\n";
+    }
+  }
+  out += "construction phase: dereference and project\n";
+  return out;
+}
+
+std::string ExplainCollection(const QueryPlan& plan,
+                              const CollectionResult& collection) {
+  std::string out;
+  for (size_t i = 0; i < plan.structures.size(); ++i) {
+    out += StrFormat("  %-24s %zu rows\n",
+                     plan.structures[i].debug_name.c_str(),
+                     collection.structures[i].size());
+  }
+  for (size_t i = 0; i < plan.indexes.size(); ++i) {
+    out += StrFormat("  %-24s %zu entries\n",
+                     plan.indexes[i].debug_name.c_str(),
+                     collection.indexes[i]->size());
+  }
+  for (size_t i = 0; i < plan.value_lists.size(); ++i) {
+    out += StrFormat("  %-24s %s\n", plan.value_lists[i].debug_name.c_str(),
+                     collection.value_lists[i].DebugString().c_str());
+  }
+  for (const auto& [var, refs] : collection.range_refs) {
+    out += StrFormat("  range(%s): %zu refs\n", var.c_str(), refs.size());
+  }
+  return out;
+}
+
+}  // namespace pascalr

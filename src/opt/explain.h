@@ -1,0 +1,24 @@
+// EXPLAIN output: renders a planned query — standard form, transformation
+// trail, collection-phase scan schedule, combination inputs — in a layout
+// that mirrors the paper's worked examples.
+
+#ifndef PASCALR_OPT_EXPLAIN_H_
+#define PASCALR_OPT_EXPLAIN_H_
+
+#include <string>
+
+#include "opt/planner.h"
+
+namespace pascalr {
+
+/// Full plan rendering.
+std::string ExplainPlan(const PlannedQuery& planned);
+
+/// One line per collection structure with its cardinality — the Figure 2
+/// exhibit for a finished run.
+std::string ExplainCollection(const QueryPlan& plan,
+                              const CollectionResult& collection);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OPT_EXPLAIN_H_

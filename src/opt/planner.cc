@@ -1,0 +1,132 @@
+#include "opt/planner.h"
+
+#include "exec/eval_util.h"
+#include "normalize/fold_empty.h"
+#include "normalize/standard_form.h"
+#include "opt/scan_plan.h"
+
+namespace pascalr {
+
+bool RangeIsEmpty(const Database& db, const RangeExpr& range) {
+  const Relation* rel = db.FindRelation(range.relation);
+  if (rel == nullptr || rel->empty()) return true;
+  if (!range.IsExtended()) return false;
+  bool found = false;
+  rel->Scan([&](const Ref&, const Tuple& tuple) {
+    if (EvalRestriction(*range.restriction, tuple, nullptr)) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return !found;
+}
+
+BoundQuery CloneBoundQuery(const BoundQuery& query) {
+  BoundQuery out;
+  out.selection = query.selection.Clone();
+  out.vars = query.vars;
+  out.output_schema = query.output_schema;
+  return out;
+}
+
+namespace {
+
+/// Builds the standard form and applies adaptation rule 1: folds
+/// quantifiers whose (base or user-extended) range is empty.
+Result<StandardForm> StandardFormWithFolding(const Database& db,
+                                             BoundQuery query,
+                                             std::string* notes,
+                                             uint64_t* replans) {
+  PASCALR_ASSIGN_OR_RETURN(StandardForm sf,
+                           BuildStandardForm(std::move(query)));
+  bool any_empty = false;
+  for (const QuantifiedVar& qv : sf.prefix) {
+    if (qv.quantifier == Quantifier::kFree) continue;
+    if (RangeIsEmpty(db, qv.range)) {
+      any_empty = true;
+      *notes += "  adapted: range of " + qv.var + " is empty (Lemma 1)\n";
+    }
+  }
+  if (!any_empty) return sf;
+  ++*replans;
+  FormulaPtr folded = FoldEmptyRanges(
+      sf.original_nnf->Clone(),
+      [&](const RangeExpr& range) { return RangeIsEmpty(db, range); });
+  return RebuildStandardForm(sf, std::move(folded));
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
+                               const PlannerOptions& options) {
+  PlannedQuery out;
+  BoundQuery backup = CloneBoundQuery(query);
+
+  PASCALR_ASSIGN_OR_RETURN(
+      StandardForm sf,
+      StandardFormWithFolding(db, std::move(query), &out.adaptation_notes,
+                              &out.replans));
+
+  OptLevel level = options.level;
+  if (level >= OptLevel::kRangeExt) {
+    out.range_extension =
+        ApplyRangeExtension(&sf, options.use_cnf_extensions);
+    // Adaptation rule 2: a strategy-3 extension denoting an empty range
+    // invalidates the factoring; abandon the extensions.
+    bool extension_empty = false;
+    for (const QuantifiedVar& qv : sf.prefix) {
+      if (qv.range.IsExtended() && RangeIsEmpty(db, qv.range)) {
+        extension_empty = true;
+        out.adaptation_notes += "  adapted: extended range of " + qv.var +
+                                " is empty; strategies 3/4 abandoned\n";
+      }
+    }
+    if (extension_empty) {
+      ++out.replans;
+      level = OptLevel::kOneStep;
+      out.range_extension = RangeExtensionReport();
+      PASCALR_ASSIGN_OR_RETURN(
+          sf, StandardFormWithFolding(db, std::move(backup),
+                                      &out.adaptation_notes, &out.replans));
+    }
+  }
+
+  QuantPushdownResult pushdown;
+  if (level >= OptLevel::kQuantPush) {
+    pushdown = ApplyQuantPushdown(&sf);
+  }
+  out.quant_pushdown_summary.eliminated = pushdown.eliminated;
+  out.quant_pushdown_summary.derived = pushdown.derived;
+
+  Result<QueryPlan> plan =
+      BuildScanPlan(std::move(sf), level, std::move(pushdown), db);
+  if (!plan.ok()) return plan.status();
+  out.plan = std::move(plan).value();
+  out.plan.division = options.division;
+  if (options.use_permanent_indexes) {
+    for (IndexBuildSpec& spec : out.plan.indexes) {
+      // A permanent index covers the whole relation; it can only stand in
+      // for an ungated index over an *unextended* range.
+      const QuantifiedVar* qv = out.plan.sf.FindVar(spec.var);
+      spec.try_permanent = spec.gates.empty() && qv != nullptr &&
+                           !qv->range.IsExtended();
+    }
+  }
+  return out;
+}
+
+Result<QueryRun> RunQuery(const Database& db, BoundQuery query,
+                          const PlannerOptions& options) {
+  QueryRun run;
+  PASCALR_ASSIGN_OR_RETURN(run.planned,
+                           PlanQuery(db, std::move(query), options));
+  run.stats.replans = run.planned.replans;
+  PASCALR_ASSIGN_OR_RETURN(ExecOutcome outcome,
+                           ExecutePlan(run.planned.plan, db, &run.stats));
+  run.tuples = std::move(outcome.tuples);
+  run.collection = std::move(outcome.collection);
+  return run;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,75 @@
+// The query planner: normalises a bound query to the standard form,
+// applies the requested strategy level, performs the paper's *runtime
+// adaptation* for empty ranges (Lemma 1 / Example 2.2), compiles a
+// QueryPlan and runs it.
+//
+// Adaptation rules (the compile-time standard form assumes non-empty
+// ranges):
+//  1. if the base relation of any quantified range — or a user-written
+//     extended range — is empty, the original NNF formula is folded with
+//     SOME v IN [] (B) = FALSE / ALL v IN [] (B) = TRUE and re-normalised;
+//  2. if a strategy-3 extension turns out to denote an empty range, the
+//     extension is abandoned: the query is re-planned at strategy level 2
+//     (the unextended standard form is exact once rule 1 holds).
+
+#ifndef PASCALR_OPT_PLANNER_H_
+#define PASCALR_OPT_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/evaluator.h"
+#include "exec/plan.h"
+#include "opt/quant_pushdown.h"
+#include "opt/range_extension.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+
+struct PlannerOptions {
+  OptLevel level = OptLevel::kQuantPush;
+  DivisionAlgorithm division = DivisionAlgorithm::kHash;
+  /// Consult the catalog for fresh permanent indexes before building
+  /// transient ones (paper §3.2). Ungated index specs only.
+  bool use_permanent_indexes = false;
+  /// Enable the paper's §4.3 closing suggestion: conjunctive-normal-form
+  /// range extensions (disjunctive restrictions). Applies at level >= 3.
+  bool use_cnf_extensions = true;
+};
+
+/// A fully planned (not yet executed) query with its transformation trail.
+struct PlannedQuery {
+  QueryPlan plan;
+  RangeExtensionReport range_extension;
+  QuantPushdownResult quant_pushdown_summary;  ///< value_lists empty; text only
+  std::string adaptation_notes;  ///< runtime adaptations that fired
+  uint64_t replans = 0;
+};
+
+/// The result of running a query end to end.
+struct QueryRun {
+  std::vector<Tuple> tuples;
+  ExecStats stats;
+  PlannedQuery planned;
+  /// Materialised collection-phase structures (Figure 2 exhibits).
+  CollectionResult collection;
+};
+
+BoundQuery CloneBoundQuery(const BoundQuery& query);
+
+/// Normalise + optimise + compile. Performs adaptation rules 1 and 2.
+Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
+                               const PlannerOptions& options);
+
+/// PlanQuery + ExecutePlan.
+Result<QueryRun> RunQuery(const Database& db, BoundQuery query,
+                          const PlannerOptions& options);
+
+/// True if the (possibly extended) range currently denotes no element.
+bool RangeIsEmpty(const Database& db, const RangeExpr& range);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OPT_PLANNER_H_

@@ -1,0 +1,61 @@
+// Strategy 3 (paper §4.3): extended range expressions.
+//
+// For an existentially quantified (or free) variable:
+//   SOME rec IN rel (S(rec) AND WFF) = SOME rec IN [EACH r IN rel: S(r)] (WFF)
+// — a monadic term over `rec` occurring in *every* matrix disjunct that
+// references `rec` is moved from the matrix into the range.
+//
+// For a universally quantified variable:
+//   ALL rec IN rel (NOT S(rec) OR WFF) = ALL rec IN [EACH r IN rel: S(r)] (WFF)
+// — a matrix disjunct consisting of a *single* monadic term over `rec` is
+// negated into the range and the whole disjunct disappears (Example 4.5:
+// `p.pyear <> 1977` becomes range `[EACH p IN papers: p.pyear = 1977]` and
+// one conjunction less remains).
+//
+// Like the paper's system, only conjunctions of (monadic) join terms are
+// used as extensions. The rewritten standard form is equivalent to the
+// original provided every (extended) range is non-empty — the planner
+// verifies this at runtime and falls back otherwise.
+
+#ifndef PASCALR_OPT_RANGE_EXTENSION_H_
+#define PASCALR_OPT_RANGE_EXTENSION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "normalize/standard_form.h"
+
+namespace pascalr {
+
+struct RangeExtensionReport {
+  struct Entry {
+    std::string var;
+    JoinTerm term;           ///< the term as it now reads in the range
+    bool from_universal_disjunct = false;
+  };
+  std::vector<Entry> extensions;
+  size_t disjuncts_removed = 0;
+  /// Variables whose range gained a *disjunctive* (CNF) restriction.
+  std::vector<std::string> cnf_extended;
+
+  std::string ToString() const;
+};
+
+/// Rewrites `sf` in place; returns what was moved.
+///
+/// With `use_cnf` (the paper's §4.3 closing remark: "the use of the more
+/// general conjunctive normal form is expected to improve further the
+/// efficiency"), two additional rewrites fire after the conjunctive ones:
+///  - an existential/free variable whose every referencing disjunct still
+///    carries at least one monadic term gets the *disjunction* of those
+///    per-disjunct monadic conjunctions as an extra range restriction (the
+///    terms stay in the matrix; the range shrinks);
+///  - a universal variable absorbs *multi-term* pure-monadic disjuncts as
+///    the negated conjunction (the single-term case is the classic rule).
+RangeExtensionReport ApplyRangeExtension(StandardForm* sf,
+                                         bool use_cnf = false);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OPT_RANGE_EXTENSION_H_

@@ -1,0 +1,34 @@
+// Compiles a (possibly strategy-3/4 rewritten) standard form into a
+// QueryPlan.
+//
+//  - OptLevel::kNaive reproduces the Palermo baseline: every join term is
+//    evaluated by its own relation scan(s) — one scan per single list, an
+//    index-build scan plus a probe scan per indirect join.
+//  - OptLevel::kParallel (strategy 1) groups all work on a relation into
+//    one scan; scan order is chosen by cardinality under the topological
+//    constraints "index before probe" and "value list before quantifier
+//    probe".
+//  - OptLevel::kOneStep (strategy 2) additionally attaches monadic gates
+//    to indirect-join emissions and index builds (absorbed terms leave the
+//    combination inputs) and lets co-occurring indirect joins restrict
+//    each other via semi-join probe checks.
+//
+// Strategy 3 and 4 rewrites happen before this pass (see planner.h).
+
+#ifndef PASCALR_OPT_SCAN_PLAN_H_
+#define PASCALR_OPT_SCAN_PLAN_H_
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "opt/quant_pushdown.h"
+
+namespace pascalr {
+
+Result<QueryPlan> BuildScanPlan(StandardForm sf, OptLevel level,
+                                QuantPushdownResult pushdown,
+                                const Database& db);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OPT_SCAN_PLAN_H_

@@ -1,0 +1,279 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+std::string_view TokenTypeToString(TokenType t) {
+  switch (t) {
+    case TokenType::kEnd: return "end of input";
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kInt: return "integer";
+    case TokenType::kString: return "string";
+    case TokenType::kLBracket: return "'['";
+    case TokenType::kRBracket: return "']'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kColon: return "':'";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kDotDot: return "'..'";
+    case TokenType::kAssign: return "':='";
+    case TokenType::kInsertOp: return "':+'";
+    case TokenType::kDeleteOp: return "':-'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'<>'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kKwType: return "TYPE";
+    case TokenType::kKwVar: return "VAR";
+    case TokenType::kKwRelation: return "RELATION";
+    case TokenType::kKwOf: return "OF";
+    case TokenType::kKwRecord: return "RECORD";
+    case TokenType::kKwEnd: return "END";
+    case TokenType::kKwEach: return "EACH";
+    case TokenType::kKwIn: return "IN";
+    case TokenType::kKwSome: return "SOME";
+    case TokenType::kKwAll: return "ALL";
+    case TokenType::kKwAnd: return "AND";
+    case TokenType::kKwOr: return "OR";
+    case TokenType::kKwNot: return "NOT";
+    case TokenType::kKwTrue: return "TRUE";
+    case TokenType::kKwFalse: return "FALSE";
+    case TokenType::kKwInteger: return "INTEGER";
+    case TokenType::kKwStringType: return "STRING";
+    case TokenType::kKwBoolean: return "BOOLEAN";
+    case TokenType::kKwPrint: return "PRINT";
+    case TokenType::kKwExplain: return "EXPLAIN";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (type == TokenType::kIdent) return "identifier '" + text + "'";
+  if (type == TokenType::kInt) return "integer " + std::to_string(int_value);
+  if (type == TokenType::kString) return "string '" + text + "'";
+  return std::string(TokenTypeToString(type));
+}
+
+Status Lexer::ErrorAt(const std::string& message) const {
+  return Status::ParseError(
+      StrFormat("%d:%d: %s", line_, column_, message.c_str()));
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments(Status* status) {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '{') {
+      while (!AtEnd() && Peek() != '}') Advance();
+      if (AtEnd()) {
+        *status = ErrorAt("unterminated { comment");
+        return;
+      }
+      Advance();  // '}'
+    } else if (c == '(' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == ')')) Advance();
+      if (AtEnd()) {
+        *status = ErrorAt("unterminated (* comment");
+        return;
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Result<Token> Lexer::LexNumber() {
+  Token t;
+  t.type = TokenType::kInt;
+  t.line = line_;
+  t.column = column_;
+  int64_t value = 0;
+  bool overflow = false;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    int digit = Peek() - '0';
+    if (value > (INT64_MAX - digit) / 10) overflow = true;
+    if (!overflow) value = value * 10 + digit;
+    t.text += Advance();
+  }
+  if (overflow) return ErrorAt("integer literal overflows 64 bits");
+  t.int_value = value;
+  return t;
+}
+
+Result<Token> Lexer::LexString() {
+  Token t;
+  t.type = TokenType::kString;
+  t.line = line_;
+  t.column = column_;
+  Advance();  // opening quote
+  while (true) {
+    if (AtEnd()) return ErrorAt("unterminated string literal");
+    char c = Advance();
+    if (c == '\'') {
+      if (Peek() == '\'') {  // '' escapes a quote
+        t.text += '\'';
+        Advance();
+      } else {
+        break;
+      }
+    } else {
+      t.text += c;
+    }
+  }
+  return t;
+}
+
+Token Lexer::LexIdentOrKeyword() {
+  Token t;
+  t.line = line_;
+  t.column = column_;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_')) {
+    t.text += Advance();
+  }
+  std::string lower = AsciiToLower(t.text);
+  struct Kw {
+    const char* name;
+    TokenType type;
+  };
+  static const Kw kKeywords[] = {
+      {"type", TokenType::kKwType},       {"var", TokenType::kKwVar},
+      {"relation", TokenType::kKwRelation}, {"of", TokenType::kKwOf},
+      {"record", TokenType::kKwRecord},   {"end", TokenType::kKwEnd},
+      {"each", TokenType::kKwEach},       {"in", TokenType::kKwIn},
+      {"some", TokenType::kKwSome},       {"all", TokenType::kKwAll},
+      {"and", TokenType::kKwAnd},         {"or", TokenType::kKwOr},
+      {"not", TokenType::kKwNot},         {"true", TokenType::kKwTrue},
+      {"false", TokenType::kKwFalse},     {"integer", TokenType::kKwInteger},
+      {"string", TokenType::kKwStringType}, {"boolean", TokenType::kKwBoolean},
+      {"print", TokenType::kKwPrint},     {"explain", TokenType::kKwExplain},
+  };
+  for (const Kw& kw : kKeywords) {
+    if (lower == kw.name) {
+      t.type = kw.type;
+      return t;
+    }
+  }
+  t.type = TokenType::kIdent;
+  return t;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Status comment_status = Status::OK();
+    SkipWhitespaceAndComments(&comment_status);
+    if (!comment_status.ok()) return comment_status;
+    if (AtEnd()) break;
+
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      PASCALR_ASSIGN_OR_RETURN(Token t, LexNumber());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(LexIdentOrKeyword());
+      continue;
+    }
+    if (c == '\'') {
+      PASCALR_ASSIGN_OR_RETURN(Token t, LexString());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    auto single = [&](TokenType type) {
+      t.type = type;
+      t.text = Advance();
+    };
+    auto pair = [&](TokenType type) {
+      t.type = type;
+      t.text += Advance();
+      t.text += Advance();
+    };
+    switch (c) {
+      case '[': single(TokenType::kLBracket); break;
+      case ']': single(TokenType::kRBracket); break;
+      case '(': single(TokenType::kLParen); break;
+      case ')': single(TokenType::kRParen); break;
+      case ',': single(TokenType::kComma); break;
+      case ';': single(TokenType::kSemicolon); break;
+      case '=': single(TokenType::kEq); break;
+      case '.':
+        if (Peek(1) == '.') {
+          pair(TokenType::kDotDot);
+        } else {
+          single(TokenType::kDot);
+        }
+        break;
+      case ':':
+        if (Peek(1) == '=') {
+          pair(TokenType::kAssign);
+        } else if (Peek(1) == '+') {
+          pair(TokenType::kInsertOp);
+        } else if (Peek(1) == '-') {
+          pair(TokenType::kDeleteOp);
+        } else {
+          single(TokenType::kColon);
+        }
+        break;
+      case '<':
+        if (Peek(1) == '=') {
+          pair(TokenType::kLe);
+        } else if (Peek(1) == '>') {
+          pair(TokenType::kNe);
+        } else {
+          single(TokenType::kLt);
+        }
+        break;
+      case '>':
+        if (Peek(1) == '=') {
+          pair(TokenType::kGe);
+        } else {
+          single(TokenType::kGt);
+        }
+        break;
+      default:
+        return ErrorAt(StrFormat("unexpected character '%c'", c));
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line_;
+  end.column = column_;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace pascalr

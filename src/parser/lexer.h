@@ -1,0 +1,43 @@
+// Hand-written lexer for the PASCAL/R query language. Keywords are
+// case-insensitive (PASCAL tradition); identifiers preserve their spelling.
+// Comments: (* ... *) and { ... }.
+
+#ifndef PASCALR_PARSER_LEXER_H_
+#define PASCALR_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "parser/token.h"
+
+namespace pascalr {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Tokenises the whole input. On error the status carries line/column.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status ErrorAt(const std::string& message) const;
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  void SkipWhitespaceAndComments(Status* status);
+
+  Result<Token> LexNumber();
+  Result<Token> LexString();
+  Token LexIdentOrKeyword();
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PARSER_LEXER_H_

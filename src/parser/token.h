@@ -1,0 +1,73 @@
+// Tokens of the PASCAL/R query language.
+
+#ifndef PASCALR_PARSER_TOKEN_H_
+#define PASCALR_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pascalr {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdent,
+  kInt,
+  kString,  // 'quoted'
+  // Punctuation.
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kSemicolon,   // ;
+  kColon,       // :
+  kDot,         // .
+  kDotDot,      // ..
+  kAssign,      // :=
+  kInsertOp,    // :+
+  kDeleteOp,    // :-
+  // Comparison / brackets (contextually < > delimit tuples).
+  kEq,          // =
+  kNe,          // <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  // Keywords (case-insensitive).
+  kKwType,
+  kKwVar,
+  kKwRelation,
+  kKwOf,
+  kKwRecord,
+  kKwEnd,
+  kKwEach,
+  kKwIn,
+  kKwSome,
+  kKwAll,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwTrue,
+  kKwFalse,
+  kKwInteger,
+  kKwStringType,
+  kKwBoolean,
+  kKwPrint,
+  kKwExplain,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       ///< raw text (identifier spelling, string body)
+  int64_t int_value = 0;  ///< for kInt
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+std::string_view TokenTypeToString(TokenType t);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PARSER_TOKEN_H_

@@ -1,0 +1,134 @@
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+
+FormulaPtr operator&&(FormulaPtr&& a, FormulaPtr&& b) {
+  return Formula::And(std::move(a), std::move(b));
+}
+
+FormulaPtr operator||(FormulaPtr&& a, FormulaPtr&& b) {
+  return Formula::Or(std::move(a), std::move(b));
+}
+
+namespace dsl {
+
+FormulaPtr NotF(FormulaPtr a) { return Formula::Not(std::move(a)); }
+
+Operand C(std::string var, std::string component) {
+  return Operand::Component(std::move(var), std::move(component));
+}
+
+Operand Lit(int64_t v) {
+  Operand o = Operand::Literal(Value::MakeInt(v));
+  o.type = Type::Int();
+  return o;
+}
+
+Operand Lit(std::string v) {
+  Operand o = Operand::Literal(Value::MakeString(std::move(v)));
+  o.type = Type::String();
+  return o;
+}
+
+Operand Lit(bool v) {
+  Operand o = Operand::Literal(Value::MakeBool(v));
+  o.type = Type::Bool();
+  return o;
+}
+
+Operand Label(std::string label) {
+  Operand o;
+  o.kind = Operand::Kind::kLiteral;
+  o.enum_label = std::move(label);
+  o.literal = Value::MakeEnum(-1);
+  return o;
+}
+
+FormulaPtr Cmp(Operand lhs, CompareOp op, Operand rhs) {
+  return Formula::Compare(std::move(lhs), op, std::move(rhs));
+}
+
+FormulaPtr Eq(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kEq, std::move(rhs));
+}
+FormulaPtr Ne(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kNe, std::move(rhs));
+}
+FormulaPtr Lt(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kLt, std::move(rhs));
+}
+FormulaPtr Le(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kLe, std::move(rhs));
+}
+FormulaPtr Gt(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kGt, std::move(rhs));
+}
+FormulaPtr Ge(Operand lhs, Operand rhs) {
+  return Cmp(std::move(lhs), CompareOp::kGe, std::move(rhs));
+}
+
+FormulaPtr Some(std::string var, std::string relation, FormulaPtr body) {
+  return Formula::Quant(Quantifier::kSome, std::move(var),
+                        RangeExpr(std::move(relation)), std::move(body));
+}
+
+FormulaPtr All(std::string var, std::string relation, FormulaPtr body) {
+  return Formula::Quant(Quantifier::kAll, std::move(var),
+                        RangeExpr(std::move(relation)), std::move(body));
+}
+
+FormulaPtr SomeIn(std::string var, std::string relation,
+                  FormulaPtr restriction, FormulaPtr body) {
+  return Formula::Quant(Quantifier::kSome, std::move(var),
+                        RangeExpr(std::move(relation), std::move(restriction)),
+                        std::move(body));
+}
+
+FormulaPtr AllIn(std::string var, std::string relation,
+                 FormulaPtr restriction, FormulaPtr body) {
+  return Formula::Quant(Quantifier::kAll, std::move(var),
+                        RangeExpr(std::move(relation), std::move(restriction)),
+                        std::move(body));
+}
+
+SelectionBuilder::SelectionBuilder(
+    std::vector<std::pair<std::string, std::string>> projection) {
+  for (auto& [var, comp] : projection) {
+    OutputComponent oc;
+    oc.var = std::move(var);
+    oc.component = std::move(comp);
+    sel_.projection.push_back(std::move(oc));
+  }
+}
+
+SelectionBuilder& SelectionBuilder::Each(std::string var,
+                                         std::string relation) {
+  sel_.free_vars.emplace_back(std::move(var), RangeExpr(std::move(relation)));
+  return *this;
+}
+
+SelectionBuilder& SelectionBuilder::EachIn(std::string var,
+                                           std::string relation,
+                                           FormulaPtr restriction) {
+  sel_.free_vars.emplace_back(
+      std::move(var), RangeExpr(std::move(relation), std::move(restriction)));
+  return *this;
+}
+
+SelectionBuilder& SelectionBuilder::Where(FormulaPtr wff) {
+  sel_.wff = std::move(wff);
+  return *this;
+}
+
+SelectionExpr SelectionBuilder::Build() {
+  if (sel_.wff == nullptr) sel_.wff = Formula::True();
+  return std::move(sel_);
+}
+
+SelectionBuilder Select(
+    std::vector<std::pair<std::string, std::string>> projection) {
+  return SelectionBuilder(std::move(projection));
+}
+
+}  // namespace dsl
+}  // namespace pascalr

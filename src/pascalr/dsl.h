@@ -1,0 +1,89 @@
+// A fluent C++ interface mirroring the paper's selection syntax, for
+// programs that embed pascalr directly instead of going through the query
+// language:
+//
+//   using namespace pascalr::dsl;
+//   SelectionExpr sel =
+//       Select({{"e", "ename"}})
+//           .Each("e", "employees")
+//           .Where(Cmp(C("e", "estatus"), CompareOp::kEq, Label("professor")));
+//
+// Formula composition supports operator sugar on FormulaPtr:
+//   f && g, f || g, !f.
+
+#ifndef PASCALR_PASCALR_DSL_H_
+#define PASCALR_PASCALR_DSL_H_
+
+#include <string>
+#include <vector>
+
+#include "calculus/ast.h"
+
+namespace pascalr {
+namespace dsl {
+
+/// Component operand `var.component`.
+Operand C(std::string var, std::string component);
+/// Integer / string / boolean literals.
+Operand Lit(int64_t v);
+Operand Lit(std::string v);
+Operand Lit(bool v);
+/// Enumeration label, typed by the binder against the opposite operand.
+Operand Label(std::string label);
+
+FormulaPtr Cmp(Operand lhs, CompareOp op, Operand rhs);
+FormulaPtr Eq(Operand lhs, Operand rhs);
+FormulaPtr Ne(Operand lhs, Operand rhs);
+FormulaPtr Lt(Operand lhs, Operand rhs);
+FormulaPtr Le(Operand lhs, Operand rhs);
+FormulaPtr Gt(Operand lhs, Operand rhs);
+FormulaPtr Ge(Operand lhs, Operand rhs);
+
+FormulaPtr Some(std::string var, std::string relation, FormulaPtr body);
+FormulaPtr All(std::string var, std::string relation, FormulaPtr body);
+/// Quantifier over an extended range `[EACH var IN relation: restriction]`.
+FormulaPtr SomeIn(std::string var, std::string relation,
+                  FormulaPtr restriction, FormulaPtr body);
+FormulaPtr AllIn(std::string var, std::string relation,
+                 FormulaPtr restriction, FormulaPtr body);
+
+/// Builder for a full selection.
+class SelectionBuilder {
+ public:
+  explicit SelectionBuilder(
+      std::vector<std::pair<std::string, std::string>> projection);
+
+  SelectionBuilder& Each(std::string var, std::string relation);
+  SelectionBuilder& EachIn(std::string var, std::string relation,
+                           FormulaPtr restriction);
+  SelectionBuilder& Where(FormulaPtr wff);
+
+  /// Consumes the builder's state; callable on a chained temporary.
+  SelectionExpr Build();
+
+ private:
+  SelectionExpr sel_;
+};
+
+SelectionBuilder Select(
+    std::vector<std::pair<std::string, std::string>> projection);
+
+}  // namespace dsl
+
+/// Operator sugar at namespace scope so argument-dependent lookup finds it
+/// for FormulaPtr (std::unique_ptr<Formula>). Rvalue-reference parameters
+/// keep these overloads away from ordinary unique_ptr boolean tests; an
+/// `operator!` overload is deliberately NOT provided because the standard
+/// library's `ptr == nullptr` rewrites would pick it up via ADL — use
+/// dsl::NotF instead.
+FormulaPtr operator&&(FormulaPtr&& a, FormulaPtr&& b);
+FormulaPtr operator||(FormulaPtr&& a, FormulaPtr&& b);
+
+namespace dsl {
+/// Negation (no operator! — see above).
+FormulaPtr NotF(FormulaPtr a);
+}  // namespace dsl
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PASCALR_DSL_H_

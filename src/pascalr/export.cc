@@ -1,0 +1,126 @@
+#include "pascalr/export.h"
+
+#include <set>
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+std::string TypeToSource(const Type& type) {
+  switch (type.kind()) {
+    case TypeKind::kInt:
+      if (type.int_lo() != std::numeric_limits<int64_t>::min() ||
+          type.int_hi() != std::numeric_limits<int64_t>::max()) {
+        return StrFormat("%lld..%lld",
+                         static_cast<long long>(type.int_lo()),
+                         static_cast<long long>(type.int_hi()));
+      }
+      return "INTEGER";
+    case TypeKind::kString:
+      if (type.max_len() > 0) return StrFormat("STRING(%zu)", type.max_len());
+      return "STRING";
+    case TypeKind::kBool:
+      return "BOOLEAN";
+    case TypeKind::kEnum:
+      return type.enum_info() != nullptr ? type.enum_info()->name : "?";
+  }
+  return "?";
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    out += c;
+    if (c == '\'') out += '\'';  // '' escapes a quote
+  }
+  out += "'";
+  return out;
+}
+
+Result<std::string> ValueToSource(const Value& v, const Type& type) {
+  if (v.is_int()) return std::to_string(v.AsInt());
+  if (v.is_string()) return EscapeString(v.AsString());
+  if (v.is_bool()) return std::string(v.AsBool() ? "TRUE" : "FALSE");
+  // Enum: emit the label (labels are identifiers by construction).
+  if (type.kind() != TypeKind::kEnum || type.enum_info() == nullptr) {
+    return Status::Internal("enum value with no enum type");
+  }
+  int32_t ord = v.AsEnumOrdinal();
+  const auto& labels = type.enum_info()->labels;
+  if (ord < 0 || static_cast<size_t>(ord) >= labels.size()) {
+    return Status::OutOfRange("enum ordinal outside its type");
+  }
+  return labels[static_cast<size_t>(ord)];
+}
+
+Result<std::string> RelationToSource(const Relation& rel) {
+  const Schema& schema = rel.schema();
+  std::vector<std::string> keys;
+  for (size_t p : schema.key_positions()) {
+    keys.push_back(schema.component(p).name);
+  }
+  std::string out =
+      "VAR " + rel.name() + " : RELATION <" + Join(keys, ", ") +
+      "> OF RECORD\n";
+  for (size_t i = 0; i < schema.num_components(); ++i) {
+    const Component& c = schema.component(i);
+    out += "      " + c.name + " : " + TypeToSource(c.type);
+    out += (i + 1 < schema.num_components()) ? ";\n" : "\n";
+  }
+  out += "    END;\n";
+
+  Status status = Status::OK();
+  rel.Scan([&](const Ref&, const Tuple& tuple) {
+    std::vector<std::string> values;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      Result<std::string> v =
+          ValueToSource(tuple.at(i), schema.component(i).type);
+      if (!v.ok()) {
+        status = v.status();
+        return false;
+      }
+      values.push_back(std::move(v).value());
+    }
+    out += rel.name() + " :+ [<" + Join(values, ", ") + ">];\n";
+    return true;
+  });
+  PASCALR_RETURN_IF_ERROR(status);
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ExportRelation(const Database& db,
+                                   const std::string& relation) {
+  const Relation* rel = db.FindRelation(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  return RelationToSource(*rel);
+}
+
+Result<std::string> ExportScript(const Database& db) {
+  std::string out = "(* pascalr database export *)\n";
+  // Enum types used by any relation, in first-use order.
+  std::set<std::string> emitted;
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* rel = db.FindRelation(name);
+    for (const Component& c : rel->schema().components()) {
+      if (c.type.kind() != TypeKind::kEnum || c.type.enum_info() == nullptr) {
+        continue;
+      }
+      const EnumInfo& info = *c.type.enum_info();
+      if (!emitted.insert(info.name).second) continue;
+      out += "TYPE " + info.name + " = (" + Join(info.labels, ", ") + ");\n";
+    }
+  }
+  for (const std::string& name : db.RelationNames()) {
+    PASCALR_ASSIGN_OR_RETURN(std::string rel_src, ExportRelation(db, name));
+    out += "\n" + rel_src;
+  }
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,28 @@
+// Database export: renders a Database back into a PASCAL/R script (TYPE
+// and VAR declarations plus `:+` inserts) that a Session can replay —
+// a plain-text dump/restore facility.
+
+#ifndef PASCALR_PASCALR_EXPORT_H_
+#define PASCALR_PASCALR_EXPORT_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "catalog/database.h"
+
+namespace pascalr {
+
+/// Renders the whole database. Enum component types must be registered in
+/// the catalog (anonymous enum types are emitted under their generated
+/// names). The script replays into an empty Database via
+/// Session::ExecuteScript.
+Result<std::string> ExportScript(const Database& db);
+
+/// Renders a single relation's declaration and contents (no TYPE
+/// declarations; useful when appending to an existing script).
+Result<std::string> ExportRelation(const Database& db,
+                                   const std::string& relation);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PASCALR_EXPORT_H_

@@ -1,0 +1,30 @@
+// Umbrella header: the public API of the pascalr library.
+//
+//   #include "pascalr/pascalr.h"
+//
+//   pascalr::Database db;
+//   pascalr::Session session(&db, &std::cout);
+//   session.ExecuteScript(ddl_and_inserts);
+//   auto run = session.Query("[<e.ename> OF EACH e IN employees: ...]");
+
+#ifndef PASCALR_PASCALR_PASCALR_H_
+#define PASCALR_PASCALR_PASCALR_H_
+
+#include "base/status.h"            // IWYU pragma: export
+#include "calculus/ast.h"           // IWYU pragma: export
+#include "calculus/printer.h"       // IWYU pragma: export
+#include "catalog/database.h"       // IWYU pragma: export
+#include "exec/naive.h"             // IWYU pragma: export
+#include "exec/stats.h"             // IWYU pragma: export
+#include "normalize/standard_form.h"  // IWYU pragma: export
+#include "opt/explain.h"            // IWYU pragma: export
+#include "opt/planner.h"            // IWYU pragma: export
+#include "parser/parser.h"          // IWYU pragma: export
+#include "pascalr/dsl.h"            // IWYU pragma: export
+#include "pascalr/sample_db.h"      // IWYU pragma: export
+#include "pascalr/session.h"        // IWYU pragma: export
+#include "semantics/binder.h"       // IWYU pragma: export
+#include "storage/relation.h"       // IWYU pragma: export
+#include "value/schema.h"           // IWYU pragma: export
+
+#endif  // PASCALR_PASCALR_PASCALR_H_

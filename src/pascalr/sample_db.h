@@ -1,0 +1,48 @@
+// The paper's sample database (Figure 1): employees, papers, courses,
+// timetable — plus a deterministic synthetic generator used by tests and
+// benches to scale the workload.
+
+#ifndef PASCALR_PASCALR_SAMPLE_DB_H_
+#define PASCALR_PASCALR_SAMPLE_DB_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "catalog/database.h"
+
+namespace pascalr {
+
+/// Declares the Figure 1 types and relations.
+Status CreateUniversitySchema(Database* db);
+
+/// Populates the tiny hand-checked dataset the unit tests reason about:
+/// 6 employees, 5 papers, 4 courses, 6 timetable entries.
+Status PopulateSmallExample(Database* db);
+
+/// Knobs for the synthetic workload. Fractions are approximate (the
+/// generator is deterministic given `seed`).
+struct UniversityScale {
+  size_t employees = 100;
+  size_t papers = 200;
+  size_t courses = 50;
+  size_t timetable = 300;
+  double professor_fraction = 0.3;   ///< estatus = professor
+  double papers_1977_fraction = 0.2; ///< pyear = 1977
+  double sophomore_fraction = 0.4;   ///< clevel <= sophomore
+  uint64_t seed = 42;
+};
+
+/// Clears and refills the four relations.
+Status PopulateSynthetic(Database* db, const UniversityScale& scale);
+
+/// Example 2.1's selection, in query-language syntax (professors who
+/// published nothing in 1977 or currently offer a course at sophomore
+/// level or below).
+std::string Example21QuerySource();
+
+/// Example 4.5's already-transformed form (extended ranges written out).
+std::string Example45QuerySource();
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PASCALR_SAMPLE_DB_H_

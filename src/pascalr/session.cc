@@ -1,0 +1,223 @@
+#include "pascalr/session.h"
+
+#include "base/str_util.h"
+#include "opt/explain.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+
+void Session::Emit(const std::string& text) {
+  if (out_ != nullptr) *out_ << text;
+}
+
+Status Session::ExecuteScript(std::string_view source) {
+  Parser parser(source);
+  PASCALR_ASSIGN_OR_RETURN(Script script, parser.ParseScript());
+  for (const Statement& stmt : script.statements) {
+    PASCALR_RETURN_IF_ERROR(ExecuteStatement(stmt));
+  }
+  return Status::OK();
+}
+
+Result<Type> Session::ResolveType(const RawType& raw,
+                                  const std::string& owner) {
+  switch (raw.kind) {
+    case RawType::Kind::kInt:
+      return Type::Int();
+    case RawType::Kind::kIntRange:
+      return Type::IntRange(raw.lo, raw.hi);
+    case RawType::Kind::kString:
+      return Type::String(raw.max_len);
+    case RawType::Kind::kBool:
+      return Type::Bool();
+    case RawType::Kind::kInlineEnum: {
+      std::string name =
+          StrFormat("%s_enum_%d", owner.c_str(), anon_enum_counter_++);
+      auto info = MakeEnum(name, raw.labels);
+      PASCALR_RETURN_IF_ERROR(db_->RegisterEnum(info));
+      return Type::Enum(std::move(info));
+    }
+    case RawType::Kind::kNamed: {
+      auto info = db_->FindEnum(raw.name);
+      if (info == nullptr) {
+        return Status::NotFound("no type named '" + raw.name + "'");
+      }
+      return Type::Enum(std::move(info));
+    }
+  }
+  return Status::Internal("unknown raw type kind");
+}
+
+Result<Value> Session::ResolveLiteral(const RawLiteral& raw,
+                                      const Type& type) {
+  switch (raw.kind) {
+    case RawLiteral::Kind::kInt:
+      if (type.kind() != TypeKind::kInt) {
+        return Status::TypeMismatch("integer literal for " + type.ToString());
+      }
+      return Value::MakeInt(raw.int_value);
+    case RawLiteral::Kind::kString:
+      if (type.kind() != TypeKind::kString) {
+        return Status::TypeMismatch("string literal for " + type.ToString());
+      }
+      return Value::MakeString(raw.text);
+    case RawLiteral::Kind::kBool:
+      if (type.kind() != TypeKind::kBool) {
+        return Status::TypeMismatch("boolean literal for " + type.ToString());
+      }
+      return Value::MakeBool(raw.bool_value);
+    case RawLiteral::Kind::kIdent: {
+      if (type.kind() != TypeKind::kEnum) {
+        return Status::TypeMismatch("label '" + raw.text + "' for " +
+                                    type.ToString());
+      }
+      int ordinal = type.enum_info()->OrdinalOf(raw.text);
+      if (ordinal < 0) {
+        return Status::NotFound("'" + raw.text + "' is not a label of " +
+                                type.enum_info()->name);
+      }
+      return Value::MakeEnum(ordinal);
+    }
+  }
+  return Status::Internal("unknown raw literal kind");
+}
+
+Status Session::RunAssign(const AssignStmt& stmt) {
+  Binder binder(db_);
+  PASCALR_ASSIGN_OR_RETURN(BoundQuery bound,
+                           binder.Bind(stmt.selection.Clone()));
+  Schema output_schema = bound.output_schema;
+  PASCALR_ASSIGN_OR_RETURN(QueryRun run,
+                           RunQuery(*db_, std::move(bound), options_));
+  total_stats_ += run.stats;
+
+  // Create or replace the target relation.
+  if (db_->FindRelation(stmt.target) != nullptr) {
+    PASCALR_RETURN_IF_ERROR(db_->DropRelation(stmt.target));
+  }
+  PASCALR_ASSIGN_OR_RETURN(Relation * target,
+                           db_->CreateRelation(stmt.target, output_schema));
+  for (Tuple& t : run.tuples) {
+    PASCALR_ASSIGN_OR_RETURN(Ref ignored, target->Insert(std::move(t)));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+Status Session::ExecuteStatement(const Statement& stmt) {
+  if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
+    switch (type_decl->type.kind) {
+      case RawType::Kind::kInlineEnum: {
+        auto info = MakeEnum(type_decl->name, type_decl->type.labels);
+        return db_->RegisterEnum(std::move(info));
+      }
+      default:
+        // Non-enum aliases (subranges, strings) are resolved structurally
+        // at each use; declaring them is allowed but needs no catalog
+        // entry beyond the enum registry in this implementation.
+        return Status::Unsupported(
+            "only enumeration TYPE declarations are registered; inline the "
+            "subrange/string type in the RECORD");
+    }
+  }
+  if (const auto* rel_decl = std::get_if<RelationDeclStmt>(&stmt)) {
+    std::vector<Component> components;
+    for (const auto& [name, raw] : rel_decl->components) {
+      PASCALR_ASSIGN_OR_RETURN(Type type, ResolveType(raw, rel_decl->name));
+      components.push_back({name, std::move(type)});
+    }
+    PASCALR_ASSIGN_OR_RETURN(
+        Schema schema,
+        Schema::Make(std::move(components), rel_decl->key_components));
+    PASCALR_ASSIGN_OR_RETURN(Relation * rel,
+                             db_->CreateRelation(rel_decl->name, schema));
+    (void)rel;
+    return Status::OK();
+  }
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    return RunAssign(*assign);
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    Relation* rel = db_->FindRelation(insert->target);
+    if (rel == nullptr) {
+      return Status::NotFound("no relation named '" + insert->target + "'");
+    }
+    if (insert->values.size() != rel->schema().num_components()) {
+      return Status::InvalidArgument(StrFormat(
+          "insert arity %zu does not match schema arity %zu",
+          insert->values.size(), rel->schema().num_components()));
+    }
+    Tuple tuple;
+    for (size_t i = 0; i < insert->values.size(); ++i) {
+      PASCALR_ASSIGN_OR_RETURN(
+          Value v, ResolveLiteral(insert->values[i],
+                                  rel->schema().component(i).type));
+      tuple.Append(std::move(v));
+    }
+    PASCALR_ASSIGN_OR_RETURN(Ref ignored, rel->Insert(std::move(tuple)));
+    (void)ignored;
+    return Status::OK();
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    Relation* rel = db_->FindRelation(del->target);
+    if (rel == nullptr) {
+      return Status::NotFound("no relation named '" + del->target + "'");
+    }
+    const auto& key_positions = rel->schema().key_positions();
+    if (del->key.size() != key_positions.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "delete key arity %zu does not match key arity %zu",
+          del->key.size(), key_positions.size()));
+    }
+    Tuple key;
+    for (size_t i = 0; i < del->key.size(); ++i) {
+      PASCALR_ASSIGN_OR_RETURN(
+          Value v,
+          ResolveLiteral(del->key[i],
+                         rel->schema().component(key_positions[i]).type));
+      key.Append(std::move(v));
+    }
+    return rel->EraseByKey(key);
+  }
+  if (const auto* print = std::get_if<PrintStmt>(&stmt)) {
+    Relation* rel = db_->FindRelation(print->relation);
+    if (rel == nullptr) {
+      return Status::NotFound("no relation named '" + print->relation + "'");
+    }
+    Emit(rel->DebugString(/*max_elements=*/64) + "\n");
+    return Status::OK();
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    Binder binder(db_);
+    PASCALR_ASSIGN_OR_RETURN(BoundQuery bound,
+                             binder.Bind(explain->selection.Clone()));
+    PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
+                             PlanQuery(*db_, std::move(bound), options_));
+    Emit(ExplainPlan(planned));
+    return Status::OK();
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<BoundQuery> Session::Bind(std::string_view selection_source) {
+  Parser parser(selection_source);
+  PASCALR_ASSIGN_OR_RETURN(SelectionExpr sel, parser.ParseSelectionOnly());
+  Binder binder(db_);
+  return binder.Bind(std::move(sel));
+}
+
+Result<QueryRun> Session::Query(std::string_view selection_source) {
+  PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, Bind(selection_source));
+  Result<QueryRun> run = RunQuery(*db_, std::move(bound), options_);
+  if (run.ok()) total_stats_ += run->stats;
+  return run;
+}
+
+Result<std::string> Session::Explain(std::string_view selection_source) {
+  PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, Bind(selection_source));
+  PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
+                           PlanQuery(*db_, std::move(bound), options_));
+  return ExplainPlan(planned);
+}
+
+}  // namespace pascalr

@@ -1,0 +1,58 @@
+// Session: executes scripts of the PASCAL/R query language against a
+// Database — type and relation declarations, `:+` inserts, `:-` deletes,
+// `:=` selection assignments, PRINT and EXPLAIN.
+
+#ifndef PASCALR_PASCALR_SESSION_H_
+#define PASCALR_PASCALR_SESSION_H_
+
+#include <ostream>
+#include <string>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "opt/planner.h"
+#include "parser/parser.h"
+
+namespace pascalr {
+
+class Session {
+ public:
+  /// `out` receives PRINT/EXPLAIN output; pass nullptr to discard.
+  explicit Session(Database* db, std::ostream* out = nullptr)
+      : db_(db), out_(out) {}
+
+  PlannerOptions& options() { return options_; }
+
+  /// Parses and executes a whole script.
+  Status ExecuteScript(std::string_view source);
+
+  Status ExecuteStatement(const Statement& stmt);
+
+  /// Parses, binds, and runs a single selection expression.
+  Result<QueryRun> Query(std::string_view selection_source);
+
+  /// Parses and binds a selection without running it.
+  Result<BoundQuery> Bind(std::string_view selection_source);
+
+  /// Returns the EXPLAIN text for a selection.
+  Result<std::string> Explain(std::string_view selection_source);
+
+  /// Cumulative statistics across all queries run by this session.
+  const ExecStats& total_stats() const { return total_stats_; }
+
+ private:
+  Result<Type> ResolveType(const RawType& raw, const std::string& owner);
+  Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
+  Status RunAssign(const AssignStmt& stmt);
+  void Emit(const std::string& text);
+
+  Database* db_;
+  std::ostream* out_;
+  PlannerOptions options_;
+  ExecStats total_stats_;
+  int anon_enum_counter_ = 0;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PASCALR_SESSION_H_

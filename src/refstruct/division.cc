@@ -1,0 +1,160 @@
+#include "refstruct/division.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/str_util.h"
+#include "refstruct/ops.h"
+
+namespace pascalr {
+
+namespace {
+
+struct GroupKeyHash {
+  uint64_t operator()(const RefRow& row) const {
+    uint64_t h = 0x84222325ULL;
+    for (const Ref& r : row) h = HashCombine(h, r.Hash());
+    return h;
+  }
+};
+
+Result<RefRelation> DivideHash(const RefRelation& table, int var_pos,
+                               const std::vector<Ref>& divisor,
+                               ExecStats* stats) {
+  std::vector<std::string> keep;
+  for (size_t i = 0; i < table.columns().size(); ++i) {
+    if (static_cast<int>(i) != var_pos) keep.push_back(table.columns()[i]);
+  }
+  RefRelation out(keep);
+
+  std::unordered_set<Ref, RefHash> divisor_set(divisor.begin(), divisor.end());
+  if (divisor_set.empty()) {
+    // Vacuous truth: every projected row qualifies.
+    for (const RefRow& row : table.rows()) {
+      RefRow projected;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (static_cast<int>(i) != var_pos) projected.push_back(row[i]);
+      }
+      out.Add(std::move(projected));
+    }
+    return out;
+  }
+
+  // Group rows by the remaining columns; a group qualifies when it has
+  // matched |divisor| distinct divisor refs.
+  std::unordered_map<RefRow, std::unordered_set<Ref, RefHash>, GroupKeyHash>
+      groups;
+  for (const RefRow& row : table.rows()) {
+    if (stats != nullptr) ++stats->division_input_rows;
+    const Ref& v = row[static_cast<size_t>(var_pos)];
+    if (divisor_set.find(v) == divisor_set.end()) continue;
+    RefRow key;
+    key.reserve(row.size() - 1);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (static_cast<int>(i) != var_pos) key.push_back(row[i]);
+    }
+    groups[std::move(key)].insert(v);
+  }
+  for (auto& [key, matched] : groups) {
+    if (matched.size() == divisor_set.size()) {
+      if (out.Add(key) && stats != nullptr) ++stats->combination_rows;
+    }
+  }
+  return out;
+}
+
+Result<RefRelation> DivideSort(const RefRelation& table, int var_pos,
+                               const std::vector<Ref>& divisor,
+                               ExecStats* stats) {
+  std::vector<std::string> keep;
+  for (size_t i = 0; i < table.columns().size(); ++i) {
+    if (static_cast<int>(i) != var_pos) keep.push_back(table.columns()[i]);
+  }
+  RefRelation out(keep);
+
+  std::vector<Ref> sorted_divisor = divisor;
+  std::sort(sorted_divisor.begin(), sorted_divisor.end());
+  sorted_divisor.erase(
+      std::unique(sorted_divisor.begin(), sorted_divisor.end()),
+      sorted_divisor.end());
+  if (sorted_divisor.empty()) {
+    for (const RefRow& row : table.rows()) {
+      RefRow projected;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (static_cast<int>(i) != var_pos) projected.push_back(row[i]);
+      }
+      out.Add(std::move(projected));
+    }
+    return out;
+  }
+
+  // Sort rows by (remaining columns, var column) and verify each group by
+  // merging against the sorted divisor.
+  std::vector<RefRow> rows = table.rows();
+  auto cmp = [var_pos](const RefRow& a, const RefRow& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (static_cast<int>(i) == var_pos) continue;
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return a[static_cast<size_t>(var_pos)] < b[static_cast<size_t>(var_pos)];
+  };
+  std::sort(rows.begin(), rows.end(), cmp);
+
+  auto same_group = [var_pos](const RefRow& a, const RefRow& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (static_cast<int>(i) == var_pos) continue;
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t j = i;
+    size_t matched = 0;
+    size_t d = 0;
+    while (j < rows.size() && same_group(rows[i], rows[j])) {
+      if (stats != nullptr) ++stats->division_input_rows;
+      const Ref& v = rows[j][static_cast<size_t>(var_pos)];
+      while (d < sorted_divisor.size() && sorted_divisor[d] < v) ++d;
+      if (d < sorted_divisor.size() && sorted_divisor[d] == v) {
+        ++matched;
+        ++d;
+      }
+      ++j;
+    }
+    if (matched == sorted_divisor.size()) {
+      RefRow projected;
+      for (size_t k = 0; k < rows[i].size(); ++k) {
+        if (static_cast<int>(k) != var_pos) projected.push_back(rows[i][k]);
+      }
+      if (out.Add(std::move(projected)) && stats != nullptr) {
+        ++stats->combination_rows;
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RefRelation> Divide(const RefRelation& table, const std::string& var,
+                           const std::vector<Ref>& divisor, ExecStats* stats,
+                           DivisionAlgorithm algorithm) {
+  int var_pos = table.ColumnIndex(var);
+  if (var_pos < 0) {
+    return Status::InvalidArgument("division variable '" + var +
+                                   "' is not a column of the table");
+  }
+  switch (algorithm) {
+    case DivisionAlgorithm::kHash:
+      return DivideHash(table, var_pos, divisor, stats);
+    case DivisionAlgorithm::kSort:
+      return DivideSort(table, var_pos, divisor, stats);
+  }
+  return Status::Internal("unknown division algorithm");
+}
+
+}  // namespace pascalr

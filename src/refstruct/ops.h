@@ -1,0 +1,45 @@
+// Relational algebra over reference relations — the combination-phase
+// machinery of paper §3.3: natural join / Cartesian product to combine
+// single lists and indirect joins into n-tuples of references, union for
+// the disjunction, projection for SOME.
+// Relational division (for ALL) lives in division.h.
+
+#ifndef PASCALR_REFSTRUCT_OPS_H_
+#define PASCALR_REFSTRUCT_OPS_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "exec/stats.h"
+#include "refstruct/ref_relation.h"
+
+namespace pascalr {
+
+/// Natural join on the columns the inputs share (hash join, the smaller
+/// input builds). With no shared columns this degenerates to the Cartesian
+/// product — the combinatorial step the paper's strategies fight.
+/// Output columns: a's columns, then b's columns not in a.
+RefRelation NaturalJoin(const RefRelation& a, const RefRelation& b,
+                        ExecStats* stats);
+
+/// Cartesian product of `a` with a plain set of refs bound to `var`
+/// (used to extend a conjunction's tuple set to a variable it does not
+/// reference; the full range ref list supplies the refs).
+RefRelation ProductWithRefs(const RefRelation& a, const std::string& var,
+                            const std::vector<Ref>& refs, ExecStats* stats);
+
+/// Set union. `b`'s columns must be a permutation of `a`'s; rows are
+/// realigned by name.
+Result<RefRelation> UnionRows(const RefRelation& a, const RefRelation& b,
+                              ExecStats* stats);
+
+/// Projection onto `keep` (subset of a's columns, in the given order),
+/// deduplicating rows. Existential quantification of var v == projection
+/// removing v's column.
+Result<RefRelation> Project(const RefRelation& a,
+                            const std::vector<std::string>& keep,
+                            ExecStats* stats);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_REFSTRUCT_OPS_H_

@@ -1,0 +1,62 @@
+#include "refstruct/ref_relation.h"
+
+#include "base/logging.h"
+#include "base/str_util.h"
+
+namespace pascalr {
+
+int RefRelation::ColumnIndex(const std::string& var) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t RefRelation::HashRow(const RefRow& row) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const Ref& r : row) h = HashCombine(h, r.Hash());
+  return h;
+}
+
+bool RefRelation::Add(RefRow row) {
+  PASCALR_DCHECK(row.size() == columns_.size());
+  uint64_t h = HashRow(row);
+  auto it = index_.find(h);
+  if (it != index_.end()) {
+    for (size_t idx : it->second) {
+      if (rows_[idx] == row) return false;
+    }
+  }
+  index_[h].push_back(rows_.size());
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+bool RefRelation::Contains(const RefRow& row) const {
+  auto it = index_.find(HashRow(row));
+  if (it == index_.end()) return false;
+  for (size_t idx : it->second) {
+    if (rows_[idx] == row) return true;
+  }
+  return false;
+}
+
+void RefRelation::Clear() {
+  rows_.clear();
+  index_.clear();
+}
+
+std::string RefRelation::DebugString(size_t max_rows) const {
+  std::string out = "(" + Join(columns_, ",") + ") {";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    if (i > 0) out += ", ";
+    std::vector<std::string> parts;
+    for (const Ref& r : rows_[i]) parts.push_back(r.ToString());
+    out += "<" + Join(parts, ",") + ">";
+  }
+  if (rows_.size() > max_rows) out += ", ...";
+  out += StrFormat("} %zu rows", rows_.size());
+  return out;
+}
+
+}  // namespace pascalr

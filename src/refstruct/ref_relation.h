@@ -1,0 +1,73 @@
+// RefRelation: a relation whose components are references (paper §3.2).
+// Column names are query variable names; a row binds each variable to one
+// element of its range relation.
+//
+//   SINGLE LIST    = RefRelation with one column   (monadic join term)
+//   INDIRECT JOIN  = RefRelation with two columns  (dyadic join term)
+//
+// RefRelations have set semantics: duplicate rows collapse.
+
+#ifndef PASCALR_REFSTRUCT_REF_RELATION_H_
+#define PASCALR_REFSTRUCT_REF_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "storage/ref.h"
+
+namespace pascalr {
+
+using RefRow = std::vector<Ref>;
+
+class RefRelation {
+ public:
+  RefRelation() = default;
+  explicit RefRelation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Convenience constructors mirroring the paper's vocabulary.
+  static RefRelation SingleList(std::string var) {
+    return RefRelation({std::move(var)});
+  }
+  static RefRelation IndirectJoin(std::string var_a, std::string var_b) {
+    return RefRelation({std::move(var_a), std::move(var_b)});
+  }
+
+  size_t arity() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Position of the column bound to `var`, or -1.
+  int ColumnIndex(const std::string& var) const;
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<RefRow>& rows() const { return rows_; }
+  const RefRow& row(size_t i) const { return rows_[i]; }
+
+  /// Inserts a row (arity must match); duplicate rows are ignored.
+  /// Returns true if the row was new.
+  bool Add(RefRow row);
+
+  bool Contains(const RefRow& row) const;
+
+  void Clear();
+
+  /// Total refs stored (rows * arity) — the "size of intermediate
+  /// structures" measure the paper's strategies minimise.
+  size_t RefCount() const { return rows_.size() * columns_.size(); }
+
+  std::string DebugString(size_t max_rows = 8) const;
+
+ private:
+  static uint64_t HashRow(const RefRow& row);
+
+  std::vector<std::string> columns_;
+  std::vector<RefRow> rows_;
+  // Row hash -> indices of rows with that hash (collision chain).
+  std::unordered_map<uint64_t, std::vector<size_t>> index_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_REFSTRUCT_REF_RELATION_H_

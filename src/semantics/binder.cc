@@ -1,0 +1,232 @@
+#include "semantics/binder.h"
+
+#include "base/str_util.h"
+#include "calculus/printer.h"
+
+namespace pascalr {
+
+std::string Binder::UniqueName(const std::string& base) {
+  if (out_.vars.find(base) == out_.vars.end()) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = StrFormat("%s_%d", base.c_str(), i);
+    if (out_.vars.find(candidate) == out_.vars.end()) return candidate;
+  }
+}
+
+const Binder::ScopeEntry* Binder::LookupScope(
+    const std::string& source_name) const {
+  for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+    if (it->source_name == source_name) return &*it;
+  }
+  return nullptr;
+}
+
+Result<VarBinding> Binder::ResolveRange(const std::string& unique_name,
+                                        RangeExpr* range) {
+  const Relation* rel = db_->FindRelation(range->relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + range->relation + "'");
+  }
+  VarBinding binding;
+  binding.name = unique_name;
+  binding.relation_name = range->relation;
+  binding.relation = rel;
+  return binding;
+}
+
+Result<BoundQuery> Binder::Bind(SelectionExpr sel) {
+  out_ = BoundQuery();
+  out_.selection = std::move(sel);
+  scope_.clear();
+
+  // 1. Free variables. Duplicate free names are ambiguous, not shadowed.
+  // Free variables are bound before anything else, so UniqueName never has
+  // to rename them: their written names are already the unique names.
+  for (RangeDecl& decl : out_.selection.free_vars) {
+    if (LookupScope(decl.var) != nullptr) {
+      return Status::InvalidArgument("free variable '" + decl.var +
+                                     "' declared twice");
+    }
+    PASCALR_ASSIGN_OR_RETURN(VarBinding binding,
+                             ResolveRange(decl.var, &decl.range));
+    out_.vars[decl.var] = binding;
+    scope_.push_back({decl.var, decl.var});
+    // Extended range written by the user: bind its restriction in a scope
+    // where only this variable is visible.
+    if (decl.range.IsExtended()) {
+      std::vector<ScopeEntry> saved;
+      saved.swap(scope_);
+      scope_.push_back({decl.var, decl.var});
+      Status st = BindFormula(&decl.range.restriction);
+      scope_.swap(saved);
+      PASCALR_RETURN_IF_ERROR(st);
+    }
+  }
+
+  // 2. The wff.
+  if (out_.selection.wff == nullptr) out_.selection.wff = Formula::True();
+  PASCALR_RETURN_IF_ERROR(BindFormula(&out_.selection.wff));
+
+  // 3. Projection: only free variables may be projected.
+  std::vector<Component> out_components;
+  for (OutputComponent& oc : out_.selection.projection) {
+    bool is_free = false;
+    for (const RangeDecl& decl : out_.selection.free_vars) {
+      if (decl.var == oc.var) {
+        is_free = true;
+        break;
+      }
+    }
+    if (!is_free) {
+      return Status::NotFound("projected variable '" + oc.var +
+                              "' is not a free variable of the selection");
+    }
+    const VarBinding& binding = out_.vars[oc.var];
+    int pos = binding.relation->schema().FindComponent(oc.component);
+    if (pos < 0) {
+      return Status::NotFound("relation '" + binding.relation_name +
+                              "' has no component '" + oc.component + "'");
+    }
+    oc.component_pos = pos;
+    out_components.push_back(
+        {oc.component, binding.relation->schema().component(pos).type});
+  }
+  // Qualify duplicate output component names as var_component (decide on
+  // the original names, then rename every member of a duplicate group).
+  {
+    std::vector<std::string> original;
+    for (const Component& c : out_components) original.push_back(c.name);
+    for (size_t i = 0; i < out_components.size(); ++i) {
+      for (size_t j = 0; j < out_components.size(); ++j) {
+        if (i != j && original[i] == original[j]) {
+          out_components[i].name = out_.selection.projection[i].var + "_" +
+                                   out_.selection.projection[i].component;
+          break;
+        }
+      }
+    }
+  }
+  PASCALR_ASSIGN_OR_RETURN(out_.output_schema,
+                           Schema::Make(std::move(out_components), {}));
+  return std::move(out_);
+}
+
+Status Binder::BindFormula(FormulaPtr* f) {
+  Formula* node = f->get();
+  switch (node->kind()) {
+    case FormulaKind::kConst:
+      return Status::OK();
+    case FormulaKind::kCompare:
+      return BindTerm(node, f);
+    case FormulaKind::kNot: {
+      // kNot owns exactly one child; bind through it.
+      FormulaPtr inner = node->TakeChild();
+      PASCALR_RETURN_IF_ERROR(BindFormula(&inner));
+      *f = Formula::Not(std::move(inner));
+      return Status::OK();
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      for (FormulaPtr& c : node->mutable_children()) {
+        PASCALR_RETURN_IF_ERROR(BindFormula(&c));
+      }
+      return Status::OK();
+    }
+    case FormulaKind::kQuant: {
+      std::string source_name = node->var();
+      std::string unique = UniqueName(source_name);
+      PASCALR_ASSIGN_OR_RETURN(VarBinding binding,
+                               ResolveRange(unique, &node->range()));
+      out_.vars[unique] = binding;
+      node->set_var(unique);
+      // Bind the extension (if the user wrote one) with only this variable
+      // visible.
+      if (node->range().IsExtended()) {
+        if (source_name != unique) {
+          RenameVariable(node->range().restriction.get(), source_name, unique);
+        }
+        std::vector<ScopeEntry> saved;
+        saved.swap(scope_);
+        scope_.push_back({unique, unique});
+        Status st = BindFormula(&node->range().restriction);
+        scope_.swap(saved);
+        PASCALR_RETURN_IF_ERROR(st);
+      }
+      scope_.push_back({source_name, unique});
+      FormulaPtr body = node->TakeChild();
+      Status st = BindFormula(&body);
+      scope_.pop_back();
+      PASCALR_RETURN_IF_ERROR(st);
+      node->ReplaceChild(std::move(body));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Status Binder::BindOperandVar(Operand* op) {
+  const ScopeEntry* entry = LookupScope(op->var);
+  if (entry == nullptr) {
+    return Status::NotFound("variable '" + op->var + "' is not declared");
+  }
+  op->var = entry->unique_name;
+  const VarBinding& binding = out_.vars[op->var];
+  int pos = binding.relation->schema().FindComponent(op->component);
+  if (pos < 0) {
+    return Status::NotFound("relation '" + binding.relation_name +
+                            "' has no component '" + op->component + "'");
+  }
+  op->component_pos = pos;
+  op->type = binding.relation->schema().component(pos).type;
+  return Status::OK();
+}
+
+Status Binder::TypeCheckTerm(JoinTerm* term) {
+  Operand* sides[2] = {&term->lhs, &term->rhs};
+  // Resolve component operands first; their types drive literal typing.
+  for (Operand* op : sides) {
+    if (op->is_component()) PASCALR_RETURN_IF_ERROR(BindOperandVar(op));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Operand* lit = sides[i];
+    Operand* other = sides[1 - i];
+    if (!lit->is_literal()) continue;
+    if (!lit->enum_label.empty()) {
+      if (!other->is_component() || other->type.kind() != TypeKind::kEnum) {
+        return Status::TypeMismatch(
+            "label '" + lit->enum_label +
+            "' cannot be typed: the other operand is not an enumeration "
+            "component");
+      }
+      int ordinal = other->type.enum_info()->OrdinalOf(lit->enum_label);
+      if (ordinal < 0) {
+        return Status::NotFound("'" + lit->enum_label +
+                                "' is not a label of type " +
+                                other->type.enum_info()->name);
+      }
+      lit->literal = Value::MakeEnum(ordinal);
+      lit->type = other->type;
+      lit->enum_label.clear();
+    }
+  }
+  // Kind agreement.
+  if (!term->lhs.type.CompatibleWith(term->rhs.type)) {
+    return Status::TypeMismatch("operands of " + term->ToString() +
+                                " have incompatible types " +
+                                term->lhs.type.ToString() + " and " +
+                                term->rhs.type.ToString());
+  }
+  return Status::OK();
+}
+
+Status Binder::BindTerm(Formula* node, FormulaPtr* slot) {
+  PASCALR_RETURN_IF_ERROR(TypeCheckTerm(&node->term()));
+  const JoinTerm& t = node->term();
+  if (t.lhs.is_literal() && t.rhs.is_literal()) {
+    // Constant term: fold now so later passes never see it.
+    *slot = Formula::Constant(t.lhs.literal.Satisfies(t.op, t.rhs.literal));
+  }
+  return Status::OK();
+}
+
+}  // namespace pascalr

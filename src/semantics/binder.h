@@ -1,0 +1,70 @@
+// Binder: resolves a parsed selection against the catalog.
+//
+//  - variable ranges are resolved to relations;
+//  - variables are alpha-renamed to *unique* names (PASCAL scoping allows a
+//    nested SOME/ALL to shadow an outer variable), so every later pass can
+//    identify a variable purely by name;
+//  - component accesses get positions and types from the relation schema;
+//  - bare-identifier literals are typed as enumeration labels against the
+//    opposite operand;
+//  - join terms are type-checked; literal-vs-literal terms fold to TRUE or
+//    FALSE;
+//  - the output schema of the selection is derived from the projection.
+
+#ifndef PASCALR_SEMANTICS_BINDER_H_
+#define PASCALR_SEMANTICS_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/ast.h"
+#include "catalog/database.h"
+
+namespace pascalr {
+
+/// Resolution of one range-coupled variable.
+struct VarBinding {
+  std::string name;           ///< unique (post alpha-renaming)
+  std::string relation_name;  ///< base relation of the range
+  const Relation* relation = nullptr;
+};
+
+/// A selection ready for normalization and planning.
+struct BoundQuery {
+  SelectionExpr selection;
+  std::map<std::string, VarBinding> vars;  ///< unique name -> binding
+  Schema output_schema;
+};
+
+class Binder {
+ public:
+  explicit Binder(const Database* db) : db_(db) {}
+
+  /// Consumes `sel` and produces a bound query.
+  Result<BoundQuery> Bind(SelectionExpr sel);
+
+ private:
+  struct ScopeEntry {
+    std::string source_name;  ///< name as written
+    std::string unique_name;
+  };
+
+  Result<VarBinding> ResolveRange(const std::string& unique_name,
+                                  RangeExpr* range);
+  Status BindFormula(FormulaPtr* f);
+  Status BindTerm(Formula* node, FormulaPtr* slot);
+  Status BindOperandVar(Operand* op);
+  Status TypeCheckTerm(JoinTerm* term);
+  std::string UniqueName(const std::string& base);
+  const ScopeEntry* LookupScope(const std::string& source_name) const;
+
+  const Database* db_;
+  BoundQuery out_;
+  std::vector<ScopeEntry> scope_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_SEMANTICS_BINDER_H_

@@ -1,0 +1,54 @@
+// Ref: the paper's "reference to a selected variable" (@rel[keyval]) — a
+// generalisation of the TID. A Ref names one element of one relation.
+//
+// Refs carry a generation tag so that a reference left dangling by a
+// deletion is *detected* on dereference instead of silently resolving to an
+// unrelated element (the slot may have been reused).
+
+#ifndef PASCALR_STORAGE_REF_H_
+#define PASCALR_STORAGE_REF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+/// Identifies a relation within a Database catalog.
+using RelationId = uint32_t;
+
+struct Ref {
+  RelationId relation = 0;
+  uint32_t slot = 0;
+  uint32_t generation = 0;
+
+  bool operator==(const Ref& o) const {
+    return relation == o.relation && slot == o.slot &&
+           generation == o.generation;
+  }
+  bool operator!=(const Ref& o) const { return !(*this == o); }
+  /// Ordering is (relation, slot); generation never differs between two
+  /// live refs to the same slot.
+  bool operator<(const Ref& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return slot < o.slot;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = HashCombine(relation, slot);
+    return HashCombine(h, generation);
+  }
+
+  std::string ToString() const {
+    return StrFormat("@%u[%u]", relation, slot);
+  }
+};
+
+struct RefHash {
+  uint64_t operator()(const Ref& r) const { return r.Hash(); }
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_STORAGE_REF_H_

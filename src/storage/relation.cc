@@ -1,0 +1,148 @@
+#include "storage/relation.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+Result<Ref> Relation::Insert(Tuple tuple) {
+  PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
+  Tuple key = schema_.KeyOf(tuple);
+  if (key_to_slot_.find(key) != key_to_slot_.end()) {
+    return Status::AlreadyExists("relation '" + name_ +
+                                 "' already contains key " + key.ToString());
+  }
+  uint32_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.tuple = std::move(tuple);
+  slot.live = true;
+  ++slot.generation;
+  key_to_slot_.emplace(std::move(key), slot_index);
+  ++live_count_;
+  ++mod_count_;
+  return Ref{id_, slot_index, slot.generation};
+}
+
+Result<Ref> Relation::Upsert(Tuple tuple) {
+  PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
+  Tuple key = schema_.KeyOf(tuple);
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return Insert(std::move(tuple));
+  Slot& slot = slots_[it->second];
+  slot.tuple = std::move(tuple);
+  ++mod_count_;
+  // The element identity (key) is unchanged; existing refs stay valid.
+  return Ref{id_, it->second, slot.generation};
+}
+
+Status Relation::EraseByKey(const Tuple& key) {
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) {
+    return Status::NotFound("relation '" + name_ + "' has no key " +
+                            key.ToString());
+  }
+  uint32_t slot_index = it->second;
+  key_to_slot_.erase(it);
+  slots_[slot_index].live = false;
+  slots_[slot_index].tuple = Tuple();
+  free_slots_.push_back(slot_index);
+  --live_count_;
+  ++mod_count_;
+  return Status::OK();
+}
+
+Status Relation::EraseByRef(const Ref& ref) {
+  if (!IsLive(ref)) {
+    return Status::NotFound("dangling or foreign reference " + ref.ToString());
+  }
+  return EraseByKey(schema_.KeyOf(slots_[ref.slot].tuple));
+}
+
+Result<Ref> Relation::RefByKey(const Tuple& key) const {
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) {
+    return Status::NotFound("relation '" + name_ + "' has no key " +
+                            key.ToString());
+  }
+  return Ref{id_, it->second, slots_[it->second].generation};
+}
+
+Result<const Tuple*> Relation::SelectByKey(const Tuple& key) const {
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) {
+    return Status::NotFound("relation '" + name_ + "' has no key " +
+                            key.ToString());
+  }
+  return &slots_[it->second].tuple;
+}
+
+Result<const Tuple*> Relation::Deref(const Ref& ref) const {
+  if (ref.relation != id_) {
+    return Status::InvalidArgument(
+        StrFormat("reference into relation %u dereferenced against '%s' (%u)",
+                  ref.relation, name_.c_str(), id_));
+  }
+  if (ref.slot >= slots_.size() || !slots_[ref.slot].live ||
+      slots_[ref.slot].generation != ref.generation) {
+    return Status::NotFound("dangling reference " + ref.ToString() +
+                            " into relation '" + name_ + "'");
+  }
+  return &slots_[ref.slot].tuple;
+}
+
+bool Relation::IsLive(const Ref& ref) const {
+  return ref.relation == id_ && ref.slot < slots_.size() &&
+         slots_[ref.slot].live && slots_[ref.slot].generation == ref.generation;
+}
+
+void Relation::Scan(
+    const std::function<bool(const Ref&, const Tuple&)>& visit) const {
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.live) continue;
+    if (!visit(Ref{id_, i, slot.generation}, slot.tuple)) return;
+  }
+}
+
+std::vector<Ref> Relation::AllRefs() const {
+  std::vector<Ref> out;
+  out.reserve(live_count_);
+  Scan([&](const Ref& r, const Tuple&) {
+    out.push_back(r);
+    return true;
+  });
+  return out;
+}
+
+void Relation::Clear() {
+  slots_.clear();
+  free_slots_.clear();
+  key_to_slot_.clear();
+  live_count_ = 0;
+  ++mod_count_;
+}
+
+std::string Relation::DebugString(size_t max_elements) const {
+  std::string out =
+      StrFormat("%s (%zu elements): ", name_.c_str(), live_count_);
+  size_t shown = 0;
+  Scan([&](const Ref&, const Tuple& t) {
+    if (shown == max_elements) {
+      out += "...";
+      return false;
+    }
+    if (shown > 0) out += ", ";
+    out += t.ToString();
+    ++shown;
+    return true;
+  });
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,101 @@
+// Relation: a variable-size set of identically structured elements with a
+// declared key (paper §2). Storage is an in-memory slotted heap: slots are
+// stable across unrelated inserts/deletes, so Refs remain valid until their
+// element is deleted. A built-in hash map from key to slot implements the
+// key-oriented selector rel[keyval] (paper §3.1).
+
+#ifndef PASCALR_STORAGE_RELATION_H_
+#define PASCALR_STORAGE_RELATION_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "storage/ref.h"
+#include "value/schema.h"
+#include "value/tuple.h"
+
+namespace pascalr {
+
+class Relation {
+ public:
+  Relation(RelationId id, std::string name, Schema schema)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  RelationId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live elements.
+  size_t cardinality() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Monotonic counter bumped by every successful mutation; the catalog
+  /// uses it to detect stale permanent indexes.
+  uint64_t mod_count() const { return mod_count_; }
+
+  /// PASCAL/R `:+` — inserts one element. Rejects schema violations and
+  /// duplicate keys (relations are sets keyed by the declared key).
+  Result<Ref> Insert(Tuple tuple);
+
+  /// Inserts, replacing any existing element with the same key (PASCAL/R
+  /// assignment-style update). Returns the ref of the stored element.
+  Result<Ref> Upsert(Tuple tuple);
+
+  /// PASCAL/R `:-` — deletes the element with the given key.
+  Status EraseByKey(const Tuple& key);
+
+  /// Deletes the element a ref points to (generation-checked).
+  Status EraseByRef(const Ref& ref);
+
+  /// @rel[keyval]: the reference to the element with key `key`.
+  Result<Ref> RefByKey(const Tuple& key) const;
+
+  /// rel[keyval]: the element with key `key`.
+  Result<const Tuple*> SelectByKey(const Tuple& key) const;
+
+  /// r@ — dereference. Fails with NotFound on dangling refs (deleted or
+  /// reused slot) and InvalidArgument on refs of other relations.
+  Result<const Tuple*> Deref(const Ref& ref) const;
+
+  /// True if `ref` currently names a live element of this relation.
+  bool IsLive(const Ref& ref) const;
+
+  /// One-element-at-a-time scan (paper §4.1's "reading the relation").
+  /// The visitor receives each live element and its ref; returning false
+  /// stops the scan early.
+  void Scan(const std::function<bool(const Ref&, const Tuple&)>& visit) const;
+
+  /// All live refs in slot order.
+  std::vector<Ref> AllRefs() const;
+
+  /// Removes every element.
+  void Clear();
+
+  std::string DebugString(size_t max_elements = 16) const;
+
+ private:
+  struct Slot {
+    Tuple tuple;
+    uint32_t generation = 0;
+    bool live = false;
+  };
+
+  RelationId id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> key_to_slot_;
+  size_t live_count_ = 0;
+  uint64_t mod_count_ = 0;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_STORAGE_RELATION_H_

@@ -1,0 +1,136 @@
+#include "value/schema.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+Result<Schema> Schema::Make(std::vector<Component> components,
+                            std::vector<std::string> key_components) {
+  Schema s;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (components[j].name == components[i].name) {
+        return Status::InvalidArgument("duplicate component name '" +
+                                       components[i].name + "'");
+      }
+    }
+  }
+  s.components_ = std::move(components);
+  if (key_components.empty()) {
+    for (size_t i = 0; i < s.components_.size(); ++i) {
+      s.key_positions_.push_back(i);
+    }
+  } else {
+    for (const std::string& k : key_components) {
+      int pos = s.FindComponent(k);
+      if (pos < 0) {
+        return Status::NotFound("key component '" + k +
+                                "' is not a component of the record");
+      }
+      for (size_t existing : s.key_positions_) {
+        if (existing == static_cast<size_t>(pos)) {
+          return Status::InvalidArgument("key component '" + k +
+                                         "' listed twice");
+        }
+      }
+      s.key_positions_.push_back(static_cast<size_t>(pos));
+    }
+  }
+  return s;
+}
+
+int Schema::FindComponent(const std::string& name) const {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != components_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu does not match schema arity %zu",
+                  tuple.size(), components_.size()));
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const Component& c = components_[i];
+    const Value& v = tuple.at(i);
+    switch (c.type.kind()) {
+      case TypeKind::kInt: {
+        if (!v.is_int()) {
+          return Status::TypeMismatch("component '" + c.name +
+                                      "' expects an integer");
+        }
+        if (v.AsInt() < c.type.int_lo() || v.AsInt() > c.type.int_hi()) {
+          return Status::OutOfRange(
+              StrFormat("component '%s': %lld outside %s", c.name.c_str(),
+                        static_cast<long long>(v.AsInt()),
+                        c.type.ToString().c_str()));
+        }
+        break;
+      }
+      case TypeKind::kString: {
+        if (!v.is_string()) {
+          return Status::TypeMismatch("component '" + c.name +
+                                      "' expects a string");
+        }
+        if (c.type.max_len() > 0 && v.AsString().size() > c.type.max_len()) {
+          return Status::OutOfRange(
+              StrFormat("component '%s': string longer than %zu",
+                        c.name.c_str(), c.type.max_len()));
+        }
+        break;
+      }
+      case TypeKind::kEnum: {
+        if (!v.is_enum()) {
+          return Status::TypeMismatch("component '" + c.name +
+                                      "' expects an enumeration value");
+        }
+        const auto& info = c.type.enum_info();
+        if (info == nullptr || v.AsEnumOrdinal() < 0 ||
+            static_cast<size_t>(v.AsEnumOrdinal()) >= info->labels.size()) {
+          return Status::OutOfRange("component '" + c.name +
+                                    "': enum ordinal out of range");
+        }
+        break;
+      }
+      case TypeKind::kBool: {
+        if (!v.is_bool()) {
+          return Status::TypeMismatch("component '" + c.name +
+                                      "' expects a boolean");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Tuple Schema::KeyOf(const Tuple& tuple) const {
+  return tuple.Project(key_positions_);
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> keys;
+  for (size_t p : key_positions_) keys.push_back(components_[p].name);
+  std::vector<std::string> comps;
+  for (const Component& c : components_) {
+    comps.push_back(c.name + " : " + c.type.ToString());
+  }
+  return "RELATION <" + Join(keys, ",") + "> OF RECORD " + Join(comps, "; ") +
+         " END";
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (key_positions_ != other.key_positions_) return false;
+  if (components_.size() != other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].name != other.components_[i].name ||
+        components_[i].type != other.components_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pascalr

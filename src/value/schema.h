@@ -1,0 +1,60 @@
+// Schema: the RECORD structure of a RELATION plus its declared key
+// (paper Figure 1: the component list in angular brackets).
+
+#ifndef PASCALR_VALUE_SCHEMA_H_
+#define PASCALR_VALUE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "value/tuple.h"
+#include "value/type.h"
+
+namespace pascalr {
+
+/// One RECORD component: identifier plus type.
+struct Component {
+  std::string name;
+  Type type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  /// `key_components` are component *names*; they must exist in
+  /// `components`. An empty key means "all components" (set semantics over
+  /// whole elements), matching result relations keyed on their projection.
+  static Result<Schema> Make(std::vector<Component> components,
+                             std::vector<std::string> key_components);
+
+  size_t num_components() const { return components_.size(); }
+  const Component& component(size_t i) const { return components_[i]; }
+  const std::vector<Component>& components() const { return components_; }
+
+  /// Positions of the key components, in declaration order of the key.
+  const std::vector<size_t>& key_positions() const { return key_positions_; }
+
+  /// Returns the position of the named component or -1.
+  int FindComponent(const std::string& name) const;
+
+  /// Validates arity, value kinds, subranges, string lengths, and enum
+  /// ordinal bounds of `tuple` against this schema.
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  /// Extracts the key of `tuple` (whole tuple if the key list was empty).
+  Tuple KeyOf(const Tuple& tuple) const;
+
+  /// "RELATION <k1,k2> OF RECORD a : t1; b : t2 END".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<size_t> key_positions_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_VALUE_SCHEMA_H_

@@ -1,0 +1,105 @@
+#include "value/type.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+int EnumInfo::OrdinalOf(const std::string& label) const {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Type Type::Int() {
+  Type t;
+  t.kind_ = TypeKind::kInt;
+  return t;
+}
+
+Type Type::IntRange(int64_t lo, int64_t hi) {
+  Type t;
+  t.kind_ = TypeKind::kInt;
+  t.int_lo_ = lo;
+  t.int_hi_ = hi;
+  return t;
+}
+
+Type Type::String(size_t max_len) {
+  Type t;
+  t.kind_ = TypeKind::kString;
+  t.max_len_ = max_len;
+  return t;
+}
+
+Type Type::Bool() {
+  Type t;
+  t.kind_ = TypeKind::kBool;
+  return t;
+}
+
+Type Type::Enum(std::shared_ptr<const EnumInfo> info) {
+  Type t;
+  t.kind_ = TypeKind::kEnum;
+  t.enum_info_ = std::move(info);
+  return t;
+}
+
+bool Type::CompatibleWith(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == TypeKind::kEnum) {
+    if (enum_info_ == other.enum_info_) return true;
+    // Structurally identical enum definitions are also compatible.
+    return enum_info_ != nullptr && other.enum_info_ != nullptr &&
+           enum_info_->labels == other.enum_info_->labels;
+  }
+  return true;  // subrange/length constraints do not affect comparability
+}
+
+bool Type::operator==(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kInt:
+      return int_lo_ == other.int_lo_ && int_hi_ == other.int_hi_;
+    case TypeKind::kString:
+      return max_len_ == other.max_len_;
+    case TypeKind::kEnum:
+      return enum_info_ == other.enum_info_ ||
+             (enum_info_ != nullptr && other.enum_info_ != nullptr &&
+              enum_info_->name == other.enum_info_->name &&
+              enum_info_->labels == other.enum_info_->labels);
+    case TypeKind::kBool:
+      return true;
+  }
+  return false;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kInt:
+      if (int_lo_ != std::numeric_limits<int64_t>::min() ||
+          int_hi_ != std::numeric_limits<int64_t>::max()) {
+        return StrFormat("%lld..%lld", static_cast<long long>(int_lo_),
+                         static_cast<long long>(int_hi_));
+      }
+      return "integer";
+    case TypeKind::kString:
+      if (max_len_ > 0) return StrFormat("string[%zu]", max_len_);
+      return "string";
+    case TypeKind::kEnum:
+      return enum_info_ ? enum_info_->name : "enum";
+    case TypeKind::kBool:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const EnumInfo> MakeEnum(std::string name,
+                                         std::vector<std::string> labels) {
+  auto info = std::make_shared<EnumInfo>();
+  info->name = std::move(name);
+  info->labels = std::move(labels);
+  return info;
+}
+
+}  // namespace pascalr

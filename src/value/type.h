@@ -1,0 +1,81 @@
+// The PASCAL/R component type system (paper Figure 1):
+//   - enumerations:      statustype = (student, technician, assistant, professor)
+//   - integer subranges: yeartype   = 1900..1999
+//   - packed strings:    nametype   = PACKED ARRAY [1..10] OF char
+//   - booleans (PASCAL's built-in)
+//
+// Enumerations are *ordered*: the paper compares `c.clevel <= sophomore`.
+
+#ifndef PASCALR_VALUE_TYPE_H_
+#define PASCALR_VALUE_TYPE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace pascalr {
+
+enum class TypeKind : uint8_t { kInt, kString, kEnum, kBool };
+
+/// Shared definition of a named enumeration type; label order defines the
+/// ordering used by <, <=, >, >=.
+struct EnumInfo {
+  std::string name;                 ///< e.g. "statustype"
+  std::vector<std::string> labels;  ///< ordinal -> label
+
+  /// Returns the ordinal of `label` or -1.
+  int OrdinalOf(const std::string& label) const;
+};
+
+/// A component type: kind plus kind-specific constraints.
+///
+/// Type is a small value class; enum types share their EnumInfo so that two
+/// components declared with the same named enumeration compare equal.
+class Type {
+ public:
+  /// Unconstrained integer.
+  static Type Int();
+  /// Integer subrange lo..hi (inclusive), e.g. 1900..1999.
+  static Type IntRange(int64_t lo, int64_t hi);
+  /// PACKED ARRAY [1..max_len] OF char; 0 means unbounded.
+  static Type String(size_t max_len = 0);
+  static Type Bool();
+  static Type Enum(std::shared_ptr<const EnumInfo> info);
+
+  TypeKind kind() const { return kind_; }
+  int64_t int_lo() const { return int_lo_; }
+  int64_t int_hi() const { return int_hi_; }
+  size_t max_len() const { return max_len_; }
+  const std::shared_ptr<const EnumInfo>& enum_info() const { return enum_info_; }
+
+  /// Two types are compatible if values of one may be compared with values
+  /// of the other (same kind; enums must share the same definition).
+  bool CompatibleWith(const Type& other) const;
+
+  bool operator==(const Type& other) const;
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  /// "integer", "1900..1999", "string[10]", "statustype", "boolean".
+  std::string ToString() const;
+
+ private:
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::kInt;
+  int64_t int_lo_ = std::numeric_limits<int64_t>::min();
+  int64_t int_hi_ = std::numeric_limits<int64_t>::max();
+  size_t max_len_ = 0;
+  std::shared_ptr<const EnumInfo> enum_info_;
+};
+
+/// Convenience: builds a shared enum definition.
+std::shared_ptr<const EnumInfo> MakeEnum(std::string name,
+                                         std::vector<std::string> labels);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_VALUE_TYPE_H_

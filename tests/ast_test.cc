@@ -1,0 +1,195 @@
+#include "calculus/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Label;
+using dsl::Le;
+using dsl::Lit;
+using dsl::Ne;
+
+TEST(JoinTermTest, VariablesAndClassification) {
+  JoinTerm monadic;
+  monadic.lhs = Operand::Component("e", "estatus");
+  monadic.op = CompareOp::kEq;
+  monadic.rhs = Operand::Literal(Value::MakeEnum(3));
+  EXPECT_TRUE(monadic.IsMonadic());
+  EXPECT_FALSE(monadic.IsDyadic());
+  EXPECT_EQ(monadic.Variables(), (std::vector<std::string>{"e"}));
+
+  JoinTerm dyadic;
+  dyadic.lhs = Operand::Component("e", "enr");
+  dyadic.op = CompareOp::kEq;
+  dyadic.rhs = Operand::Component("t", "tenr");
+  EXPECT_TRUE(dyadic.IsDyadic());
+  EXPECT_EQ(dyadic.Variables(), (std::vector<std::string>{"e", "t"}));
+  EXPECT_TRUE(dyadic.References("t"));
+  EXPECT_FALSE(dyadic.References("x"));
+
+  // Same-variable component comparison is monadic (one variable).
+  JoinTerm same_var;
+  same_var.lhs = Operand::Component("t", "tenr");
+  same_var.op = CompareOp::kEq;
+  same_var.rhs = Operand::Component("t", "tcnr");
+  EXPECT_TRUE(same_var.IsMonadic());
+}
+
+TEST(JoinTermTest, NegatedAndMirrored) {
+  JoinTerm t;
+  t.lhs = Operand::Component("a", "x");
+  t.op = CompareOp::kLt;
+  t.rhs = Operand::Component("b", "y");
+
+  JoinTerm neg = t.Negated();
+  EXPECT_EQ(neg.op, CompareOp::kGe);
+  EXPECT_EQ(neg.lhs, t.lhs);
+
+  JoinTerm mir = t.Mirrored();
+  EXPECT_EQ(mir.op, CompareOp::kGt);
+  EXPECT_EQ(mir.lhs, t.rhs);
+  EXPECT_EQ(mir.rhs, t.lhs);
+  // Mirroring twice is the identity.
+  EXPECT_EQ(mir.Mirrored(), t);
+}
+
+TEST(FormulaTest, AndOrFlattenAndSimplify) {
+  FormulaPtr a = Eq(C("e", "enr"), Lit(int64_t{1}));
+  FormulaPtr b = Eq(C("e", "enr"), Lit(int64_t{2}));
+  FormulaPtr c = Eq(C("e", "enr"), Lit(int64_t{3}));
+
+  FormulaPtr nested =
+      Formula::And(Formula::And(a->Clone(), b->Clone()), c->Clone());
+  EXPECT_EQ(nested->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(nested->children().size(), 3u);  // flattened
+
+  EXPECT_EQ(Formula::And({})->kind(), FormulaKind::kConst);
+  EXPECT_TRUE(Formula::And({})->const_value());
+  EXPECT_FALSE(Formula::Or({})->const_value());
+
+  std::vector<FormulaPtr> single;
+  single.push_back(a->Clone());
+  FormulaPtr collapsed = Formula::Or(std::move(single));
+  EXPECT_EQ(collapsed->kind(), FormulaKind::kCompare);  // single child
+}
+
+TEST(FormulaTest, CloneAndEquals) {
+  FormulaPtr f = dsl::All(
+      "p", "papers",
+      Ne(C("p", "pyear"), Lit(int64_t{1977})) ||
+          dsl::Some("t", "timetable", Eq(C("t", "tenr"), C("e", "enr"))));
+  FormulaPtr g = f->Clone();
+  EXPECT_TRUE(f->Equals(*g));
+
+  // A structural difference breaks equality.
+  FormulaPtr h = dsl::All(
+      "p", "papers",
+      Ne(C("p", "pyear"), Lit(int64_t{1978})) ||
+          dsl::Some("t", "timetable", Eq(C("t", "tenr"), C("e", "enr"))));
+  EXPECT_FALSE(f->Equals(*h));
+}
+
+TEST(FormulaTest, ExtendedRangeEquality) {
+  FormulaPtr f = dsl::AllIn("p", "papers",
+                            Eq(C("p", "pyear"), Lit(int64_t{1977})),
+                            Ne(C("p", "penr"), C("e", "enr")));
+  EXPECT_TRUE(f->Equals(*f->Clone()));
+  FormulaPtr unextended =
+      dsl::All("p", "papers", Ne(C("p", "penr"), C("e", "enr")));
+  EXPECT_FALSE(f->Equals(*unextended));
+}
+
+TEST(FormulaTest, CollectTermVariables) {
+  FormulaPtr f =
+      Eq(C("e", "estatus"), Label("professor")) &&
+      dsl::Some("c", "courses",
+                Le(C("c", "clevel"), Label("sophomore")) &&
+                    dsl::Some("t", "timetable",
+                              Eq(C("c", "cnr"), C("t", "tcnr")) &&
+                                  Eq(C("e", "enr"), C("t", "tenr"))));
+  EXPECT_EQ(f->CollectTermVariables(),
+            (std::vector<std::string>{"e", "c", "t"}));
+  EXPECT_EQ(f->CollectQuantifiedVars(), (std::vector<std::string>{"c", "t"}));
+  EXPECT_TRUE(f->ReferencesVar("t"));
+  EXPECT_FALSE(f->ReferencesVar("p"));
+}
+
+TEST(FormulaTest, RenameVariableRespectsShadowing) {
+  // x is quantified inside; renaming outer x must not touch the inner
+  // occurrences bound by the quantifier.
+  FormulaPtr f =
+      Eq(C("x", "a"), Lit(int64_t{1})) &&
+      dsl::Some("x", "r", Eq(C("x", "a"), Lit(int64_t{2})));
+  RenameVariable(f.get(), "x", "y");
+  // First conjunct renamed.
+  EXPECT_EQ(f->children()[0]->term().lhs.var, "y");
+  // Quantified occurrence untouched.
+  const Formula& quant = *f->children()[1];
+  EXPECT_EQ(quant.var(), "x");
+  EXPECT_EQ(quant.child().term().lhs.var, "x");
+}
+
+TEST(FormulaTest, RenameVariableInExtendedRange) {
+  FormulaPtr f = dsl::SomeIn("c", "courses",
+                             Le(C("c", "clevel"), Label("sophomore")),
+                             Eq(C("c", "cnr"), C("t", "tcnr")));
+  RenameVariable(f.get(), "t", "u");
+  EXPECT_EQ(f->child().term().rhs.var, "u");
+  // The restriction's own variable is never renamed through its binder.
+  RenameVariable(f.get(), "c", "z");
+  EXPECT_EQ(f->range().restriction->term().lhs.var, "c");
+}
+
+TEST(PrinterTest, PrecedenceParenthesisation) {
+  // OR of ANDs needs no parens; AND of ORs does.
+  FormulaPtr or_of_ands =
+      (Eq(C("a", "x"), Lit(int64_t{1})) && Eq(C("a", "y"), Lit(int64_t{2}))) ||
+      Eq(C("a", "z"), Lit(int64_t{3}));
+  EXPECT_EQ(FormatFormula(*or_of_ands),
+            "(a.x = 1) AND (a.y = 2) OR (a.z = 3)");
+
+  FormulaPtr and_of_ors =
+      (Eq(C("a", "x"), Lit(int64_t{1})) || Eq(C("a", "y"), Lit(int64_t{2}))) &&
+      Eq(C("a", "z"), Lit(int64_t{3}));
+  EXPECT_EQ(FormatFormula(*and_of_ors),
+            "((a.x = 1) OR (a.y = 2)) AND (a.z = 3)");
+}
+
+TEST(PrinterTest, QuantifierRendering) {
+  FormulaPtr f = dsl::All("p", "papers",
+                          Ne(C("p", "pyear"), Lit(int64_t{1977})));
+  EXPECT_EQ(FormatFormula(*f), "ALL p IN papers ((p.pyear <> 1977))");
+
+  FormulaPtr ext = dsl::SomeIn("c", "courses",
+                               Le(C("c", "clevel"), Label("sophomore")),
+                               Formula::True());
+  EXPECT_EQ(FormatFormula(*ext),
+            "SOME c IN [EACH c IN courses: (c.clevel <= sophomore)] (TRUE)");
+}
+
+TEST(PrinterTest, SelectionRendering) {
+  SelectionExpr sel =
+      dsl::Select({{"e", "ename"}})
+          .Each("e", "employees")
+          .Where(Eq(C("e", "estatus"), Label("professor")))
+          .Build();
+  EXPECT_EQ(FormatSelection(sel),
+            "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]");
+}
+
+TEST(PrinterTest, IndentedRendering) {
+  FormulaPtr f = Eq(C("a", "x"), Lit(int64_t{1})) &&
+                 dsl::Some("b", "r", Eq(C("b", "y"), Lit(int64_t{2})));
+  std::string out = FormatFormulaIndented(*f);
+  EXPECT_NE(out.find("AND\n"), std::string::npos);
+  EXPECT_NE(out.find("  SOME b IN r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,201 @@
+#include "semantics/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+
+Result<BoundQuery> BindSource(const Database& db, const std::string& source) {
+  Parser parser(source);
+  PASCALR_ASSIGN_OR_RETURN(SelectionExpr sel, parser.ParseSelectionOnly());
+  Binder binder(&db);
+  return binder.Bind(std::move(sel));
+}
+
+TEST(BinderTest, ResolvesComponentsAndTypes) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db, "[<e.ename> OF EACH e IN employees: e.enr = 7]");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const JoinTerm& term = bound->selection.wff->term();
+  EXPECT_EQ(term.lhs.component_pos, 0);
+  EXPECT_EQ(term.lhs.type.kind(), TypeKind::kInt);
+  EXPECT_EQ(bound->selection.projection[0].component_pos, 1);
+  ASSERT_EQ(bound->vars.count("e"), 1u);
+  EXPECT_EQ(bound->vars["e"].relation_name, "employees");
+}
+
+TEST(BinderTest, ResolvesEnumLabels) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db, "[<e.ename> OF EACH e IN employees: e.estatus = professor]");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const JoinTerm& term = bound->selection.wff->term();
+  EXPECT_TRUE(term.rhs.literal.is_enum());
+  EXPECT_EQ(term.rhs.literal.AsEnumOrdinal(), 3);  // professor
+  EXPECT_TRUE(term.rhs.enum_label.empty());
+  // Label order carries over: `<= sophomore` works.
+  auto le = BindSource(
+      *db, "[<c.ctitle> OF EACH c IN courses: c.clevel <= sophomore]");
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(le->selection.wff->term().rhs.literal.AsEnumOrdinal(), 1);
+}
+
+TEST(BinderTest, RejectsUnknownLabel) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db, "[<e.ename> OF EACH e IN employees: e.estatus = king]");
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinderTest, RejectsLabelAgainstNonEnum) {
+  auto db = MakeUniversityDb(false);
+  auto bound =
+      BindSource(*db, "[<e.ename> OF EACH e IN employees: e.enr = seven]");
+  EXPECT_EQ(bound.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, RejectsUnknownRelationVariableComponent) {
+  auto db = MakeUniversityDb(false);
+  EXPECT_EQ(BindSource(*db, "[<e.ename> OF EACH e IN nowhere: TRUE]")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSource(*db,
+                       "[<e.ename> OF EACH e IN employees: x.enr = 1]")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSource(*db,
+                       "[<e.ename> OF EACH e IN employees: e.salary = 1]")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BinderTest, RejectsIncompatibleComponentTypes) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME c IN courses "
+      "(e.ename = c.clevel)]");
+  EXPECT_EQ(bound.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(BinderTest, FoldsLiteralOnlyTerms) {
+  auto db = MakeUniversityDb(false);
+  auto bound =
+      BindSource(*db, "[<e.ename> OF EACH e IN employees: 1 < 2]");
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->selection.wff->kind(), FormulaKind::kConst);
+  EXPECT_TRUE(bound->selection.wff->const_value());
+
+  auto folded_false =
+      BindSource(*db, "[<e.ename> OF EACH e IN employees: 'a' = 'b']");
+  ASSERT_TRUE(folded_false.ok());
+  EXPECT_FALSE(folded_false->selection.wff->const_value());
+}
+
+TEST(BinderTest, AlphaRenamesShadowedQuantifiers) {
+  auto db = MakeUniversityDb(false);
+  // The inner `SOME p` shadows the outer `ALL p`.
+  auto bound = BindSource(
+      *db,
+      "[<e.ename> OF EACH e IN employees: "
+      "ALL p IN papers (SOME p IN papers ((p.pyear = 1977)) "
+      "OR (p.penr = e.enr))]");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  // Two distinct bindings for the two p's.
+  EXPECT_EQ(bound->vars.size(), 3u);  // e, p, p_1
+  EXPECT_EQ(bound->vars.count("p"), 1u);
+  EXPECT_EQ(bound->vars.count("p_1"), 1u);
+  // The outer ALL keeps the name, the inner SOME was renamed — and the
+  // second disjunct's p.penr refers to the OUTER p.
+  const Formula& all = *bound->selection.wff;
+  ASSERT_EQ(all.kind(), FormulaKind::kQuant);
+  EXPECT_EQ(all.var(), "p");
+  const Formula& body = all.child();
+  ASSERT_EQ(body.kind(), FormulaKind::kOr);
+  EXPECT_EQ(body.children()[0]->var(), "p_1");
+  EXPECT_EQ(body.children()[0]->child().term().lhs.var, "p_1");
+  EXPECT_EQ(body.children()[1]->term().lhs.var, "p");
+}
+
+TEST(BinderTest, RejectsDuplicateFreeVariables) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<e.ename> OF EACH e IN employees, EACH e IN employees: TRUE]");
+  EXPECT_EQ(bound.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinderTest, RejectsProjectionOfQuantifiedVariable) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<p.ptitle> OF EACH e IN employees: SOME p IN papers "
+      "((p.penr = e.enr))]");
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinderTest, OutputSchemaDerivedFromProjection) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<e.ename, e.estatus> OF EACH e IN employees: TRUE]");
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->output_schema.num_components(), 2u);
+  EXPECT_EQ(bound->output_schema.component(0).name, "ename");
+  EXPECT_EQ(bound->output_schema.component(0).type.kind(), TypeKind::kString);
+  EXPECT_EQ(bound->output_schema.component(1).type.kind(), TypeKind::kEnum);
+}
+
+TEST(BinderTest, QualifiesDuplicateOutputNames) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<e.enr, t.tenr, x.enr> OF EACH e IN employees, "
+      "EACH t IN timetable, EACH x IN employees: TRUE]");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->output_schema.component(0).name, "e_enr");
+  EXPECT_EQ(bound->output_schema.component(2).name, "x_enr");
+}
+
+TEST(BinderTest, BindsUserWrittenExtendedRanges) {
+  auto db = MakeUniversityDb(false);
+  auto bound = BindSource(
+      *db,
+      "[<e.ename> OF EACH e IN [EACH e IN employees: "
+      "e.estatus = professor]: SOME c IN [EACH c IN courses: "
+      "c.clevel <= sophomore] ((c.cnr = e.enr))]");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const RangeDecl& decl = bound->selection.free_vars[0];
+  ASSERT_TRUE(decl.range.IsExtended());
+  // The restriction is bound: enum label resolved, position set.
+  const JoinTerm& restr = decl.range.restriction->term();
+  EXPECT_EQ(restr.rhs.literal.AsEnumOrdinal(), 3);
+  EXPECT_EQ(restr.lhs.component_pos, 2);
+}
+
+TEST(BinderTest, MissingWffDefaultsToTrue) {
+  auto db = MakeUniversityDb(false);
+  Binder binder(db.get());
+  SelectionExpr sel;
+  OutputComponent oc;
+  oc.var = "e";
+  oc.component = "ename";
+  sel.projection.push_back(oc);
+  sel.free_vars.emplace_back("e", RangeExpr("employees"));
+  sel.wff = nullptr;
+  auto bound = binder.Bind(std::move(sel));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->selection.wff->kind(), FormulaKind::kConst);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,180 @@
+#include "index/btree_index.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Ref R(uint32_t slot) { return Ref{1, slot, 1}; }
+
+/// Reference probe over a plain vector, for comparison with the tree.
+std::vector<uint32_t> ReferenceProbe(const std::vector<int64_t>& values,
+                                     CompareOp op, int64_t probe) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (Value::MakeInt(values[i]).Satisfies(op, Value::MakeInt(probe))) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> TreeProbe(const BTreeIndex& tree, CompareOp op,
+                                int64_t probe) {
+  std::vector<uint32_t> out;
+  tree.Probe(op, Value::MakeInt(probe), [&](const Ref& r) {
+    out.push_back(r.slot);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class BTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeFanoutTest, BulkInsertKeepsInvariantsAndOrder) {
+  BTreeIndex tree("t", GetParam());
+  std::mt19937 rng(99);
+  std::vector<int64_t> values;
+  for (uint32_t i = 0; i < 500; ++i) {
+    int64_t v = static_cast<int64_t>(rng() % 200);
+    values.push_back(v);
+    tree.Add(Value::MakeInt(v), R(i));
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_GT(tree.height(), 1u);
+
+  // In-order traversal must be sorted.
+  std::vector<int64_t> seen;
+  tree.ForEachEntry([&](const Value& v, const Ref&) {
+    seen.push_back(v.AsInt());
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST_P(BTreeFanoutTest, ProbesMatchReferenceForAllOperators) {
+  BTreeIndex tree("t", GetParam());
+  std::mt19937 rng(7);
+  std::vector<int64_t> values;
+  for (uint32_t i = 0; i < 300; ++i) {
+    int64_t v = static_cast<int64_t>(rng() % 60);
+    values.push_back(v);
+    tree.Add(Value::MakeInt(v), R(i));
+  }
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  for (CompareOp op : ops) {
+    for (int64_t probe : {-1, 0, 13, 30, 59, 60, 100}) {
+      EXPECT_EQ(TreeProbe(tree, op, probe), ReferenceProbe(values, op, probe))
+          << "op=" << CompareOpToString(op) << " probe=" << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanoutTest,
+                         ::testing::Values(4, 8, 32, 128));
+
+TEST(BTreeTest, MinMaxValues) {
+  BTreeIndex tree;
+  Value v = Value::MakeInt(0);
+  EXPECT_FALSE(tree.MinValue(&v));
+  EXPECT_FALSE(tree.MaxValue(&v));
+  tree.Add(Value::MakeInt(10), R(0));
+  tree.Add(Value::MakeInt(-3), R(1));
+  tree.Add(Value::MakeInt(42), R(2));
+  ASSERT_TRUE(tree.MinValue(&v));
+  EXPECT_EQ(v.AsInt(), -3);
+  ASSERT_TRUE(tree.MaxValue(&v));
+  EXPECT_EQ(v.AsInt(), 42);
+}
+
+TEST(BTreeTest, RemoveLeavesTombstonesSkippedByProbes) {
+  BTreeIndex tree("t", 4);
+  for (uint32_t i = 0; i < 20; ++i) {
+    tree.Add(Value::MakeInt(i), R(i));
+  }
+  EXPECT_TRUE(tree.Remove(Value::MakeInt(5), R(5)));
+  EXPECT_FALSE(tree.Remove(Value::MakeInt(5), R(5)));
+  EXPECT_EQ(tree.size(), 19u);
+  EXPECT_EQ(tree.num_distinct_values(), 19u);
+  EXPECT_FALSE(tree.ProbeAny(CompareOp::kEq, Value::MakeInt(5)));
+
+  // Min/Max skip tombstones.
+  EXPECT_TRUE(tree.Remove(Value::MakeInt(0), R(0)));
+  Value v = Value::MakeInt(0);
+  ASSERT_TRUE(tree.MinValue(&v));
+  EXPECT_EQ(v.AsInt(), 1);
+}
+
+TEST(BTreeTest, TombstoneResurrection) {
+  BTreeIndex tree("t", 4);
+  tree.Add(Value::MakeInt(5), R(0));
+  EXPECT_TRUE(tree.Remove(Value::MakeInt(5), R(0)));
+  tree.Add(Value::MakeInt(5), R(1));
+  EXPECT_EQ(tree.num_distinct_values(), 1u);
+  EXPECT_TRUE(tree.ProbeAny(CompareOp::kEq, Value::MakeInt(5)));
+}
+
+TEST(BTreeTest, CompactDropsTombstones) {
+  BTreeIndex tree("t", 4);
+  for (uint32_t i = 0; i < 50; ++i) tree.Add(Value::MakeInt(i), R(i));
+  for (uint32_t i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(tree.Remove(Value::MakeInt(i), R(i)));
+  }
+  tree.Compact();
+  EXPECT_EQ(tree.size(), 25u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::vector<uint32_t> odd = TreeProbe(tree, CompareOp::kGe, 0);
+  EXPECT_EQ(odd.size(), 25u);
+}
+
+TEST(BTreeTest, DuplicateValuesShareKey) {
+  BTreeIndex tree("t", 4);
+  for (uint32_t i = 0; i < 10; ++i) tree.Add(Value::MakeInt(1), R(i));
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.num_distinct_values(), 1u);
+  EXPECT_EQ(TreeProbe(tree, CompareOp::kEq, 1).size(), 10u);
+}
+
+TEST(BTreeTest, StringValuesOrderLexicographically) {
+  BTreeIndex tree("t", 4);
+  const char* words[] = {"pear", "apple", "fig", "banana", "cherry"};
+  for (uint32_t i = 0; i < 5; ++i) {
+    tree.Add(Value::MakeString(words[i]), R(i));
+  }
+  std::vector<std::string> seen;
+  tree.ForEachEntry([&](const Value& v, const Ref&) {
+    seen.push_back(v.AsString());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"apple", "banana", "cherry", "fig",
+                                            "pear"}));
+  // v < "cherry" -> apple, banana.
+  std::vector<uint32_t> hits;
+  tree.Probe(CompareOp::kLt, Value::MakeString("cherry"), [&](const Ref& r) {
+    hits.push_back(r.slot);
+    return true;
+  });
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(BTreeTest, EarlyTerminationOnBoundedProbe) {
+  BTreeIndex tree("t", 4);
+  for (uint32_t i = 0; i < 100; ++i) tree.Add(Value::MakeInt(i), R(i));
+  int visited = 0;
+  tree.Probe(CompareOp::kEq, Value::MakeInt(3), [&](const Ref&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,141 @@
+#include "catalog/database.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Schema SimpleSchema() {
+  return *Schema::Make({{"id", Type::Int()}, {"v", Type::Int()}}, {"id"});
+}
+
+TEST(DatabaseTest, CreateAndFindRelation) {
+  Database db;
+  auto rel = db.CreateRelation("r", SimpleSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(db.FindRelation("r"), *rel);
+  EXPECT_EQ(db.FindRelation((*rel)->id()), *rel);
+  EXPECT_EQ(db.FindRelation("missing"), nullptr);
+  EXPECT_EQ(db.FindRelation(RelationId{99}), nullptr);
+}
+
+TEST(DatabaseTest, DuplicateRelationRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r", SimpleSchema()).ok());
+  EXPECT_EQ(db.CreateRelation("r", SimpleSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, DropRelation) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r", SimpleSchema()).ok());
+  ASSERT_TRUE(db.DropRelation("r").ok());
+  EXPECT_EQ(db.FindRelation("r"), nullptr);
+  EXPECT_EQ(db.DropRelation("r").code(), StatusCode::kNotFound);
+  // The name can be redeclared.
+  ASSERT_TRUE(db.CreateRelation("r", SimpleSchema()).ok());
+}
+
+TEST(DatabaseTest, EnumRegistry) {
+  Database db;
+  ASSERT_TRUE(db.RegisterEnum(MakeEnum("color", {"red", "green"})).ok());
+  EXPECT_EQ(db.RegisterEnum(MakeEnum("color", {"x"})).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.RegisterEnum(MakeEnum("", {"x"})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.RegisterEnum(MakeEnum("empty", {})).code(),
+            StatusCode::kInvalidArgument);
+  auto found = db.FindEnum("color");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->labels.size(), 2u);
+  EXPECT_EQ(db.FindEnum("missing"), nullptr);
+}
+
+TEST(DatabaseTest, DerefRoutesToOwningRelation) {
+  Database db;
+  Relation* a = *db.CreateRelation("a", SimpleSchema());
+  Relation* b = *db.CreateRelation("b", SimpleSchema());
+  Ref ra = *a->Insert(Tuple{Value::MakeInt(1), Value::MakeInt(10)});
+  Ref rb = *b->Insert(Tuple{Value::MakeInt(1), Value::MakeInt(20)});
+  EXPECT_EQ((*db.Deref(ra))->at(1).AsInt(), 10);
+  EXPECT_EQ((*db.Deref(rb))->at(1).AsInt(), 20);
+  Ref bogus{RelationId{42}, 0, 1};
+  EXPECT_EQ(db.Deref(bogus).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, EnsureIndexBuildsAndReuses) {
+  Database db;
+  Relation* r = *db.CreateRelation("r", SimpleSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        r->Insert(Tuple{Value::MakeInt(i), Value::MakeInt(i % 2)}).ok());
+  }
+  auto idx = db.EnsureIndex("r", "v", /*ordered=*/false);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->size(), 5u);
+  // Fresh: same pointer returned, no rebuild.
+  auto again = db.EnsureIndex("r", "v", /*ordered=*/false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*idx, *again);
+  EXPECT_EQ(db.FindFreshIndex("r", "v"), *idx);
+}
+
+TEST(DatabaseTest, IndexStalenessAfterMutation) {
+  Database db;
+  Relation* r = *db.CreateRelation("r", SimpleSchema());
+  ASSERT_TRUE(r->Insert(Tuple{Value::MakeInt(1), Value::MakeInt(1)}).ok());
+  ASSERT_TRUE(db.EnsureIndex("r", "v", false).ok());
+  ASSERT_NE(db.FindFreshIndex("r", "v"), nullptr);
+
+  ASSERT_TRUE(r->Insert(Tuple{Value::MakeInt(2), Value::MakeInt(2)}).ok());
+  // Stale now: FindFreshIndex refuses, EnsureIndex rebuilds.
+  EXPECT_EQ(db.FindFreshIndex("r", "v"), nullptr);
+  auto rebuilt = db.EnsureIndex("r", "v", false);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->size(), 2u);
+}
+
+TEST(DatabaseTest, OrderedIndexSupportsRangeProbes) {
+  Database db;
+  Relation* r = *db.CreateRelation("r", SimpleSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(r->Insert(Tuple{Value::MakeInt(i), Value::MakeInt(i)}).ok());
+  }
+  auto idx = db.EnsureIndex("r", "v", /*ordered=*/true);
+  ASSERT_TRUE(idx.ok());
+  size_t hits = 0;
+  (*idx)->Probe(CompareOp::kLt, Value::MakeInt(4), [&](const Ref&) {
+    ++hits;
+    return true;
+  });
+  EXPECT_EQ(hits, 4u);
+}
+
+TEST(DatabaseTest, EnsureIndexErrors) {
+  Database db;
+  EXPECT_EQ(db.EnsureIndex("nope", "v", false).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(db.CreateRelation("r", SimpleSchema()).ok());
+  EXPECT_EQ(db.EnsureIndex("r", "nope", false).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DropRelationDropsItsIndexes) {
+  Database db;
+  Relation* r = *db.CreateRelation("r", SimpleSchema());
+  ASSERT_TRUE(r->Insert(Tuple{Value::MakeInt(1), Value::MakeInt(1)}).ok());
+  ASSERT_TRUE(db.EnsureIndex("r", "v", false).ok());
+  ASSERT_TRUE(db.DropRelation("r").ok());
+  EXPECT_EQ(db.FindFreshIndex("r", "v"), nullptr);
+}
+
+TEST(DatabaseTest, RelationNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("zeta", SimpleSchema()).ok());
+  ASSERT_TRUE(db.CreateRelation("alpha", SimpleSchema()).ok());
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,166 @@
+// Collection-phase behaviour, centred on the paper's Example 3.2 / Figure 2
+// structures for the running query.
+
+#include "exec/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/planner.h"
+#include "pascalr/sample_db.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::MustBind;
+
+PlannedQuery MustPlan(const Database& db, const std::string& query,
+                      OptLevel level) {
+  PlannerOptions options;
+  options.level = level;
+  Result<PlannedQuery> planned =
+      PlanQuery(db, MustBind(db, query), options);
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  return std::move(planned).value();
+}
+
+TEST(CollectionTest, Example32SingleListAndIndirectJoin) {
+  auto db = MakeUniversityDb();
+  // The sub-expression of Example 3.2:
+  //   (c.clevel <= sophomore) AND (c.cnr = t.tcnr)
+  PlannedQuery planned = MustPlan(
+      *db,
+      "[<c.ctitle> OF EACH c IN courses: (c.clevel <= sophomore) AND "
+      "SOME t IN timetable ((c.cnr = t.tcnr))]",
+      OptLevel::kParallel);
+  ExecStats stats;
+  Result<CollectionResult> coll =
+      ExecuteCollection(planned.plan, *db, &stats);
+  ASSERT_TRUE(coll.ok()) << coll.status().ToString();
+
+  // Example 3.2 (no gating): sl_csoph has C10, C11 -> 2 refs; the
+  // indirect join holds EVERY (c, t) pair with c.cnr = t.tcnr -> 6 rows
+  // (each timetable entry matches its course).
+  size_t single_list_rows = 0, indirect_join_rows = 0;
+  for (size_t i = 0; i < planned.plan.structures.size(); ++i) {
+    if (coll->structures[i].arity() == 1) {
+      single_list_rows += coll->structures[i].size();
+    } else {
+      indirect_join_rows += coll->structures[i].size();
+    }
+  }
+  EXPECT_EQ(single_list_rows, 2u);
+  EXPECT_EQ(indirect_join_rows, 6u);
+  EXPECT_EQ(stats.single_list_refs, 2u);
+  EXPECT_EQ(stats.indirect_join_refs, 12u);  // 6 rows x 2 refs
+}
+
+TEST(CollectionTest, Example42OneStepGatingShrinksTheIndirectJoin) {
+  auto db = MakeUniversityDb();
+  // Example 4.2: at strategy 2 the monadic term gates the indirect join
+  // while courses is read; only timetable entries on sophomore-or-lower
+  // courses survive (tcnr 11 twice) and no single list is materialised.
+  PlannedQuery planned = MustPlan(
+      *db,
+      "[<c.ctitle> OF EACH c IN courses: (c.clevel <= sophomore) AND "
+      "SOME t IN timetable ((c.cnr = t.tcnr))]",
+      OptLevel::kOneStep);
+  ExecStats stats;
+  Result<CollectionResult> coll =
+      ExecuteCollection(planned.plan, *db, &stats);
+  ASSERT_TRUE(coll.ok()) << coll.status().ToString();
+  size_t single_list_rows = 0, indirect_join_rows = 0;
+  for (size_t i = 0; i < planned.plan.structures.size(); ++i) {
+    if (coll->structures[i].arity() == 1) {
+      single_list_rows += coll->structures[i].size();
+    } else {
+      indirect_join_rows += coll->structures[i].size();
+    }
+  }
+  EXPECT_EQ(single_list_rows, 0u);  // absorbed into the gated emission
+  EXPECT_EQ(indirect_join_rows, 2u);
+  EXPECT_EQ(stats.indirect_join_refs, 4u);
+}
+
+TEST(CollectionTest, RangesMaterialisedForEveryVariable) {
+  auto db = MakeUniversityDb();
+  PlannedQuery planned =
+      MustPlan(*db, Example21QuerySource(), OptLevel::kParallel);
+  ExecStats stats;
+  Result<CollectionResult> coll =
+      ExecuteCollection(planned.plan, *db, &stats);
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ(coll->range_refs.at("e").size(), 6u);
+  EXPECT_EQ(coll->range_refs.at("p").size(), 5u);
+  EXPECT_EQ(coll->range_refs.at("c").size(), 4u);
+  EXPECT_EQ(coll->range_refs.at("t").size(), 6u);
+}
+
+TEST(CollectionTest, ExtendedRangesRestrictMaterialisation) {
+  auto db = MakeUniversityDb();
+  PlannedQuery planned =
+      MustPlan(*db, Example21QuerySource(), OptLevel::kRangeExt);
+  ExecStats stats;
+  Result<CollectionResult> coll =
+      ExecuteCollection(planned.plan, *db, &stats);
+  ASSERT_TRUE(coll.ok());
+  // Example 4.5: e over professors (4), p over 1977 papers (3),
+  // c over sophomore-or-lower courses (2).
+  EXPECT_EQ(coll->range_refs.at("e").size(), 4u);
+  EXPECT_EQ(coll->range_refs.at("p").size(), 3u);
+  EXPECT_EQ(coll->range_refs.at("c").size(), 2u);
+}
+
+TEST(CollectionTest, NaiveLevelScansPerTerm) {
+  auto db = MakeUniversityDb();
+  PlannedQuery naive_plan =
+      MustPlan(*db, Example21QuerySource(), OptLevel::kNaive);
+  PlannedQuery grouped_plan =
+      MustPlan(*db, Example21QuerySource(), OptLevel::kParallel);
+  EXPECT_GT(naive_plan.plan.scans.size(), grouped_plan.plan.scans.size());
+  EXPECT_EQ(grouped_plan.plan.scans.size(), 4u);  // one per relation
+}
+
+TEST(CollectionTest, SelfJoinUsesPostScanProbe) {
+  auto db = MakeUniversityDb();
+  // Two variables over employees joined dyadically: index and probe hit
+  // the same relation, forcing a post-scan probe.
+  PlannedQuery planned = MustPlan(
+      *db,
+      "[<a.ename> OF EACH a IN employees: SOME b IN employees "
+      "((a.enr <> b.enr) AND (a.estatus = b.estatus))]",
+      OptLevel::kOneStep);
+  EXPECT_FALSE(planned.plan.post_probes.empty());
+  ExecStats stats;
+  Result<CollectionResult> coll =
+      ExecuteCollection(planned.plan, *db, &stats);
+  ASSERT_TRUE(coll.ok()) << coll.status().ToString();
+  // Professors pair with other professors; the ij must be non-empty.
+  size_t ij_rows = 0;
+  for (const RefRelation& s : coll->structures) {
+    if (s.arity() == 2) ij_rows += s.size();
+  }
+  EXPECT_GT(ij_rows, 0u);
+}
+
+TEST(CollectionTest, Strategy2GatesReduceIndirectJoins) {
+  auto db = MakeUniversityDb();
+  const std::string query =
+      "[<e.ename> OF EACH e IN employees: (e.estatus = professor) AND "
+      "SOME t IN timetable ((t.tenr = e.enr))]";
+  PlannedQuery without = MustPlan(*db, query, OptLevel::kParallel);
+  PlannedQuery with = MustPlan(*db, query, OptLevel::kOneStep);
+
+  ExecStats s1, s2;
+  auto coll1 = ExecuteCollection(without.plan, *db, &s1);
+  auto coll2 = ExecuteCollection(with.plan, *db, &s2);
+  ASSERT_TRUE(coll1.ok());
+  ASSERT_TRUE(coll2.ok());
+  // Gating keeps non-professor employees out of the indirect join:
+  // ungated has 6 rows (all timetable pairs), gated drops Dave's entry.
+  EXPECT_LT(s2.indirect_join_refs, s1.indirect_join_refs);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,127 @@
+#include "normalize/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Lit;
+
+FormulaPtr T(const char* var, const char* comp, int64_t v,
+             CompareOp op = CompareOp::kEq) {
+  return dsl::Cmp(C(var, comp), op, Lit(v));
+}
+
+TEST(DnfTest, SingleTerm) {
+  DnfMatrix m = ToDnf(*T("a", "x", 1));
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  ASSERT_EQ(m.disjuncts[0].terms.size(), 1u);
+  EXPECT_FALSE(m.IsTrue());
+  EXPECT_FALSE(m.IsFalse());
+}
+
+TEST(DnfTest, DistributesAndOverOr) {
+  // (a OR b) AND (c OR d) -> 4 conjunctions.
+  FormulaPtr f = (T("v", "a", 1) || T("v", "b", 2)) &&
+                 (T("v", "c", 3) || T("v", "d", 4));
+  DnfMatrix m = ToDnf(*f);
+  ASSERT_EQ(m.disjuncts.size(), 4u);
+  for (const Conjunction& c : m.disjuncts) {
+    EXPECT_EQ(c.terms.size(), 2u);
+  }
+}
+
+TEST(DnfTest, ConstantsFold) {
+  EXPECT_TRUE(ToDnf(*Formula::True()).IsTrue());
+  EXPECT_TRUE(ToDnf(*Formula::False()).IsFalse());
+  // x AND FALSE -> FALSE; x OR TRUE -> TRUE.
+  EXPECT_TRUE(ToDnf(*(T("v", "a", 1) && Formula::False())).IsFalse());
+  EXPECT_TRUE(ToDnf(*(T("v", "a", 1) || Formula::True())).IsTrue());
+  // x AND TRUE -> x.
+  DnfMatrix m = ToDnf(*(T("v", "a", 1) && Formula::True()));
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  EXPECT_EQ(m.disjuncts[0].terms.size(), 1u);
+}
+
+TEST(DnfTest, DuplicateTermsCollapseWithinConjunction) {
+  DnfMatrix m = ToDnf(*(T("v", "a", 1) && T("v", "a", 1)));
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  EXPECT_EQ(m.disjuncts[0].terms.size(), 1u);
+  // Mirrored duplicates collapse too: a.x = b.y vs b.y = a.x.
+  FormulaPtr direct = Eq(C("a", "x"), C("b", "y"));
+  FormulaPtr mirrored = Eq(C("b", "y"), C("a", "x"));
+  DnfMatrix m2 = ToDnf(*(std::move(direct) && std::move(mirrored)));
+  EXPECT_EQ(m2.disjuncts[0].terms.size(), 1u);
+}
+
+TEST(DnfTest, ContradictionsPrune) {
+  // (x = 1) AND (x <> 1) on the same operands is unsatisfiable.
+  FormulaPtr f = T("v", "a", 1, CompareOp::kEq) &&
+                 T("v", "a", 1, CompareOp::kNe);
+  EXPECT_TRUE(ToDnf(*f).IsFalse());
+  // ... but a contradictory disjunct just disappears from a disjunction.
+  FormulaPtr g = (T("v", "a", 1, CompareOp::kEq) &&
+                  T("v", "a", 1, CompareOp::kNe)) ||
+                 T("v", "b", 2);
+  DnfMatrix m = ToDnf(*g);
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  EXPECT_EQ(m.disjuncts[0].terms[0].ToString(), "(v.b = 2)");
+}
+
+TEST(DnfTest, DuplicateDisjunctsCollapse) {
+  FormulaPtr f = T("v", "a", 1) || T("v", "a", 1);
+  DnfMatrix m = ToDnf(*f);
+  EXPECT_EQ(m.disjuncts.size(), 1u);
+}
+
+TEST(DnfTest, NestedDistribution) {
+  // a AND (b OR (c AND (d OR e)))
+  FormulaPtr f =
+      T("v", "a", 1) &&
+      (T("v", "b", 2) || (T("v", "c", 3) && (T("v", "d", 4) || T("v", "e", 5))));
+  DnfMatrix m = ToDnf(*f);
+  // {a,b}, {a,c,d}, {a,c,e}
+  ASSERT_EQ(m.disjuncts.size(), 3u);
+  EXPECT_EQ(m.disjuncts[0].terms.size(), 2u);
+  EXPECT_EQ(m.disjuncts[1].terms.size(), 3u);
+  EXPECT_EQ(m.disjuncts[2].terms.size(), 3u);
+}
+
+TEST(DnfTest, ConjunctionHelpers) {
+  FormulaPtr f = (Eq(C("e", "enr"), C("t", "tenr")) && T("e", "st", 3)) ||
+                 T("c", "lvl", 1);
+  DnfMatrix m = ToDnf(*f);
+  ASSERT_EQ(m.disjuncts.size(), 2u);
+  const Conjunction& c0 = m.disjuncts[0];
+  EXPECT_EQ(c0.Variables(), (std::vector<std::string>{"e", "t"}));
+  EXPECT_TRUE(c0.References("t"));
+  EXPECT_FALSE(c0.References("c"));
+  EXPECT_EQ(c0.TermsOver("e").size(), 2u);
+  EXPECT_EQ(c0.TermsOver("t").size(), 1u);
+}
+
+TEST(DnfTest, ToFormulaRoundTrip) {
+  FormulaPtr f = (T("v", "a", 1) && T("v", "b", 2)) || T("v", "c", 3);
+  DnfMatrix m = ToDnf(*f);
+  FormulaPtr back = m.ToFormula();
+  DnfMatrix m2 = ToDnf(*back);
+  ASSERT_EQ(m.disjuncts.size(), m2.disjuncts.size());
+  for (size_t i = 0; i < m.disjuncts.size(); ++i) {
+    EXPECT_TRUE(m.disjuncts[i] == m2.disjuncts[i]);
+  }
+  EXPECT_TRUE(ToDnf(*Formula::False()).ToFormula()->kind() ==
+              FormulaKind::kConst);
+}
+
+TEST(DnfTest, ToStringRendering) {
+  DnfMatrix m = ToDnf(*(T("v", "a", 1) || T("v", "b", 2)));
+  EXPECT_EQ(m.ToString(), "(v.a = 1)\n  OR (v.b = 2)");
+  EXPECT_EQ(DnfMatrix{}.ToString(), "FALSE");
+}
+
+}  // namespace
+}  // namespace pascalr

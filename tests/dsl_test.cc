@@ -1,0 +1,107 @@
+// The embedded C++ DSL: building the paper's queries without the parser.
+
+#include "pascalr/dsl.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/naive.h"
+#include "opt/planner.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using namespace dsl;  // NOLINT: the DSL is designed for blanket import
+using testing_util::FirstStrings;
+using testing_util::MakeUniversityDb;
+
+SelectionExpr Example21ViaDsl() {
+  // Example 2.1 written with the DSL.
+  return Select({{"e", "ename"}})
+      .Each("e", "employees")
+      .Where(Eq(C("e", "estatus"), Label("professor")) &&
+             (All("p", "papers",
+                  Ne(C("p", "pyear"), Lit(int64_t{1977})) ||
+                      Ne(C("e", "enr"), C("p", "penr"))) ||
+              Some("c", "courses",
+                   Le(C("c", "clevel"), Label("sophomore")) &&
+                       Some("t", "timetable",
+                            Eq(C("c", "cnr"), C("t", "tcnr")) &&
+                                Eq(C("e", "enr"), C("t", "tenr"))))))
+      .Build();
+}
+
+TEST(DslTest, Example21MatchesParserResults) {
+  auto db = MakeUniversityDb();
+  Binder binder(db.get());
+  Result<BoundQuery> bound = binder.Bind(Example21ViaDsl());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  NaiveEvaluator naive(db.get());
+  Result<std::vector<Tuple>> result = naive.Evaluate(*bound);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FirstStrings(*result),
+            (std::set<std::string>{"Alice", "Bob", "Frank"}));
+
+  // And through the optimizer at the top level.
+  PlannerOptions options;
+  options.level = OptLevel::kQuantPush;
+  Result<QueryRun> run = RunQuery(*db, std::move(*bound), options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(FirstStrings(run->tuples),
+            (std::set<std::string>{"Alice", "Bob", "Frank"}));
+}
+
+TEST(DslTest, ComparisonHelpers) {
+  EXPECT_EQ(Eq(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kEq);
+  EXPECT_EQ(Ne(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kNe);
+  EXPECT_EQ(Lt(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kLt);
+  EXPECT_EQ(Le(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kLe);
+  EXPECT_EQ(Gt(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kGt);
+  EXPECT_EQ(Ge(C("a", "x"), Lit(int64_t{1}))->term().op, CompareOp::kGe);
+}
+
+TEST(DslTest, LiteralHelpers) {
+  EXPECT_TRUE(Lit(int64_t{7}).literal.is_int());
+  EXPECT_TRUE(Lit(std::string("s")).literal.is_string());
+  EXPECT_TRUE(Lit(true).literal.is_bool());
+  EXPECT_EQ(Label("professor").enum_label, "professor");
+}
+
+TEST(DslTest, OperatorSugarBuildsConnectives) {
+  FormulaPtr f = Eq(C("a", "x"), Lit(int64_t{1})) &&
+                 Eq(C("a", "y"), Lit(int64_t{2})) &&
+                 Eq(C("a", "z"), Lit(int64_t{3}));
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->children().size(), 3u);  // flattened
+
+  FormulaPtr g = Eq(C("a", "x"), Lit(int64_t{1})) ||
+                 Eq(C("a", "y"), Lit(int64_t{2}));
+  EXPECT_EQ(g->kind(), FormulaKind::kOr);
+
+  FormulaPtr n = NotF(Eq(C("a", "x"), Lit(int64_t{1})));
+  EXPECT_EQ(n->kind(), FormulaKind::kNot);
+}
+
+TEST(DslTest, ExtendedRangeBuilders) {
+  FormulaPtr f = SomeIn("c", "courses",
+                        Le(C("c", "clevel"), Label("sophomore")),
+                        Formula::True());
+  ASSERT_TRUE(f->range().IsExtended());
+  EXPECT_EQ(f->quantifier(), Quantifier::kSome);
+
+  SelectionExpr sel = Select({{"e", "ename"}})
+                          .EachIn("e", "employees",
+                                  Eq(C("e", "estatus"), Label("professor")))
+                          .Build();
+  ASSERT_TRUE(sel.free_vars[0].range.IsExtended());
+}
+
+TEST(DslTest, DefaultWffIsTrue) {
+  SelectionExpr sel = Select({{"e", "ename"}}).Each("e", "employees").Build();
+  ASSERT_NE(sel.wff, nullptr);
+  EXPECT_TRUE(sel.wff->const_value());
+}
+
+}  // namespace
+}  // namespace pascalr

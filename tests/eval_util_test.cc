@@ -1,0 +1,95 @@
+#include "exec/eval_util.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Lit;
+
+JoinTerm BoundTerm(int lhs_pos, CompareOp op, Value rhs) {
+  JoinTerm t;
+  t.lhs = Operand::Component("v", "x");
+  t.lhs.component_pos = lhs_pos;
+  t.op = op;
+  t.rhs = Operand::Literal(std::move(rhs));
+  return t;
+}
+
+TEST(EvalUtilTest, MonadicTermAgainstLiteral) {
+  Tuple tuple{Value::MakeInt(5), Value::MakeString("abc")};
+  ExecStats stats;
+  EXPECT_TRUE(EvalMonadicTerm(BoundTerm(0, CompareOp::kEq, Value::MakeInt(5)),
+                              tuple, &stats));
+  EXPECT_FALSE(EvalMonadicTerm(BoundTerm(0, CompareOp::kLt, Value::MakeInt(5)),
+                               tuple, &stats));
+  EXPECT_TRUE(EvalMonadicTerm(
+      BoundTerm(1, CompareOp::kGe, Value::MakeString("abc")), tuple, &stats));
+  EXPECT_EQ(stats.comparisons, 3u);
+}
+
+TEST(EvalUtilTest, SameTupleComponentComparison) {
+  // t.tenr = t.tcnr style: both operands from the same tuple.
+  JoinTerm t;
+  t.lhs = Operand::Component("v", "a");
+  t.lhs.component_pos = 0;
+  t.op = CompareOp::kEq;
+  t.rhs = Operand::Component("v", "b");
+  t.rhs.component_pos = 1;
+  EXPECT_TRUE(EvalMonadicTerm(
+      t, Tuple{Value::MakeInt(3), Value::MakeInt(3)}, nullptr));
+  EXPECT_FALSE(EvalMonadicTerm(
+      t, Tuple{Value::MakeInt(3), Value::MakeInt(4)}, nullptr));
+}
+
+TEST(EvalUtilTest, GatesAreConjunctive) {
+  Tuple tuple{Value::MakeInt(5), Value::MakeString("abc")};
+  std::vector<JoinTerm> gates{
+      BoundTerm(0, CompareOp::kGe, Value::MakeInt(1)),
+      BoundTerm(0, CompareOp::kLe, Value::MakeInt(9))};
+  EXPECT_TRUE(EvalGates(gates, tuple, nullptr));
+  gates.push_back(BoundTerm(0, CompareOp::kGt, Value::MakeInt(5)));
+  EXPECT_FALSE(EvalGates(gates, tuple, nullptr));
+  EXPECT_TRUE(EvalGates({}, tuple, nullptr));  // empty gate set passes
+}
+
+TEST(EvalUtilTest, RestrictionFormulaConnectives) {
+  Tuple tuple{Value::MakeInt(5)};
+  auto term = [](CompareOp op, int64_t v) {
+    FormulaPtr f = dsl::Cmp(C("v", "x"), op, Lit(v));
+    f->term().lhs.component_pos = 0;
+    return f;
+  };
+  EXPECT_TRUE(EvalRestriction(*Formula::True(), tuple, nullptr));
+  EXPECT_FALSE(EvalRestriction(*Formula::False(), tuple, nullptr));
+  EXPECT_TRUE(EvalRestriction(
+      *Formula::And(term(CompareOp::kGt, 1), term(CompareOp::kLt, 9)), tuple,
+      nullptr));
+  EXPECT_TRUE(EvalRestriction(
+      *Formula::Or(term(CompareOp::kGt, 9), term(CompareOp::kLt, 9)), tuple,
+      nullptr));
+  EXPECT_FALSE(EvalRestriction(*Formula::Not(term(CompareOp::kEq, 5)), tuple,
+                               nullptr));
+}
+
+TEST(EvalUtilTest, ShortCircuitCountsOnlyEvaluatedComparisons) {
+  Tuple tuple{Value::MakeInt(5)};
+  auto term = [](CompareOp op, int64_t v) {
+    FormulaPtr f = dsl::Cmp(C("v", "x"), op, Lit(v));
+    f->term().lhs.component_pos = 0;
+    return f;
+  };
+  ExecStats stats;
+  // AND short-circuits on the first false conjunct.
+  std::vector<FormulaPtr> kids;
+  kids.push_back(term(CompareOp::kEq, 0));  // false
+  kids.push_back(term(CompareOp::kEq, 5));  // not evaluated
+  EvalRestriction(*Formula::And(std::move(kids)), tuple, &stats);
+  EXPECT_EQ(stats.comparisons, 1u);
+}
+
+}  // namespace
+}  // namespace pascalr

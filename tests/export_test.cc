@@ -1,0 +1,103 @@
+#include "pascalr/export.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/session.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+
+TEST(ExportTest, RoundTripReproducesTheDatabase) {
+  auto original = MakeUniversityDb();
+  Result<std::string> script = ExportScript(*original);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+
+  Database restored;
+  Session session(&restored);
+  Status st = session.ExecuteScript(*script);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\nscript:\n" << *script;
+
+  for (const std::string& name : original->RelationNames()) {
+    const Relation* a = original->FindRelation(name);
+    const Relation* b = restored.FindRelation(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(a->cardinality(), b->cardinality()) << name;
+    EXPECT_TRUE(a->schema() == b->schema()) << name;
+    a->Scan([&](const Ref&, const Tuple& t) {
+      auto found = b->SelectByKey(b->schema().KeyOf(t));
+      EXPECT_TRUE(found.ok()) << name << " " << t.ToString();
+      if (found.ok()) {
+        EXPECT_EQ(**found, t);
+      }
+      return true;
+    });
+  }
+}
+
+TEST(ExportTest, QueriesAgreeAfterRestore) {
+  auto original = MakeUniversityDb();
+  Result<std::string> script = ExportScript(*original);
+  ASSERT_TRUE(script.ok());
+
+  Database restored;
+  Session restore_session(&restored);
+  ASSERT_TRUE(restore_session.ExecuteScript(*script).ok());
+
+  Session s1(original.get()), s2(&restored);
+  auto r1 = s1.Query(Example21QuerySource());
+  auto r2 = s2.Query(Example21QuerySource());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(testing_util::FirstStrings(r1->tuples),
+            testing_util::FirstStrings(r2->tuples));
+}
+
+TEST(ExportTest, StringEscaping) {
+  Database db;
+  Session session(&db);
+  ASSERT_TRUE(session
+                  .ExecuteScript(
+                      "VAR r : RELATION <a> OF RECORD a : 1..9; "
+                      "s : STRING(20) END;")
+                  .ok());
+  Relation* r = db.FindRelation("r");
+  ASSERT_TRUE(r->Insert(Tuple{Value::MakeInt(1),
+                              Value::MakeString("it's quoted")})
+                  .ok());
+  Result<std::string> script = ExportScript(db);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("'it''s quoted'"), std::string::npos);
+
+  Database restored;
+  Session session2(&restored);
+  ASSERT_TRUE(session2.ExecuteScript(*script).ok());
+  auto tuple = restored.FindRelation("r")->SelectByKey(
+      Tuple{Value::MakeInt(1)});
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ((*tuple)->at(1).AsString(), "it's quoted");
+}
+
+TEST(ExportTest, ExportRelationSubset) {
+  auto db = MakeUniversityDb();
+  Result<std::string> one = ExportRelation(*db, "courses");
+  ASSERT_TRUE(one.ok());
+  EXPECT_NE(one->find("VAR courses"), std::string::npos);
+  EXPECT_EQ(one->find("VAR employees"), std::string::npos);
+  EXPECT_EQ(ExportRelation(*db, "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExportTest, EmptyRelationsExportDeclarationsOnly) {
+  auto db = MakeUniversityDb();
+  db->FindRelation("papers")->Clear();
+  Result<std::string> script = ExportScript(*db);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("VAR papers"), std::string::npos);
+  EXPECT_EQ(script->find("papers :+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,126 @@
+#include "normalize/fold_empty.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Lit;
+
+FormulaPtr T(const char* var, int64_t v) { return Eq(C(var, "x"), Lit(v)); }
+
+RangeEmptyFn EmptyIf(std::string relation) {
+  return [relation](const RangeExpr& range) {
+    return range.relation == relation;
+  };
+}
+
+TEST(SimplifyConstantsTest, AndOrAbsorption) {
+  EXPECT_TRUE(
+      SimplifyConstants(Formula::And(T("a", 1), Formula::True()))->kind() ==
+      FormulaKind::kCompare);
+  EXPECT_FALSE(SimplifyConstants(Formula::And(T("a", 1), Formula::False()))
+                   ->const_value());
+  EXPECT_TRUE(SimplifyConstants(Formula::Or(T("a", 1), Formula::True()))
+                  ->const_value());
+  EXPECT_EQ(SimplifyConstants(Formula::Or(T("a", 1), Formula::False()))
+                ->kind(),
+            FormulaKind::kCompare);
+}
+
+TEST(SimplifyConstantsTest, NotFolds) {
+  EXPECT_FALSE(
+      SimplifyConstants(Formula::Not(Formula::True()))->const_value());
+  EXPECT_EQ(SimplifyConstants(Formula::Not(T("a", 1)))->kind(),
+            FormulaKind::kNot);
+}
+
+TEST(SimplifyConstantsTest, QuantifierBodyConstants) {
+  // SOME v (FALSE) folds to FALSE and ALL v (TRUE) to TRUE — range-free
+  // facts. The duals depend on range emptiness and must NOT fold here.
+  EXPECT_FALSE(
+      SimplifyConstants(dsl::Some("v", "r", Formula::False()))->const_value());
+  EXPECT_TRUE(
+      SimplifyConstants(dsl::All("v", "r", Formula::True()))->const_value());
+  EXPECT_EQ(SimplifyConstants(dsl::Some("v", "r", Formula::True()))->kind(),
+            FormulaKind::kQuant);
+  EXPECT_EQ(SimplifyConstants(dsl::All("v", "r", Formula::False()))->kind(),
+            FormulaKind::kQuant);
+}
+
+TEST(FoldEmptyTest, SomeOverEmptyIsFalse) {
+  FormulaPtr f = dsl::Some("p", "papers", T("p", 1));
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("papers"));
+  ASSERT_EQ(folded->kind(), FormulaKind::kConst);
+  EXPECT_FALSE(folded->const_value());
+}
+
+TEST(FoldEmptyTest, AllOverEmptyIsTrue) {
+  FormulaPtr f = dsl::All("p", "papers", T("p", 1));
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("papers"));
+  ASSERT_EQ(folded->kind(), FormulaKind::kConst);
+  EXPECT_TRUE(folded->const_value());
+}
+
+TEST(FoldEmptyTest, NonEmptyRangesUntouched) {
+  FormulaPtr f = dsl::Some("p", "papers", T("p", 1));
+  FormulaPtr copy = f->Clone();
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("other"));
+  EXPECT_TRUE(folded->Equals(*copy));
+}
+
+TEST(FoldEmptyTest, Example22Adaptation) {
+  // prof AND (ALL p IN papers (...) OR SOME c IN courses (...)) with
+  // papers = [] reduces to prof (the whole disjunction becomes TRUE).
+  FormulaPtr f =
+      Eq(C("e", "estatus"), Lit(int64_t{3})) &&
+      (dsl::All("p", "papers", T("p", 1977)) ||
+       dsl::Some("c", "courses", T("c", 1)));
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("papers"));
+  ASSERT_EQ(folded->kind(), FormulaKind::kCompare);
+  EXPECT_EQ(folded->term().lhs.component, "estatus");
+}
+
+TEST(FoldEmptyTest, EmptyCoursesKillsOnlyItsDisjunct) {
+  FormulaPtr f =
+      dsl::All("p", "papers", T("p", 1977)) ||
+      dsl::Some("c", "courses", T("c", 1));
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("courses"));
+  ASSERT_EQ(folded->kind(), FormulaKind::kQuant);
+  EXPECT_EQ(folded->quantifier(), Quantifier::kAll);
+}
+
+TEST(FoldEmptyTest, NestedQuantifierFoldPropagates) {
+  // SOME c (ALL t IN timetable (...)) with timetable = [] -> SOME c (TRUE),
+  // which stays (SOME over a possibly empty range is not foldable without
+  // knowing c's range).
+  FormulaPtr f = dsl::Some("c", "courses",
+                           dsl::All("t", "timetable", T("t", 1)));
+  FormulaPtr folded = FoldEmptyRanges(std::move(f), EmptyIf("timetable"));
+  ASSERT_EQ(folded->kind(), FormulaKind::kQuant);
+  EXPECT_EQ(folded->child().kind(), FormulaKind::kConst);
+  EXPECT_TRUE(folded->child().const_value());
+}
+
+TEST(FoldEmptyTest, ExtendedRangePredicateReceivesWholeRange) {
+  // The predicate sees the RangeExpr, so extended ranges can be judged by
+  // their restriction too.
+  FormulaPtr f = dsl::SomeIn("p", "papers", T("p", 1977), T("p", 5));
+  bool saw_extended = false;
+  FormulaPtr folded = FoldEmptyRanges(
+      std::move(f), [&](const RangeExpr& range) {
+        saw_extended = range.IsExtended();
+        return true;  // pretend the extension is empty
+      });
+  EXPECT_TRUE(saw_extended);
+  ASSERT_EQ(folded->kind(), FormulaKind::kConst);
+  EXPECT_FALSE(folded->const_value());
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,173 @@
+// Executable Lemma 1: the paper's four many-sorted transformation rules,
+// plus a randomized equivalence check between many-sorted evaluation and
+// one-sorted evaluation of the Schmidt conversion — over databases that
+// include empty relations.
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "exec/naive.h"
+#include "normalize/one_sorted.h"
+#include "pascalr/dsl.h"
+#include "semantics/binder.h"
+#include "tests/query_gen.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Lit;
+using testing_util::MakeUniversityDb;
+using testing_util::QueryGenerator;
+
+/// Binds a hand-built selection; fails the test on error.
+BoundQuery BindSelection(const Database& db, SelectionExpr sel) {
+  Binder binder(&db);
+  Result<BoundQuery> bound = binder.Bind(std::move(sel));
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return std::move(bound).value();
+}
+
+SelectionExpr Wrap(FormulaPtr wff) {
+  return dsl::Select({{"e", "ename"}})
+      .Each("e", "employees")
+      .Where(std::move(wff))
+      .Build();
+}
+
+// A = (e.estatus = professor)    -- does not mention rec
+// B = (p.penr = e.enr)           -- mentions the quantified rec (p)
+FormulaPtr A() { return Eq(C("e", "estatus"), dsl::Label("professor")); }
+FormulaPtr B() { return Eq(C("p", "penr"), C("e", "enr")); }
+
+class Lemma1Test : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    db_ = MakeUniversityDb();
+    if (papers_empty()) db_->FindRelation("papers")->Clear();
+  }
+  bool papers_empty() const { return GetParam(); }
+
+  std::set<std::string> Eval(FormulaPtr wff) {
+    BoundQuery bound = BindSelection(*db_, Wrap(std::move(wff)));
+    NaiveEvaluator naive(db_.get());
+    Result<std::vector<Tuple>> result = naive.Evaluate(bound);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return testing_util::FirstStrings(*result);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(Lemma1Test, Rule1_AndSome_HoldsAlways) {
+  // A AND SOME rec IN rel (B) = SOME rec IN rel (A AND B), empty or not.
+  auto lhs = Eval(A() && dsl::Some("p", "papers", B()));
+  auto rhs = Eval(dsl::Some("p", "papers", A() && B()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(Lemma1Test, Rule2_OrSome_NeedsNonEmpty) {
+  auto lhs = Eval(A() || dsl::Some("p", "papers", B()));
+  auto rhs = Eval(dsl::Some("p", "papers", A() || B()));
+  auto just_a = Eval(A());
+  if (papers_empty()) {
+    // Lemma 1: LHS equals A; the pushed-in form loses A.
+    EXPECT_EQ(lhs, just_a);
+    EXPECT_NE(lhs, rhs);
+    EXPECT_TRUE(rhs.empty());
+  } else {
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(Lemma1Test, Rule3_AndAll_NeedsNonEmpty) {
+  auto lhs = Eval(A() && dsl::All("p", "papers", B()));
+  auto rhs = Eval(dsl::All("p", "papers", A() && B()));
+  auto just_a = Eval(A());
+  if (papers_empty()) {
+    // Lemma 1: LHS equals A; the pushed-in form is vacuously true for all.
+    EXPECT_EQ(lhs, just_a);
+    std::set<std::string> everyone{"Alice", "Bob",  "Carol",
+                                   "Dave",  "Erin", "Frank"};
+    EXPECT_EQ(rhs, everyone);
+  } else {
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(Lemma1Test, Rule4_OrAll_HoldsAlways) {
+  auto lhs = Eval(A() || dsl::All("p", "papers", B()));
+  auto rhs = Eval(dsl::All("p", "papers", A() || B()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(EmptyAndNonEmpty, Lemma1Test,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PapersEmpty"
+                                             : "PapersNonEmpty";
+                         });
+
+TEST(OneSortedEquivalenceTest, RandomFormulasAgreeWithManySorted) {
+  // For each random database (possibly with empty relations) and each
+  // random formula, the many-sorted naive evaluation and the one-sorted
+  // evaluation of the Schmidt conversion must agree on every binding of
+  // the free variable.
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.25);
+    SelectionExpr sel = gen.RandomSelection(/*max_depth=*/3);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok()) << "seed " << seed << ": "
+                            << bound.status().ToString();
+
+    OneSortedPtr converted = ToOneSorted(*bound->selection.wff);
+    NaiveEvaluator naive(db.get());
+
+    const Relation* employees = db->FindRelation("employees");
+    employees->Scan([&](const Ref& ref, const Tuple& tuple) {
+      std::map<std::string, const Tuple*> ms_bindings{{"e", &tuple}};
+      Result<bool> many =
+          naive.EvalFormula(*bound->selection.wff, &ms_bindings);
+      EXPECT_TRUE(many.ok()) << many.status().ToString();
+
+      std::map<std::string, Ref> os_bindings{{"e", ref}};
+      Result<bool> one = EvaluateOneSorted(*converted, *db, &os_bindings);
+      EXPECT_TRUE(one.ok()) << one.status().ToString();
+      if (many.ok() && one.ok()) {
+        EXPECT_EQ(*many, *one)
+            << "seed " << seed << " element " << tuple.ToString() << "\n"
+            << FormatFormula(*bound->selection.wff);
+      }
+      return true;
+    });
+  }
+}
+
+TEST(OneSortedTest, ConversionShape) {
+  // SOME rec IN rel (W) -> SOME rec ((rec IN rel) AND W').
+  FormulaPtr f = dsl::Some("p", "papers", Eq(C("p", "penr"), Lit(int64_t{1})));
+  OneSortedPtr converted = ToOneSorted(*f);
+  EXPECT_EQ(converted->ToString(),
+            "SOME p ((p IN papers) AND (p.penr = 1))");
+
+  FormulaPtr g = dsl::All("p", "papers", Eq(C("p", "penr"), Lit(int64_t{1})));
+  EXPECT_EQ(ToOneSorted(*g)->ToString(),
+            "ALL p (NOT (p IN papers) OR (p.penr = 1))");
+}
+
+TEST(OneSortedTest, ExtendedRangeJoinsTheGuard) {
+  FormulaPtr f = dsl::SomeIn("p", "papers",
+                             Eq(C("p", "pyear"), Lit(int64_t{1977})),
+                             Eq(C("p", "penr"), Lit(int64_t{1})));
+  EXPECT_EQ(ToOneSorted(*f)->ToString(),
+            "SOME p (((p IN papers) AND (p.pyear = 1977)) AND (p.penr = 1))");
+}
+
+}  // namespace
+}  // namespace pascalr

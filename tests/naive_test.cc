@@ -1,0 +1,148 @@
+#include "exec/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::FirstStrings;
+using testing_util::MakeUniversityDb;
+using testing_util::MustBind;
+
+std::set<std::string> RunNaive(const Database& db, const std::string& query) {
+  BoundQuery bound = MustBind(db, query);
+  NaiveEvaluator naive(&db);
+  Result<std::vector<Tuple>> result = naive.Evaluate(bound);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return FirstStrings(*result);
+}
+
+TEST(NaiveTest, MonadicSelection) {
+  auto db = MakeUniversityDb();
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN employees: e.estatus = professor]"),
+            (std::set<std::string>{"Alice", "Bob", "Carol", "Frank"}));
+}
+
+TEST(NaiveTest, TrueAndFalseWffs) {
+  auto db = MakeUniversityDb();
+  EXPECT_EQ(RunNaive(*db, "[<e.ename> OF EACH e IN employees: TRUE]").size(), 6u);
+  EXPECT_TRUE(RunNaive(*db, "[<e.ename> OF EACH e IN employees: FALSE]").empty());
+}
+
+TEST(NaiveTest, ExistentialWitness) {
+  auto db = MakeUniversityDb();
+  // Employees with some paper.
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN employees: "
+                "SOME p IN papers ((p.penr = e.enr))]"),
+            (std::set<std::string>{"Alice", "Bob", "Carol", "Dave"}));
+}
+
+TEST(NaiveTest, UniversalVacuousOverEmptyRange) {
+  auto db = MakeUniversityDb();
+  db->FindRelation("papers")->Clear();
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN employees: "
+                "ALL p IN papers ((p.penr = e.enr))]")
+                .size(),
+            6u);
+  // SOME over the empty range is false.
+  EXPECT_TRUE(RunNaive(*db,
+                  "[<e.ename> OF EACH e IN employees: "
+                  "SOME p IN papers ((p.penr = e.enr))]")
+                  .empty());
+}
+
+TEST(NaiveTest, UniversalCounterexample) {
+  auto db = MakeUniversityDb();
+  // "ALL papers are by this employee" only holds vacuously... nobody wrote
+  // all 5 papers.
+  EXPECT_TRUE(RunNaive(*db,
+                  "[<e.ename> OF EACH e IN employees: "
+                  "ALL p IN papers ((p.penr = e.enr))]")
+                  .empty());
+  // But "ALL papers of 1975 are by this employee" holds for Alice (P2 is
+  // the only 1975 paper, penr 1).
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN employees: "
+                "ALL p IN papers ((p.pyear <> 1975) OR (p.penr = e.enr))]"),
+            (std::set<std::string>{"Alice"}));
+}
+
+TEST(NaiveTest, ExtendedRangesRestrict) {
+  auto db = MakeUniversityDb();
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN [EACH e IN employees: "
+                "e.estatus = professor]: SOME p IN [EACH p IN papers: "
+                "p.pyear = 1977] ((p.penr = e.enr))]"),
+            (std::set<std::string>{"Alice", "Carol"}));
+}
+
+TEST(NaiveTest, MultipleFreeVariablesProduceCombinations) {
+  auto db = MakeUniversityDb();
+  BoundQuery bound = MustBind(
+      *db,
+      "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses: "
+      "SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = c.cnr))]");
+  NaiveEvaluator naive(db.get());
+  Result<std::vector<Tuple>> result = naive.Evaluate(bound);
+  ASSERT_TRUE(result.ok());
+  // Timetable pairs: (1,11),(1,12),(2,12),(3,13),(4,11),(6,12).
+  EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(NaiveTest, NestedQuantifiersWithShadowing) {
+  auto db = MakeUniversityDb();
+  // Inner p shadows outer p; the binder alpha-renames, the evaluator must
+  // keep both bindings separate.
+  EXPECT_EQ(RunNaive(*db,
+                "[<e.ename> OF EACH e IN employees: "
+                "SOME p IN papers ((p.penr = e.enr) AND "
+                "SOME p IN papers ((p.pyear = 1975)))]"),
+            (std::set<std::string>{"Alice", "Bob", "Carol", "Dave"}));
+}
+
+TEST(NaiveTest, StatsCountWork) {
+  auto db = MakeUniversityDb();
+  BoundQuery bound = MustBind(
+      *db, "[<e.ename> OF EACH e IN employees: e.estatus = professor]");
+  NaiveEvaluator naive(db.get());
+  ExecStats stats;
+  ASSERT_TRUE(naive.Evaluate(bound, &stats).ok());
+  EXPECT_EQ(stats.elements_scanned, 6u);
+  EXPECT_EQ(stats.comparisons, 6u);
+}
+
+TEST(NaiveTest, DeduplicatesResults) {
+  auto db = MakeUniversityDb();
+  // Two professors share no name, but projecting estatus collapses rows.
+  BoundQuery bound = MustBind(
+      *db, "[<e.estatus> OF EACH e IN employees: e.estatus = professor]");
+  NaiveEvaluator naive(db.get());
+  Result<std::vector<Tuple>> result = naive.Evaluate(bound);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(NaiveTest, EvalFormulaDirectly) {
+  auto db = MakeUniversityDb();
+  BoundQuery bound = MustBind(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME t IN timetable "
+      "((t.tenr = e.enr))]");
+  NaiveEvaluator naive(db.get());
+  const Relation* employees = db->FindRelation("employees");
+  const Tuple* alice = *employees->SelectByKey(Tuple{Value::MakeInt(1)});
+  const Tuple* erin = *employees->SelectByKey(Tuple{Value::MakeInt(5)});
+
+  std::map<std::string, const Tuple*> bindings{{"e", alice}};
+  EXPECT_TRUE(*naive.EvalFormula(*bound.selection.wff, &bindings));
+  bindings["e"] = erin;
+  EXPECT_FALSE(*naive.EvalFormula(*bound.selection.wff, &bindings));
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,98 @@
+#include "normalize/nnf.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Lit;
+using dsl::NotF;
+
+FormulaPtr Term(const char* var, const char* comp, CompareOp op, int64_t v) {
+  return dsl::Cmp(C(var, comp), op, Lit(v));
+}
+
+TEST(NnfTest, NegatedComparisonFlipsOperator) {
+  FormulaPtr f = ToNnf(NotF(Term("a", "x", CompareOp::kLt, 3)));
+  ASSERT_EQ(f->kind(), FormulaKind::kCompare);
+  EXPECT_EQ(f->term().op, CompareOp::kGe);
+  EXPECT_TRUE(IsNnf(*f));
+}
+
+TEST(NnfTest, DeMorganAnd) {
+  FormulaPtr f = ToNnf(NotF(Term("a", "x", CompareOp::kEq, 1) &&
+                            Term("a", "y", CompareOp::kEq, 2)));
+  ASSERT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->children()[0]->term().op, CompareOp::kNe);
+  EXPECT_EQ(f->children()[1]->term().op, CompareOp::kNe);
+}
+
+TEST(NnfTest, DeMorganOr) {
+  FormulaPtr f = ToNnf(NotF(Term("a", "x", CompareOp::kEq, 1) ||
+                            Term("a", "y", CompareOp::kEq, 2)));
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+}
+
+TEST(NnfTest, QuantifierDuality) {
+  FormulaPtr not_some =
+      ToNnf(NotF(dsl::Some("p", "papers", Term("p", "pyear", CompareOp::kEq,
+                                               1977))));
+  ASSERT_EQ(not_some->kind(), FormulaKind::kQuant);
+  EXPECT_EQ(not_some->quantifier(), Quantifier::kAll);
+  EXPECT_EQ(not_some->child().term().op, CompareOp::kNe);
+
+  FormulaPtr not_all =
+      ToNnf(NotF(dsl::All("p", "papers", Term("p", "pyear", CompareOp::kEq,
+                                              1977))));
+  EXPECT_EQ(not_all->quantifier(), Quantifier::kSome);
+}
+
+TEST(NnfTest, DoubleNegationCancels) {
+  FormulaPtr f = ToNnf(NotF(NotF(Term("a", "x", CompareOp::kLt, 3))));
+  ASSERT_EQ(f->kind(), FormulaKind::kCompare);
+  EXPECT_EQ(f->term().op, CompareOp::kLt);
+}
+
+TEST(NnfTest, NegatedConstants) {
+  EXPECT_FALSE(ToNnf(NotF(Formula::True()))->const_value());
+  EXPECT_TRUE(ToNnf(NotF(Formula::False()))->const_value());
+}
+
+TEST(NnfTest, ExtendedRangeSurvivesDuality) {
+  FormulaPtr f = ToNnf(NotF(dsl::SomeIn(
+      "c", "courses", Term("c", "clevel", CompareOp::kLe, 1),
+      Term("c", "cnr", CompareOp::kEq, 5))));
+  ASSERT_EQ(f->kind(), FormulaKind::kQuant);
+  EXPECT_EQ(f->quantifier(), Quantifier::kAll);
+  ASSERT_TRUE(f->range().IsExtended());
+  // Restriction itself is NOT negated: it stays on the range side.
+  EXPECT_EQ(f->range().restriction->term().op, CompareOp::kLe);
+  EXPECT_EQ(f->child().term().op, CompareOp::kNe);
+}
+
+TEST(NnfTest, DeeplyNestedMixedFormula) {
+  FormulaPtr f = NotF(
+      (Term("a", "x", CompareOp::kEq, 1) ||
+       dsl::All("b", "r", NotF(Term("b", "y", CompareOp::kGt, 2)))) &&
+      NotF(Term("a", "z", CompareOp::kLe, 3)));
+  FormulaPtr nnf = ToNnf(std::move(f));
+  EXPECT_TRUE(IsNnf(*nnf));
+  EXPECT_EQ(FormatFormula(*nnf),
+            "(a.x <> 1) AND SOME b IN r ((b.y > 2)) OR (a.z <= 3)");
+}
+
+TEST(NnfTest, IdempotentOnNnfInput) {
+  FormulaPtr f = Term("a", "x", CompareOp::kEq, 1) &&
+                 dsl::Some("b", "r", Term("b", "y", CompareOp::kLt, 2));
+  FormulaPtr copy = f->Clone();
+  FormulaPtr nnf = ToNnf(std::move(f));
+  EXPECT_TRUE(nnf->Equals(*copy));
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,130 @@
+#include "refstruct/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Ref R(RelationId rel, uint32_t slot) { return Ref{rel, slot, 1}; }
+
+TEST(OpsTest, NaturalJoinOnSharedColumn) {
+  RefRelation left = RefRelation::IndirectJoin("e", "t");
+  left.Add({R(1, 0), R(4, 0)});
+  left.Add({R(1, 1), R(4, 1)});
+  RefRelation right = RefRelation::IndirectJoin("t", "c");
+  right.Add({R(4, 0), R(3, 7)});
+  right.Add({R(4, 0), R(3, 8)});
+  right.Add({R(4, 2), R(3, 9)});
+
+  ExecStats stats;
+  RefRelation joined = NaturalJoin(left, right, &stats);
+  EXPECT_EQ(joined.columns(), (std::vector<std::string>{"e", "t", "c"}));
+  EXPECT_EQ(joined.size(), 2u);  // t=R(4,0) matches twice, t=R(4,1) none
+  EXPECT_TRUE(joined.Contains({R(1, 0), R(4, 0), R(3, 7)}));
+  EXPECT_TRUE(joined.Contains({R(1, 0), R(4, 0), R(3, 8)}));
+  EXPECT_EQ(stats.combination_rows, 2u);
+}
+
+TEST(OpsTest, NaturalJoinOnTwoSharedColumns) {
+  RefRelation left({"a", "b"});
+  left.Add({R(1, 0), R(2, 0)});
+  left.Add({R(1, 0), R(2, 1)});
+  RefRelation right({"b", "a"});  // shared in both positions, swapped order
+  right.Add({R(2, 0), R(1, 0)});
+  ExecStats stats;
+  RefRelation joined = NaturalJoin(left, right, &stats);
+  EXPECT_EQ(joined.arity(), 2u);
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined.Contains({R(1, 0), R(2, 0)}));
+}
+
+TEST(OpsTest, NaturalJoinDegeneratesToProduct) {
+  RefRelation a = RefRelation::SingleList("x");
+  a.Add({R(1, 0)});
+  a.Add({R(1, 1)});
+  RefRelation b = RefRelation::SingleList("y");
+  b.Add({R(2, 0)});
+  b.Add({R(2, 1)});
+  b.Add({R(2, 2)});
+  ExecStats stats;
+  RefRelation product = NaturalJoin(a, b, &stats);
+  EXPECT_EQ(product.size(), 6u);
+  EXPECT_EQ(product.columns(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(OpsTest, NaturalJoinWithEmptyInput) {
+  RefRelation a = RefRelation::SingleList("x");
+  RefRelation b = RefRelation::SingleList("y");
+  b.Add({R(2, 0)});
+  ExecStats stats;
+  EXPECT_TRUE(NaturalJoin(a, b, &stats).empty());
+  EXPECT_TRUE(NaturalJoin(b, a, &stats).empty());
+}
+
+TEST(OpsTest, ProductWithRefs) {
+  RefRelation a = RefRelation::SingleList("x");
+  a.Add({R(1, 0)});
+  ExecStats stats;
+  RefRelation extended =
+      ProductWithRefs(a, "y", {R(2, 0), R(2, 1)}, &stats);
+  EXPECT_EQ(extended.columns(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(extended.size(), 2u);
+  // Empty ref list annihilates.
+  RefRelation none = ProductWithRefs(a, "z", {}, &stats);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(OpsTest, UnionRealignsColumns) {
+  RefRelation a({"x", "y"});
+  a.Add({R(1, 0), R(2, 0)});
+  RefRelation b({"y", "x"});
+  b.Add({R(2, 0), R(1, 0)});  // same logical row, swapped layout
+  b.Add({R(2, 9), R(1, 9)});
+  ExecStats stats;
+  auto u = UnionRows(a, b, &stats);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 2u);  // the realigned duplicate collapses
+  EXPECT_TRUE(u->Contains({R(1, 9), R(2, 9)}));
+}
+
+TEST(OpsTest, UnionErrors) {
+  RefRelation a({"x", "y"});
+  RefRelation arity({"x"});
+  ExecStats stats;
+  EXPECT_EQ(UnionRows(a, arity, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+  RefRelation other({"x", "z"});
+  EXPECT_EQ(UnionRows(a, other, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OpsTest, ProjectDeduplicates) {
+  RefRelation a({"x", "y"});
+  a.Add({R(1, 0), R(2, 0)});
+  a.Add({R(1, 0), R(2, 1)});
+  a.Add({R(1, 1), R(2, 0)});
+  ExecStats stats;
+  auto p = Project(a, {"x"}, &stats);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 2u);  // x collapses to {0, 1}
+}
+
+TEST(OpsTest, ProjectReordersColumns) {
+  RefRelation a({"x", "y"});
+  a.Add({R(1, 0), R(2, 5)});
+  ExecStats stats;
+  auto p = Project(a, {"y", "x"}, &stats);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->columns(), (std::vector<std::string>{"y", "x"}));
+  EXPECT_TRUE(p->Contains({R(2, 5), R(1, 0)}));
+}
+
+TEST(OpsTest, ProjectUnknownColumn) {
+  RefRelation a({"x"});
+  ExecStats stats;
+  EXPECT_EQ(Project(a, {"zz"}, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pascalr

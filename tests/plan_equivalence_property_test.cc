@@ -1,0 +1,210 @@
+// The central correctness property: for random databases (including empty
+// relations) and random queries (nested SOME/ALL, every comparison
+// operator, monadic and dyadic terms), every optimization level O0..O4
+// returns exactly the set the naive nested-loop oracle returns.
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "exec/naive.h"
+#include "opt/planner.h"
+#include "parser/parser.h"
+#include "tests/query_gen.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::QueryGenerator;
+using testing_util::TupleStrings;
+
+class PlanEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanEquivalenceTest, RandomQueriesMatchOracleAtEveryLevel) {
+  const int base_seed = GetParam();
+  for (int i = 0; i < 12; ++i) {
+    uint64_t seed = static_cast<uint64_t>(base_seed * 1000 + i);
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.2);
+    SelectionExpr sel = gen.RandomSelection(/*max_depth=*/3);
+    std::string rendered = FormatSelection(sel);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok()) << "seed " << seed << ": "
+                            << bound.status().ToString();
+
+    NaiveEvaluator naive(db.get());
+    Result<std::vector<Tuple>> oracle = naive.Evaluate(*bound);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto expected = TupleStrings(*oracle);
+
+    for (int level = 0; level <= 4; ++level) {
+      PlannerOptions options;
+      options.level = static_cast<OptLevel>(level);
+      Result<QueryRun> run =
+          RunQuery(*db, CloneBoundQuery(*bound), options);
+      ASSERT_TRUE(run.ok()) << "seed " << seed << " level " << level << ": "
+                            << run.status().ToString() << "\n"
+                            << rendered;
+      EXPECT_EQ(TupleStrings(run->tuples), expected)
+          << "seed " << seed << " level " << level << "\n"
+          << rendered;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+class TwoFreeVarTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoFreeVarTest, RandomQueriesMatchOracleAtEveryLevel) {
+  const int base_seed = GetParam();
+  for (int i = 0; i < 8; ++i) {
+    uint64_t seed = static_cast<uint64_t>(7000 + base_seed * 100 + i);
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.15);
+    SelectionExpr sel = gen.RandomSelectionTwoFree(/*max_depth=*/2);
+    std::string rendered = FormatSelection(sel);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+    NaiveEvaluator naive(db.get());
+    Result<std::vector<Tuple>> oracle = naive.Evaluate(*bound);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto expected = TupleStrings(*oracle);
+
+    for (int level = 0; level <= 4; ++level) {
+      PlannerOptions options;
+      options.level = static_cast<OptLevel>(level);
+      Result<QueryRun> run = RunQuery(*db, CloneBoundQuery(*bound), options);
+      ASSERT_TRUE(run.ok()) << "seed " << seed << " level " << level << ": "
+                            << run.status().ToString() << "\n"
+                            << rendered;
+      EXPECT_EQ(TupleStrings(run->tuples), expected)
+          << "seed " << seed << " level " << level << "\n"
+          << rendered;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoFreeVarTest, ::testing::Range(0, 4));
+
+TEST(PlanEquivalenceTest, PermanentIndexesPreserveResults) {
+  for (uint64_t seed = 300; seed < 310; ++seed) {
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.1);
+    // Register every plausible equality index up front.
+    for (const auto& [rel, comp] :
+         std::vector<std::pair<const char*, const char*>>{
+             {"employees", "enr"},
+             {"papers", "penr"},
+             {"timetable", "tenr"},
+             {"timetable", "tcnr"},
+             {"courses", "cnr"}}) {
+      ASSERT_TRUE(db->EnsureIndex(rel, comp, false).ok());
+    }
+    SelectionExpr sel = gen.RandomSelection(3);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok());
+
+    NaiveEvaluator naive(db.get());
+    Result<std::vector<Tuple>> oracle = naive.Evaluate(*bound);
+    ASSERT_TRUE(oracle.ok());
+    auto expected = TupleStrings(*oracle);
+
+    for (int level = 1; level <= 4; ++level) {
+      PlannerOptions options;
+      options.level = static_cast<OptLevel>(level);
+      options.use_permanent_indexes = true;
+      Result<QueryRun> run = RunQuery(*db, CloneBoundQuery(*bound), options);
+      ASSERT_TRUE(run.ok()) << "seed " << seed << " level " << level;
+      EXPECT_EQ(TupleStrings(run->tuples), expected)
+          << "seed " << seed << " level " << level;
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, BothDivisionAlgorithmsAgree) {
+  for (uint64_t seed = 100; seed < 112; ++seed) {
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.1);
+    SelectionExpr sel = gen.RandomSelection(3);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok());
+
+    PlannerOptions hash_options;
+    hash_options.level = OptLevel::kOneStep;  // keep ALL in combination
+    hash_options.division = DivisionAlgorithm::kHash;
+    PlannerOptions sort_options = hash_options;
+    sort_options.division = DivisionAlgorithm::kSort;
+
+    Result<QueryRun> h = RunQuery(*db, CloneBoundQuery(*bound), hash_options);
+    Result<QueryRun> s = RunQuery(*db, CloneBoundQuery(*bound), sort_options);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    EXPECT_EQ(TupleStrings(h->tuples), TupleStrings(s->tuples))
+        << "seed " << seed;
+  }
+}
+
+TEST(PlanEquivalenceTest, MutationsBetweenRunsAreObserved) {
+  // Plans are built against live relations: a mutation between two runs
+  // must be reflected (indexes are transient / rebuilt).
+  auto db = MakeUniversityDb();
+  const std::string query =
+      "[<e.ename> OF EACH e IN employees: SOME t IN timetable "
+      "((t.tenr = e.enr))]";
+  for (int level = 0; level <= 4; ++level) {
+    PlannerOptions options;
+    options.level = static_cast<OptLevel>(level);
+
+    Parser p1(query);
+    auto sel1 = p1.ParseSelectionOnly();
+    ASSERT_TRUE(sel1.ok());
+    Binder b1(db.get());
+    auto bound1 = b1.Bind(std::move(sel1).value());
+    ASSERT_TRUE(bound1.ok());
+    auto run1 = RunQuery(*db, std::move(*bound1), options);
+    ASSERT_TRUE(run1.ok());
+    size_t before = run1->tuples.size();
+
+    // Add a timetable entry for Erin (enr 5) and re-run.
+    Relation* timetable = db->FindRelation("timetable");
+    ASSERT_TRUE(timetable
+                    ->Insert(Tuple{Value::MakeInt(5), Value::MakeInt(10),
+                                   Value::MakeEnum(4), Value::MakeInt(9005000),
+                                   Value::MakeString("R9")})
+                    .ok());
+
+    Parser p2(query);
+    auto sel2 = p2.ParseSelectionOnly();
+    ASSERT_TRUE(sel2.ok());
+    Binder b2(db.get());
+    auto bound2 = b2.Bind(std::move(sel2).value());
+    ASSERT_TRUE(bound2.ok());
+    auto run2 = RunQuery(*db, std::move(*bound2), options);
+    ASSERT_TRUE(run2.ok());
+    EXPECT_EQ(run2->tuples.size(), before + 1) << "level " << level;
+
+    ASSERT_TRUE(timetable
+                    ->EraseByKey(Tuple{Value::MakeInt(5), Value::MakeInt(10),
+                                       Value::MakeEnum(4)})
+                    .ok());
+  }
+}
+
+}  // namespace
+}  // namespace pascalr

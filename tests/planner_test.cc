@@ -1,0 +1,188 @@
+// Planner orchestration: strategy levels, runtime adaptation for empty
+// ranges, plan shape, fallbacks.
+
+#include "opt/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/sample_db.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::FirstStrings;
+using testing_util::MakeUniversityDb;
+using testing_util::MustBind;
+
+TEST(PlannerTest, LevelsProduceDifferentPlans) {
+  auto db = MakeUniversityDb();
+  BoundQuery bound = MustBind(*db, Example21QuerySource());
+  for (int level = 0; level <= 4; ++level) {
+    PlannerOptions options;
+    options.level = static_cast<OptLevel>(level);
+    Result<PlannedQuery> planned =
+        PlanQuery(*db, CloneBoundQuery(bound), options);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    EXPECT_EQ(planned->plan.level, options.level);
+    if (level >= 3) {
+      EXPECT_FALSE(planned->range_extension.extensions.empty());
+    } else {
+      EXPECT_TRUE(planned->range_extension.extensions.empty());
+    }
+    if (level >= 4) {
+      EXPECT_FALSE(planned->plan.eliminated_vars.empty());
+    } else {
+      EXPECT_TRUE(planned->plan.eliminated_vars.empty());
+    }
+  }
+}
+
+TEST(PlannerTest, ConjInputsCoverMatrix) {
+  auto db = MakeUniversityDb();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(planned.ok());
+  const QueryPlan& plan = planned->plan;
+  ASSERT_EQ(plan.conj_inputs.size(), plan.sf.matrix.disjuncts.size());
+  for (size_t c = 0; c < plan.conj_inputs.size(); ++c) {
+    EXPECT_FALSE(plan.conj_inputs[c].empty()) << "conjunction " << c;
+    for (size_t id : plan.conj_inputs[c]) {
+      ASSERT_LT(id, plan.structures.size());
+    }
+  }
+}
+
+TEST(PlannerTest, EmptyBaseRangeTriggersLemma1Fold) {
+  auto db = MakeUniversityDb();
+  db->FindRelation("papers")->Clear();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_GE(planned->replans, 1u);
+  EXPECT_NE(planned->adaptation_notes.find("range of p is empty"),
+            std::string::npos);
+  // After folding, p is gone from the prefix.
+  EXPECT_EQ(planned->plan.sf.FindVar("p"), nullptr);
+}
+
+TEST(PlannerTest, EmptyExtendedRangeAbandonsStrategy3) {
+  auto db = MakeUniversityDb();
+  // Erase the 1977 papers so the [pyear = 1977] extension denotes the
+  // empty set while papers itself is non-empty.
+  Relation* papers = db->FindRelation("papers");
+  papers->Clear();
+  ASSERT_TRUE(papers
+                  ->Insert(Tuple{Value::MakeInt(2), Value::MakeInt(1976),
+                                 Value::MakeString("Q1")})
+                  .ok());
+  PlannerOptions options;
+  options.level = OptLevel::kQuantPush;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_NE(planned->adaptation_notes.find("strategies 3/4 abandoned"),
+            std::string::npos);
+  EXPECT_EQ(planned->plan.level, OptLevel::kOneStep);
+  // And the fallback still answers correctly: every professor qualifies
+  // (no 1977 papers at all).
+  Result<QueryRun> run =
+      RunQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(FirstStrings(run->tuples),
+            (std::set<std::string>{"Alice", "Bob", "Carol", "Frank"}));
+}
+
+TEST(PlannerTest, RangeIsEmptyEvaluatesExtensions) {
+  auto db = MakeUniversityDb();
+  RangeExpr plain("papers");
+  EXPECT_FALSE(RangeIsEmpty(*db, plain));
+
+  RangeExpr missing("nothing");
+  EXPECT_TRUE(RangeIsEmpty(*db, missing));
+
+  RangeExpr extended("papers");
+  JoinTerm term;
+  term.lhs = Operand::Component("p", "pyear");
+  term.lhs.component_pos = 1;
+  term.op = CompareOp::kEq;
+  term.rhs = Operand::Literal(Value::MakeInt(1901));
+  extended.restriction = Formula::Compare(term);
+  EXPECT_TRUE(RangeIsEmpty(*db, extended));
+
+  term.rhs = Operand::Literal(Value::MakeInt(1977));
+  extended.restriction = Formula::Compare(term);
+  EXPECT_FALSE(RangeIsEmpty(*db, extended));
+}
+
+TEST(PlannerTest, FreeVariableOverEmptyRelationYieldsEmptyResult) {
+  auto db = MakeUniversityDb();
+  db->FindRelation("employees")->Clear();
+  for (int level = 0; level <= 4; ++level) {
+    PlannerOptions options;
+    options.level = static_cast<OptLevel>(level);
+    Result<QueryRun> run =
+        RunQuery(*db, MustBind(*db, Example21QuerySource()), options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->tuples.empty()) << "level " << level;
+  }
+}
+
+TEST(PlannerTest, ScanOrderPutsValueListsBeforeProbes) {
+  auto db = MakeUniversityDb();
+  PlannerOptions options;
+  options.level = OptLevel::kQuantPush;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(planned.ok());
+  const QueryPlan& plan = planned->plan;
+  // For every quantifier probe on a scan, the value list it reads must be
+  // built by a strictly earlier scan.
+  std::map<size_t, size_t> vlist_scan;  // value list id -> scan position
+  for (size_t s = 0; s < plan.scans.size(); ++s) {
+    for (const ScanAction& a : plan.scans[s].actions) {
+      for (size_t id : a.value_list_builds) vlist_scan[id] = s;
+    }
+  }
+  for (size_t s = 0; s < plan.scans.size(); ++s) {
+    for (const ScanAction& a : plan.scans[s].actions) {
+      for (const QuantProbeEmit& e : a.quant_probes) {
+        ASSERT_EQ(vlist_scan.count(e.probe.value_list_id), 1u);
+        EXPECT_LT(vlist_scan[e.probe.value_list_id], s);
+      }
+    }
+  }
+}
+
+TEST(PlannerTest, IndexesOrderedForOrderingOperators) {
+  auto db = MakeUniversityDb();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  Result<PlannedQuery> planned = PlanQuery(
+      *db,
+      MustBind(*db,
+               "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+               "((e.enr < p.penr))]"),
+      options);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_EQ(planned->plan.indexes.size(), 1u);
+  EXPECT_TRUE(planned->plan.indexes[0].ordered);
+}
+
+TEST(PlannerTest, StatsAccumulateReplans) {
+  auto db = MakeUniversityDb();
+  db->FindRelation("courses")->Clear();
+  PlannerOptions options;
+  options.level = OptLevel::kQuantPush;
+  Result<QueryRun> run =
+      RunQuery(*db, MustBind(*db, Example21QuerySource()), options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->stats.replans, 1u);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,101 @@
+#include "normalize/prenex.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/printer.h"
+#include "normalize/rename.h"
+#include "pascalr/dsl.h"
+
+namespace pascalr {
+namespace {
+
+using dsl::C;
+using dsl::Eq;
+using dsl::Lit;
+
+FormulaPtr Term(const char* var, const char* comp, int64_t v) {
+  return Eq(C(var, comp), Lit(v));
+}
+
+TEST(PrenexTest, AlreadyPrenex) {
+  FormulaPtr f = dsl::All(
+      "p", "papers",
+      dsl::Some("c", "courses", Term("p", "pyear", 1977) &&
+                                    Term("c", "clevel", 1)));
+  PrenexForm pf = ToPrenex(std::move(f));
+  ASSERT_EQ(pf.prefix.size(), 2u);
+  EXPECT_EQ(pf.prefix[0].quantifier, Quantifier::kAll);
+  EXPECT_EQ(pf.prefix[0].var, "p");
+  EXPECT_EQ(pf.prefix[1].quantifier, Quantifier::kSome);
+  EXPECT_EQ(pf.prefix[1].var, "c");
+  EXPECT_EQ(pf.matrix->kind(), FormulaKind::kAnd);
+}
+
+TEST(PrenexTest, PullsQuantifiersOutOfConnectives) {
+  // (SOME a (...)) OR (ALL b (...)) AND (x = 1)
+  FormulaPtr f =
+      dsl::Some("a", "r", Term("a", "x", 1)) ||
+      (dsl::All("b", "s", Term("b", "y", 2)) && Term("e", "z", 3));
+  PrenexForm pf = ToPrenex(std::move(f));
+  ASSERT_EQ(pf.prefix.size(), 2u);
+  // Depth-first order: a before b (the order they appear in the formula).
+  EXPECT_EQ(pf.prefix[0].var, "a");
+  EXPECT_EQ(pf.prefix[1].var, "b");
+  // The matrix keeps the propositional skeleton.
+  EXPECT_EQ(FormatFormula(*pf.matrix),
+            "(a.x = 1) OR (b.y = 2) AND (e.z = 3)");
+}
+
+TEST(PrenexTest, ExtendedRangesTravelWithTheQuantifier) {
+  FormulaPtr f = Term("e", "w", 0) &&
+                 dsl::AllIn("p", "papers", Term("p", "pyear", 1977),
+                            Term("p", "x", 1));
+  PrenexForm pf = ToPrenex(std::move(f));
+  ASSERT_EQ(pf.prefix.size(), 1u);
+  EXPECT_TRUE(pf.prefix[0].range.IsExtended());
+  EXPECT_EQ(pf.prefix[0].range.relation, "papers");
+}
+
+TEST(PrenexTest, MatrixIsQuantifierFree) {
+  FormulaPtr f = dsl::Some(
+      "a", "r",
+      dsl::Some("b", "s", dsl::All("c", "t", Term("c", "x", 1))) ||
+          Term("a", "y", 2));
+  PrenexForm pf = ToPrenex(std::move(f));
+  EXPECT_EQ(pf.prefix.size(), 3u);
+  EXPECT_TRUE(pf.matrix->CollectQuantifiedVars().empty());
+}
+
+TEST(PrenexTest, RenamePassMakesCollidingNamesUnique) {
+  // Two sibling SOME x quantifiers collide; MakeVariableNamesUnique must
+  // rename the second before prenexing merges their scopes.
+  FormulaPtr f = dsl::Some("x", "r", Term("x", "a", 1)) ||
+                 dsl::Some("x", "s", Term("x", "b", 2));
+  std::set<std::string> used =
+      MakeVariableNamesUnique(f.get(), {"e"});
+  EXPECT_EQ(used.count("x"), 1u);
+  EXPECT_EQ(used.count("x_1"), 1u);
+  PrenexForm pf = ToPrenex(std::move(f));
+  ASSERT_EQ(pf.prefix.size(), 2u);
+  EXPECT_NE(pf.prefix[0].var, pf.prefix[1].var);
+  // Each matrix atom references its own variable.
+  EXPECT_EQ(FormatFormula(*pf.matrix), "(x.a = 1) OR (x_1.b = 2)");
+}
+
+TEST(PrenexTest, RenameAvoidsReservedNames) {
+  FormulaPtr f = dsl::Some("e", "r", Term("e", "a", 1));
+  MakeVariableNamesUnique(f.get(), {"e"});  // "e" reserved by a free var
+  ASSERT_EQ(f->kind(), FormulaKind::kQuant);
+  EXPECT_EQ(f->var(), "e_1");
+  EXPECT_EQ(f->child().term().lhs.var, "e_1");
+}
+
+TEST(PrenexTest, FreshNameGeneratesSuffixes) {
+  std::set<std::string> used{"v", "v_1"};
+  EXPECT_EQ(FreshName("v", &used), "v_2");
+  EXPECT_EQ(FreshName("w", &used), "w");
+  EXPECT_EQ(used.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pascalr

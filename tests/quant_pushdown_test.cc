@@ -1,0 +1,198 @@
+// Strategy 4: Example 4.6/4.7 — quantifier evaluation in the collection
+// phase, with swapping, cascades, and the value-list special cases.
+
+#include "opt/quant_pushdown.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/range_extension.h"
+#include "pascalr/sample_db.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::MustStandardForm;
+
+TEST(QuantPushdownTest, Example47CascadeEliminatesAllThree) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  ApplyRangeExtension(&sf);  // Example 4.6: extension enables the pushdown
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+
+  // c, then t (cascade), then p (single-disjunct universal).
+  EXPECT_EQ(result.eliminated, (std::vector<std::string>{"c", "t", "p"}));
+  ASSERT_EQ(result.value_lists.size(), 3u);
+
+  // c's list is built first, t's list is gated by a probe of c's list.
+  const ValueListSpec& c_list = result.value_lists[0];
+  EXPECT_EQ(c_list.var, "c");
+  EXPECT_TRUE(c_list.probe_gates.empty());
+  const ValueListSpec& t_list = result.value_lists[1];
+  EXPECT_EQ(t_list.var, "t");
+  ASSERT_EQ(t_list.probe_gates.size(), 1u);
+  EXPECT_EQ(t_list.probe_gates[0].value_list_id, c_list.id);
+  const ValueListSpec& p_list = result.value_lists[2];
+  EXPECT_EQ(p_list.var, "p");
+
+  // Surviving derived predicates both target the free variable e.
+  ASSERT_EQ(result.derived.size(), 2u);
+  for (const DerivedPredicate& d : result.derived) {
+    EXPECT_EQ(d.vm, "e");
+  }
+
+  // The matrix no longer mentions any quantified variable.
+  for (const Conjunction& conj : sf.matrix.disjuncts) {
+    EXPECT_FALSE(conj.References("p"));
+    EXPECT_FALSE(conj.References("c"));
+    EXPECT_FALSE(conj.References("t"));
+  }
+}
+
+TEST(QuantPushdownTest, Example46UniversalInTwoConjunctionsBlocks) {
+  auto db = MakeUniversityDb(false);
+  // WITHOUT range extension, p occurs in two conjunctions of the standard
+  // form (Example 4.6: "no immediate quantifier evaluation seems
+  // possible") — and c/t cannot move past the unequal ALL p.
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  EXPECT_FALSE(std::count(result.eliminated.begin(), result.eliminated.end(),
+                          "p"));
+}
+
+TEST(QuantPushdownTest, EqualQuantifierSwapEnablesInnerElimination) {
+  auto db = MakeUniversityDb(false);
+  // SOME c SOME t with c's term depending on t: c must bubble inward
+  // past t (equal quantifiers — always legal).
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: "
+      "SOME c IN courses SOME t IN timetable "
+      "((c.cnr = t.tcnr) AND (t.tenr = e.enr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  EXPECT_EQ(result.eliminated, (std::vector<std::string>{"c", "t"}));
+}
+
+TEST(QuantPushdownTest, UnequalQuantifiersDoNotSwap) {
+  auto db = MakeUniversityDb(false);
+  // ALL c ... SOME t ...: t is innermost and eliminable, but c's term
+  // links to t... after t's elimination c links only to e via derived
+  // predicate? No — c's dyadic term goes to t, so after t is eliminated
+  // c's conjunction holds only a derived predicate and no dyadic term:
+  // c cannot be eliminated (and must not bubble past the unequal SOME).
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: "
+      "ALL c IN courses SOME t IN timetable "
+      "((c.cnr = t.tcnr) AND (t.tenr = e.enr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  // t cannot be eliminated first (it links to both c and e: two dyadic
+  // terms), and c cannot bubble inward past SOME t. Nothing moves.
+  EXPECT_TRUE(result.eliminated.empty());
+}
+
+TEST(QuantPushdownTest, ValueListModesFollowThePaper) {
+  auto db = MakeUniversityDb(false);
+  // SOME with < : only the maximum of the list matters.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((e.enr < p.penr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  ASSERT_EQ(result.eliminated.size(), 1u);
+  ASSERT_EQ(result.value_lists.size(), 1u);
+  EXPECT_EQ(result.value_lists[0].mode, ValueList::Mode::kMaxOnly);
+
+  // ALL with = : at most one distinct value matters.
+  StandardForm sf2 = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((e.enr = p.penr))]");
+  QuantPushdownResult result2 = ApplyQuantPushdown(&sf2);
+  ASSERT_EQ(result2.value_lists.size(), 1u);
+  EXPECT_EQ(result2.value_lists[0].mode, ValueList::Mode::kAtMostOne);
+}
+
+TEST(QuantPushdownTest, MonadicTermsBecomeValueListGates) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((p.pyear = 1977) AND (p.penr = e.enr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  ASSERT_EQ(result.value_lists.size(), 1u);
+  ASSERT_EQ(result.value_lists[0].gates.size(), 1u);
+  EXPECT_NE(result.value_lists[0].gates[0].ToString().find("1977"),
+            std::string::npos);
+}
+
+TEST(QuantPushdownTest, TwoDyadicLinksBlockElimination) {
+  auto db = MakeUniversityDb(false);
+  // t links to both e and c in the same conjunction: "only one additional
+  // variable" fails.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME t IN timetable "
+      "((t.tenr = e.enr) AND (t.tcnr = 11))]");
+  // Here t has one dyadic link (to e) and one monadic term: eliminable.
+  QuantPushdownResult ok = ApplyQuantPushdown(&sf);
+  EXPECT_EQ(ok.eliminated.size(), 1u);
+
+  StandardForm sf2 = MustStandardForm(
+      *db,
+      "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses: "
+      "SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = c.cnr))]");
+  QuantPushdownResult blocked = ApplyQuantPushdown(&sf2);
+  EXPECT_TRUE(blocked.eliminated.empty());
+}
+
+TEST(QuantPushdownTest, SameRelationBlocksElimination) {
+  auto db = MakeUniversityDb(false);
+  // Both variables range over employees: the value list would have to be
+  // built by the same scan that probes it.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<a.ename> OF EACH a IN employees: SOME b IN employees "
+      "((b.enr <> a.enr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  EXPECT_TRUE(result.eliminated.empty());
+}
+
+TEST(QuantPushdownTest, ExistentialAcrossMultipleDisjuncts) {
+  auto db = MakeUniversityDb(false);
+  // SOME distributes over OR: p in two disjuncts still eliminates, with
+  // one value list per disjunct.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((p.penr = e.enr) OR (p.pyear = 1977) AND (p.penr <> e.enr))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  ASSERT_EQ(result.eliminated, (std::vector<std::string>{"p"}));
+  EXPECT_EQ(result.value_lists.size(), 2u);
+  EXPECT_EQ(result.derived.size(), 2u);
+}
+
+TEST(QuantPushdownTest, VariableAbsentFromMatrixIsTriviallyEliminated) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((e.estatus = professor))]");
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  EXPECT_EQ(result.eliminated, (std::vector<std::string>{"p"}));
+  EXPECT_TRUE(result.value_lists.empty());
+  EXPECT_TRUE(result.derived.empty());
+}
+
+TEST(QuantPushdownTest, SummaryRendering) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example45QuerySource());
+  QuantPushdownResult result = ApplyQuantPushdown(&sf);
+  std::string text = result.ToString();
+  EXPECT_NE(text.find("evaluated in the collection phase"), std::string::npos);
+  EXPECT_NE(text.find("derived single list"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,284 @@
+// Random query and database generation over the Figure 1 schema, used by
+// the property suites (Lemma 1 equivalence, plan equivalence).
+//
+// Generated selections always project <e.ename> from a free variable e
+// over employees; the wff is a random formula over e plus randomly
+// quantified variables, built from type-compatible join terms.
+
+#ifndef PASCALR_TESTS_QUERY_GEN_H_
+#define PASCALR_TESTS_QUERY_GEN_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "calculus/ast.h"
+#include "catalog/database.h"
+#include "pascalr/sample_db.h"
+
+namespace pascalr {
+namespace testing_util {
+
+/// Kind tags used to pair comparable components across relations.
+enum class CompTag { kSmallInt, kYear, kString, kStatus, kLevel, kDay };
+
+struct CompInfo {
+  const char* relation;
+  const char* component;
+  CompTag tag;
+};
+
+inline const std::vector<CompInfo>& AllComponents() {
+  static const std::vector<CompInfo> kComponents = {
+      {"employees", "enr", CompTag::kSmallInt},
+      {"employees", "ename", CompTag::kString},
+      {"employees", "estatus", CompTag::kStatus},
+      {"papers", "penr", CompTag::kSmallInt},
+      {"papers", "pyear", CompTag::kYear},
+      {"papers", "ptitle", CompTag::kString},
+      {"courses", "cnr", CompTag::kSmallInt},
+      {"courses", "clevel", CompTag::kLevel},
+      {"courses", "ctitle", CompTag::kString},
+      {"timetable", "tenr", CompTag::kSmallInt},
+      {"timetable", "tcnr", CompTag::kSmallInt},
+      {"timetable", "tday", CompTag::kDay},
+      {"timetable", "troom", CompTag::kString},
+  };
+  return kComponents;
+}
+
+struct GenVar {
+  std::string name;
+  std::string relation;
+};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Selection `[<e.ename> OF EACH e IN employees: random-wff]`.
+  SelectionExpr RandomSelection(int max_depth = 4) {
+    SelectionExpr sel;
+    OutputComponent oc;
+    oc.var = "e";
+    oc.component = "ename";
+    sel.projection.push_back(oc);
+    sel.free_vars.emplace_back("e", RangeExpr("employees"));
+    scope_ = {{"e", "employees"}};
+    quant_counter_ = 0;
+    sel.wff = RandomFormula(max_depth);
+    return sel;
+  }
+
+  /// Two free variables over different relations with a two-component
+  /// projection — exercises the combination phase's multi-free handling.
+  SelectionExpr RandomSelectionTwoFree(int max_depth = 3) {
+    SelectionExpr sel;
+    OutputComponent oc1;
+    oc1.var = "e";
+    oc1.component = "ename";
+    sel.projection.push_back(oc1);
+    OutputComponent oc2;
+    oc2.var = "g";
+    oc2.component = "ctitle";
+    sel.projection.push_back(oc2);
+    sel.free_vars.emplace_back("e", RangeExpr("employees"));
+    sel.free_vars.emplace_back("g", RangeExpr("courses"));
+    scope_ = {{"e", "employees"}, {"g", "courses"}};
+    quant_counter_ = 0;
+    sel.wff = RandomFormula(max_depth);
+    return sel;
+  }
+
+  /// Fills the four relations with random small contents; each relation is
+  /// empty with probability `empty_prob` (exercising Lemma 1 paths).
+  void RandomDatabase(Database* db, double empty_prob = 0.2) {
+    FillEmployees(db, MaybeEmpty(6, empty_prob));
+    FillPapers(db, MaybeEmpty(6, empty_prob));
+    FillCourses(db, MaybeEmpty(5, empty_prob));
+    FillTimetable(db, MaybeEmpty(8, empty_prob));
+  }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  size_t MaybeEmpty(size_t max, double empty_prob) {
+    if (Coin(empty_prob)) return 0;
+    return 1 + rng_() % max;
+  }
+
+  bool Coin(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+
+  const CompInfo& RandomComponentOf(const std::string& relation) {
+    std::vector<const CompInfo*> pool;
+    for (const CompInfo& c : AllComponents()) {
+      if (relation == c.relation) pool.push_back(&c);
+    }
+    return *pool[rng_() % pool.size()];
+  }
+
+  CompareOp RandomOp() {
+    static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                     CompareOp::kLt, CompareOp::kLe,
+                                     CompareOp::kGt, CompareOp::kGe};
+    return kOps[rng_() % 6];
+  }
+
+  Operand LiteralFor(CompTag tag) {
+    switch (tag) {
+      case CompTag::kSmallInt: {
+        Operand o = Operand::Literal(Value::MakeInt(1 + rng_() % 5));
+        o.type = Type::Int();
+        return o;
+      }
+      case CompTag::kYear: {
+        Operand o =
+            Operand::Literal(Value::MakeInt(1975 + rng_() % 5));
+        o.type = Type::Int();
+        return o;
+      }
+      case CompTag::kString: {
+        static const char* kStrings[] = {"A", "B", "C"};
+        Operand o =
+            Operand::Literal(Value::MakeString(kStrings[rng_() % 3]));
+        o.type = Type::String();
+        return o;
+      }
+      case CompTag::kStatus: {
+        static const char* kLabels[] = {"student", "technician", "assistant",
+                                        "professor"};
+        Operand o;
+        o.kind = Operand::Kind::kLiteral;
+        o.enum_label = kLabels[rng_() % 4];
+        o.literal = Value::MakeEnum(-1);
+        return o;
+      }
+      case CompTag::kLevel: {
+        static const char* kLabels[] = {"freshman", "sophomore", "junior",
+                                        "senior"};
+        Operand o;
+        o.kind = Operand::Kind::kLiteral;
+        o.enum_label = kLabels[rng_() % 4];
+        o.literal = Value::MakeEnum(-1);
+        return o;
+      }
+      case CompTag::kDay: {
+        static const char* kLabels[] = {"monday", "tuesday", "wednesday"};
+        Operand o;
+        o.kind = Operand::Kind::kLiteral;
+        o.enum_label = kLabels[rng_() % 3];
+        o.literal = Value::MakeEnum(-1);
+        return o;
+      }
+    }
+    Operand o = Operand::Literal(Value::MakeInt(0));
+    return o;
+  }
+
+  FormulaPtr RandomAtom() {
+    // Pick a variable in scope and one of its components.
+    const GenVar& var = scope_[rng_() % scope_.size()];
+    const CompInfo& lhs_comp = RandomComponentOf(var.relation);
+    Operand lhs = Operand::Component(var.name, lhs_comp.component);
+    // Dyadic against a compatible component of another in-scope variable?
+    if (Coin(0.5)) {
+      std::vector<std::pair<const GenVar*, const CompInfo*>> partners;
+      for (const GenVar& other : scope_) {
+        for (const CompInfo& c : AllComponents()) {
+          if (other.relation == c.relation && c.tag == lhs_comp.tag &&
+              !(other.name == var.name &&
+                std::string(c.component) == lhs_comp.component)) {
+            partners.push_back({&other, &c});
+          }
+        }
+      }
+      if (!partners.empty()) {
+        auto [other, comp] = partners[rng_() % partners.size()];
+        return Formula::Compare(
+            std::move(lhs), RandomOp(),
+            Operand::Component(other->name, comp->component));
+      }
+    }
+    return Formula::Compare(std::move(lhs), RandomOp(),
+                            LiteralFor(lhs_comp.tag));
+  }
+
+  FormulaPtr RandomFormula(int depth) {
+    if (depth <= 0 || Coin(0.35)) return RandomAtom();
+    switch (rng_() % 5) {
+      case 0:
+        return Formula::And(RandomFormula(depth - 1),
+                            RandomFormula(depth - 1));
+      case 1:
+        return Formula::Or(RandomFormula(depth - 1), RandomFormula(depth - 1));
+      case 2:
+        return Formula::Not(RandomFormula(depth - 1));
+      default: {
+        static const char* kRelations[] = {"employees", "papers", "courses",
+                                           "timetable"};
+        std::string relation = kRelations[rng_() % 4];
+        std::string name = "q" + std::to_string(quant_counter_++);
+        Quantifier q = Coin(0.5) ? Quantifier::kSome : Quantifier::kAll;
+        scope_.push_back({name, relation});
+        FormulaPtr body = RandomFormula(depth - 1);
+        scope_.pop_back();
+        return Formula::Quant(q, name, RangeExpr(relation), std::move(body));
+      }
+    }
+  }
+
+  void FillEmployees(Database* db, size_t n) {
+    Relation* rel = db->FindRelation("employees");
+    rel->Clear();
+    for (size_t i = 1; i <= n; ++i) {
+      (void)rel->Insert(Tuple{
+          Value::MakeInt(static_cast<int64_t>(i)),
+          Value::MakeString(std::string(1, static_cast<char>('A' + i % 3))),
+          Value::MakeEnum(static_cast<int32_t>(rng_() % 4))});
+    }
+  }
+
+  void FillPapers(Database* db, size_t n) {
+    Relation* rel = db->FindRelation("papers");
+    rel->Clear();
+    for (size_t i = 1; i <= n; ++i) {
+      (void)rel->Insert(Tuple{Value::MakeInt(1 + static_cast<int64_t>(rng_() % 5)),
+                              Value::MakeInt(1975 + static_cast<int64_t>(rng_() % 5)),
+                              Value::MakeString("P" + std::to_string(i))});
+    }
+  }
+
+  void FillCourses(Database* db, size_t n) {
+    Relation* rel = db->FindRelation("courses");
+    rel->Clear();
+    for (size_t i = 1; i <= n; ++i) {
+      (void)rel->Insert(Tuple{Value::MakeInt(static_cast<int64_t>(i)),
+                              Value::MakeEnum(static_cast<int32_t>(rng_() % 4)),
+                              Value::MakeString("C" + std::to_string(i))});
+    }
+  }
+
+  void FillTimetable(Database* db, size_t n) {
+    Relation* rel = db->FindRelation("timetable");
+    rel->Clear();
+    for (size_t i = 0; i < n; ++i) {
+      (void)rel->Insert(
+          Tuple{Value::MakeInt(1 + static_cast<int64_t>(rng_() % 5)),
+                Value::MakeInt(1 + static_cast<int64_t>(rng_() % 5)),
+                Value::MakeEnum(static_cast<int32_t>(rng_() % 5)),
+                Value::MakeInt(9000000 + static_cast<int64_t>(rng_() % 100)),
+                Value::MakeString("R" + std::to_string(rng_() % 3))});
+    }
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<GenVar> scope_;
+  int quant_counter_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace pascalr
+
+#endif  // PASCALR_TESTS_QUERY_GEN_H_

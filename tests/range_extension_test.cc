@@ -1,0 +1,251 @@
+// Strategy 3: the Example 4.5 derivation — from the Example 2.2 standard
+// form to extended ranges, with one conjunction removed.
+
+#include "opt/range_extension.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/sample_db.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::MustStandardForm;
+
+TEST(RangeExtensionTest, Example45Derivation) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  ASSERT_EQ(sf.matrix.disjuncts.size(), 3u);
+
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+
+  // e's range: [EACH e IN employees: estatus = professor].
+  const QuantifiedVar* e = sf.FindVar("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->range.IsExtended());
+  EXPECT_NE(e->range.ToString("e").find("professor"), std::string::npos);
+
+  // p's range absorbed the negated pyear disjunct: [papers: pyear = 1977].
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_TRUE(p->range.IsExtended());
+  EXPECT_NE(p->range.ToString("p").find("(p.pyear = 1977)"),
+            std::string::npos);
+
+  // c's range: [courses: clevel <= sophomore].
+  const QuantifiedVar* c = sf.FindVar("c");
+  ASSERT_TRUE(c->range.IsExtended());
+  EXPECT_NE(c->range.ToString("c").find("sophomore"), std::string::npos);
+
+  // t keeps its plain range.
+  EXPECT_FALSE(sf.FindVar("t")->range.IsExtended());
+
+  // Example 4.5: "There is one conjunction less to be evaluated."
+  EXPECT_EQ(report.disjuncts_removed, 1u);
+  ASSERT_EQ(sf.matrix.disjuncts.size(), 2u);
+  // Remaining matrix: (penr <> enr) OR (tenr = enr AND tcnr = cnr).
+  std::multiset<size_t> sizes;
+  for (const Conjunction& conj : sf.matrix.disjuncts) {
+    sizes.insert(conj.terms.size());
+  }
+  EXPECT_EQ(sizes, (std::multiset<size_t>{1, 2}));
+
+  // The report names all four moved terms (prof x3 collapses to one entry
+  // per extension applied: prof, pyear, sophomore).
+  EXPECT_EQ(report.extensions.size(), 3u);
+}
+
+TEST(RangeExtensionTest, ExistentialFactorOnlyWhenInEveryReferencingDisjunct) {
+  auto db = MakeUniversityDb(false);
+  // prof appears in only one of two disjuncts referencing e: no extension.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: "
+      "(e.estatus = professor) AND (e.enr = 1) OR (e.enr = 2)]");
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+  EXPECT_FALSE(sf.FindVar("e")->range.IsExtended());
+  EXPECT_TRUE(report.extensions.empty());
+}
+
+TEST(RangeExtensionTest, ExistentialQuantifiedVariable) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((p.pyear = 1977) AND (p.penr = e.enr))]");
+  ApplyRangeExtension(&sf);
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_TRUE(p->range.IsExtended());
+  // The dyadic term stays in the matrix.
+  ASSERT_EQ(sf.matrix.disjuncts.size(), 1u);
+  EXPECT_EQ(sf.matrix.disjuncts[0].terms.size(), 1u);
+  EXPECT_TRUE(sf.matrix.disjuncts[0].terms[0].IsDyadic());
+}
+
+TEST(RangeExtensionTest, UniversalOnlySingleMonadicDisjunctsAbsorb) {
+  auto db = MakeUniversityDb(false);
+  // The pyear disjunct has TWO terms (pyear and penr): not absorbable.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((p.pyear <> 1977) AND (p.penr <> 1) OR (p.penr = e.enr))]");
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+  EXPECT_FALSE(sf.FindVar("p")->range.IsExtended());
+  EXPECT_EQ(report.disjuncts_removed, 0u);
+}
+
+TEST(RangeExtensionTest, UniversalNegationFlipsOperator) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((p.pyear < 1977) OR (p.penr = e.enr))]");
+  ApplyRangeExtension(&sf);
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_TRUE(p->range.IsExtended());
+  // NOT (pyear < 1977) == pyear >= 1977.
+  EXPECT_NE(p->range.ToString("p").find("(p.pyear >= 1977)"),
+            std::string::npos);
+}
+
+TEST(RangeExtensionTest, EmptiedDisjunctMeansTrueMatrix) {
+  auto db = MakeUniversityDb(false);
+  // The whole wff is one monadic term over a free variable: extending e
+  // empties the only disjunct, so the matrix becomes TRUE.
+  StandardForm sf = MustStandardForm(
+      *db, "[<e.ename> OF EACH e IN employees: e.estatus = professor]");
+  ApplyRangeExtension(&sf);
+  EXPECT_TRUE(sf.FindVar("e")->range.IsExtended());
+  EXPECT_TRUE(sf.matrix.IsTrue());
+}
+
+TEST(RangeExtensionTest, AllDisjunctsAbsorbedMeansFalseMatrix) {
+  auto db = MakeUniversityDb(false);
+  // ALL p (pyear <> 1977): the single disjunct is absorbed; the remaining
+  // matrix is FALSE — correct because the query then holds only if the
+  // extended range is empty, which the planner checks at runtime.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((p.pyear <> 1977))]");
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+  EXPECT_EQ(report.disjuncts_removed, 1u);
+  EXPECT_TRUE(sf.matrix.IsFalse());
+}
+
+TEST(RangeExtensionTest, MergesWithUserWrittenExtension) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN [EACH e IN employees: e.enr >= 2]: "
+      "(e.estatus = professor)]");
+  ApplyRangeExtension(&sf);
+  const QuantifiedVar* e = sf.FindVar("e");
+  ASSERT_TRUE(e->range.IsExtended());
+  std::string rendered = e->range.ToString("e");
+  EXPECT_NE(rendered.find("e.enr >= 2"), std::string::npos);
+  EXPECT_NE(rendered.find("professor"), std::string::npos);
+}
+
+TEST(RangeExtensionTest, FreeVariableBlockedByVariableFreeDisjunct) {
+  auto db = MakeUniversityDb(false);
+  // The second disjunct does not mention e: restricting e's range would
+  // wrongly exclude employees for which that disjunct holds.
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: (e.estatus = professor) "
+      "AND (e.enr >= 1) OR SOME p IN papers ((p.pyear = 1977))]");
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+  EXPECT_FALSE(sf.FindVar("e")->range.IsExtended());
+  for (const RangeExtensionReport::Entry& entry : report.extensions) {
+    EXPECT_NE(entry.var, "e");  // p's own extension is legitimate
+  }
+}
+
+TEST(RangeExtensionTest, CnfExistentialDisjunctiveRestriction) {
+  auto db = MakeUniversityDb(false);
+  // p's monadic terms differ per disjunct: no conjunctive factor exists,
+  // but (pyear = 1977) OR (pyear = 1975) is implied — the paper's §4.3
+  // closing remark (CNF extensions).
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((p.pyear = 1977) AND (p.penr = e.enr) OR "
+      "(p.pyear = 1975) AND (p.penr = e.enr))]");
+  size_t terms_before = 0;
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    terms_before += c.terms.size();
+  }
+  RangeExtensionReport report = ApplyRangeExtension(&sf, /*use_cnf=*/true);
+  EXPECT_EQ(report.cnf_extended, (std::vector<std::string>{"p"}));
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_TRUE(p->range.IsExtended());
+  std::string rendered = p->range.ToString("p");
+  EXPECT_NE(rendered.find("OR"), std::string::npos);
+  EXPECT_NE(rendered.find("1977"), std::string::npos);
+  EXPECT_NE(rendered.find("1975"), std::string::npos);
+  // The matrix keeps its terms: only the range shrank.
+  size_t terms_after = 0;
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    terms_after += c.terms.size();
+  }
+  EXPECT_EQ(terms_after, terms_before);
+  // Without the flag, nothing happens.
+  StandardForm plain = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: SOME p IN papers "
+      "((p.pyear = 1977) AND (p.penr = e.enr) OR "
+      "(p.pyear = 1975) AND (p.penr = e.enr))]");
+  RangeExtensionReport none = ApplyRangeExtension(&plain, /*use_cnf=*/false);
+  EXPECT_TRUE(none.cnf_extended.empty());
+  EXPECT_FALSE(plain.FindVar("p")->range.IsExtended());
+}
+
+TEST(RangeExtensionTest, CnfUniversalAbsorbsMultiTermMonadicDisjunct) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((p.pyear <> 1977) AND (p.penr <> 1) OR (p.penr = e.enr))]");
+  RangeExtensionReport report = ApplyRangeExtension(&sf, /*use_cnf=*/true);
+  EXPECT_EQ(report.cnf_extended, (std::vector<std::string>{"p"}));
+  EXPECT_EQ(report.disjuncts_removed, 1u);
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_TRUE(p->range.IsExtended());
+  // NOT (pyear <> 1977 AND penr <> 1) == (pyear = 1977) OR (penr = 1).
+  std::string rendered = p->range.ToString("p");
+  EXPECT_NE(rendered.find("(p.pyear = 1977) OR (p.penr = 1)"),
+            std::string::npos);
+  ASSERT_EQ(sf.matrix.disjuncts.size(), 1u);
+}
+
+TEST(RangeExtensionTest, CnfNoOpWhenNothingQualifies) {
+  auto db = MakeUniversityDb(false);
+  // Dyadic-only matrix: no monadic information to move anywhere; the
+  // matrix must survive untouched (regression: moved-from disjuncts).
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: ALL p IN papers "
+      "((p.penr <> e.enr) OR SOME t IN timetable ((t.tenr = e.enr)))]");
+  size_t disjuncts = sf.matrix.disjuncts.size();
+  RangeExtensionReport report = ApplyRangeExtension(&sf, /*use_cnf=*/true);
+  EXPECT_TRUE(report.cnf_extended.empty());
+  EXPECT_EQ(sf.matrix.disjuncts.size(), disjuncts);
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    EXPECT_FALSE(c.terms.empty());
+  }
+}
+
+TEST(RangeExtensionTest, ReportRendering) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  RangeExtensionReport report = ApplyRangeExtension(&sf);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("range of e extended"), std::string::npos);
+  EXPECT_NE(text.find("negated universal disjunct"), std::string::npos);
+  EXPECT_NE(text.find("1 disjunct(s) removed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr

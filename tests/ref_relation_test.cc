@@ -1,0 +1,91 @@
+#include "refstruct/ref_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Ref R(RelationId rel, uint32_t slot) { return Ref{rel, slot, 1}; }
+
+TEST(RefTest, EqualityOrderingHash) {
+  Ref a{1, 2, 3}, b{1, 2, 3}, c{1, 3, 3}, d{2, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.ToString(), "@1[2]");
+}
+
+TEST(RefRelationTest, FactoriesAndColumns) {
+  RefRelation sl = RefRelation::SingleList("e");
+  EXPECT_EQ(sl.arity(), 1u);
+  EXPECT_EQ(sl.ColumnIndex("e"), 0);
+  EXPECT_EQ(sl.ColumnIndex("x"), -1);
+
+  RefRelation ij = RefRelation::IndirectJoin("c", "t");
+  EXPECT_EQ(ij.arity(), 2u);
+  EXPECT_EQ(ij.columns(), (std::vector<std::string>{"c", "t"}));
+}
+
+TEST(RefRelationTest, AddDeduplicates) {
+  RefRelation ij = RefRelation::IndirectJoin("a", "b");
+  EXPECT_TRUE(ij.Add({R(1, 0), R(2, 0)}));
+  EXPECT_TRUE(ij.Add({R(1, 0), R(2, 1)}));
+  EXPECT_FALSE(ij.Add({R(1, 0), R(2, 0)}));  // duplicate row
+  EXPECT_EQ(ij.size(), 2u);
+  EXPECT_EQ(ij.RefCount(), 4u);
+}
+
+TEST(RefRelationTest, Contains) {
+  RefRelation sl = RefRelation::SingleList("e");
+  sl.Add({R(1, 5)});
+  EXPECT_TRUE(sl.Contains({R(1, 5)}));
+  EXPECT_FALSE(sl.Contains({R(1, 6)}));
+}
+
+TEST(RefRelationTest, GenerationDistinguishesRows) {
+  RefRelation sl = RefRelation::SingleList("e");
+  EXPECT_TRUE(sl.Add({Ref{1, 0, 1}}));
+  EXPECT_TRUE(sl.Add({Ref{1, 0, 2}}));  // same slot, newer generation
+  EXPECT_EQ(sl.size(), 2u);
+}
+
+TEST(RefRelationTest, ZeroArityUnitRelation) {
+  // The unit relation (one empty row) is the join identity used for
+  // conjunctions whose structures were all absorbed.
+  RefRelation unit{std::vector<std::string>{}};
+  EXPECT_TRUE(unit.Add({}));
+  EXPECT_FALSE(unit.Add({}));
+  EXPECT_EQ(unit.size(), 1u);
+}
+
+TEST(RefRelationTest, ClearResets) {
+  RefRelation sl = RefRelation::SingleList("e");
+  sl.Add({R(1, 0)});
+  sl.Clear();
+  EXPECT_TRUE(sl.empty());
+  EXPECT_TRUE(sl.Add({R(1, 0)}));  // re-add works after clear
+}
+
+TEST(RefRelationTest, ManyRowsWithCollidingHashes) {
+  RefRelation sl = RefRelation::SingleList("e");
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(sl.Add({R(1, i)}));
+  }
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sl.Add({R(1, i)}));
+  }
+  EXPECT_EQ(sl.size(), 1000u);
+}
+
+TEST(RefRelationTest, DebugStringTruncates) {
+  RefRelation sl = RefRelation::SingleList("e");
+  for (uint32_t i = 0; i < 20; ++i) sl.Add({R(1, i)});
+  std::string s = sl.DebugString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("20 rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr

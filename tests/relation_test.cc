@@ -1,0 +1,179 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Schema TwoColumnSchema() {
+  return *Schema::Make({{"id", Type::Int()}, {"name", Type::String()}},
+                       {"id"});
+}
+
+Tuple Row(int64_t id, const std::string& name) {
+  return Tuple{Value::MakeInt(id), Value::MakeString(name)};
+}
+
+TEST(RelationTest, InsertAndSelectByKey) {
+  Relation rel(1, "r", TwoColumnSchema());
+  ASSERT_TRUE(rel.Insert(Row(1, "a")).ok());
+  ASSERT_TRUE(rel.Insert(Row(2, "b")).ok());
+  EXPECT_EQ(rel.cardinality(), 2u);
+
+  auto found = rel.SelectByKey(Tuple{Value::MakeInt(2)});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->at(1).AsString(), "b");
+
+  auto missing = rel.SelectByKey(Tuple{Value::MakeInt(3)});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, DuplicateKeyRejected) {
+  Relation rel(1, "r", TwoColumnSchema());
+  ASSERT_TRUE(rel.Insert(Row(1, "a")).ok());
+  auto dup = rel.Insert(Row(1, "other"));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rel.cardinality(), 1u);
+}
+
+TEST(RelationTest, SchemaViolationRejected) {
+  Relation rel(1, "r", TwoColumnSchema());
+  auto bad = rel.Insert(Tuple{Value::MakeString("x"), Value::MakeString("y")});
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeMismatch);
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(RelationTest, UpsertReplacesInPlaceKeepingRefsValid) {
+  Relation rel(1, "r", TwoColumnSchema());
+  Ref ref = *rel.Insert(Row(1, "a"));
+  Ref updated = *rel.Upsert(Row(1, "a2"));
+  EXPECT_EQ(ref, updated);
+  auto t = rel.Deref(ref);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->at(1).AsString(), "a2");
+  // Upsert of a new key inserts.
+  ASSERT_TRUE(rel.Upsert(Row(2, "b")).ok());
+  EXPECT_EQ(rel.cardinality(), 2u);
+}
+
+TEST(RelationTest, RefByKeyMatchesInsertRef) {
+  Relation rel(7, "r", TwoColumnSchema());
+  Ref inserted = *rel.Insert(Row(5, "e"));
+  Ref looked_up = *rel.RefByKey(Tuple{Value::MakeInt(5)});
+  EXPECT_EQ(inserted, looked_up);
+  EXPECT_EQ(looked_up.relation, 7u);
+}
+
+TEST(RelationTest, DerefDetectsDanglingAfterErase) {
+  Relation rel(1, "r", TwoColumnSchema());
+  Ref ref = *rel.Insert(Row(1, "a"));
+  ASSERT_TRUE(rel.EraseByKey(Tuple{Value::MakeInt(1)}).ok());
+  EXPECT_EQ(rel.Deref(ref).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(rel.IsLive(ref));
+}
+
+TEST(RelationTest, DerefDetectsSlotReuse) {
+  // The generation tag distinguishes a reused slot from the old element.
+  Relation rel(1, "r", TwoColumnSchema());
+  Ref old_ref = *rel.Insert(Row(1, "a"));
+  ASSERT_TRUE(rel.EraseByKey(Tuple{Value::MakeInt(1)}).ok());
+  Ref new_ref = *rel.Insert(Row(2, "b"));
+  // Slot is reused but generations differ.
+  EXPECT_EQ(old_ref.slot, new_ref.slot);
+  EXPECT_NE(old_ref.generation, new_ref.generation);
+  EXPECT_EQ(rel.Deref(old_ref).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(rel.Deref(new_ref).ok());
+}
+
+TEST(RelationTest, DerefRejectsForeignRelation) {
+  Relation a(1, "a", TwoColumnSchema());
+  Relation b(2, "b", TwoColumnSchema());
+  Ref ref = *a.Insert(Row(1, "x"));
+  EXPECT_EQ(b.Deref(ref).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, EraseByRef) {
+  Relation rel(1, "r", TwoColumnSchema());
+  Ref ref = *rel.Insert(Row(1, "a"));
+  ASSERT_TRUE(rel.EraseByRef(ref).ok());
+  EXPECT_TRUE(rel.empty());
+  EXPECT_EQ(rel.EraseByRef(ref).code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, ScanVisitsLiveElementsOnly) {
+  Relation rel(1, "r", TwoColumnSchema());
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(rel.Insert(Row(i, "x")).ok());
+  ASSERT_TRUE(rel.EraseByKey(Tuple{Value::MakeInt(3)}).ok());
+
+  std::vector<int64_t> seen;
+  rel.Scan([&](const Ref&, const Tuple& t) {
+    seen.push_back(t.at(0).AsInt());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 4, 5}));
+}
+
+TEST(RelationTest, ScanEarlyStop) {
+  Relation rel(1, "r", TwoColumnSchema());
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(rel.Insert(Row(i, "x")).ok());
+  int count = 0;
+  rel.Scan([&](const Ref&, const Tuple&) { return ++count < 2; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RelationTest, AllRefsAreLive) {
+  Relation rel(1, "r", TwoColumnSchema());
+  for (int i = 1; i <= 4; ++i) ASSERT_TRUE(rel.Insert(Row(i, "x")).ok());
+  ASSERT_TRUE(rel.EraseByKey(Tuple{Value::MakeInt(2)}).ok());
+  std::vector<Ref> refs = rel.AllRefs();
+  EXPECT_EQ(refs.size(), 3u);
+  for (const Ref& r : refs) EXPECT_TRUE(rel.IsLive(r));
+}
+
+TEST(RelationTest, ModCountTracksMutations) {
+  Relation rel(1, "r", TwoColumnSchema());
+  uint64_t m0 = rel.mod_count();
+  ASSERT_TRUE(rel.Insert(Row(1, "a")).ok());
+  uint64_t m1 = rel.mod_count();
+  EXPECT_GT(m1, m0);
+  ASSERT_TRUE(rel.EraseByKey(Tuple{Value::MakeInt(1)}).ok());
+  EXPECT_GT(rel.mod_count(), m1);
+  // Failed mutations do not bump the counter.
+  uint64_t m2 = rel.mod_count();
+  EXPECT_FALSE(rel.EraseByKey(Tuple{Value::MakeInt(9)}).ok());
+  EXPECT_EQ(rel.mod_count(), m2);
+}
+
+TEST(RelationTest, ClearRemovesEverything) {
+  Relation rel(1, "r", TwoColumnSchema());
+  for (int i = 1; i <= 3; ++i) ASSERT_TRUE(rel.Insert(Row(i, "x")).ok());
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_EQ(rel.AllRefs().size(), 0u);
+  // Insert after clear works and produces live refs.
+  Ref ref = *rel.Insert(Row(1, "y"));
+  EXPECT_TRUE(rel.IsLive(ref));
+}
+
+TEST(RelationTest, CompositeKeys) {
+  auto schema = Schema::Make(
+      {{"a", Type::Int()}, {"b", Type::Int()}, {"c", Type::String()}},
+      {"a", "b"});
+  Relation rel(1, "r", *schema);
+  ASSERT_TRUE(rel.Insert(Tuple{Value::MakeInt(1), Value::MakeInt(1),
+                               Value::MakeString("x")})
+                  .ok());
+  ASSERT_TRUE(rel.Insert(Tuple{Value::MakeInt(1), Value::MakeInt(2),
+                               Value::MakeString("y")})
+                  .ok());
+  auto dup = rel.Insert(
+      Tuple{Value::MakeInt(1), Value::MakeInt(1), Value::MakeString("z")});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  auto found =
+      rel.SelectByKey(Tuple{Value::MakeInt(1), Value::MakeInt(2)});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->at(2).AsString(), "y");
+}
+
+}  // namespace
+}  // namespace pascalr

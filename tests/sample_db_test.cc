@@ -1,0 +1,115 @@
+#include "pascalr/sample_db.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+TEST(SampleDbTest, SchemaMatchesFigure1) {
+  Database db;
+  ASSERT_TRUE(CreateUniversitySchema(&db).ok());
+  for (const char* name : {"employees", "papers", "courses", "timetable"}) {
+    ASSERT_NE(db.FindRelation(name), nullptr) << name;
+  }
+  const Schema& employees = db.FindRelation("employees")->schema();
+  EXPECT_EQ(employees.key_positions(), (std::vector<size_t>{0}));
+  const Schema& papers = db.FindRelation("papers")->schema();
+  EXPECT_EQ(papers.key_positions(), (std::vector<size_t>{2, 0}));  // <ptitle,penr>
+  const Schema& timetable = db.FindRelation("timetable")->schema();
+  EXPECT_EQ(timetable.key_positions(), (std::vector<size_t>{0, 1, 2}));
+
+  ASSERT_NE(db.FindEnum("statustype"), nullptr);
+  EXPECT_EQ(db.FindEnum("statustype")->labels.back(), "professor");
+  ASSERT_NE(db.FindEnum("leveltype"), nullptr);
+  EXPECT_EQ(db.FindEnum("leveltype")->OrdinalOf("sophomore"), 1);
+  ASSERT_NE(db.FindEnum("daytype"), nullptr);
+}
+
+TEST(SampleDbTest, SmallExampleCardinalities) {
+  Database db;
+  ASSERT_TRUE(CreateUniversitySchema(&db).ok());
+  ASSERT_TRUE(PopulateSmallExample(&db).ok());
+  EXPECT_EQ(db.FindRelation("employees")->cardinality(), 6u);
+  EXPECT_EQ(db.FindRelation("papers")->cardinality(), 5u);
+  EXPECT_EQ(db.FindRelation("courses")->cardinality(), 4u);
+  EXPECT_EQ(db.FindRelation("timetable")->cardinality(), 6u);
+  // Repopulating is idempotent (Clear before fill).
+  ASSERT_TRUE(PopulateSmallExample(&db).ok());
+  EXPECT_EQ(db.FindRelation("employees")->cardinality(), 6u);
+}
+
+TEST(SampleDbTest, SyntheticIsDeterministic) {
+  UniversityScale scale;
+  scale.employees = 40;
+  scale.papers = 80;
+  scale.courses = 20;
+  scale.timetable = 100;
+  scale.seed = 123;
+
+  Database a, b;
+  ASSERT_TRUE(CreateUniversitySchema(&a).ok());
+  ASSERT_TRUE(CreateUniversitySchema(&b).ok());
+  ASSERT_TRUE(PopulateSynthetic(&a, scale).ok());
+  ASSERT_TRUE(PopulateSynthetic(&b, scale).ok());
+
+  for (const char* name : {"employees", "papers", "courses", "timetable"}) {
+    const Relation* ra = a.FindRelation(name);
+    const Relation* rb = b.FindRelation(name);
+    ASSERT_EQ(ra->cardinality(), rb->cardinality()) << name;
+    ra->Scan([&](const Ref&, const Tuple& t) {
+      EXPECT_TRUE(rb->SelectByKey(rb->schema().KeyOf(t)).ok()) << name;
+      return true;
+    });
+  }
+}
+
+TEST(SampleDbTest, SyntheticHitsRequestedCardinalities) {
+  Database db;
+  ASSERT_TRUE(CreateUniversitySchema(&db).ok());
+  UniversityScale scale;
+  scale.employees = 55;
+  scale.papers = 70;
+  scale.courses = 12;
+  scale.timetable = 90;
+  ASSERT_TRUE(PopulateSynthetic(&db, scale).ok());
+  EXPECT_EQ(db.FindRelation("employees")->cardinality(), 55u);
+  EXPECT_EQ(db.FindRelation("papers")->cardinality(), 70u);
+  EXPECT_EQ(db.FindRelation("courses")->cardinality(), 12u);
+  // Timetable is sampled without replacement; allow slight shortfall.
+  EXPECT_GE(db.FindRelation("timetable")->cardinality(), 80u);
+  EXPECT_LE(db.FindRelation("timetable")->cardinality(), 90u);
+}
+
+TEST(SampleDbTest, FractionKnobsShiftDistributions) {
+  Database lo, hi;
+  ASSERT_TRUE(CreateUniversitySchema(&lo).ok());
+  ASSERT_TRUE(CreateUniversitySchema(&hi).ok());
+  UniversityScale low_frac;
+  low_frac.employees = 300;
+  low_frac.professor_fraction = 0.05;
+  UniversityScale high_frac = low_frac;
+  high_frac.professor_fraction = 0.9;
+  ASSERT_TRUE(PopulateSynthetic(&lo, low_frac).ok());
+  ASSERT_TRUE(PopulateSynthetic(&hi, high_frac).ok());
+
+  auto count_profs = [](const Database& db) {
+    size_t n = 0;
+    db.FindRelation("employees")->Scan([&](const Ref&, const Tuple& t) {
+      if (t.at(2).AsEnumOrdinal() == 3) ++n;
+      return true;
+    });
+    return n;
+  };
+  EXPECT_LT(count_profs(lo), count_profs(hi));
+}
+
+TEST(SampleDbTest, QuerySourcesParseAndBind) {
+  auto db = testing_util::MakeUniversityDb();
+  testing_util::MustBind(*db, Example21QuerySource());
+  testing_util::MustBind(*db, Example45QuerySource());
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,133 @@
+#include "value/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Schema MakeEmployeeSchema() {
+  auto status = MakeEnum("statustype",
+                         {"student", "technician", "assistant", "professor"});
+  auto result = Schema::Make({{"enr", Type::IntRange(1, 99)},
+                              {"ename", Type::String(10)},
+                              {"estatus", Type::Enum(status)}},
+                             {"enr"});
+  return *result;
+}
+
+TEST(SchemaTest, MakeRejectsDuplicateComponents) {
+  auto result =
+      Schema::Make({{"a", Type::Int()}, {"a", Type::Int()}}, {"a"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, MakeRejectsUnknownKeyComponent) {
+  auto result = Schema::Make({{"a", Type::Int()}}, {"b"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, MakeRejectsDuplicateKeyComponent) {
+  auto result = Schema::Make({{"a", Type::Int()}}, {"a", "a"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SchemaTest, EmptyKeyMeansAllComponents) {
+  auto result =
+      Schema::Make({{"a", Type::Int()}, {"b", Type::Int()}}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->key_positions(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(SchemaTest, FindComponent) {
+  Schema s = MakeEmployeeSchema();
+  EXPECT_EQ(s.FindComponent("enr"), 0);
+  EXPECT_EQ(s.FindComponent("estatus"), 2);
+  EXPECT_EQ(s.FindComponent("nope"), -1);
+}
+
+TEST(SchemaTest, ValidateAcceptsWellTypedTuple) {
+  Schema s = MakeEmployeeSchema();
+  Tuple t{Value::MakeInt(7), Value::MakeString("Grace"), Value::MakeEnum(3)};
+  EXPECT_TRUE(s.ValidateTuple(t).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsArityMismatch) {
+  Schema s = MakeEmployeeSchema();
+  Tuple t{Value::MakeInt(7)};
+  EXPECT_EQ(s.ValidateTuple(t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsWrongKind) {
+  Schema s = MakeEmployeeSchema();
+  Tuple t{Value::MakeString("7"), Value::MakeString("Grace"),
+          Value::MakeEnum(3)};
+  EXPECT_EQ(s.ValidateTuple(t).code(), StatusCode::kTypeMismatch);
+}
+
+TEST(SchemaTest, ValidateEnforcesSubrange) {
+  Schema s = MakeEmployeeSchema();
+  Tuple low{Value::MakeInt(0), Value::MakeString("G"), Value::MakeEnum(0)};
+  Tuple high{Value::MakeInt(100), Value::MakeString("G"), Value::MakeEnum(0)};
+  EXPECT_EQ(s.ValidateTuple(low).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.ValidateTuple(high).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, ValidateEnforcesStringLength) {
+  Schema s = MakeEmployeeSchema();
+  Tuple t{Value::MakeInt(1), Value::MakeString("longer than ten chars"),
+          Value::MakeEnum(0)};
+  EXPECT_EQ(s.ValidateTuple(t).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, ValidateEnforcesEnumOrdinalBounds) {
+  Schema s = MakeEmployeeSchema();
+  Tuple neg{Value::MakeInt(1), Value::MakeString("G"), Value::MakeEnum(-1)};
+  Tuple big{Value::MakeInt(1), Value::MakeString("G"), Value::MakeEnum(4)};
+  EXPECT_EQ(s.ValidateTuple(neg).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.ValidateTuple(big).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, KeyOfProjectsKeyComponents) {
+  auto schema = Schema::Make({{"penr", Type::Int()},
+                              {"pyear", Type::Int()},
+                              {"ptitle", Type::String()}},
+                             {"ptitle", "penr"});
+  ASSERT_TRUE(schema.ok());
+  Tuple t{Value::MakeInt(4), Value::MakeInt(1977), Value::MakeString("P")};
+  Tuple key = schema->KeyOf(t);
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key.at(0).AsString(), "P");
+  EXPECT_EQ(key.at(1).AsInt(), 4);
+}
+
+TEST(SchemaTest, ToStringMentionsKeyAndComponents) {
+  Schema s = MakeEmployeeSchema();
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("RELATION <enr>"), std::string::npos);
+  EXPECT_NE(str.find("ename : string[10]"), std::string::npos);
+}
+
+TEST(TupleTest, CompareAndProject) {
+  Tuple a{Value::MakeInt(1), Value::MakeString("x")};
+  Tuple b{Value::MakeInt(1), Value::MakeString("y")};
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+  Tuple shorter{Value::MakeInt(1)};
+  EXPECT_LT(shorter.Compare(a), 0);
+
+  Tuple p = a.Project({1, 0});
+  EXPECT_EQ(p.at(0).AsString(), "x");
+  EXPECT_EQ(p.at(1).AsInt(), 1);
+}
+
+TEST(TupleTest, HashConsistency) {
+  Tuple a{Value::MakeInt(1), Value::MakeString("x")};
+  Tuple b{Value::MakeInt(1), Value::MakeString("x")};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.ToString(), "<1, 'x'>");
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,134 @@
+// Standard-form construction, including the paper's Example 2.2: the
+// translation of Example 2.1 into prenex normal form with a DNF matrix.
+
+#include "normalize/standard_form.h"
+
+#include <gtest/gtest.h>
+
+#include "pascalr/sample_db.h"
+#include "tests/test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::MustStandardForm;
+
+TEST(StandardFormTest, Example22PrefixOrder) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+
+  // Example 2.2: EACH e, then ALL p SOME c SOME t.
+  ASSERT_EQ(sf.prefix.size(), 4u);
+  EXPECT_EQ(sf.prefix[0].quantifier, Quantifier::kFree);
+  EXPECT_EQ(sf.prefix[0].var, "e");
+  EXPECT_EQ(sf.prefix[1].quantifier, Quantifier::kAll);
+  EXPECT_EQ(sf.prefix[1].var, "p");
+  EXPECT_EQ(sf.prefix[2].quantifier, Quantifier::kSome);
+  EXPECT_EQ(sf.prefix[2].var, "c");
+  EXPECT_EQ(sf.prefix[3].quantifier, Quantifier::kSome);
+  EXPECT_EQ(sf.prefix[3].var, "t");
+  EXPECT_EQ(sf.NumFreeVars(), 1u);
+}
+
+TEST(StandardFormTest, Example22MatrixShape) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+
+  // Example 2.2's matrix: three conjunctions —
+  //   prof AND pyear<>1977
+  //   prof AND penr<>enr
+  //   prof AND clevel<=sophomore AND tenr=enr AND tcnr=cnr
+  ASSERT_EQ(sf.matrix.disjuncts.size(), 3u);
+  std::multiset<size_t> sizes;
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    sizes.insert(c.terms.size());
+  }
+  EXPECT_EQ(sizes, (std::multiset<size_t>{2, 2, 4}));
+  // Every conjunction contains the professor restriction on e.
+  for (const Conjunction& c : sf.matrix.disjuncts) {
+    bool has_prof = false;
+    for (const JoinTerm& t : c.terms) {
+      has_prof = has_prof || (t.References("e") && t.IsMonadic() &&
+                              t.ToString().find("professor") !=
+                                  std::string::npos);
+    }
+    EXPECT_TRUE(has_prof) << c.ToString();
+  }
+}
+
+TEST(StandardFormTest, OriginalNnfRetainedForAdaptation) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  ASSERT_NE(sf.original_nnf, nullptr);
+  // The retained formula still has its quantifier structure (pre-prenex).
+  EXPECT_EQ(sf.original_nnf->CollectQuantifiedVars(),
+            (std::vector<std::string>{"p", "c", "t"}));
+}
+
+TEST(StandardFormTest, FindVar) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  ASSERT_NE(sf.FindVar("p"), nullptr);
+  EXPECT_EQ(sf.FindVar("p")->range.relation, "papers");
+  EXPECT_EQ(sf.FindVar("zz"), nullptr);
+}
+
+TEST(StandardFormTest, CloneIsDeep) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  StandardForm copy = sf.Clone();
+  copy.matrix.disjuncts.clear();
+  copy.prefix.clear();
+  EXPECT_EQ(sf.matrix.disjuncts.size(), 3u);
+  EXPECT_EQ(sf.prefix.size(), 4u);
+}
+
+TEST(StandardFormTest, RebuildFromAdaptedFormula) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  // Simulate Example 2.2's papers = [] adaptation: ALL p (...) -> TRUE.
+  // The adapted query is `e.estatus = professor` with no quantifiers.
+  FormulaPtr adapted = Formula::Compare(
+      sf.matrix.disjuncts[0].terms[0]);  // the professor term
+  Result<StandardForm> rebuilt = RebuildStandardForm(sf, std::move(adapted));
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->prefix.size(), 1u);  // only the free e
+  EXPECT_EQ(rebuilt->matrix.disjuncts.size(), 1u);
+  EXPECT_EQ(rebuilt->projection.size(), sf.projection.size());
+}
+
+TEST(StandardFormTest, ToStringIncludesPrefixAndMatrix) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example21QuerySource());
+  std::string out = sf.ToString();
+  EXPECT_NE(out.find("EACH e IN employees"), std::string::npos);
+  EXPECT_NE(out.find("ALL p IN papers"), std::string::npos);
+  EXPECT_NE(out.find("SOME t IN timetable"), std::string::npos);
+  EXPECT_NE(out.find("OR"), std::string::npos);
+}
+
+TEST(StandardFormTest, UserExtendedRangesPreserved) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(*db, Example45QuerySource());
+  const QuantifiedVar* p = sf.FindVar("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->range.IsExtended());
+  const QuantifiedVar* t = sf.FindVar("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->range.IsExtended());
+}
+
+TEST(StandardFormTest, ShadowedVariablesGetDistinctPrefixEntries) {
+  auto db = MakeUniversityDb(false);
+  StandardForm sf = MustStandardForm(
+      *db,
+      "[<e.ename> OF EACH e IN employees: "
+      "SOME p IN papers ((p.penr = e.enr) AND "
+      "SOME p IN papers ((p.pyear = 1977)))]");
+  ASSERT_EQ(sf.prefix.size(), 3u);
+  EXPECT_NE(sf.prefix[1].var, sf.prefix[2].var);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,97 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists, "AlreadyExists"},
+      {Status::TypeMismatch("d"), StatusCode::kTypeMismatch, "TypeMismatch"},
+      {Status::ParseError("e"), StatusCode::kParseError, "ParseError"},
+      {Status::Unsupported("f"), StatusCode::kUnsupported, "Unsupported"},
+      {Status::OutOfRange("g"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status Fails() { return Status::OutOfRange("boom"); }
+
+Status Propagates() {
+  PASCALR_RETURN_IF_ERROR(Fails());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates(), Status::OutOfRange("boom"));
+}
+
+Result<int> MakeValue(bool ok) {
+  if (!ok) return Status::InvalidArgument("no");
+  return 41;
+}
+
+Result<int> UsesAssignOrReturn(bool ok) {
+  PASCALR_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  return v + 1;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = UsesAssignOrReturn(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = UsesAssignOrReturn(false);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, NonDefaultConstructibleValues) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  Result<NoDefault> r(NoDefault(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 3);
+  Result<NoDefault> err(Status::Internal("nope"));
+  EXPECT_FALSE(err.ok());
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,0 +1,71 @@
+// Shared helpers for the test suites: the Figure 1 database and common
+// bind/normalize shortcuts.
+
+#ifndef PASCALR_TESTS_TEST_UTIL_H_
+#define PASCALR_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "normalize/standard_form.h"
+#include "parser/parser.h"
+#include "pascalr/sample_db.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+namespace testing_util {
+
+/// A database with the Figure 1 schema and the small hand-checked data.
+inline std::unique_ptr<Database> MakeUniversityDb(bool populate = true) {
+  auto db = std::make_unique<Database>();
+  Status st = CreateUniversitySchema(db.get());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (populate) {
+    st = PopulateSmallExample(db.get());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return db;
+}
+
+/// Parses and binds a selection against `db`; aborts the test on failure.
+inline BoundQuery MustBind(const Database& db, const std::string& source) {
+  Parser parser(source);
+  Result<SelectionExpr> sel = parser.ParseSelectionOnly();
+  EXPECT_TRUE(sel.ok()) << sel.status().ToString() << "\nsource: " << source;
+  Binder binder(&db);
+  Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString() << "\nsource: "
+                          << source;
+  return std::move(bound).value();
+}
+
+/// Parses, binds, and normalises.
+inline StandardForm MustStandardForm(const Database& db,
+                                     const std::string& source) {
+  Result<StandardForm> sf = BuildStandardForm(MustBind(db, source));
+  EXPECT_TRUE(sf.ok()) << sf.status().ToString();
+  return std::move(sf).value();
+}
+
+/// First-column string values of a tuple set (most tests project ename).
+inline std::set<std::string> FirstStrings(const std::vector<Tuple>& tuples) {
+  std::set<std::string> out;
+  for (const Tuple& t : tuples) out.insert(t.at(0).AsString());
+  return out;
+}
+
+/// Canonical multiset of whole tuples, for order-insensitive comparison.
+inline std::multiset<std::string> TupleStrings(
+    const std::vector<Tuple>& tuples) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : tuples) out.insert(t.ToString());
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace pascalr
+
+#endif  // PASCALR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,160 @@
+#include "refstruct/value_list.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+Value V(int64_t x) { return Value::MakeInt(x); }
+
+TEST(ValueListModeTest, ModeForMatchesPaperTable) {
+  // Paper §4.4: < / <= keep only the max for SOME, the min for ALL;
+  // mirrored for > / >=; = with ALL and <> with SOME keep at most one
+  // value; the remaining combinations need the full list.
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kLt, Quantifier::kSome),
+            ValueList::Mode::kMaxOnly);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kLe, Quantifier::kSome),
+            ValueList::Mode::kMaxOnly);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kLt, Quantifier::kAll),
+            ValueList::Mode::kMinOnly);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kGt, Quantifier::kSome),
+            ValueList::Mode::kMinOnly);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kGe, Quantifier::kAll),
+            ValueList::Mode::kMaxOnly);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kEq, Quantifier::kAll),
+            ValueList::Mode::kAtMostOne);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kNe, Quantifier::kSome),
+            ValueList::Mode::kAtMostOne);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kEq, Quantifier::kSome),
+            ValueList::Mode::kFull);
+  EXPECT_EQ(ValueList::ModeFor(CompareOp::kNe, Quantifier::kAll),
+            ValueList::Mode::kFull);
+}
+
+/// For every op, brute-force SOME/ALL truth over a list of ints.
+bool BruteSome(const std::vector<int64_t>& list, CompareOp op, int64_t x) {
+  for (int64_t w : list) {
+    if (V(x).Satisfies(op, V(w))) return true;
+  }
+  return false;
+}
+bool BruteAll(const std::vector<int64_t>& list, CompareOp op, int64_t x) {
+  for (int64_t w : list) {
+    if (!V(x).Satisfies(op, V(w))) return false;
+  }
+  return true;
+}
+
+class ValueListOpTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(ValueListOpTest, SomeMatchesBruteForceInSufficientMode) {
+  CompareOp op = GetParam();
+  const std::vector<int64_t> lists[] = {
+      {}, {5}, {1, 9}, {3, 3, 3}, {2, 4, 6, 8}};
+  for (const auto& list : lists) {
+    ValueList vl(ValueList::ModeFor(op, Quantifier::kSome));
+    for (int64_t w : list) vl.Add(V(w));
+    for (int64_t x = 0; x <= 10; ++x) {
+      Result<bool> got = vl.SatisfiesSome(op, V(x));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, BruteSome(list, op, x))
+          << "op=" << CompareOpToString(op) << " x=" << x;
+    }
+  }
+}
+
+TEST_P(ValueListOpTest, AllMatchesBruteForceInSufficientMode) {
+  CompareOp op = GetParam();
+  const std::vector<int64_t> lists[] = {
+      {}, {5}, {1, 9}, {3, 3, 3}, {2, 4, 6, 8}};
+  for (const auto& list : lists) {
+    ValueList vl(ValueList::ModeFor(op, Quantifier::kAll));
+    for (int64_t w : list) vl.Add(V(w));
+    for (int64_t x = 0; x <= 10; ++x) {
+      Result<bool> got = vl.SatisfiesAll(op, V(x));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, BruteAll(list, op, x))
+          << "op=" << CompareOpToString(op) << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ValueListOpTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+TEST(ValueListTest, SummaryModesStoreO1Values) {
+  ValueList max_only(ValueList::Mode::kMaxOnly);
+  for (int i = 0; i < 100; ++i) max_only.Add(V(i));
+  EXPECT_EQ(max_only.stored_values(), 1u);
+  EXPECT_EQ(max_only.count(), 100u);
+
+  ValueList at_most_one(ValueList::Mode::kAtMostOne);
+  for (int i = 0; i < 100; ++i) at_most_one.Add(V(i % 2));
+  EXPECT_EQ(at_most_one.stored_values(), 2u);  // value + overflow marker
+
+  ValueList full(ValueList::Mode::kFull);
+  for (int i = 0; i < 100; ++i) full.Add(V(i));
+  EXPECT_EQ(full.stored_values(), 100u);
+}
+
+TEST(ValueListTest, InsufficientModeIsAnInternalError) {
+  ValueList min_only(ValueList::Mode::kMinOnly);
+  min_only.Add(V(1));
+  // kMinOnly cannot answer "exists w: x < w" (needs the max).
+  Result<bool> bad = min_only.SatisfiesSome(CompareOp::kLt, V(0));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+  // kEq with SOME needs the full set.
+  Result<bool> eq = min_only.SatisfiesSome(CompareOp::kEq, V(1));
+  EXPECT_FALSE(eq.ok());
+}
+
+TEST(ValueListTest, EmptyListSemantics) {
+  ValueList vl(ValueList::Mode::kFull);
+  EXPECT_TRUE(vl.empty());
+  // SOME over empty = false, ALL over empty = true for every operator.
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(*vl.SatisfiesSome(op, V(3)));
+    EXPECT_TRUE(*vl.SatisfiesAll(op, V(3)));
+  }
+}
+
+TEST(ValueListTest, AtMostOneSemantics) {
+  // = with ALL: true iff exactly one distinct value equal to x.
+  ValueList single(ValueList::Mode::kAtMostOne);
+  single.Add(V(7));
+  single.Add(V(7));
+  EXPECT_TRUE(*single.SatisfiesAll(CompareOp::kEq, V(7)));
+  EXPECT_FALSE(*single.SatisfiesAll(CompareOp::kEq, V(8)));
+
+  ValueList many(ValueList::Mode::kAtMostOne);
+  many.Add(V(7));
+  many.Add(V(8));
+  // Two distinct values: ALL-equal is false for every x...
+  EXPECT_FALSE(*many.SatisfiesAll(CompareOp::kEq, V(7)));
+  // ...and SOME-different is true for every x.
+  EXPECT_TRUE(*many.SatisfiesSome(CompareOp::kNe, V(7)));
+}
+
+TEST(ValueListTest, StringValues) {
+  ValueList vl(ValueList::Mode::kFull);
+  vl.Add(Value::MakeString("b"));
+  vl.Add(Value::MakeString("d"));
+  EXPECT_TRUE(*vl.SatisfiesSome(CompareOp::kLt, Value::MakeString("c")));
+  EXPECT_FALSE(*vl.SatisfiesAll(CompareOp::kLt, Value::MakeString("c")));
+  EXPECT_TRUE(*vl.SatisfiesAll(CompareOp::kLe, Value::MakeString("a")));
+}
+
+TEST(ValueListTest, DebugString) {
+  ValueList vl(ValueList::Mode::kMaxOnly);
+  vl.Add(V(1));
+  std::string s = vl.DebugString();
+  EXPECT_NE(s.find("mode=max"), std::string::npos);
+  EXPECT_NE(s.find("added=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pascalr
