@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"  // shared main(): BENCH_*.json reporter
+
 #include "refstruct/division.h"
 #include "refstruct/ref_relation.h"
 

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"  // shared main(): BENCH_*.json reporter
+
 #include "refstruct/ops.h"
 
 namespace pascalr {

@@ -1,14 +1,22 @@
-// Shared benchmark helpers: scaled university databases and query running
-// with counter extraction.
+// Shared benchmark helpers: scaled university databases, query running
+// with counter extraction, and machine-readable BENCH_*.json emission so
+// the perf trajectory of the repo is recorded run over run.
 
 #ifndef PASCALR_BENCH_BENCH_UTIL_H_
 #define PASCALR_BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "pascalr/pascalr.h"
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
 
 namespace pascalr {
 namespace bench_util {
@@ -30,26 +38,35 @@ inline std::unique_ptr<Database> MakeScaledDb(size_t n, uint64_t seed = 42) {
   return db;
 }
 
-/// Binds and runs `query` at `level`, aborting on error (benchmarks assume
-/// correct plumbing; correctness is the test suite's job).
-inline QueryRun MustRun(const Database& db, const std::string& query,
-                        OptLevel level,
-                        DivisionAlgorithm division = DivisionAlgorithm::kHash) {
+/// Binds and runs `query` under explicit planner options, aborting on
+/// error (benchmarks assume correct plumbing; correctness is the test
+/// suite's job).
+inline QueryRun MustRunOptions(const Database& db, const std::string& query,
+                               const PlannerOptions& options) {
   Parser parser(query);
   Result<SelectionExpr> sel = parser.ParseSelectionOnly();
   if (!sel.ok()) std::abort();
   Binder binder(&db);
   Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
   if (!bound.ok()) std::abort();
-  PlannerOptions options;
-  options.level = level;
-  options.division = division;
   Result<QueryRun> run = RunQuery(db, std::move(bound).value(), options);
   if (!run.ok()) std::abort();
   return std::move(run).value();
 }
 
-/// Publishes the paper-relevant counters on a benchmark state.
+/// Binds and runs `query` at `level`.
+inline QueryRun MustRun(const Database& db, const std::string& query,
+                        OptLevel level,
+                        DivisionAlgorithm division = DivisionAlgorithm::kHash) {
+  PlannerOptions options;
+  options.level = level;
+  options.division = division;
+  return MustRunOptions(db, query, options);
+}
+
+/// Publishes the paper-relevant counters on a benchmark state; the
+/// counters land in the BENCH_*.json exhibit via the JSON file reporter
+/// the shared main() below configures.
 inline void ExportStats(benchmark::State& state, const ExecStats& stats,
                         size_t result_size) {
   state.counters["relations_read"] =
@@ -70,5 +87,44 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
 
 }  // namespace bench_util
 }  // namespace pascalr
+
+/// Shared benchmark main: like BENCHMARK_MAIN(), but defaults the file
+/// reporter to machine-readable JSON at
+/// $PASCALR_BENCH_JSON_DIR/BENCH_<binary>.json (cwd when unset) so every
+/// bench run leaves a record the perf trajectory can be read from.
+/// Explicit --benchmark_out= flags still win. Each bench target is one
+/// translation unit including this header, so defining main here is safe
+/// (CMake links the plain benchmark library, not benchmark_main).
+int main(int argc, char** argv) {
+  std::string binary = "bench";
+#if defined(__GLIBC__)
+  binary = program_invocation_short_name;
+#endif
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<std::string> extra;
+  if (!has_out) {
+    std::string dir;
+    if (const char* env = std::getenv("PASCALR_BENCH_JSON_DIR")) {
+      dir = std::string(env) + "/";
+    }
+    extra.push_back("--benchmark_out=" + dir + "BENCH_" + binary + ".json");
+    extra.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args(argv, argv + argc);
+  for (std::string& flag : extra) args.push_back(flag.data());
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
 
 #endif  // PASCALR_BENCH_BENCH_UTIL_H_

@@ -4,13 +4,14 @@
 //
 // Meta commands (one per line):
 //   .help            this text
-//   .level N         optimization level 0..4 (default 4)
+//   .level N|auto    optimization level 0..4 or cost-based AUTO (default 4)
 //   .stats           cumulative session statistics
 //   .dump            export the database as a replayable script
 //   .quit            exit
 //
 // Everything else is PASCAL/R: TYPE/VAR declarations, `rel :+ [<...>];`
-// inserts, `name := [<...> OF EACH ... : wff];` queries, PRINT, EXPLAIN.
+// inserts, `name := [<...> OF EACH ... : wff];` queries, PRINT, EXPLAIN,
+// ANALYZE [rel], and SET OPTLEVEL/DIVISION/PERMINDEXES.
 
 #include <iostream>
 #include <string>
@@ -28,7 +29,9 @@ void PrintHelp() {
       "  out := [<x.s> OF EACH x IN r: x.a < 10];\n"
       "  PRINT out;\n"
       "  EXPLAIN [<x.s> OF EACH x IN r: x.a < 10];\n"
-      "meta: .help .level N .stats .dump .quit\n";
+      "  ANALYZE;            -- refresh catalog statistics\n"
+      "  SET OPTLEVEL AUTO;  -- cost-based strategy selection\n"
+      "meta: .help .level N|auto .stats .dump .quit\n";
 }
 
 }  // namespace
@@ -70,14 +73,24 @@ int main(int argc, char** argv) {
           std::cout << "error: " << script.status().ToString() << "\n";
         }
       } else if (line.rfind(".level", 0) == 0) {
-        int level = std::atoi(line.substr(6).c_str());
-        if (level < 0 || level > 4) {
-          std::cout << "level must be 0..4\n";
-        } else {
-          session.options().level = static_cast<pascalr::OptLevel>(level);
+        std::string arg = line.substr(6);
+        std::string::size_type start = arg.find_first_not_of(" \t");
+        std::string::size_type end = arg.find_last_not_of(" \t\r");
+        arg = start == std::string::npos ? ""
+                                         : arg.substr(start, end - start + 1);
+        if (pascalr::AsciiToLower(arg) == "auto") {
+          session.options().level = pascalr::OptLevel::kAuto;
+          std::cout << "optimization "
+                    << pascalr::OptLevelToString(session.options().level)
+                    << " (run ANALYZE; for accurate estimates)\n";
+        } else if (arg.size() == 1 && arg[0] >= '0' && arg[0] <= '4') {
+          session.options().level =
+              static_cast<pascalr::OptLevel>(arg[0] - '0');
           std::cout << "optimization "
                     << pascalr::OptLevelToString(session.options().level)
                     << "\n";
+        } else {
+          std::cout << "level must be 0..4 or auto\n";
         }
       } else {
         std::cout << "unknown meta command; .help for help\n";

@@ -1,0 +1,15 @@
+// Small numeric helpers shared by the statistics and cost layers.
+
+#ifndef PASCALR_BASE_MATH_UTIL_H_
+#define PASCALR_BASE_MATH_UTIL_H_
+
+namespace pascalr {
+
+/// Clamps a probability/fraction into [0, 1].
+inline double Clamp01(double x) {
+  return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+}
+
+}  // namespace pascalr
+
+#endif  // PASCALR_BASE_MATH_UTIL_H_

@@ -54,6 +54,7 @@ Status Database::DropRelation(const std::string& name) {
       ++idx;
     }
   }
+  stats_.erase(name);
   return Status::OK();
 }
 
@@ -123,6 +124,38 @@ ComponentIndex* Database::FindFreshIndex(const std::string& relation,
     return nullptr;
   }
   return it->second.index.get();
+}
+
+Result<const RelationStats*> Database::Analyze(const std::string& relation) {
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  auto it = stats_.find(relation);
+  if (it != stats_.end() && it->second.built_at_mod == rel->mod_count()) {
+    return &it->second;
+  }
+  stats_[relation] = ComputeRelationStats(*rel);
+  return &stats_[relation];
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : RelationNames()) {
+    PASCALR_ASSIGN_OR_RETURN(const RelationStats* ignored, Analyze(name));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+const RelationStats* Database::FindFreshStats(
+    const std::string& relation) const {
+  auto it = stats_.find(relation);
+  if (it == stats_.end()) return nullptr;
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr || it->second.built_at_mod != rel->mod_count()) {
+    return nullptr;
+  }
+  return &it->second;
 }
 
 std::vector<std::string> Database::RelationNames() const {

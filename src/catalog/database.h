@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "catalog/relation_stats.h"
 #include "index/index.h"
 #include "storage/relation.h"
 #include "value/type.h"
@@ -56,6 +57,18 @@ class Database {
   ComponentIndex* FindFreshIndex(const std::string& relation,
                                  const std::string& component) const;
 
+  /// ANALYZE: computes (or refreshes) catalog statistics for `relation` by
+  /// one full scan. Statistics record the relation's mod_count and go
+  /// stale — FindFreshStats returns nullptr — after any mutation.
+  Result<const RelationStats*> Analyze(const std::string& relation);
+
+  /// ANALYZE with no argument: refreshes statistics for every relation.
+  Status AnalyzeAll();
+
+  /// Returns the statistics for `relation` if they exist AND match the
+  /// relation's current mod_count; nullptr otherwise. Never computes.
+  const RelationStats* FindFreshStats(const std::string& relation) const;
+
   std::vector<std::string> RelationNames() const;
 
   /// Human-readable catalog summary.
@@ -78,6 +91,7 @@ class Database {
   std::map<std::string, RelationId> by_name_;
   std::map<std::string, std::shared_ptr<const EnumInfo>> enums_;
   std::map<std::string, IndexEntry> indexes_;
+  std::map<std::string, RelationStats> stats_;
 };
 
 }  // namespace pascalr

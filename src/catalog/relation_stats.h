@@ -1,0 +1,76 @@
+// Catalog statistics (the ANALYZE pass): per-relation cardinality and
+// per-component distinct counts, min/max, and equi-width histograms.
+//
+// The paper justifies its strategies by the work they avoid; predicting
+// that work needs data about the data. Statistics are computed by one
+// relation scan, cached on the Database keyed by the relation's mod_count
+// (the same lazy-invalidation scheme permanent indexes use), and consumed
+// by the cost model in src/cost/.
+
+#ifndef PASCALR_CATALOG_RELATION_STATS_H_
+#define PASCALR_CATALOG_RELATION_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "value/value.h"
+
+namespace pascalr {
+
+/// Equi-width histogram over a numeric domain (ints, enum ordinals,
+/// booleans as 0/1). Strings get no histogram — only distinct counts and
+/// min/max — matching the classical "interpolation only on ordered
+/// numeric domains" rule.
+struct Histogram {
+  int64_t lo = 0;          ///< smallest observed value
+  int64_t hi = 0;          ///< largest observed value
+  uint64_t total = 0;      ///< number of values summarised
+  std::vector<uint64_t> buckets;  ///< equi-width counts over [lo, hi]
+
+  bool empty() const { return total == 0; }
+  /// Index of the bucket holding `x`; requires lo <= x <= hi.
+  size_t BucketOf(int64_t x) const;
+  /// Fraction of values v with v <= x (linear interpolation in-bucket).
+  double FractionLe(int64_t x) const;
+  /// Fraction of values v with v < x.
+  double FractionLt(int64_t x) const;
+};
+
+struct ColumnStats {
+  std::string name;
+  uint64_t distinct = 0;  ///< distinct values observed
+  bool has_min_max = false;
+  Value min;              ///< valid when has_min_max
+  Value max;
+  bool numeric = false;   ///< int / enum / bool: histogram is populated
+  Histogram histogram;
+
+  /// Estimated fraction of elements whose component satisfies
+  /// `component op literal`. Falls back to uniform-distinct estimates when
+  /// no histogram applies.
+  double Selectivity(CompareOp op, const Value& literal) const;
+};
+
+struct RelationStats {
+  std::string relation;
+  uint64_t cardinality = 0;
+  uint64_t built_at_mod = 0;  ///< Relation::mod_count() at computation time
+  std::vector<ColumnStats> columns;  ///< by schema component position
+
+  std::string ToString() const;
+};
+
+/// One full scan of `rel` computing cardinality, distinct counts, min/max
+/// and (for numeric components) equi-width histograms.
+RelationStats ComputeRelationStats(const Relation& rel,
+                                   size_t histogram_buckets = 32);
+
+/// Maps an int / enum-ordinal / bool value onto the numeric histogram
+/// domain; returns false for strings.
+bool NumericValueRep(const Value& v, int64_t* out);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CATALOG_RELATION_STATS_H_

@@ -1,0 +1,454 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "base/math_util.h"
+#include "base/str_util.h"
+#include "cost/selectivity.h"
+
+namespace pascalr {
+
+namespace {
+
+double Log2Of(double x) { return std::log2(std::max(2.0, x)); }
+
+/// An intermediate combination-phase relation: estimated row count plus
+/// per-column distinct counts.
+struct EstRel {
+  double rows = 0.0;
+  std::map<std::string, double> distinct;
+
+  bool HasCol(const std::string& c) const { return distinct.count(c) > 0; }
+};
+
+class CostWalker {
+ public:
+  CostWalker(const QueryPlan& plan, const Database& db)
+      : plan_(plan), db_(db), sel_(db, plan.sf) {}
+
+  CostEstimate Run() {
+    structure_rows_.assign(plan_.structures.size(), 0.0);
+    index_rows_.assign(plan_.indexes.size(), 0.0);
+    index_distinct_.assign(plan_.indexes.size(), 1.0);
+    vl_count_.assign(plan_.value_lists.size(), 0.0);
+    vl_distinct_.assign(plan_.value_lists.size(), 0.0);
+    borrowed_.assign(plan_.indexes.size(), false);
+    for (const IndexBuildSpec& spec : plan_.indexes) {
+      borrowed_[spec.id] = IndexBorrowsPermanent(plan_, db_, spec);
+    }
+    WalkCollection();
+    WalkCombination();
+    return Finish();
+  }
+
+ private:
+  // ----------------------------------------------------------- collection
+
+  void WalkCollection() {
+    for (const RelationScan& scan : plan_.scans) {
+      relations_read_ += 1.0;
+      double n = sel_.Cardinality(scan.relation);
+      elements_scanned_ += n;
+      for (const ScanAction& action : scan.actions) {
+        WalkAction(action, n);
+      }
+    }
+    for (const PostScanProbe& probe : plan_.post_probes) {
+      // The post-scan pass iterates the variable's already-restricted
+      // materialised range.
+      double pass = sel_.RangeSize(probe.var);
+      elements_scanned_ += pass;
+      WalkIjEmit(probe.emit, probe.var, pass);
+    }
+  }
+
+  void WalkAction(const ScanAction& action, double n) {
+    double pass = n;
+    const QuantifiedVar* qv = plan_.sf.FindVar(action.var);
+    if (qv != nullptr && qv->range.IsExtended()) {
+      SelEstimate rest = sel_.Restriction(*qv->range.restriction);
+      comparisons_ += n * rest.comparisons;
+      pass = n * rest.selectivity;
+    }
+
+    for (const SingleListEmit& emit : action.single_lists) {
+      SelEstimate g = sel_.Gates(emit.gates);
+      comparisons_ += pass * g.comparisons;
+      double emitted = pass * g.selectivity;
+      single_list_refs_ += emitted;
+      structure_rows_[emit.structure_id] += emitted;
+    }
+
+    for (size_t index_id : action.index_builds) {
+      const IndexBuildSpec& spec = plan_.indexes[index_id];
+      if (borrowed_[index_id]) {
+        permanent_index_hits_ += 1.0;
+        double full = sel_.Cardinality(RelationOf(spec.var));
+        index_rows_[index_id] = full;
+        index_distinct_[index_id] =
+            std::max(1.0, sel_.ColumnDistinct(spec.var, spec.component_pos));
+        continue;
+      }
+      SelEstimate g = sel_.Gates(spec.gates);
+      comparisons_ += pass * g.comparisons;
+      double rows = pass * g.selectivity;
+      index_rows_[index_id] = rows;
+      index_distinct_[index_id] = std::max(
+          1.0,
+          DistinctAfterSelection(
+              sel_.ColumnDistinct(spec.var, spec.component_pos),
+              sel_.Cardinality(RelationOf(spec.var)), rows));
+      // Build effort is not an ExecStats counter; nudge the ranking so a
+      // pointless ordered index never beats a hash index.
+      extra_cost_ += rows * (spec.ordered ? 0.25 * Log2Of(rows) : 0.1);
+    }
+
+    for (size_t vl_id : action.value_list_builds) {
+      const ValueListSpec& spec = plan_.value_lists[vl_id];
+      SelEstimate g = sel_.Gates(spec.gates);
+      comparisons_ += pass * g.comparisons;
+      double passing = pass * g.selectivity;
+      for (const QuantProbeGate& gate : spec.probe_gates) {
+        quantifier_probes_ += passing;
+        passing *= ProbeSelectivity(gate, spec.var);
+      }
+      vl_count_[vl_id] = passing;
+      vl_distinct_[vl_id] = std::max(
+          passing > 0.0 ? 1.0 : 0.0,
+          DistinctAfterSelection(
+              sel_.ColumnDistinct(spec.var, spec.component_pos),
+              sel_.Cardinality(RelationOf(spec.var)), passing));
+    }
+
+    for (const IndirectJoinEmit& emit : action.ij_emits) {
+      WalkIjEmit(emit, action.var, pass);
+    }
+
+    for (const QuantProbeEmit& emit : action.quant_probes) {
+      SelEstimate g = sel_.Gates(emit.gates);
+      comparisons_ += pass * g.comparisons;
+      double passing = pass * g.selectivity;
+      quantifier_probes_ += passing;
+      double holds = passing * ProbeSelectivity(emit.probe, action.var);
+      single_list_refs_ += holds;
+      structure_rows_[emit.structure_id] += holds;
+    }
+  }
+
+  void WalkIjEmit(const IndirectJoinEmit& emit, const std::string& var,
+                  double pass) {
+    SelEstimate g = sel_.Gates(emit.gates);
+    comparisons_ += pass * g.comparisons;
+    double candidates = pass * g.selectivity;
+    // Mutual restriction checks short-circuit at the first empty co-probe.
+    for (const ProbeCheck& check : emit.corestrictions) {
+      index_probes_ += candidates;
+      NudgeProbe(check.index_id, candidates);
+      const IndexBuildSpec& far = plan_.indexes[check.index_id];
+      candidates *= sel_.QuantProbe(
+          check.op, Quantifier::kSome, var, check.probe_component_pos,
+          far.var, far.component_pos, index_rows_[check.index_id],
+          index_distinct_[check.index_id]);
+    }
+    index_probes_ += candidates;
+    NudgeProbe(emit.index_id, candidates);
+
+    const IndexBuildSpec& spec = plan_.indexes[emit.index_id];
+    double pair_sel = sel_.PairSelectivity(
+        var, emit.probe_component_pos, emit.op, spec.var, spec.component_pos,
+        std::max(1.0, index_distinct_[emit.index_id]));
+    double pairs = candidates * index_rows_[emit.index_id] * pair_sel;
+    indirect_join_refs_ += 2.0 * pairs;
+    structure_rows_[emit.structure_id] += pairs;
+  }
+
+  double ProbeSelectivity(const QuantProbeGate& probe,
+                          const std::string& probe_var) {
+    const ValueListSpec& vl = plan_.value_lists[probe.value_list_id];
+    return sel_.QuantProbe(probe.op, probe.quantifier, probe_var,
+                           probe.probe_component_pos, vl.var,
+                           vl.component_pos, vl_count_[probe.value_list_id],
+                           vl_distinct_[probe.value_list_id]);
+  }
+
+  void NudgeProbe(size_t index_id, double probes) {
+    // Borrowed permanent indexes ignore the spec's ordered flag, so only
+    // genuinely transient B+trees pay the log probe factor.
+    if (plan_.indexes[index_id].ordered && !borrowed_[index_id]) {
+      extra_cost_ += probes * 0.25 * Log2Of(index_rows_[index_id]);
+    }
+  }
+
+  const std::string& RelationOf(const std::string& var) const {
+    return plan_.sf.vars.at(var).relation_name;
+  }
+
+  // ---------------------------------------------------------- combination
+
+  static double CappedProduct(const EstRel& rel,
+                              const std::string& skip = "") {
+    double d = 1.0;
+    for (const auto& [col, dc] : rel.distinct) {
+      if (col == skip) continue;
+      d = std::min(1e18, d * std::max(1.0, dc));
+    }
+    return d;
+  }
+
+  /// Distinct rows after projecting `rows` draws onto a key space of size
+  /// `domain` (the occupancy estimate used for Project / grouping).
+  static double ProjectedRows(double rows, double domain) {
+    if (rows <= 0.0 || domain <= 0.0) return 0.0;
+    double out = domain * (1.0 - std::exp(-rows / domain));
+    return std::min(out, rows);
+  }
+
+  EstRel JoinEst(const EstRel& a, const EstRel& b) {
+    EstRel out;
+    out.rows = a.rows * b.rows;
+    for (const auto& [col, dc] : b.distinct) {
+      auto it = a.distinct.find(col);
+      if (it != a.distinct.end()) {
+        out.rows /= std::max(1.0, std::max(it->second, dc));
+      }
+    }
+    out.distinct = a.distinct;
+    for (const auto& [col, dc] : b.distinct) {
+      auto it = out.distinct.find(col);
+      if (it == out.distinct.end()) {
+        out.distinct[col] = dc;
+      } else {
+        it->second = std::min(it->second, dc);
+      }
+    }
+    for (auto& [col, dc] : out.distinct) dc = std::min(dc, out.rows);
+    return out;
+  }
+
+  void WalkCombination() {
+    std::vector<QuantifiedVar> active;
+    for (const QuantifiedVar& qv : plan_.sf.prefix) {
+      if (!plan_.IsEliminated(qv.var)) active.push_back(qv.Clone());
+    }
+    std::vector<std::string> free_names;
+    for (const QuantifiedVar& qv : active) {
+      if (qv.quantifier == Quantifier::kFree) free_names.push_back(qv.var);
+    }
+
+    if (plan_.sf.matrix.IsFalse()) {
+      final_rows_ = 0.0;
+      return;
+    }
+
+    std::map<std::string, double> range_size;
+    double capacity = 1.0;
+    for (const QuantifiedVar& qv : active) {
+      range_size[qv.var] = sel_.RangeSize(qv.var);
+      capacity = std::min(1e18, capacity * std::max(1.0, range_size[qv.var]));
+    }
+
+    EstRel combined;  // starts empty with 0 rows
+    for (size_t c = 0; c < plan_.sf.matrix.disjuncts.size(); ++c) {
+      // JoinStructures: greedy smallest-first with a preference for
+      // connected inputs, like the executor.
+      std::vector<EstRel> inputs;
+      for (size_t id : plan_.conj_inputs[c]) {
+        EstRel e;
+        e.rows = structure_rows_[id];
+        for (const std::string& col : plan_.structures[id].columns) {
+          e.distinct[col] = std::min(e.rows, range_size[col]);
+        }
+        inputs.push_back(std::move(e));
+      }
+      EstRel acc;
+      if (inputs.empty()) {
+        acc.rows = 1.0;  // arity-0 unit relation: TRUE
+      } else {
+        size_t smallest = 0;
+        for (size_t i = 1; i < inputs.size(); ++i) {
+          if (inputs[i].rows < inputs[smallest].rows) smallest = i;
+        }
+        acc = inputs[smallest];
+        inputs.erase(inputs.begin() + static_cast<long>(smallest));
+        while (!inputs.empty()) {
+          size_t best = inputs.size();
+          size_t best_connected = inputs.size();
+          for (size_t i = 0; i < inputs.size(); ++i) {
+            bool connected = false;
+            for (const auto& [col, dc] : inputs[i].distinct) {
+              if (acc.HasCol(col)) {
+                connected = true;
+                break;
+              }
+            }
+            if (connected &&
+                (best_connected == inputs.size() ||
+                 inputs[i].rows < inputs[best_connected].rows)) {
+              best_connected = i;
+            }
+            if (best == inputs.size() || inputs[i].rows < inputs[best].rows) {
+              best = i;
+            }
+          }
+          size_t pick = best_connected != inputs.size() ? best_connected : best;
+          acc = JoinEst(acc, inputs[pick]);
+          combination_rows_ += acc.rows;
+          inputs.erase(inputs.begin() + static_cast<long>(pick));
+        }
+      }
+      // Extend to all active variables by Cartesian product.
+      for (const QuantifiedVar& qv : active) {
+        if (acc.HasCol(qv.var)) continue;
+        acc.rows *= std::max(0.0, range_size[qv.var]);
+        acc.distinct[qv.var] = std::min(range_size[qv.var], acc.rows);
+        for (auto& [col, dc] : acc.distinct) dc = std::min(dc, acc.rows);
+        combination_rows_ += acc.rows;
+      }
+      // Align-project onto the active columns (a permutation).
+      combination_rows_ += acc.rows;
+      // Union with the running result.
+      double union_rows = std::min(combined.rows + acc.rows, capacity);
+      combination_rows_ += union_rows;
+      EstRel next;
+      next.rows = union_rows;
+      for (const QuantifiedVar& qv : active) {
+        double a = combined.HasCol(qv.var) ? combined.distinct[qv.var] : 0.0;
+        double b = acc.HasCol(qv.var) ? acc.distinct[qv.var] : 0.0;
+        next.distinct[qv.var] = std::min(union_rows, std::max(a, b));
+      }
+      combined = std::move(next);
+    }
+
+    // Quantifiers right to left.
+    for (size_t i = active.size(); i-- > 0;) {
+      const QuantifiedVar& qv = active[i];
+      if (qv.quantifier == Quantifier::kFree) break;
+      if (qv.quantifier == Quantifier::kSome) {
+        double domain = CappedProduct(combined, qv.var);
+        double rows_out = ProjectedRows(combined.rows, domain);
+        combination_rows_ += rows_out;
+        combined.rows = rows_out;
+        combined.distinct.erase(qv.var);
+        for (auto& [col, dc] : combined.distinct) {
+          dc = std::min(dc, rows_out);
+        }
+      } else {
+        division_input_rows_ += combined.rows;
+        if (plan_.division == DivisionAlgorithm::kSort) {
+          extra_cost_ += combined.rows * 0.25 * Log2Of(combined.rows);
+        }
+        double divisor = std::max(1.0, range_size[qv.var]);
+        double groups =
+            ProjectedRows(combined.rows, CappedProduct(combined, qv.var));
+        double per_group = groups > 0.0 ? combined.rows / groups : 0.0;
+        double coverage = Clamp01(per_group / divisor);
+        double qualifying =
+            groups * std::pow(coverage, std::min(divisor, 32.0));
+        combination_rows_ += qualifying;
+        combined.rows = qualifying;
+        combined.distinct.erase(qv.var);
+        for (auto& [col, dc] : combined.distinct) {
+          dc = std::min(dc, qualifying);
+        }
+      }
+    }
+
+    // Final projection onto the free variables (a permutation here).
+    combination_rows_ += combined.rows;
+    final_rows_ = combined.rows;
+  }
+
+  // --------------------------------------------------------------- finish
+
+  CostEstimate Finish() {
+    dereferences_ =
+        final_rows_ * static_cast<double>(plan_.sf.projection.size());
+
+    CostEstimate est;
+    // Blow-up candidates (uncapped Cartesian estimates) can exceed the
+    // int64 domain where llround is undefined; saturate instead.
+    auto round = [](double x) {
+      constexpr double kMaxCounter = 9.0e18;
+      return static_cast<uint64_t>(
+          std::llround(std::min(std::max(0.0, x), kMaxCounter)));
+    };
+    est.predicted.relations_read = round(relations_read_);
+    est.predicted.elements_scanned = round(elements_scanned_);
+    est.predicted.index_probes = round(index_probes_);
+    est.predicted.single_list_refs = round(single_list_refs_);
+    est.predicted.indirect_join_refs = round(indirect_join_refs_);
+    est.predicted.combination_rows = round(combination_rows_);
+    est.predicted.division_input_rows = round(division_input_rows_);
+    est.predicted.quantifier_probes = round(quantifier_probes_);
+    est.predicted.comparisons = round(comparisons_);
+    est.predicted.dereferences = round(dereferences_);
+    est.predicted.permanent_index_hits = round(permanent_index_hits_);
+    double work = elements_scanned_ + index_probes_ + single_list_refs_ +
+                  indirect_join_refs_ + combination_rows_ +
+                  division_input_rows_ + quantifier_probes_ + comparisons_ +
+                  dereferences_;
+    est.weighted_cost = work + extra_cost_;
+    return est;
+  }
+
+  const QueryPlan& plan_;
+  const Database& db_;
+  SelectivityEstimator sel_;
+
+  double relations_read_ = 0.0;
+  double elements_scanned_ = 0.0;
+  double index_probes_ = 0.0;
+  double single_list_refs_ = 0.0;
+  double indirect_join_refs_ = 0.0;
+  double combination_rows_ = 0.0;
+  double division_input_rows_ = 0.0;
+  double quantifier_probes_ = 0.0;
+  double comparisons_ = 0.0;
+  double dereferences_ = 0.0;
+  double permanent_index_hits_ = 0.0;
+  double extra_cost_ = 0.0;
+  double final_rows_ = 0.0;
+
+  std::vector<double> structure_rows_;
+  std::vector<double> index_rows_;
+  std::vector<double> index_distinct_;
+  std::vector<double> vl_count_;
+  std::vector<double> vl_distinct_;
+  std::vector<bool> borrowed_;
+};
+
+}  // namespace
+
+bool IndexBorrowsPermanent(const QueryPlan& plan, const Database& db,
+                           const IndexBuildSpec& spec) {
+  if (!spec.try_permanent || !spec.gates.empty()) return false;
+  auto it = plan.sf.vars.find(spec.var);
+  if (it == plan.sf.vars.end() || it->second.relation == nullptr) {
+    return false;
+  }
+  const Schema& schema = it->second.relation->schema();
+  if (spec.component_pos < 0 ||
+      static_cast<size_t>(spec.component_pos) >= schema.num_components()) {
+    return false;
+  }
+  return db.FindFreshIndex(
+             it->second.relation_name,
+             schema.component(static_cast<size_t>(spec.component_pos))
+                 .name) != nullptr;
+}
+
+std::string CostEstimate::ToString() const {
+  return StrFormat("estimated work %llu (weighted %.0f): %s",
+                   static_cast<unsigned long long>(predicted.TotalWork()),
+                   weighted_cost, predicted.ToString().c_str());
+}
+
+CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db) {
+  CostWalker walker(plan, db);
+  return walker.Run();
+}
+
+}  // namespace pascalr

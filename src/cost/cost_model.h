@@ -1,0 +1,49 @@
+// The cost model: walks a compiled QueryPlan and predicts the ExecStats
+// work counters the evaluator would produce, in the same units, so
+// estimates and measurements are directly comparable (and the plan-search
+// driver can rank candidates by predicted TotalWork).
+//
+// The walk mirrors the three execution phases:
+//   collection   - per scan: elements visited, gate comparisons, index
+//                  builds/probes, value-list probes, structure sizes;
+//   combination  - simulates JoinStructures' greedy order on estimated
+//                  structure sizes, then product extension, union,
+//                  projection and division;
+//   construction - dereferences per result row and output component.
+
+#ifndef PASCALR_COST_COST_MODEL_H_
+#define PASCALR_COST_COST_MODEL_H_
+
+#include <string>
+
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+
+namespace pascalr {
+
+struct CostEstimate {
+  /// Predicted work counters (rounded from the model's real-valued walk).
+  ExecStats predicted;
+  /// Ranking score: predicted TotalWork plus structural nudges the
+  /// counters cannot see (ordered-index build/probe log factors, sort
+  /// division). Lower is better.
+  double weighted_cost = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Costs `plan` against the catalog statistics of `db` (run ANALYZE for
+/// accurate estimates; unanalyzed relations fall back to live cardinality
+/// and textbook selectivities).
+CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db);
+
+/// True when the evaluator would reuse a fresh permanent catalog index
+/// for `spec` instead of building a transient one (the same rule
+/// collection.cc applies: try_permanent, ungated, fresh index exists).
+bool IndexBorrowsPermanent(const QueryPlan& plan, const Database& db,
+                           const IndexBuildSpec& spec);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_COST_COST_MODEL_H_

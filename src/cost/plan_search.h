@@ -1,0 +1,27 @@
+// The plan-search driver behind OptLevel::kAuto: enumerates candidate
+// plans across strategy levels 0-4 and the physical knobs (hash-vs-btree
+// transient indexes, permanent-index use, division algorithm), costs each
+// with the cost model, and returns the cheapest — the automatic version of
+// the paper's strategy arguments.
+
+#ifndef PASCALR_COST_PLAN_SEARCH_H_
+#define PASCALR_COST_PLAN_SEARCH_H_
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "opt/planner.h"
+
+namespace pascalr {
+
+/// Plans `query` under every candidate configuration derived from `base`
+/// (level and knobs overridden; use_cnf_extensions is inherited), costs
+/// each candidate, and returns the cheapest with its estimate and the
+/// candidate table filled in. `base.level`/`base.cost_based` are ignored —
+/// the caller (PlanQuery) has already decided to search.
+Result<PlannedQuery> SearchBestPlan(const Database& db,
+                                    const BoundQuery& query,
+                                    const PlannerOptions& base);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_COST_PLAN_SEARCH_H_

@@ -1,0 +1,114 @@
+// Selectivity estimation over catalog statistics (src/catalog/
+// relation_stats.h): monadic gates, dyadic join terms, extended-range
+// restrictions, and strategy-4 SOME/ALL value-list probes.
+//
+// Estimates are fractions of elements (or of independent element pairs)
+// satisfying a predicate. They follow the classical playbook — histogram
+// lookups for component-vs-literal terms, containment for equality joins,
+// histogram integration for range joins, distinct-count reasoning for
+// quantifier probes — and degrade to textbook constants when a relation
+// has no fresh statistics.
+
+#ifndef PASCALR_COST_SELECTIVITY_H_
+#define PASCALR_COST_SELECTIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "catalog/relation_stats.h"
+#include "normalize/standard_form.h"
+
+namespace pascalr {
+
+/// Selectivity plus the expected number of short-circuit comparisons the
+/// evaluator performs per element (EvalGates / EvalRestriction stop at the
+/// first deciding term, so cost is selectivity-dependent).
+struct SelEstimate {
+  double selectivity = 1.0;
+  double comparisons = 0.0;
+};
+
+/// Estimated number of distinct values that survive when `kept` of `rows`
+/// elements are retained from a column with `distinct` values (Yao's
+/// formula, uniform assumption).
+double DistinctAfterSelection(double distinct, double rows, double kept);
+
+/// Can `x op y` be decided for EVERY pair (x in [a_min, a_max], y in
+/// [b_min, b_max]) from the bounds alone? Disjoint or fully ordered
+/// domains resolve comparisons outright (e.g. employee names vs room
+/// labels never collide).
+enum class BoundsDecision { kAlwaysTrue, kAlwaysFalse, kUndecided };
+BoundsDecision DecideByBounds(const Value& a_min, const Value& a_max,
+                              const Value& b_min, const Value& b_max,
+                              CompareOp op);
+
+class SelectivityEstimator {
+ public:
+  /// Statistics come from `db` (FindFreshStats — run ANALYZE for good
+  /// estimates); variable bindings and ranges from `sf`.
+  SelectivityEstimator(const Database& db, const StandardForm& sf)
+      : db_(db), sf_(sf) {}
+
+  /// Element count of `relation`: fresh statistics when available, the
+  /// live relation's cardinality otherwise.
+  double Cardinality(const std::string& relation) const;
+
+  /// Elements denoted by `var`'s (possibly extended) range.
+  double RangeSize(const std::string& var) const;
+
+  /// Statistics of `var`'s component at schema position `pos`; nullptr
+  /// when the relation has no fresh statistics.
+  const ColumnStats* Stats(const std::string& var, int pos) const;
+
+  /// Distinct count of `var`'s component at `pos`, falling back to the
+  /// relation cardinality when unanalyzed.
+  double ColumnDistinct(const std::string& var, int pos) const;
+
+  /// Fraction of `var`'s elements satisfying a monadic term (component vs
+  /// literal, or two components of the same element).
+  double Monadic(const JoinTerm& term) const;
+
+  /// Fraction of independent (lhs element, rhs element) pairs satisfying a
+  /// dyadic term.
+  double DyadicPair(const JoinTerm& term) const;
+
+  /// P(x op v) for x from `lhs_var`'s component at `lhs_pos` and v from a
+  /// (possibly gated) collection of `rhs_var`'s component values holding
+  /// `rhs_distinct` distinct values — the per-entry match probability of
+  /// an index probe.
+  double PairSelectivity(const std::string& lhs_var, int lhs_pos,
+                         CompareOp op, const std::string& rhs_var,
+                         int rhs_pos, double rhs_distinct) const;
+
+  /// Conjunction of monadic gates, evaluated left to right with
+  /// short-circuiting (EvalGates).
+  SelEstimate Gates(const std::vector<JoinTerm>& gates) const;
+
+  /// Quantifier-free single-variable formula (extended-range restriction),
+  /// mirroring EvalRestriction's short-circuit order.
+  SelEstimate Restriction(const Formula& f) const;
+
+  /// P(`x op w` holds for SOME/ALL w in a value list), where x is the
+  /// component of `probe_var` at `probe_pos` and the list holds
+  /// `list_count` values (with `list_distinct` distinct) drawn from
+  /// `list_var`'s component at `list_pos`. An empty list answers SOME with
+  /// false and ALL with true, like ValueList.
+  double QuantProbe(CompareOp op, Quantifier q, const std::string& probe_var,
+                    int probe_pos, const std::string& list_var, int list_pos,
+                    double list_count, double list_distinct) const;
+
+ private:
+  const std::string& RelationOf(const std::string& var) const;
+  /// P(x op y) for x from `a`, y from `b`, independent, with `db_distinct`
+  /// overriding b's distinct count (e.g. a gated index's contents).
+  double CrossColumn(const ColumnStats* a, double da, const ColumnStats* b,
+                     double db_distinct, CompareOp op) const;
+
+  const Database& db_;
+  const StandardForm& sf_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_COST_SELECTIVITY_H_

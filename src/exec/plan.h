@@ -37,13 +37,17 @@
 namespace pascalr {
 
 /// Optimization levels exercised by benches and tests. Each level adds the
-/// paper's strategy of the same number.
+/// paper's strategy of the same number. kAuto is not a strategy of its
+/// own: the planner enumerates candidate plans across levels 0-4 (and
+/// physical knobs), costs each against catalog statistics, and executes
+/// the cheapest — the chosen plan's `QueryPlan::level` is always concrete.
 enum class OptLevel : int {
   kNaive = 0,      ///< Palermo baseline: term-at-a-time collection
   kParallel = 1,   ///< + S1: one scan per relation (§4.1)
   kOneStep = 2,    ///< + S2: monadic gates, mutual restriction (§4.2)
   kRangeExt = 3,   ///< + S3: extended range expressions (§4.3)
   kQuantPush = 4,  ///< + S4: collection-phase quantifiers (§4.4)
+  kAuto = 5,       ///< cost-based selection over levels 0-4 (src/cost/)
 };
 
 std::string_view OptLevelToString(OptLevel level);

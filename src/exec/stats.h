@@ -27,12 +27,24 @@ struct ExecStats {
 
   ExecStats& operator+=(const ExecStats& o);
 
-  /// Aggregate "work" measure used by bench shape checks: everything the
-  /// evaluator touched.
+  /// Aggregate "work" measure used by bench shape checks and the cost
+  /// model: everything the evaluator touched. Defined as the sum of
+  ///   elements_scanned      (collection-phase relation reads)
+  /// + index_probes          (transient/permanent index lookups)
+  /// + single_list_refs      (refs materialised into single lists)
+  /// + indirect_join_refs    (refs materialised into indirect joins)
+  /// + combination_rows      (rows built while joining/unioning/projecting)
+  /// + division_input_rows   (rows fed into relational division)
+  /// + quantifier_probes     (strategy-4 value-list probes)
+  /// + comparisons           (join-term comparisons evaluated)
+  /// + dereferences          (construction-phase dereferences)
+  /// so collection-phase materialisation is visible alongside scan and
+  /// combination work. relations_read, replans and permanent_index_hits
+  /// are event counts, not work, and stay out of the sum.
   uint64_t TotalWork() const {
-    return elements_scanned + index_probes + combination_rows +
-           division_input_rows + quantifier_probes + comparisons +
-           dereferences;
+    return elements_scanned + index_probes + single_list_refs +
+           indirect_join_refs + combination_rows + division_input_rows +
+           quantifier_probes + comparisons + dereferences;
   }
 
   std::string ToString() const;

@@ -16,6 +16,8 @@ std::string_view OptLevelToString(OptLevel level) {
       return "O3 (+ extended range expressions)";
     case OptLevel::kQuantPush:
       return "O4 (+ collection-phase quantifiers)";
+    case OptLevel::kAuto:
+      return "auto (cost-based strategy selection)";
   }
   return "?";
 }
@@ -50,6 +52,10 @@ std::string ExplainPlan(const PlannedQuery& planned) {
   std::string out;
   out += "== optimization level: " + std::string(OptLevelToString(plan.level)) +
          " ==\n";
+  if (planned.cost_based) {
+    out += "cost-based selection:\n" + planned.cost_candidates;
+    out += "  " + planned.estimate.ToString() + "\n";
+  }
   if (!planned.adaptation_notes.empty()) {
     out += "runtime adaptation:\n" + planned.adaptation_notes;
   }
@@ -139,6 +145,32 @@ std::string ExplainPlan(const PlannedQuery& planned) {
     }
   }
   out += "construction phase: dereference and project\n";
+  return out;
+}
+
+std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
+                                     const ExecStats& actual) {
+  const ExecStats& est = planned.estimate.predicted;
+  std::string out = "estimated vs actual:\n";
+  out += StrFormat("  %-20s %12s %12s\n", "counter", "estimated", "actual");
+  auto row = [&](const char* name, uint64_t e, uint64_t a) {
+    out += StrFormat("  %-20s %12llu %12llu\n", name,
+                     static_cast<unsigned long long>(e),
+                     static_cast<unsigned long long>(a));
+  };
+  row("relations_read", est.relations_read, actual.relations_read);
+  row("elements_scanned", est.elements_scanned, actual.elements_scanned);
+  row("index_probes", est.index_probes, actual.index_probes);
+  row("single_list_refs", est.single_list_refs, actual.single_list_refs);
+  row("indirect_join_refs", est.indirect_join_refs,
+      actual.indirect_join_refs);
+  row("combination_rows", est.combination_rows, actual.combination_rows);
+  row("division_input_rows", est.division_input_rows,
+      actual.division_input_rows);
+  row("quantifier_probes", est.quantifier_probes, actual.quantifier_probes);
+  row("comparisons", est.comparisons, actual.comparisons);
+  row("dereferences", est.dereferences, actual.dereferences);
+  row("total_work", est.TotalWork(), actual.TotalWork());
   return out;
 }
 

@@ -11,13 +11,20 @@
 
 namespace pascalr {
 
-/// Full plan rendering.
+/// Full plan rendering. Cost-based plans additionally print the candidate
+/// table and the chosen plan's estimated counters.
 std::string ExplainPlan(const PlannedQuery& planned);
 
 /// One line per collection structure with its cardinality — the Figure 2
 /// exhibit for a finished run.
 std::string ExplainCollection(const QueryPlan& plan,
                               const CollectionResult& collection);
+
+/// Side-by-side estimated vs. actual work counters for an executed plan —
+/// the accountability exhibit of the cost model (only meaningful when the
+/// plan was chosen cost-based, but renders for any estimate).
+std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
+                                     const ExecStats& actual);
 
 }  // namespace pascalr
 

@@ -1,5 +1,6 @@
 #include "opt/planner.h"
 
+#include "cost/plan_search.h"
 #include "exec/eval_util.h"
 #include "normalize/fold_empty.h"
 #include "normalize/standard_form.h"
@@ -60,6 +61,12 @@ Result<StandardForm> StandardFormWithFolding(const Database& db,
 
 Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
                                const PlannerOptions& options) {
+  if (options.level == OptLevel::kAuto || options.cost_based) {
+    // Cost-based selection: enumerate concrete candidates and keep the
+    // cheapest (src/cost/plan_search.cc re-enters PlanQuery with concrete
+    // levels and cost_based off).
+    return SearchBestPlan(db, query, options);
+  }
   PlannedQuery out;
   BoundQuery backup = CloneBoundQuery(query);
 
@@ -104,6 +111,9 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
   if (!plan.ok()) return plan.status();
   out.plan = std::move(plan).value();
   out.plan.division = options.division;
+  if (options.prefer_ordered_indexes) {
+    for (IndexBuildSpec& spec : out.plan.indexes) spec.ordered = true;
+  }
   if (options.use_permanent_indexes) {
     for (IndexBuildSpec& spec : out.plan.indexes) {
       // A permanent index covers the whole relation; it can only stand in

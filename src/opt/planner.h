@@ -20,6 +20,7 @@
 
 #include "base/status.h"
 #include "catalog/database.h"
+#include "cost/cost_model.h"
 #include "exec/evaluator.h"
 #include "exec/plan.h"
 #include "opt/quant_pushdown.h"
@@ -37,6 +38,15 @@ struct PlannerOptions {
   /// Enable the paper's §4.3 closing suggestion: conjunctive-normal-form
   /// range extensions (disjunctive restrictions). Applies at level >= 3.
   bool use_cnf_extensions = true;
+  /// Cost-based plan selection (same as level = OptLevel::kAuto): the
+  /// plan-search driver enumerates strategy levels 0-4, hash-vs-btree
+  /// index choices, permanent-index use, and the division algorithm,
+  /// costs each candidate against catalog statistics, and plans the
+  /// cheapest. Run ANALYZE (Database::Analyze) for accurate estimates.
+  bool cost_based = false;
+  /// Build every transient index as a B+tree even where a hash index
+  /// suffices — a physical knob the plan-search driver enumerates.
+  bool prefer_ordered_indexes = false;
 };
 
 /// A fully planned (not yet executed) query with its transformation trail.
@@ -46,6 +56,12 @@ struct PlannedQuery {
   QuantPushdownResult quant_pushdown_summary;  ///< value_lists empty; text only
   std::string adaptation_notes;  ///< runtime adaptations that fired
   uint64_t replans = 0;
+
+  /// Cost-based selection trail (OptLevel::kAuto / cost_based): the
+  /// chosen plan's estimate and one line per candidate considered.
+  bool cost_based = false;
+  CostEstimate estimate;
+  std::string cost_candidates;
 };
 
 /// The result of running a query end to end.

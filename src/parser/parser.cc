@@ -71,6 +71,39 @@ Result<Statement> Parser::ParseStatement() {
     case TokenType::kIdent: {
       std::string name = Cur().text;
       TokenType next = Ahead().type;
+      // ANALYZE and SET are contextual statement keywords, not reserved
+      // words: they only act as keywords where no identifier-led
+      // statement (:=, :+, :-) could parse, so relations named `set` or
+      // `analyze` keep working.
+      std::string lower = AsciiToLower(name);
+      if (lower == "analyze" &&
+          (next == TokenType::kSemicolon || next == TokenType::kIdent)) {
+        Advance();
+        AnalyzeStmt s;
+        if (Check(TokenType::kIdent)) {
+          s.relation = Cur().text;
+          Advance();
+        }
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
+      if (lower == "set" && next == TokenType::kIdent) {
+        Advance();
+        SetStmt s;
+        s.name = AsciiToLower(Cur().text);
+        Advance();
+        if (Check(TokenType::kIdent)) {
+          s.value = AsciiToLower(Cur().text);
+          Advance();
+        } else if (Check(TokenType::kInt)) {
+          s.value = std::to_string(Cur().int_value);
+          Advance();
+        } else {
+          return ErrorHere("expected option value (identifier or integer)");
+        }
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
       if (next == TokenType::kAssign) {
         Advance();
         Advance();

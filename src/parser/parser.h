@@ -100,8 +100,22 @@ struct ExplainStmt {
   SelectionExpr selection;
 };
 
-using Statement = std::variant<TypeDeclStmt, RelationDeclStmt, AssignStmt,
-                               InsertStmt, DeleteStmt, PrintStmt, ExplainStmt>;
+/// `ANALYZE;` refreshes catalog statistics for every relation;
+/// `ANALYZE rel;` for one relation.
+struct AnalyzeStmt {
+  std::string relation;  ///< empty: every relation
+};
+
+/// `SET name value;` — session option assignment, e.g.
+/// `SET OPTLEVEL AUTO;`, `SET OPTLEVEL 2;`, `SET DIVISION SORT;`.
+struct SetStmt {
+  std::string name;   ///< lower-cased option name
+  std::string value;  ///< lower-cased identifier or integer spelling
+};
+
+using Statement =
+    std::variant<TypeDeclStmt, RelationDeclStmt, AssignStmt, InsertStmt,
+                 DeleteStmt, PrintStmt, ExplainStmt, AnalyzeStmt, SetStmt>;
 
 struct Script {
   std::vector<Statement> statements;

@@ -54,6 +54,9 @@ enum class TokenType : uint8_t {
   kKwBoolean,
   kKwPrint,
   kKwExplain,
+  // ANALYZE and SET are deliberately NOT reserved words: they are
+  // recognised contextually at statement starts (parser.cc) so that
+  // relations and components may keep those names.
 };
 
 struct Token {

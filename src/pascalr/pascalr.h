@@ -14,6 +14,10 @@
 #include "calculus/ast.h"           // IWYU pragma: export
 #include "calculus/printer.h"       // IWYU pragma: export
 #include "catalog/database.h"       // IWYU pragma: export
+#include "catalog/relation_stats.h" // IWYU pragma: export
+#include "cost/cost_model.h"        // IWYU pragma: export
+#include "cost/plan_search.h"       // IWYU pragma: export
+#include "cost/selectivity.h"       // IWYU pragma: export
 #include "exec/naive.h"             // IWYU pragma: export
 #include "exec/stats.h"             // IWYU pragma: export
 #include "normalize/standard_form.h"  // IWYU pragma: export

@@ -82,6 +82,45 @@ Result<Value> Session::ResolveLiteral(const RawLiteral& raw,
   return Status::Internal("unknown raw literal kind");
 }
 
+Status Session::ApplyOption(const std::string& name,
+                            const std::string& value) {
+  if (name == "optlevel") {
+    if (value == "auto") {
+      options_.level = OptLevel::kAuto;
+      return Status::OK();
+    }
+    if (value.size() == 1 && value[0] >= '0' && value[0] <= '4') {
+      options_.level = static_cast<OptLevel>(value[0] - '0');
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SET OPTLEVEL expects 0..4 or AUTO, got '" +
+                                   value + "'");
+  }
+  if (name == "division") {
+    if (value == "hash") {
+      options_.division = DivisionAlgorithm::kHash;
+      return Status::OK();
+    }
+    if (value == "sort") {
+      options_.division = DivisionAlgorithm::kSort;
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SET DIVISION expects HASH or SORT, got '" +
+                                   value + "'");
+  }
+  if (name == "permindexes") {
+    if (value == "on" || value == "off") {
+      options_.use_permanent_indexes = value == "on";
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SET PERMINDEXES expects ON or OFF, got '" +
+                                   value + "'");
+  }
+  return Status::InvalidArgument("unknown option '" + name +
+                                 "' (expected OPTLEVEL, DIVISION, or "
+                                 "PERMINDEXES)");
+}
+
 Status Session::RunAssign(const AssignStmt& stmt) {
   Binder binder(db_);
   PASCALR_ASSIGN_OR_RETURN(BoundQuery bound,
@@ -194,7 +233,32 @@ Status Session::ExecuteStatement(const Statement& stmt) {
     PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
                              PlanQuery(*db_, std::move(bound), options_));
     Emit(ExplainPlan(planned));
+    if (planned.cost_based) {
+      // EXPLAIN under cost-based mode also executes the chosen plan, so
+      // the estimated counters can be judged against reality.
+      ExecStats stats;
+      PASCALR_ASSIGN_OR_RETURN(ExecOutcome outcome,
+                               ExecutePlan(planned.plan, *db_, &stats));
+      (void)outcome;
+      total_stats_ += stats;
+      Emit(ExplainEstimatedVsActual(planned, stats));
+    }
     return Status::OK();
+  }
+  if (const auto* analyze = std::get_if<AnalyzeStmt>(&stmt)) {
+    if (analyze->relation.empty()) {
+      PASCALR_RETURN_IF_ERROR(db_->AnalyzeAll());
+      Emit(StrFormat("analyzed %zu relations\n",
+                     db_->RelationNames().size()));
+      return Status::OK();
+    }
+    PASCALR_ASSIGN_OR_RETURN(const RelationStats* stats,
+                             db_->Analyze(analyze->relation));
+    Emit(stats->ToString());
+    return Status::OK();
+  }
+  if (const auto* set = std::get_if<SetStmt>(&stmt)) {
+    return ApplyOption(set->name, set->value);
   }
   return Status::Internal("unknown statement kind");
 }

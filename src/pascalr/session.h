@@ -44,6 +44,9 @@ class Session {
   Result<Type> ResolveType(const RawType& raw, const std::string& owner);
   Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
   Status RunAssign(const AssignStmt& stmt);
+  /// `SET name value;` — planner option assignment: OPTLEVEL 0-4 | AUTO,
+  /// DIVISION HASH | SORT, PERMINDEXES ON | OFF.
+  Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 
   Database* db_;
