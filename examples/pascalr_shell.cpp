@@ -5,8 +5,10 @@
 // Meta commands (one per line):
 //   .help            this text
 //   .level N|auto    optimization level 0..4 or cost-based AUTO (default 4)
+//   .joinorder MODE  join ordering: dp (default), bushy, or greedy
 //   .stats           cumulative session statistics
 //   .dump            export the database as a replayable script
+//                    (includes STATS directives for analyzed relations)
 //   .quit            exit
 //
 // Everything else is PASCAL/R: TYPE/VAR declarations, `rel :+ [<...>];`
@@ -21,6 +23,13 @@
 
 namespace {
 
+std::string Trim(const std::string& s) {
+  std::string::size_type start = s.find_first_not_of(" \t\r");
+  if (start == std::string::npos) return "";
+  std::string::size_type end = s.find_last_not_of(" \t\r");
+  return s.substr(start, end - start + 1);
+}
+
 void PrintHelp() {
   std::cout <<
       "statements end with ';'. Examples:\n"
@@ -31,7 +40,9 @@ void PrintHelp() {
       "  EXPLAIN [<x.s> OF EACH x IN r: x.a < 10];\n"
       "  ANALYZE;            -- refresh catalog statistics\n"
       "  SET OPTLEVEL AUTO;  -- cost-based strategy selection\n"
-      "meta: .help .level N|auto .stats .dump .quit\n";
+      "  SET JOINORDER DP;   -- Selinger join ordering (or BUSHY, GREEDY)\n"
+      "meta: .help .level N|auto .joinorder dp|bushy|greedy .stats .dump "
+      ".quit\n";
 }
 
 }  // namespace
@@ -73,11 +84,7 @@ int main(int argc, char** argv) {
           std::cout << "error: " << script.status().ToString() << "\n";
         }
       } else if (line.rfind(".level", 0) == 0) {
-        std::string arg = line.substr(6);
-        std::string::size_type start = arg.find_first_not_of(" \t");
-        std::string::size_type end = arg.find_last_not_of(" \t\r");
-        arg = start == std::string::npos ? ""
-                                         : arg.substr(start, end - start + 1);
+        std::string arg = Trim(line.substr(6));
         if (pascalr::AsciiToLower(arg) == "auto") {
           session.options().level = pascalr::OptLevel::kAuto;
           std::cout << "optimization "
@@ -92,20 +99,51 @@ int main(int argc, char** argv) {
         } else {
           std::cout << "level must be 0..4 or auto\n";
         }
+      } else if (line.rfind(".joinorder", 0) == 0) {
+        std::string arg = pascalr::AsciiToLower(Trim(line.substr(10)));
+        if (arg == "dp" || arg == "bushy" || arg == "greedy") {
+          session.options().join_order_dp = arg != "greedy";
+          session.options().join_dp_bushy = arg == "bushy";
+          std::cout << "join ordering: " << arg
+                    << (arg == "greedy"
+                            ? " (executor smallest-first heuristic)\n"
+                            : " (run ANALYZE; so the DP has statistics)\n");
+        } else {
+          std::cout << "join order must be dp, bushy, or greedy\n";
+        }
       } else {
         std::cout << "unknown meta command; .help for help\n";
       }
       continue;
     }
 
+    // An empty line with statements pending forces execution — the escape
+    // hatch for an accidentally unterminated statement (its parse error
+    // is reported and the buffer cleared, re-enabling meta commands).
+    bool force = Trim(line).empty();
+    if (force && buffer.find_first_not_of(" \t\n") == std::string::npos) {
+      buffer.clear();
+      continue;
+    }
     buffer += line;
     buffer += "\n";
     // Execute once the buffer ends in ';' (outside a string literal this
-    // is a statement terminator; good enough for interactive use).
+    // is a statement terminator). Multi-line statements have inner lines
+    // ending in ';' too (VAR RECORD components, STATS columns); the
+    // parser reports those as incomplete — ExecuteScript parses the whole
+    // buffer before executing anything — so keep buffering until the
+    // statement closes. This is what makes `.dump` output replayable by
+    // piping it back into the shell.
     std::string::size_type last = buffer.find_last_not_of(" \t\n");
-    if (last == std::string::npos || buffer[last] != ';') continue;
+    if (!force && (last == std::string::npos || buffer[last] != ';')) {
+      continue;
+    }
 
     pascalr::Status st = session.ExecuteScript(buffer);
+    if (!force && !st.ok() &&
+        st.ToString().find("found end of input") != std::string::npos) {
+      continue;
+    }
     if (!st.ok()) std::cout << "error: " << st.ToString() << "\n";
     buffer.clear();
   }

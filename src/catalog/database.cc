@@ -147,6 +147,21 @@ Status Database::AnalyzeAll() {
   return Status::OK();
 }
 
+Status Database::SeedStats(RelationStats stats) {
+  Relation* rel = FindRelation(stats.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + stats.relation + "'");
+  }
+  if (stats.columns.size() != rel->schema().num_components()) {
+    return Status::InvalidArgument(StrFormat(
+        "statistics for %zu column(s) do not match schema arity %zu",
+        stats.columns.size(), rel->schema().num_components()));
+  }
+  stats.built_at_mod = rel->mod_count();
+  stats_[stats.relation] = std::move(stats);
+  return Status::OK();
+}
+
 const RelationStats* Database::FindFreshStats(
     const std::string& relation) const {
   auto it = stats_.find(relation);

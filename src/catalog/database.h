@@ -69,6 +69,13 @@ class Database {
   /// relation's current mod_count; nullptr otherwise. Never computes.
   const RelationStats* FindFreshStats(const std::string& relation) const;
 
+  /// Installs externally supplied statistics (the STATS directive that
+  /// ExportScript emits) as if ANALYZE had just run: they are stamped
+  /// with the relation's current mod_count and stay fresh until the next
+  /// mutation. `stats.columns` must match the schema's component count
+  /// (column names are trusted to have been resolved by the caller).
+  Status SeedStats(RelationStats stats);
+
   std::vector<std::string> RelationNames() const;
 
   /// Human-readable catalog summary.

@@ -8,6 +8,7 @@
 #include "base/math_util.h"
 #include "base/str_util.h"
 #include "cost/selectivity.h"
+#include "joinorder/heuristics.h"
 
 namespace pascalr {
 
@@ -15,21 +16,34 @@ namespace {
 
 double Log2Of(double x) { return std::log2(std::max(2.0, x)); }
 
-/// An intermediate combination-phase relation: estimated row count plus
-/// per-column distinct counts.
-struct EstRel {
-  double rows = 0.0;
-  std::map<std::string, double> distinct;
-
-  bool HasCol(const std::string& c) const { return distinct.count(c) > 0; }
-};
-
 class CostWalker {
  public:
   CostWalker(const QueryPlan& plan, const Database& db)
       : plan_(plan), db_(db), sel_(db, plan.sf) {}
 
   CostEstimate Run() {
+    Prepare();
+    WalkCombination();
+    return Finish();
+  }
+
+  /// Collection-phase walk only: the per-structure estimates the
+  /// join-order optimizer plans over.
+  std::vector<EstRel> StructureEstimates() {
+    Prepare();
+    std::vector<EstRel> out(plan_.structures.size());
+    for (size_t i = 0; i < plan_.structures.size(); ++i) {
+      out[i].rows = structure_rows_[i];
+      for (const std::string& col : plan_.structures[i].columns) {
+        out[i].distinct[col] =
+            std::min(out[i].rows, std::max(0.0, sel_.RangeSize(col)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  void Prepare() {
     structure_rows_.assign(plan_.structures.size(), 0.0);
     index_rows_.assign(plan_.indexes.size(), 0.0);
     index_distinct_.assign(plan_.indexes.size(), 1.0);
@@ -40,11 +54,7 @@ class CostWalker {
       borrowed_[spec.id] = IndexBorrowsPermanent(plan_, db_, spec);
     }
     WalkCollection();
-    WalkCombination();
-    return Finish();
   }
-
- private:
   // ----------------------------------------------------------- collection
 
   void WalkCollection() {
@@ -206,26 +216,22 @@ class CostWalker {
     return std::min(out, rows);
   }
 
-  EstRel JoinEst(const EstRel& a, const EstRel& b) {
-    EstRel out;
-    out.rows = a.rows * b.rows;
-    for (const auto& [col, dc] : b.distinct) {
-      auto it = a.distinct.find(col);
-      if (it != a.distinct.end()) {
-        out.rows /= std::max(1.0, std::max(it->second, dc));
+  /// Costs an explicit join tree: every internal node contributes its
+  /// JoinEstimate rows to combination_rows, exactly what the executor's
+  /// NaturalJoin would materialise running the same tree.
+  EstRel WalkJoinTree(const JoinTree& tree, const std::vector<EstRel>& inputs) {
+    std::vector<EstRel> node_est(tree.nodes.size());
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const JoinTreeNode& node = tree.nodes[i];
+      if (node.leaf) {
+        node_est[i] = inputs[node.input];
+        continue;
       }
+      node_est[i] = JoinEstimate(node_est[static_cast<size_t>(node.left)],
+                                 node_est[static_cast<size_t>(node.right)]);
+      combination_rows_ += node_est[i].rows;
     }
-    out.distinct = a.distinct;
-    for (const auto& [col, dc] : b.distinct) {
-      auto it = out.distinct.find(col);
-      if (it == out.distinct.end()) {
-        out.distinct[col] = dc;
-      } else {
-        it->second = std::min(it->second, dc);
-      }
-    }
-    for (auto& [col, dc] : out.distinct) dc = std::min(dc, out.rows);
-    return out;
+    return node_est.back();
   }
 
   void WalkCombination() {
@@ -252,8 +258,6 @@ class CostWalker {
 
     EstRel combined;  // starts empty with 0 rows
     for (size_t c = 0; c < plan_.sf.matrix.disjuncts.size(); ++c) {
-      // JoinStructures: greedy smallest-first with a preference for
-      // connected inputs, like the executor.
       std::vector<EstRel> inputs;
       for (size_t id : plan_.conj_inputs[c]) {
         EstRel e;
@@ -267,37 +271,19 @@ class CostWalker {
       if (inputs.empty()) {
         acc.rows = 1.0;  // arity-0 unit relation: TRUE
       } else {
-        size_t smallest = 0;
-        for (size_t i = 1; i < inputs.size(); ++i) {
-          if (inputs[i].rows < inputs[smallest].rows) smallest = i;
+        // The plan's join tree when the optimizer attached one, otherwise
+        // the executor's greedy smallest-first order.
+        const JoinTree* tree = nullptr;
+        if (c < plan_.join_trees.size() &&
+            plan_.join_trees[c].Matches(inputs.size())) {
+          tree = &plan_.join_trees[c];
         }
-        acc = inputs[smallest];
-        inputs.erase(inputs.begin() + static_cast<long>(smallest));
-        while (!inputs.empty()) {
-          size_t best = inputs.size();
-          size_t best_connected = inputs.size();
-          for (size_t i = 0; i < inputs.size(); ++i) {
-            bool connected = false;
-            for (const auto& [col, dc] : inputs[i].distinct) {
-              if (acc.HasCol(col)) {
-                connected = true;
-                break;
-              }
-            }
-            if (connected &&
-                (best_connected == inputs.size() ||
-                 inputs[i].rows < inputs[best_connected].rows)) {
-              best_connected = i;
-            }
-            if (best == inputs.size() || inputs[i].rows < inputs[best].rows) {
-              best = i;
-            }
-          }
-          size_t pick = best_connected != inputs.size() ? best_connected : best;
-          acc = JoinEst(acc, inputs[pick]);
-          combination_rows_ += acc.rows;
-          inputs.erase(inputs.begin() + static_cast<long>(pick));
+        JoinTree greedy;
+        if (tree == nullptr) {
+          greedy = GreedyJoinOrder(inputs);
+          tree = &greedy;
         }
+        acc = WalkJoinTree(*tree, inputs);
       }
       // Extend to all active variables by Cartesian product.
       for (const QuantifiedVar& qv : active) {
@@ -449,6 +435,12 @@ std::string CostEstimate::ToString() const {
 CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db) {
   CostWalker walker(plan, db);
   return walker.Run();
+}
+
+std::vector<EstRel> EstimateStructureSizes(const QueryPlan& plan,
+                                           const Database& db) {
+  CostWalker walker(plan, db);
+  return walker.StructureEstimates();
 }
 
 }  // namespace pascalr

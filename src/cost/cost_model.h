@@ -6,19 +6,22 @@
 // The walk mirrors the three execution phases:
 //   collection   - per scan: elements visited, gate comparisons, index
 //                  builds/probes, value-list probes, structure sizes;
-//   combination  - simulates JoinStructures' greedy order on estimated
-//                  structure sizes, then product extension, union,
-//                  projection and division;
+//   combination  - walks the plan's join tree (src/joinorder/) when one
+//                  is attached, otherwise the executor's greedy
+//                  smallest-first order, on estimated structure sizes;
+//                  then product extension, union, projection, division;
 //   construction - dereferences per result row and output component.
 
 #ifndef PASCALR_COST_COST_MODEL_H_
 #define PASCALR_COST_COST_MODEL_H_
 
 #include <string>
+#include <vector>
 
 #include "catalog/database.h"
 #include "exec/plan.h"
 #include "exec/stats.h"
+#include "joinorder/join_graph.h"
 
 namespace pascalr {
 
@@ -37,6 +40,13 @@ struct CostEstimate {
 /// accurate estimates; unanalyzed relations fall back to live cardinality
 /// and textbook selectivities).
 CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db);
+
+/// Estimated row counts and per-column distinct counts of every
+/// collection-phase structure of `plan`, by walking the collection phase
+/// only — the leaf cardinalities the join-order optimizer
+/// (src/joinorder/) plans over. Index [i] matches plan.structures[i].
+std::vector<EstRel> EstimateStructureSizes(const QueryPlan& plan,
+                                           const Database& db);
 
 /// True when the evaluator would reuse a fresh permanent catalog index
 /// for `spec` instead of building a transient one (the same rule

@@ -1,10 +1,12 @@
 #include "cost/plan_search.h"
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "base/str_util.h"
 #include "cost/cost_model.h"
+#include "normalize/standard_form.h"
 
 namespace pascalr {
 
@@ -33,6 +35,57 @@ bool AnyFreshPermanentIndex(const Database& db, const BoundQuery& query) {
     }
   }
   return false;
+}
+
+/// Cardinality as the cost model sees it: fresh statistics, else the live
+/// relation.
+double CardinalityFor(const Database& db, const std::string& relation) {
+  if (const RelationStats* stats = db.FindFreshStats(relation)) {
+    return static_cast<double>(stats->cardinality);
+  }
+  const Relation* rel = db.FindRelation(relation);
+  return rel == nullptr ? 0.0 : static_cast<double>(rel->cardinality());
+}
+
+/// A lower bound on any *naive* (O0) candidate's estimated cost: the
+/// elements the per-term scans must visit. Naive compilation gives every
+/// unique single-list term one scan of its variable's relation and every
+/// unique indirect-join term an index-build scan plus a probe pass, so
+/// summing those cardinalities never exceeds the cost model's
+/// elements_scanned for the compiled plan — and elements_scanned is one
+/// addend of the weighted cost. Returns 0 (no pruning) whenever the bound
+/// cannot be guaranteed: extended ranges (restricted post-scan passes),
+/// empty or missing relations (runtime adaptation refolds the formula),
+/// or a standard form that fails to build.
+double NaiveScanLowerBound(const Database& db, const BoundQuery& query) {
+  for (const auto& [var, binding] : query.vars) {
+    const Relation* rel = db.FindRelation(binding.relation_name);
+    if (rel == nullptr || rel->empty()) return 0.0;
+  }
+  Result<StandardForm> sf = BuildStandardForm(CloneBoundQuery(query));
+  if (!sf.ok()) return 0.0;
+  for (const QuantifiedVar& qv : sf->prefix) {
+    if (qv.range.IsExtended()) return 0.0;
+  }
+  double bound = 0.0;
+  std::set<std::string> seen;  // the keys AssembleNaive interns by
+  for (const Conjunction& conj : sf->matrix.disjuncts) {
+    for (const JoinTerm& t : conj.terms) {
+      std::vector<std::string> vars = t.Variables();
+      if (vars.empty()) continue;
+      if (vars.size() == 1) {
+        if (!seen.insert("sl#" + vars[0] + "#" + t.ToString()).second) {
+          continue;
+        }
+        bound += CardinalityFor(db, sf->vars.at(vars[0]).relation_name);
+        continue;
+      }
+      if (!seen.insert("ij#" + t.ToString()).second) continue;
+      bound += CardinalityFor(db, sf->vars.at(t.lhs.var).relation_name);
+      bound += CardinalityFor(db, sf->vars.at(t.rhs.var).relation_name);
+    }
+  }
+  return bound;
 }
 
 bool HasQuantifier(const Formula& f) {
@@ -72,7 +125,15 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
   Status last_error = Status::OK();
   std::string table;
 
-  for (int level = 0; level <= 4; ++level) {
+  // Search-space pruning: levels are visited from the strongest strategy
+  // down, carrying the best weighted cost so far; a candidate whose scan
+  // lower bound already exceeds it cannot win, so its compilation is
+  // skipped. Only the naive level has a per-candidate bound worth having
+  // (its per-term scans dwarf everything once a grouped plan is costed).
+  const double naive_bound = NaiveScanLowerBound(db, query);
+  size_t pruned = 0;
+
+  for (int level = 4; level >= 0; --level) {
     for (bool perm : perm_choices) {
       // Set by the ordered=false pass; with no transient index builds the
       // btree variant would be an exact duplicate, so it is skipped. Note
@@ -93,6 +154,12 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
           options.use_permanent_indexes = perm;
           options.prefer_ordered_indexes = ordered;
 
+          if (level == 0 && naive_bound > 0.0 && best.has_value() &&
+              naive_bound >= best->estimate.weighted_cost) {
+            ++pruned;
+            continue;
+          }
+
           Result<PlannedQuery> planned =
               PlanQuery(db, CloneBoundQuery(query), options);
           if (!planned.ok()) {
@@ -109,9 +176,14 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
             }
           }
           planned->estimate = EstimatePlanCost(planned->plan, db);
+          // Levels run 4 -> 0 but exact ties still choose the lowest
+          // level, as the ascending enumeration used to.
           bool better =
               !best.has_value() ||
-              planned->estimate.weighted_cost < best->estimate.weighted_cost;
+              planned->estimate.weighted_cost < best->estimate.weighted_cost ||
+              (planned->estimate.weighted_cost ==
+                   best->estimate.weighted_cost &&
+               options.level < best_options.level);
           table += StrFormat(
               "  %-22s estimated work %llu (weighted %.0f)\n",
               LabelFor(options).c_str(),
@@ -134,6 +206,12 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
     return last_error;
   }
   best->cost_based = true;
+  if (pruned > 0) {
+    table += StrFormat(
+        "  pruned %zu candidate(s): O0 scan lower bound %.0f exceeds the "
+        "best cost\n",
+        pruned, naive_bound);
+  }
   best->cost_candidates =
       table + "  chosen: " + LabelFor(best_options) + "\n";
   return std::move(best).value();

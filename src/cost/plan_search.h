@@ -3,6 +3,13 @@
 // transient indexes, permanent-index use, division algorithm), costs each
 // with the cost model, and returns the cheapest — the automatic version of
 // the paper's strategy arguments.
+//
+// Join order is folded into the search: every candidate is planned with
+// the join-order optimizer (src/joinorder/) enabled per the base options,
+// so a candidate's cost reflects the DP-chosen tree for its conjunctions.
+// Levels are visited strongest-first carrying the best cost so far, and
+// candidates whose scan lower bound already exceeds it are pruned before
+// compilation (the pruned count is logged in the EXPLAIN candidate table).
 
 #ifndef PASCALR_COST_PLAN_SEARCH_H_
 #define PASCALR_COST_PLAN_SEARCH_H_

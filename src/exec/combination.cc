@@ -1,7 +1,9 @@
 #include "exec/combination.h"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "joinorder/heuristics.h"
 #include "refstruct/division.h"
 #include "refstruct/ops.h"
 
@@ -53,6 +55,101 @@ RefRelation JoinStructures(std::vector<const RefRelation*> inputs,
   return acc;
 }
 
+/// Exact summary of a materialised structure: actual row count and exact
+/// per-column distinct counts. The collection phase has already run, so
+/// unlike the planner the executor need not estimate its leaves. Costs
+/// one hash pass over the structure's refs — bounded by the work the
+/// collection phase already spent materialising them.
+EstRel ActualSummary(const RefRelation& rel) {
+  EstRel out;
+  out.rows = static_cast<double>(rel.size());
+  for (size_t c = 0; c < rel.columns().size(); ++c) {
+    std::unordered_set<uint64_t> seen;
+    for (const RefRow& row : rel.rows()) seen.insert(row[c].Hash());
+    out.distinct[rel.columns()[c]] = static_cast<double>(seen.size());
+  }
+  return out;
+}
+
+/// Same join order, node for node.
+bool SameTreeShape(const JoinTree& a, const JoinTree& b) {
+  if (a.nodes.size() != b.nodes.size()) return false;
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    const JoinTreeNode& x = a.nodes[i];
+    const JoinTreeNode& y = b.nodes[i];
+    if (x.leaf != y.leaf) return false;
+    if (x.leaf ? x.input != y.input
+               : x.left != y.left || x.right != y.right) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runtime adaptation for an attached join tree (the same spirit as the
+/// Lemma 1 empty-range adaptation): recost the planner's tree and the
+/// greedy order against *actual* structure sizes and distinct counts, and
+/// only keep the planner's tree if it still predicts substantially fewer
+/// materialised rows. The bar is deliberately high — greedy re-ranks the
+/// remaining inputs on real intermediate sizes after every join, an
+/// adaptivity a precomputed tree lacks, so thin static margins lose to it
+/// in practice.
+bool TreeStillBeatsGreedy(const JoinTree& tree,
+                          const std::vector<const RefRelation*>& inputs) {
+  constexpr double kRequiredGain = 0.2;
+  // First cut from sizes alone (the only signal greedy's order needs):
+  // when the planner's tree IS the greedy order, executing it is the
+  // fallback, so skip the per-column distinct pass entirely.
+  std::vector<EstRel> actual;
+  actual.reserve(inputs.size());
+  for (const RefRelation* rel : inputs) {
+    EstRel e;
+    e.rows = static_cast<double>(rel->size());
+    for (const std::string& col : rel->columns()) e.distinct[col] = e.rows;
+    actual.push_back(std::move(e));
+  }
+  JoinTree greedy = GreedyJoinOrder(actual);
+  if (SameTreeShape(tree, greedy)) return true;
+  // The orders differ: summarise exactly and compare. Penalty-free — at
+  // this point every materialised row counts the same, Cartesian or not.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    actual[i] = ActualSummary(*inputs[i]);
+  }
+  return JoinTreeCost(tree, actual, /*cross_penalty=*/1.0) <
+         (1.0 - kRequiredGain) *
+             JoinTreeCost(greedy, actual, /*cross_penalty=*/1.0);
+}
+
+/// Executes an explicit join tree bottom-up: NaturalJoin at every
+/// internal node, children before parents by construction.
+RefRelation ExecuteJoinTree(const JoinTree& tree,
+                            const std::vector<const RefRelation*>& inputs,
+                            ExecStats* stats) {
+  // Leaves are consumed in place — only join results are materialised.
+  std::vector<RefRelation> joined(tree.nodes.size());
+  std::vector<const RefRelation*> node_rels(tree.nodes.size(), nullptr);
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) {
+      node_rels[i] = inputs[node.input];
+    } else {
+      size_t left = static_cast<size_t>(node.left);
+      size_t right = static_cast<size_t>(node.right);
+      joined[i] = NaturalJoin(*node_rels[left], *node_rels[right], stats);
+      node_rels[i] = &joined[i];
+      // Each node feeds exactly one parent (Matches), so consumed
+      // intermediates can be dropped immediately — peak memory stays at
+      // the greedy path's accumulator-plus-one profile.
+      joined[left] = RefRelation();
+      joined[right] = RefRelation();
+      node_rels[left] = nullptr;
+      node_rels[right] = nullptr;
+    }
+  }
+  if (tree.nodes.back().leaf) return *node_rels.back();  // single input
+  return std::move(joined.back());
+}
+
 }  // namespace
 
 Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
@@ -83,7 +180,18 @@ Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
     for (size_t id : plan.conj_inputs[c]) {
       inputs.push_back(&coll.structures[id]);
     }
-    RefRelation conj_result = JoinStructures(std::move(inputs), stats);
+    // Execute the optimizer's join tree when one is attached (and matches
+    // these inputs, and still wins once actual structure sizes are in);
+    // otherwise the greedy smallest-first heuristic on actual sizes.
+    const JoinTree* tree =
+        c < plan.join_trees.size() &&
+                plan.join_trees[c].Matches(inputs.size()) &&
+                TreeStillBeatsGreedy(plan.join_trees[c], inputs)
+            ? &plan.join_trees[c]
+            : nullptr;
+    RefRelation conj_result = tree != nullptr
+                                  ? ExecuteJoinTree(*tree, inputs, stats)
+                                  : JoinStructures(std::move(inputs), stats);
     // Extend to all active variables (the n-tuple invariant of §3.3).
     for (const QuantifiedVar& qv : active) {
       if (conj_result.ColumnIndex(qv.var) >= 0) continue;

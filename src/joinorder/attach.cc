@@ -1,0 +1,60 @@
+#include "joinorder/attach.h"
+
+#include <utility>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Fresh statistics must cover every relation the conjunction's structures
+/// range over; estimated leaf sizes are otherwise too coarse to justify
+/// overriding the executor's actual-size greedy heuristic.
+bool StatsFreshFor(const QueryPlan& plan, const Database& db,
+                   const std::vector<size_t>& structure_ids) {
+  for (size_t id : structure_ids) {
+    for (const std::string& var : plan.structures[id].columns) {
+      auto it = plan.sf.vars.find(var);
+      if (it == plan.sf.vars.end() ||
+          db.FindFreshStats(it->second.relation_name) == nullptr) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t AttachJoinOrders(QueryPlan* plan, const Database& db,
+                        const JoinOrderOptions& options) {
+  plan->join_trees.clear();
+  if (plan->conj_inputs.empty()) return 0;
+
+  std::vector<EstRel> structures;
+  bool have_structures = false;
+  size_t attached = 0;
+  plan->join_trees.assign(plan->conj_inputs.size(), JoinTree());
+  for (size_t c = 0; c < plan->conj_inputs.size(); ++c) {
+    const std::vector<size_t>& ids = plan->conj_inputs[c];
+    if (ids.size() < 3 || ids.size() > options.dp_max_inputs) continue;
+    if (!StatsFreshFor(*plan, db, ids)) continue;
+    if (!have_structures) {
+      structures = EstimateStructureSizes(*plan, db);
+      have_structures = true;
+    }
+    std::vector<EstRel> inputs;
+    inputs.reserve(ids.size());
+    for (size_t id : ids) inputs.push_back(structures[id]);
+    JoinOrderDecision decision = ChooseJoinOrder(inputs, options);
+    if (decision.tree.empty()) continue;
+    plan->join_trees[c] = std::move(decision.tree);
+    ++attached;
+  }
+  if (attached == 0) plan->join_trees.clear();
+  return attached;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,29 @@
+// Planner-side entry point of the join-order optimizer: estimates every
+// collection-phase structure's size (src/cost/), runs the Selinger DP per
+// conjunction, and attaches the winning trees to the QueryPlan for the
+// combination phase to execute and EXPLAIN to print.
+
+#ifndef PASCALR_JOINORDER_ATTACH_H_
+#define PASCALR_JOINORDER_ATTACH_H_
+
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "joinorder/dp.h"
+
+namespace pascalr {
+
+/// Computes join trees for `plan`'s conjunctions and stores them in
+/// plan->join_trees. A conjunction gets a DP tree only when it has at
+/// least three inputs (order is moot below that), every relation its
+/// structures range over has fresh catalog statistics, the input count is
+/// within options.dp_max_inputs, and the DP found an order estimated
+/// strictly cheaper than the greedy heuristic's — in every other case the
+/// conjunction keeps the executor's greedy smallest-first fallback.
+/// Returns the number of trees attached (join_trees is left empty when
+/// zero, keeping such plans identical to pre-optimizer plans).
+size_t AttachJoinOrders(QueryPlan* plan, const Database& db,
+                        const JoinOrderOptions& options);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_JOINORDER_ATTACH_H_

@@ -1,0 +1,136 @@
+#include "joinorder/dp.h"
+
+#include <limits>
+
+#include "joinorder/heuristics.h"
+
+namespace pascalr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int PopCount(uint64_t mask) {
+  int n = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++n;
+  }
+  return n;
+}
+
+/// One DP table entry: the cheapest known way to join the subset.
+struct Entry {
+  double cost = kInf;
+  EstRel est;             ///< estimate of the winning tree for this subset
+  uint64_t left = 0;      ///< winning split (left/right subset masks);
+  uint64_t right = 0;     ///< both zero for singletons
+};
+
+/// Emits the winning tree for `mask` into `tree`, children first.
+int EmitTree(const std::vector<Entry>& table, uint64_t mask,
+             const std::vector<EstRel>& inputs, JoinTree* tree) {
+  const Entry& e = table[mask];
+  if (e.left == 0) {  // singleton
+    JoinTreeNode leaf;
+    leaf.leaf = true;
+    size_t input = 0;
+    while (((mask >> input) & 1) == 0) ++input;
+    leaf.input = input;
+    leaf.est_rows = inputs[input].rows;
+    tree->nodes.push_back(std::move(leaf));
+    return static_cast<int>(tree->nodes.size() - 1);
+  }
+  int left = EmitTree(table, e.left, inputs, tree);
+  int right = EmitTree(table, e.right, inputs, tree);
+  JoinTreeNode join;
+  join.left = left;
+  join.right = right;
+  join.join_columns = SharedColumns(table[e.left].est, table[e.right].est);
+  join.est_rows = e.est.rows;
+  tree->nodes.push_back(std::move(join));
+  return static_cast<int>(tree->nodes.size() - 1);
+}
+
+}  // namespace
+
+JoinOrderDecision ChooseJoinOrder(const std::vector<EstRel>& inputs,
+                                  const JoinOrderOptions& options) {
+  JoinOrderDecision decision;
+  JoinTree greedy = GreedyJoinOrder(inputs);
+  decision.greedy_cost = JoinTreeCost(greedy, inputs, options.cross_penalty);
+  decision.dp_cost = decision.greedy_cost;
+  // With fewer than three inputs there is exactly one join (or none), so
+  // every order costs the same; above the budget the table won't fit.
+  if (inputs.size() < 3 || inputs.size() > options.dp_max_inputs ||
+      inputs.size() > 63) {
+    return decision;
+  }
+
+  const size_t n = inputs.size();
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  const JoinGraph graph(inputs);
+  std::vector<Entry> table(full + 1);
+  for (size_t i = 0; i < n; ++i) {
+    Entry& e = table[uint64_t{1} << i];
+    e.cost = 0.0;
+    e.est = inputs[i];
+  }
+
+  auto consider = [&](uint64_t left, uint64_t right) {
+    const Entry& l = table[left];
+    const Entry& r = table[right];
+    if (l.cost == kInf || r.cost == kInf) return;
+    EstRel joined = JoinEstimate(l.est, r.est);
+    bool cross = (graph.NeighborsOf(left) & right) == 0;
+    double cost = l.cost + r.cost +
+                  joined.rows * (cross ? options.cross_penalty : 1.0);
+    Entry& out = table[left | right];
+    if (cost < out.cost) {
+      out.cost = cost;
+      out.est = std::move(joined);
+      out.left = left;
+      out.right = right;
+    }
+  };
+
+  if (options.bushy) {
+    for (uint64_t mask = 1; mask <= full; ++mask) {
+      if (PopCount(mask) < 2) continue;
+      ++decision.subsets_explored;
+      uint64_t lowest = mask & (~mask + 1);
+      // Enumerate splits with the lowest input on the left: each
+      // unordered partition is seen once (JoinEstimate is symmetric).
+      for (uint64_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        if ((sub & lowest) == 0) continue;
+        consider(sub, mask ^ sub);
+      }
+    }
+  } else {
+    // Left-deep: extend every reachable subset by one remaining input.
+    for (uint64_t mask = 1; mask < full; ++mask) {
+      if (table[mask].cost == kInf) continue;
+      ++decision.subsets_explored;
+      for (size_t j = 0; j < n; ++j) {
+        uint64_t bit = uint64_t{1} << j;
+        if ((mask & bit) != 0) continue;
+        consider(mask, bit);
+      }
+    }
+  }
+
+  decision.dp_cost = table[full].cost;
+  // The greedy order is itself a left-deep tree the DP enumerates, so
+  // dp_cost <= greedy_cost always; only an order predicted meaningfully
+  // cheaper is worth deviating from the executor's default for.
+  if (decision.dp_cost <
+      decision.greedy_cost * (1.0 - std::max(0.0, options.min_gain))) {
+    decision.tree.source =
+        options.bushy ? JoinOrderSource::kDpBushy : JoinOrderSource::kDp;
+    EmitTree(table, full, inputs, &decision.tree);
+  }
+  return decision;
+}
+
+}  // namespace pascalr

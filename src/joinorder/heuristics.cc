@@ -1,0 +1,83 @@
+#include "joinorder/heuristics.h"
+
+namespace pascalr {
+
+JoinTree GreedyJoinOrder(const std::vector<EstRel>& inputs) {
+  JoinTree tree;
+  tree.source = JoinOrderSource::kGreedy;
+  if (inputs.empty()) return tree;
+
+  // `remaining` holds input positions in original order; erasing preserves
+  // relative order, exactly like the executor's vector-of-pointers loop.
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < inputs.size(); ++i) remaining.push_back(i);
+
+  auto add_leaf = [&](size_t input) {
+    JoinTreeNode node;
+    node.leaf = true;
+    node.input = input;
+    node.est_rows = inputs[input].rows;
+    tree.nodes.push_back(std::move(node));
+    return static_cast<int>(tree.nodes.size() - 1);
+  };
+
+  size_t smallest = 0;
+  for (size_t i = 1; i < remaining.size(); ++i) {
+    if (inputs[remaining[i]].rows < inputs[remaining[smallest]].rows) {
+      smallest = i;
+    }
+  }
+  EstRel acc = inputs[remaining[smallest]];
+  int acc_node = add_leaf(remaining[smallest]);
+  remaining.erase(remaining.begin() + static_cast<long>(smallest));
+
+  while (!remaining.empty()) {
+    size_t best = remaining.size();
+    size_t best_connected = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      bool connected = !SharedColumns(acc, inputs[remaining[i]]).empty();
+      if (connected &&
+          (best_connected == remaining.size() ||
+           inputs[remaining[i]].rows < inputs[remaining[best_connected]].rows)) {
+        best_connected = i;
+      }
+      if (best == remaining.size() ||
+          inputs[remaining[i]].rows < inputs[remaining[best]].rows) {
+        best = i;
+      }
+    }
+    size_t pick = best_connected != remaining.size() ? best_connected : best;
+    int right_node = add_leaf(remaining[pick]);
+    JoinTreeNode join;
+    join.left = acc_node;
+    join.right = right_node;
+    join.join_columns = SharedColumns(acc, inputs[remaining[pick]]);
+    acc = JoinEstimate(acc, inputs[remaining[pick]]);
+    join.est_rows = acc.rows;
+    tree.nodes.push_back(std::move(join));
+    acc_node = static_cast<int>(tree.nodes.size() - 1);
+    remaining.erase(remaining.begin() + static_cast<long>(pick));
+  }
+  return tree;
+}
+
+double JoinTreeCost(const JoinTree& tree, const std::vector<EstRel>& inputs,
+                    double cross_penalty) {
+  std::vector<EstRel> node_est(tree.nodes.size());
+  double cost = 0.0;
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) {
+      node_est[i] = inputs[node.input];
+      continue;
+    }
+    const EstRel& l = node_est[static_cast<size_t>(node.left)];
+    const EstRel& r = node_est[static_cast<size_t>(node.right)];
+    bool cross = SharedColumns(l, r).empty();
+    node_est[i] = JoinEstimate(l, r);
+    cost += node_est[i].rows * (cross ? cross_penalty : 1.0);
+  }
+  return cost;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,35 @@
+// The greedy smallest-first join order — the combination phase's
+// historical inline heuristic (exec/combination.cc), reified as a
+// JoinTree so the cost model can price it and the DP can use it as the
+// bar to beat. Kept as the planner's fallback when statistics are stale
+// or a conjunction exceeds the DP input budget.
+
+#ifndef PASCALR_JOINORDER_HEURISTICS_H_
+#define PASCALR_JOINORDER_HEURISTICS_H_
+
+#include <vector>
+
+#include "exec/plan.h"
+#include "joinorder/join_graph.h"
+
+namespace pascalr {
+
+/// Left-deep greedy order over `inputs`: start from the smallest,
+/// repeatedly join the smallest remaining input that shares a column with
+/// the accumulated result, and fall back to the smallest overall (a
+/// genuine Cartesian step) when none connects. Tie-breaks mirror the
+/// executor exactly: the first input of equal size wins. Internal nodes
+/// carry JoinEstimate cardinalities and the shared join columns.
+JoinTree GreedyJoinOrder(const std::vector<EstRel>& inputs);
+
+/// Model cost of executing `tree` over `inputs`: the sum of every
+/// internal node's estimated output rows (what ExecStats::combination_rows
+/// measures for the join steps), with Cartesian steps scaled by
+/// `cross_penalty`. Re-derives cardinalities with JoinEstimate, so trees
+/// from any source are priced identically.
+double JoinTreeCost(const JoinTree& tree, const std::vector<EstRel>& inputs,
+                    double cross_penalty);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_JOINORDER_HEURISTICS_H_

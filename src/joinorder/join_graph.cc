@@ -1,0 +1,62 @@
+#include "joinorder/join_graph.h"
+
+#include <algorithm>
+
+namespace pascalr {
+
+EstRel JoinEstimate(const EstRel& a, const EstRel& b) {
+  EstRel out;
+  out.rows = a.rows * b.rows;
+  for (const auto& [col, dc] : b.distinct) {
+    auto it = a.distinct.find(col);
+    if (it != a.distinct.end()) {
+      out.rows /= std::max(1.0, std::max(it->second, dc));
+    }
+  }
+  out.distinct = a.distinct;
+  for (const auto& [col, dc] : b.distinct) {
+    auto it = out.distinct.find(col);
+    if (it == out.distinct.end()) {
+      out.distinct[col] = dc;
+    } else {
+      it->second = std::min(it->second, dc);
+    }
+  }
+  for (auto& [col, dc] : out.distinct) dc = std::min(dc, out.rows);
+  return out;
+}
+
+std::vector<std::string> SharedColumns(const EstRel& a, const EstRel& b) {
+  std::vector<std::string> shared;
+  for (const auto& [col, dc] : b.distinct) {
+    if (a.HasCol(col)) shared.push_back(col);
+  }
+  return shared;
+}
+
+JoinGraph::JoinGraph(const std::vector<EstRel>& inputs) {
+  neighbors_.assign(inputs.size(), 0);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (size_t j = i + 1; j < inputs.size(); ++j) {
+      if (SharedColumns(inputs[i], inputs[j]).empty()) continue;
+      neighbors_[i] |= uint64_t{1} << j;
+      neighbors_[j] |= uint64_t{1} << i;
+    }
+  }
+}
+
+bool JoinGraph::IsConnected(uint64_t mask) const {
+  if (mask == 0) return true;
+  uint64_t reached = mask & (~mask + 1);  // lowest set bit
+  while (true) {
+    uint64_t next = reached;
+    for (size_t i = 0; i < neighbors_.size(); ++i) {
+      if ((reached >> i) & 1) next |= neighbors_[i] & mask;
+    }
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached == mask;
+}
+
+}  // namespace pascalr

@@ -45,6 +45,32 @@ const char* ModeName(ValueList::Mode mode) {
   return "?";
 }
 
+/// Renders one join-tree node (and its children) at `depth`, leaves named
+/// after their structure, internal nodes showing the join columns and the
+/// optimizer's estimated output cardinality.
+void RenderJoinTree(const QueryPlan& plan, size_t conj, const JoinTree& tree,
+                    size_t node_id, int depth, std::string* out) {
+  const JoinTreeNode& node = tree.nodes[node_id];
+  *out += std::string(6 + 2 * static_cast<size_t>(depth), ' ');
+  if (node.leaf) {
+    size_t structure_id = plan.conj_inputs[conj][node.input];
+    *out += StrFormat("%s ~%.0f rows\n",
+                      plan.structures[structure_id].debug_name.c_str(),
+                      node.est_rows);
+    return;
+  }
+  if (node.join_columns.empty()) {
+    *out += StrFormat("cross join ~%.0f rows\n", node.est_rows);
+  } else {
+    *out += StrFormat("join on [%s] ~%.0f rows\n",
+                      Join(node.join_columns, ", ").c_str(), node.est_rows);
+  }
+  RenderJoinTree(plan, conj, tree, static_cast<size_t>(node.left), depth + 1,
+                 out);
+  RenderJoinTree(plan, conj, tree, static_cast<size_t>(node.right), depth + 1,
+                 out);
+}
+
 }  // namespace
 
 std::string ExplainPlan(const PlannedQuery& planned) {
@@ -131,6 +157,16 @@ std::string ExplainPlan(const PlannedQuery& planned) {
     }
     out += StrFormat("  conjunction %zu: join {%s}\n", c,
                      Join(names, ", ").c_str());
+    if (c < plan.join_trees.size() &&
+        plan.join_trees[c].Matches(plan.conj_inputs[c].size())) {
+      const JoinTree& tree = plan.join_trees[c];
+      out += StrFormat(
+          "    join order (%s):\n",
+          std::string(JoinOrderSourceToString(tree.source)).c_str());
+      RenderJoinTree(plan, c, tree, tree.nodes.size() - 1, 0, &out);
+    } else if (plan.conj_inputs[c].size() > 1) {
+      out += "    join order: greedy smallest-first at execution\n";
+    }
   }
   out += "  union of all conjunctions, then quantifiers right-to-left:\n";
   for (size_t i = plan.sf.prefix.size(); i-- > 0;) {

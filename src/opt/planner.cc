@@ -2,6 +2,7 @@
 
 #include "cost/plan_search.h"
 #include "exec/eval_util.h"
+#include "joinorder/attach.h"
 #include "normalize/fold_empty.h"
 #include "normalize/standard_form.h"
 #include "opt/scan_plan.h"
@@ -122,6 +123,14 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
       spec.try_permanent = spec.gates.empty() && qv != nullptr &&
                            !qv->range.IsExtended();
     }
+  }
+  if (options.join_order_dp) {
+    // After the physical knobs: permanent-index borrowing changes the
+    // structure-size estimates the join-order DP plans over.
+    JoinOrderOptions join_options;
+    join_options.dp_max_inputs = options.join_dp_max_inputs;
+    join_options.bushy = options.join_dp_bushy;
+    AttachJoinOrders(&out.plan, db, join_options);
   }
   return out;
 }

@@ -47,6 +47,17 @@ struct PlannerOptions {
   /// Build every transient index as a B+tree even where a hash index
   /// suffices — a physical knob the plan-search driver enumerates.
   bool prefer_ordered_indexes = false;
+  /// Selinger-style join ordering (src/joinorder/) over each
+  /// conjunction's combination inputs: when every relation a conjunction
+  /// ranges over has fresh statistics and its input count is within
+  /// join_dp_max_inputs, a dynamic program picks the join tree; the
+  /// executor keeps its greedy smallest-first heuristic otherwise (and
+  /// whenever the DP predicts no strict improvement over greedy).
+  bool join_order_dp = true;
+  /// Conjunctions with more inputs than this skip the DP (2^n table).
+  size_t join_dp_max_inputs = 12;
+  /// Let the DP consider bushy join trees, not just left-deep ones.
+  bool join_dp_bushy = false;
 };
 
 /// A fully planned (not yet executed) query with its transformation trail.

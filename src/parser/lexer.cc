@@ -24,6 +24,7 @@ std::string_view TokenTypeToString(TokenType t) {
     case TokenType::kAssign: return "':='";
     case TokenType::kInsertOp: return "':+'";
     case TokenType::kDeleteOp: return "':-'";
+    case TokenType::kMinus: return "'-'";
     case TokenType::kEq: return "'='";
     case TokenType::kNe: return "'<>'";
     case TokenType::kLt: return "'<'";
@@ -227,6 +228,7 @@ Result<std::vector<Token>> Lexer::Tokenize() {
       case '(': single(TokenType::kLParen); break;
       case ')': single(TokenType::kRParen); break;
       case ',': single(TokenType::kComma); break;
+      case '-': single(TokenType::kMinus); break;
       case ';': single(TokenType::kSemicolon); break;
       case '=': single(TokenType::kEq); break;
       case '.':

@@ -87,6 +87,12 @@ Result<Statement> Parser::ParseStatement() {
         PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
         return Statement(std::move(s));
       }
+      if (lower == "stats" && next == TokenType::kIdent) {
+        Advance();
+        PASCALR_ASSIGN_OR_RETURN(StatsStmt s, ParseStatsBody());
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
       if (lower == "set" && next == TokenType::kIdent) {
         Advance();
         SetStmt s;
@@ -250,8 +256,83 @@ Result<std::vector<RawLiteral>> Parser::ParseTupleLiteral() {
   return values;
 }
 
+bool Parser::AcceptWord(const char* word) {
+  if (!Check(TokenType::kIdent) || AsciiToLower(Cur().text) != word) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+Status Parser::ExpectWord(const char* word) {
+  if (AcceptWord(word)) return Status::OK();
+  return ErrorHere(std::string("expected ") + word);
+}
+
+Result<int64_t> Parser::ParseSignedInt() {
+  bool negative = Accept(TokenType::kMinus);
+  if (!Check(TokenType::kInt)) return ErrorHere("expected an integer");
+  int64_t value = Cur().int_value;
+  Advance();
+  return negative ? -value : value;
+}
+
+Result<uint64_t> Parser::ParseCount() {
+  if (!Check(TokenType::kInt)) {
+    return ErrorHere("expected a non-negative integer");
+  }
+  int64_t value = Cur().int_value;
+  Advance();
+  if (value < 0) return ErrorHere("expected a non-negative integer");
+  return static_cast<uint64_t>(value);
+}
+
+Result<StatsStmt> Parser::ParseStatsBody() {
+  StatsStmt s;
+  if (!Check(TokenType::kIdent)) return ErrorHere("expected relation name");
+  s.relation = Cur().text;
+  Advance();
+  PASCALR_RETURN_IF_ERROR(ExpectWord("cardinality"));
+  PASCALR_ASSIGN_OR_RETURN(s.cardinality, ParseCount());
+  while (AcceptWord("column")) {
+    StatsColumnClause col;
+    if (!Check(TokenType::kIdent)) return ErrorHere("expected component name");
+    col.component = Cur().text;
+    Advance();
+    PASCALR_RETURN_IF_ERROR(ExpectWord("distinct"));
+    PASCALR_ASSIGN_OR_RETURN(col.distinct, ParseCount());
+    if (AcceptWord("min")) {
+      col.has_min_max = true;
+      PASCALR_ASSIGN_OR_RETURN(col.min, ParseRawLiteral());
+      PASCALR_RETURN_IF_ERROR(ExpectWord("max"));
+      PASCALR_ASSIGN_OR_RETURN(col.max, ParseRawLiteral());
+    }
+    if (AcceptWord("histogram")) {
+      col.has_histogram = true;
+      PASCALR_ASSIGN_OR_RETURN(col.histogram_lo, ParseSignedInt());
+      PASCALR_ASSIGN_OR_RETURN(col.histogram_hi, ParseSignedInt());
+      PASCALR_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      while (true) {
+        PASCALR_ASSIGN_OR_RETURN(uint64_t bucket, ParseCount());
+        col.buckets.push_back(bucket);
+        if (!Accept(TokenType::kComma)) break;
+      }
+      PASCALR_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    s.columns.push_back(std::move(col));
+  }
+  return s;
+}
+
 Result<RawLiteral> Parser::ParseRawLiteral() {
   RawLiteral lit;
+  if (Check(TokenType::kMinus) && Ahead().type == TokenType::kInt) {
+    Advance();
+    lit.kind = RawLiteral::Kind::kInt;
+    lit.int_value = -Cur().int_value;
+    Advance();
+    return lit;
+  }
   switch (Cur().type) {
     case TokenType::kInt:
       lit.kind = RawLiteral::Kind::kInt;

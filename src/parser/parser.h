@@ -113,9 +113,33 @@ struct SetStmt {
   std::string value;  ///< lower-cased identifier or integer spelling
 };
 
+/// One COLUMN clause of a STATS statement.
+struct StatsColumnClause {
+  std::string component;
+  uint64_t distinct = 0;
+  bool has_min_max = false;
+  RawLiteral min;  ///< typed by the component's schema type at execution
+  RawLiteral max;
+  bool has_histogram = false;
+  int64_t histogram_lo = 0;
+  int64_t histogram_hi = 0;
+  std::vector<uint64_t> buckets;
+};
+
+/// `STATS rel CARDINALITY n COLUMN c DISTINCT d [MIN lit MAX lit]
+/// [HISTOGRAM lo hi (b, b, ...)] ... ;` — seeds catalog statistics
+/// without a relation scan. Emitted by ExportScript so a reloaded
+/// database plans well before its first ANALYZE.
+struct StatsStmt {
+  std::string relation;
+  uint64_t cardinality = 0;
+  std::vector<StatsColumnClause> columns;
+};
+
 using Statement =
     std::variant<TypeDeclStmt, RelationDeclStmt, AssignStmt, InsertStmt,
-                 DeleteStmt, PrintStmt, ExplainStmt, AnalyzeStmt, SetStmt>;
+                 DeleteStmt, PrintStmt, ExplainStmt, AnalyzeStmt, SetStmt,
+                 StatsStmt>;
 
 struct Script {
   std::vector<Statement> statements;
@@ -150,7 +174,15 @@ class Parser {
   Status Expect(TokenType t);
   Status ErrorHere(const std::string& message) const;
 
+  /// Consumes the current token when it is the (case-insensitive)
+  /// contextual keyword `word`.
+  bool AcceptWord(const char* word);
+  Status ExpectWord(const char* word);
+  Result<int64_t> ParseSignedInt();
+  Result<uint64_t> ParseCount();
+
   Result<Statement> ParseStatement();
+  Result<StatsStmt> ParseStatsBody();
   Result<TypeDeclStmt> ParseTypeDecl();
   Result<RelationDeclStmt> ParseRelationDecl();
   Result<RawType> ParseTypeExpr();

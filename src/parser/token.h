@@ -26,6 +26,7 @@ enum class TokenType : uint8_t {
   kAssign,      // :=
   kInsertOp,    // :+
   kDeleteOp,    // :-
+  kMinus,       // - (sign of negative literals, e.g. in STATS directives)
   // Comparison / brackets (contextually < > delimit tuples).
   kEq,          // =
   kNe,          // <>

@@ -90,6 +90,45 @@ Result<std::string> RelationToSource(const Relation& rel) {
   return out;
 }
 
+/// Serialises fresh catalog statistics as a STATS seeding directive, so
+/// replaying the script leaves the reloaded database with the same
+/// statistics it had at export time — no initial ANALYZE scan needed.
+Result<std::string> StatsToSource(const Relation& rel,
+                                  const RelationStats& stats) {
+  const Schema& schema = rel.schema();
+  std::string out =
+      StrFormat("STATS %s CARDINALITY %llu\n", stats.relation.c_str(),
+                static_cast<unsigned long long>(stats.cardinality));
+  for (size_t i = 0; i < stats.columns.size(); ++i) {
+    const ColumnStats& col = stats.columns[i];
+    out += StrFormat("  COLUMN %s DISTINCT %llu", col.name.c_str(),
+                     static_cast<unsigned long long>(col.distinct));
+    if (col.has_min_max) {
+      const Type& type = schema.component(i).type;
+      PASCALR_ASSIGN_OR_RETURN(std::string min_src,
+                               ValueToSource(col.min, type));
+      PASCALR_ASSIGN_OR_RETURN(std::string max_src,
+                               ValueToSource(col.max, type));
+      out += " MIN " + min_src + " MAX " + max_src;
+    }
+    if (col.numeric && !col.histogram.empty()) {
+      std::vector<std::string> buckets;
+      for (uint64_t b : col.histogram.buckets) {
+        buckets.push_back(std::to_string(b));
+      }
+      out += StrFormat(" HISTOGRAM %lld %lld (%s)",
+                       static_cast<long long>(col.histogram.lo),
+                       static_cast<long long>(col.histogram.hi),
+                       Join(buckets, ", ").c_str());
+    }
+    out += (i + 1 < stats.columns.size()) ? "\n" : ";\n";
+  }
+  if (stats.columns.empty()) {
+    out.insert(out.size() - 1, ";");  // arity-0: terminate the header line
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::string> ExportRelation(const Database& db,
@@ -119,6 +158,13 @@ Result<std::string> ExportScript(const Database& db) {
   for (const std::string& name : db.RelationNames()) {
     PASCALR_ASSIGN_OR_RETURN(std::string rel_src, ExportRelation(db, name));
     out += "\n" + rel_src;
+    // Fresh statistics ride along as a STATS seeding directive (placed
+    // after the inserts: seeding stamps the relation's final mod count).
+    if (const RelationStats* stats = db.FindFreshStats(name)) {
+      PASCALR_ASSIGN_OR_RETURN(std::string stats_src,
+                               StatsToSource(*db.FindRelation(name), *stats));
+      out += stats_src;
+    }
   }
   return out;
 }

@@ -116,9 +116,27 @@ Status Session::ApplyOption(const std::string& name,
     return Status::InvalidArgument("SET PERMINDEXES expects ON or OFF, got '" +
                                    value + "'");
   }
+  if (name == "joinorder") {
+    if (value == "dp") {
+      options_.join_order_dp = true;
+      options_.join_dp_bushy = false;
+      return Status::OK();
+    }
+    if (value == "bushy") {
+      options_.join_order_dp = true;
+      options_.join_dp_bushy = true;
+      return Status::OK();
+    }
+    if (value == "greedy") {
+      options_.join_order_dp = false;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "SET JOINORDER expects DP, BUSHY, or GREEDY, got '" + value + "'");
+  }
   return Status::InvalidArgument("unknown option '" + name +
-                                 "' (expected OPTLEVEL, DIVISION, or "
-                                 "PERMINDEXES)");
+                                 "' (expected OPTLEVEL, DIVISION, "
+                                 "PERMINDEXES, or JOINORDER)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {
@@ -141,6 +159,67 @@ Status Session::RunAssign(const AssignStmt& stmt) {
     (void)ignored;
   }
   return Status::OK();
+}
+
+Status Session::RunStatsSeed(const StatsStmt& stmt) {
+  Relation* rel = db_->FindRelation(stmt.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + stmt.relation + "'");
+  }
+  const Schema& schema = rel->schema();
+  RelationStats stats;
+  stats.relation = stmt.relation;
+  stats.cardinality = stmt.cardinality;
+  stats.columns.resize(schema.num_components());
+  for (size_t i = 0; i < schema.num_components(); ++i) {
+    stats.columns[i].name = schema.component(i).name;
+  }
+  for (const StatsColumnClause& clause : stmt.columns) {
+    int pos = -1;
+    for (size_t i = 0; i < schema.num_components(); ++i) {
+      if (schema.component(i).name == clause.component) {
+        pos = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pos < 0) {
+      return Status::NotFound("no component named '" + clause.component +
+                              "' in " + stmt.relation);
+    }
+    const Type& type = schema.component(static_cast<size_t>(pos)).type;
+    ColumnStats& col = stats.columns[static_cast<size_t>(pos)];
+    col.distinct = clause.distinct;
+    if (clause.has_min_max) {
+      PASCALR_ASSIGN_OR_RETURN(col.min, ResolveLiteral(clause.min, type));
+      PASCALR_ASSIGN_OR_RETURN(col.max, ResolveLiteral(clause.max, type));
+      col.has_min_max = true;
+    }
+    if (clause.has_histogram) {
+      if (clause.buckets.empty() ||
+          clause.histogram_lo > clause.histogram_hi) {
+        return Status::InvalidArgument("malformed histogram for '" +
+                                       clause.component + "'");
+      }
+      // Keep the ANALYZE invariants: histograms only exist on numeric
+      // domains and always come with min/max (whose out-of-range guards
+      // Selectivity relies on before indexing a bucket).
+      if (type.kind() == TypeKind::kString) {
+        return Status::InvalidArgument(
+            "HISTOGRAM on string component '" + clause.component + "'");
+      }
+      if (!clause.has_min_max) {
+        return Status::InvalidArgument("HISTOGRAM for '" + clause.component +
+                                       "' requires MIN and MAX");
+      }
+      col.numeric = true;
+      col.histogram.lo = clause.histogram_lo;
+      col.histogram.hi = clause.histogram_hi;
+      col.histogram.buckets = clause.buckets;
+      col.histogram.total = 0;
+      for (uint64_t b : clause.buckets) col.histogram.total += b;
+    }
+  }
+  return db_->SeedStats(std::move(stats));
 }
 
 Status Session::ExecuteStatement(const Statement& stmt) {
@@ -259,6 +338,9 @@ Status Session::ExecuteStatement(const Statement& stmt) {
   }
   if (const auto* set = std::get_if<SetStmt>(&stmt)) {
     return ApplyOption(set->name, set->value);
+  }
+  if (const auto* stats = std::get_if<StatsStmt>(&stmt)) {
+    return RunStatsSeed(*stats);
   }
   return Status::Internal("unknown statement kind");
 }

@@ -44,8 +44,12 @@ class Session {
   Result<Type> ResolveType(const RawType& raw, const std::string& owner);
   Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
   Status RunAssign(const AssignStmt& stmt);
+  /// `STATS rel ...;` — installs serialised catalog statistics
+  /// (Database::SeedStats) without a relation scan.
+  Status RunStatsSeed(const StatsStmt& stmt);
   /// `SET name value;` — planner option assignment: OPTLEVEL 0-4 | AUTO,
-  /// DIVISION HASH | SORT, PERMINDEXES ON | OFF.
+  /// DIVISION HASH | SORT, PERMINDEXES ON | OFF,
+  /// JOINORDER DP | BUSHY | GREEDY.
   Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 

@@ -159,6 +159,42 @@ TEST(AutoPlannerTest, AutoChoosesConcreteLevelAndReportsCandidates) {
   }
 }
 
+TEST(AutoPlannerTest, PruningNeverDiscardsAWinningNaiveCandidate) {
+  // Soundness sweep: wherever the search pruned O0 (term-heavy queries
+  // whose per-term scans alone exceed the best grouped plan's cost),
+  // compiling O0 by hand must cost at least the chosen candidate.
+  auto db = MakeUniversityDb();
+  ASSERT_TRUE(db->AnalyzeAll().ok());
+  size_t pruned_queries = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    QueryGenerator gen(seed);
+    SelectionExpr sel = gen.RandomSelection();
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(sel.Clone());
+    if (!bound.ok()) continue;
+    PlannerOptions auto_options;
+    auto_options.level = OptLevel::kAuto;
+    Result<PlannedQuery> chosen =
+        PlanQuery(*db, CloneBoundQuery(*bound), auto_options);
+    if (!chosen.ok()) continue;
+    if (chosen->cost_candidates.find("pruned") == std::string::npos) {
+      continue;
+    }
+    ++pruned_queries;
+    PlannerOptions naive_options;
+    naive_options.level = OptLevel::kNaive;
+    Result<PlannedQuery> naive =
+        PlanQuery(*db, CloneBoundQuery(*bound), naive_options);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    CostEstimate naive_cost = EstimatePlanCost(naive->plan, *db);
+    EXPECT_GE(naive_cost.weighted_cost, chosen->estimate.weighted_cost)
+        << "seed " << seed << "\n"
+        << chosen->cost_candidates;
+  }
+  // The sweep is only meaningful if pruning fired at least once.
+  EXPECT_GE(pruned_queries, 1u);
+}
+
 TEST(AutoPlannerTest, CostBasedFlagEquivalentToAutoLevel) {
   auto db = MakeUniversityDb();
   ASSERT_TRUE(db->AnalyzeAll().ok());

@@ -55,6 +55,71 @@ TEST(ExportTest, QueriesAgreeAfterRestore) {
             testing_util::FirstStrings(r2->tuples));
 }
 
+TEST(ExportTest, FreshStatisticsRideAlongAsStatsDirectives) {
+  auto original = MakeUniversityDb();
+  ASSERT_TRUE(original->AnalyzeAll().ok());
+  Result<std::string> script = ExportScript(*original);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_NE(script->find("STATS employees CARDINALITY"), std::string::npos)
+      << *script;
+  EXPECT_NE(script->find("HISTOGRAM"), std::string::npos) << *script;
+
+  Database restored;
+  Session session(&restored);
+  Status st = session.ExecuteScript(*script);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\nscript:\n" << *script;
+
+  // The reloaded database has fresh statistics *without* running ANALYZE,
+  // and they match the originals field for field.
+  for (const std::string& name : original->RelationNames()) {
+    const RelationStats* a = original->FindFreshStats(name);
+    const RelationStats* b = restored.FindFreshStats(name);
+    ASSERT_NE(a, nullptr) << name;
+    ASSERT_NE(b, nullptr) << name << ": restored statistics are not fresh";
+    EXPECT_EQ(a->cardinality, b->cardinality) << name;
+    ASSERT_EQ(a->columns.size(), b->columns.size()) << name;
+    for (size_t i = 0; i < a->columns.size(); ++i) {
+      const ColumnStats& ca = a->columns[i];
+      const ColumnStats& cb = b->columns[i];
+      EXPECT_EQ(ca.name, cb.name) << name;
+      EXPECT_EQ(ca.distinct, cb.distinct) << name << "." << ca.name;
+      EXPECT_EQ(ca.has_min_max, cb.has_min_max) << name << "." << ca.name;
+      if (ca.has_min_max && cb.has_min_max) {
+        EXPECT_EQ(ca.min, cb.min) << name << "." << ca.name;
+        EXPECT_EQ(ca.max, cb.max) << name << "." << ca.name;
+      }
+      EXPECT_EQ(ca.numeric, cb.numeric) << name << "." << ca.name;
+      EXPECT_EQ(ca.histogram.lo, cb.histogram.lo) << name << "." << ca.name;
+      EXPECT_EQ(ca.histogram.hi, cb.histogram.hi) << name << "." << ca.name;
+      EXPECT_EQ(ca.histogram.total, cb.histogram.total)
+          << name << "." << ca.name;
+      EXPECT_EQ(ca.histogram.buckets, cb.histogram.buckets)
+          << name << "." << ca.name;
+    }
+  }
+}
+
+TEST(ExportTest, SeededStatisticsGoStaleOnMutation) {
+  auto original = MakeUniversityDb();
+  ASSERT_TRUE(original->AnalyzeAll().ok());
+  Result<std::string> script = ExportScript(*original);
+  ASSERT_TRUE(script.ok());
+
+  Database restored;
+  Session session(&restored);
+  ASSERT_TRUE(session.ExecuteScript(*script).ok());
+  ASSERT_NE(restored.FindFreshStats("employees"), nullptr);
+
+  Relation* employees = restored.FindRelation("employees");
+  ASSERT_TRUE(employees
+                  ->Insert(Tuple{Value::MakeInt(99),
+                                 Value::MakeString("Zed"),
+                                 Value::MakeEnum(0)})
+                  .ok());
+  EXPECT_EQ(restored.FindFreshStats("employees"), nullptr)
+      << "seeded statistics must invalidate like computed ones";
+}
+
 TEST(ExportTest, StringEscaping) {
   Database db;
   Session session(&db);

@@ -160,6 +160,72 @@ TEST(PlanEquivalenceTest, BothDivisionAlgorithmsAgree) {
   }
 }
 
+TEST(PlanEquivalenceTest, DpJoinOrdersMatchGreedyResults) {
+  // With fresh statistics the planner may attach DP join trees; the
+  // result set must be identical to greedy execution (and the oracle)
+  // for every level, across random databases and queries.
+  for (uint64_t seed = 500; seed < 520; ++seed) {
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.1);
+    ASSERT_TRUE(db->AnalyzeAll().ok());
+    SelectionExpr sel = seed % 2 == 0
+                            ? gen.RandomSelection(3)
+                            : gen.RandomChainSelection(3 + seed % 3, 0.5);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+    NaiveEvaluator naive(db.get());
+    Result<std::vector<Tuple>> oracle = naive.Evaluate(*bound);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto expected = TupleStrings(*oracle);
+
+    for (int level = 1; level <= 4; ++level) {
+      for (bool dp : {true, false}) {
+        PlannerOptions options;
+        options.level = static_cast<OptLevel>(level);
+        options.join_order_dp = dp;
+        Result<QueryRun> run =
+            RunQuery(*db, CloneBoundQuery(*bound), options);
+        ASSERT_TRUE(run.ok()) << "seed " << seed << " level " << level
+                              << (dp ? " dp" : " greedy") << ": "
+                              << run.status().ToString();
+        EXPECT_EQ(TupleStrings(run->tuples), expected)
+            << "seed " << seed << " level " << level
+            << (dp ? " dp" : " greedy");
+      }
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, BushyDpJoinOrdersMatchGreedyResults) {
+  for (uint64_t seed = 600; seed < 610; ++seed) {
+    auto db = MakeUniversityDb(false);
+    QueryGenerator gen(seed);
+    gen.RandomDatabase(db.get(), /*empty_prob=*/0.05);
+    ASSERT_TRUE(db->AnalyzeAll().ok());
+    SelectionExpr sel = gen.RandomChainSelection(4, 0.5);
+
+    Binder binder(db.get());
+    Result<BoundQuery> bound = binder.Bind(std::move(sel));
+    ASSERT_TRUE(bound.ok());
+
+    NaiveEvaluator naive(db.get());
+    Result<std::vector<Tuple>> oracle = naive.Evaluate(*bound);
+    ASSERT_TRUE(oracle.ok());
+    auto expected = TupleStrings(*oracle);
+
+    PlannerOptions options;
+    options.level = OptLevel::kOneStep;
+    options.join_dp_bushy = true;
+    Result<QueryRun> run = RunQuery(*db, CloneBoundQuery(*bound), options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(TupleStrings(run->tuples), expected) << "seed " << seed;
+  }
+}
+
 TEST(PlanEquivalenceTest, MutationsBetweenRunsAreObserved) {
   // Plans are built against live relations: a mutation between two runs
   // must be reflected (indexes are transient / rebuilt).

@@ -90,6 +90,59 @@ class QueryGenerator {
     return sel;
   }
 
+  /// Conjunctive multi-join query: free variable e over employees plus
+  /// `joins` SOME-quantified variables, each tied by an equality join term
+  /// to a randomly chosen earlier variable (a random chain/star over the
+  /// schema's comparable integer components), plus occasional monadic
+  /// filters. At strategy levels >= 1 the single conjunction compiles to
+  /// one multi-input combination join — the join-order optimizer's
+  /// workload.
+  SelectionExpr RandomChainSelection(size_t joins, double filter_prob = 0.5) {
+    SelectionExpr sel;
+    OutputComponent oc;
+    oc.var = "e";
+    oc.component = "ename";
+    sel.projection.push_back(oc);
+    sel.free_vars.emplace_back("e", RangeExpr("employees"));
+    scope_ = {{"e", "employees"}};
+    quant_counter_ = 0;
+
+    static const char* kRelations[] = {"employees", "papers", "courses",
+                                       "timetable"};
+    std::vector<FormulaPtr> terms;
+    for (size_t i = 0; i < joins; ++i) {
+      std::string relation = kRelations[rng_() % 4];
+      std::string name = "j" + std::to_string(quant_counter_++);
+      const GenVar& partner = scope_[rng_() % scope_.size()];
+      const CompInfo& lhs = RandomSmallIntComponentOf(relation);
+      const CompInfo& rhs = RandomSmallIntComponentOf(partner.relation);
+      terms.push_back(Formula::Compare(
+          Operand::Component(name, lhs.component), CompareOp::kEq,
+          Operand::Component(partner.name, rhs.component)));
+      if (Coin(filter_prob)) {
+        const CompInfo& f = RandomComponentOf(relation);
+        terms.push_back(Formula::Compare(
+            Operand::Component(name, f.component), RandomOp(),
+            LiteralFor(f.tag)));
+      }
+      scope_.push_back({name, relation});
+    }
+    FormulaPtr body = std::move(terms.back());
+    terms.pop_back();
+    while (!terms.empty()) {
+      body = Formula::And(std::move(terms.back()), std::move(body));
+      terms.pop_back();
+    }
+    // Quantifiers wrap innermost-last: SOME j0 (SOME j1 (... body)).
+    for (size_t i = scope_.size(); i-- > 1;) {
+      body = Formula::Quant(Quantifier::kSome, scope_[i].name,
+                            RangeExpr(scope_[i].relation), std::move(body));
+    }
+    scope_.resize(1);
+    sel.wff = std::move(body);
+    return sel;
+  }
+
   /// Fills the four relations with random small contents; each relation is
   /// empty with probability `empty_prob` (exercising Lemma 1 paths).
   void RandomDatabase(Database* db, double empty_prob = 0.2) {
@@ -115,6 +168,16 @@ class QueryGenerator {
     std::vector<const CompInfo*> pool;
     for (const CompInfo& c : AllComponents()) {
       if (relation == c.relation) pool.push_back(&c);
+    }
+    return *pool[rng_() % pool.size()];
+  }
+
+  const CompInfo& RandomSmallIntComponentOf(const std::string& relation) {
+    std::vector<const CompInfo*> pool;
+    for (const CompInfo& c : AllComponents()) {
+      if (relation == c.relation && c.tag == CompTag::kSmallInt) {
+        pool.push_back(&c);
+      }
     }
     return *pool[rng_() % pool.size()];
   }
