@@ -13,7 +13,8 @@
 //
 // Everything else is PASCAL/R: TYPE/VAR declarations, `rel :+ [<...>];`
 // inserts, `name := [<...> OF EACH ... : wff];` queries, PRINT, EXPLAIN,
-// ANALYZE [rel], and SET OPTLEVEL/DIVISION/PERMINDEXES.
+// PREPARE name AS [...$p...] / EXECUTE name WITH $p = lit, INDEX rel
+// comp [ORDERED], ANALYZE [rel], and SET OPTLEVEL/DIVISION/PERMINDEXES.
 
 #include <iostream>
 #include <string>
@@ -38,6 +39,9 @@ void PrintHelp() {
       "  out := [<x.s> OF EACH x IN r: x.a < 10];\n"
       "  PRINT out;\n"
       "  EXPLAIN [<x.s> OF EACH x IN r: x.a < 10];\n"
+      "  PREPARE q AS [<x.s> OF EACH x IN r: x.a < $top];\n"
+      "  EXECUTE q WITH $top = 10;   -- re-runs reuse the cached plan\n"
+      "  INDEX r a;                  -- permanent index (add ORDERED for B+tree)\n"
       "  ANALYZE;            -- refresh catalog statistics\n"
       "  SET OPTLEVEL AUTO;  -- cost-based strategy selection\n"
       "  SET JOINORDER DP;   -- Selinger join ordering (or BUSHY, GREEDY)\n"

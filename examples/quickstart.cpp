@@ -107,6 +107,38 @@ int main() {
     return 1;
   }
 
+  // The embedded-host-program loop the paper's §2 describes: prepare the
+  // selection once ($top is a host-variable parameter), then execute it
+  // with changing values — every run after the first reuses the cached
+  // plan (zero parse/plan work) and streams through a cursor.
+  std::cout << "\nPrepared query: professors with enr <= $top\n";
+  auto prepared = session.Prepare(
+      "[<e.ename> OF EACH e IN employees:"
+      " (e.estatus = professor) AND (e.enr <= $top)]");
+  if (!prepared.ok()) {
+    std::cerr << "prepare failed: " << prepared.status().ToString() << "\n";
+    return 1;
+  }
+  for (int64_t top : {2, 3, 6}) {
+    auto cursor =
+        prepared->OpenCursor({{"top", pascalr::Value::MakeInt(top)}});
+    if (!cursor.ok()) {
+      std::cerr << "execute failed: " << cursor.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  $top = " << top << ":";
+    pascalr::Tuple t;
+    while (true) {
+      auto more = cursor->Next(&t);
+      if (!more.ok() || !*more) break;
+      std::cout << " " << t.at(0).AsString();
+    }
+    cursor->Close();
+    std::cout << (prepared->stats().plan_cache_hits > 0 ? "  (cached plan)"
+                                                        : "  (planned)")
+              << "\n";
+  }
+
   std::cout << "\nsession stats: " << session.total_stats().ToString() << "\n";
   return 0;
 }

@@ -1,0 +1,30 @@
+// Process-wide counters of query-compilation work: how many times the
+// expensive pre-execution stages ran. The prepared-query layer
+// (pascalr/prepared.h) exists to make re-executions skip all of them, and
+// its tests assert exactly that — a cached Execute must move none of these
+// counters. Single-threaded by design, like the rest of the engine.
+
+#ifndef PASCALR_BASE_COUNTERS_H_
+#define PASCALR_BASE_COUNTERS_H_
+
+#include <cstdint>
+
+namespace pascalr {
+
+struct CompileCounters {
+  uint64_t parses = 0;           ///< Parser tokenize+parse passes
+  uint64_t binds = 0;            ///< Binder::Bind resolutions
+  uint64_t standard_forms = 0;   ///< standard-form (re)normalisations
+  uint64_t plans = 0;            ///< PlanQuery compilations (concrete level)
+  uint64_t plan_searches = 0;    ///< kAuto plan-search invocations
+  uint64_t collection_walks = 0; ///< cost-model collection-phase walks
+};
+
+inline CompileCounters& GlobalCompileCounters() {
+  static CompileCounters counters;
+  return counters;
+}
+
+}  // namespace pascalr
+
+#endif  // PASCALR_BASE_COUNTERS_H_

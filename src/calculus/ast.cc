@@ -24,12 +24,21 @@ bool Operand::operator==(const Operand& other) const {
   if (kind == Kind::kComponent) {
     return var == other.var && component == other.component;
   }
+  // A parameter slot is never equal to a plain literal (or to a different
+  // parameter), even when the currently bound values coincide: later
+  // executions may re-patch it, so term dedup must keep them apart.
+  if (param_name != other.param_name) return false;
+  if (kind == Kind::kParam) return true;
   if (enum_label != other.enum_label) return false;
   return literal.SameKind(other.literal) && literal == other.literal;
 }
 
 std::string Operand::ToString() const {
   if (kind == Kind::kComponent) return var + "." + component;
+  // Parameter slots keep their marker spelling, before and after value
+  // substitution — structure-interning keys and EXPLAIN output both want
+  // the slot identity, not the currently patched value.
+  if (!param_name.empty()) return "$" + param_name;
   if (type.kind() == TypeKind::kEnum) return literal.ToStringTyped(type);
   if (!enum_label.empty()) return enum_label;  // unresolved label
   return literal.ToString();

@@ -32,12 +32,19 @@ enum class Quantifier : uint8_t { kFree, kSome, kAll };
 
 std::string_view QuantifierToString(Quantifier q);
 
-/// One side of a join term: either a component access `v.comp` or a
-/// literal. Binding fills component_pos / type; var identity stays by name
-/// through normalization (alpha renaming keeps names unique) and is
-/// resolved to an index only in the standard form.
+/// One side of a join term: a component access `v.comp`, a literal, or a
+/// host-variable parameter marker `$name` (Prepare/Execute). Binding fills
+/// component_pos / type; var identity stays by name through normalization
+/// (alpha renaming keeps names unique) and is resolved to an index only in
+/// the standard form.
+///
+/// Parameters exist only between Prepare and the first Execute: binding a
+/// value turns a kParam operand into an ordinary kLiteral whose
+/// `param_name` stays set, so a cached compiled plan can be re-patched in
+/// place when the same prepared query runs with new parameter values.
 struct Operand {
-  enum class Kind : uint8_t { kComponent, kLiteral } kind = Kind::kLiteral;
+  enum class Kind : uint8_t { kComponent, kLiteral, kParam } kind =
+      Kind::kLiteral;
 
   // kComponent:
   std::string var;
@@ -49,6 +56,10 @@ struct Operand {
   /// Unresolved enumeration label (e.g. `professor`) until the binder
   /// types it against the opposite operand's enum type.
   std::string enum_label;
+
+  /// kParam — and, after parameter substitution, the tag that marks a
+  /// kLiteral operand as a re-patchable parameter slot.
+  std::string param_name;
 
   /// Bound type of this operand (component type or literal type).
   Type type = Type::Int();
@@ -66,9 +77,16 @@ struct Operand {
     o.literal = std::move(v);
     return o;
   }
+  static Operand Param(std::string name) {
+    Operand o;
+    o.kind = Kind::kParam;
+    o.param_name = std::move(name);
+    return o;
+  }
 
   bool is_component() const { return kind == Kind::kComponent; }
   bool is_literal() const { return kind == Kind::kLiteral; }
+  bool is_param() const { return kind == Kind::kParam; }
 
   bool operator==(const Operand& other) const;
   std::string ToString() const;

@@ -55,7 +55,18 @@ Status Database::DropRelation(const std::string& name) {
     }
   }
   stats_.erase(name);
+  ++stats_epoch_;
   return Status::OK();
+}
+
+std::vector<Database::IndexDescription> Database::ListIndexes() const {
+  std::vector<IndexDescription> out;
+  for (const auto& [key, entry] : indexes_) {
+    std::string::size_type dot = key.rfind('.');
+    if (dot == std::string::npos) continue;
+    out.push_back({key.substr(0, dot), key.substr(dot + 1), entry.ordered});
+  }
+  return out;
 }
 
 Relation* Database::FindRelation(const std::string& name) const {
@@ -112,6 +123,9 @@ Result<ComponentIndex*> Database::EnsureIndex(const std::string& relation,
   entry.built_at_mod = rel->mod_count();
   ComponentIndex* out = entry.index.get();
   indexes_[key] = std::move(entry);
+  // A new (or rebuilt) permanent index changes what the planner can
+  // borrow; move the epoch so cached prepared plans reconsider it.
+  ++stats_epoch_;
   return out;
 }
 
@@ -136,6 +150,7 @@ Result<const RelationStats*> Database::Analyze(const std::string& relation) {
     return &it->second;
   }
   stats_[relation] = ComputeRelationStats(*rel);
+  ++stats_epoch_;
   return &stats_[relation];
 }
 
@@ -159,6 +174,7 @@ Status Database::SeedStats(RelationStats stats) {
   }
   stats.built_at_mod = rel->mod_count();
   stats_[stats.relation] = std::move(stats);
+  ++stats_epoch_;
   return Status::OK();
 }
 

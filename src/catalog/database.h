@@ -57,6 +57,15 @@ class Database {
   ComponentIndex* FindFreshIndex(const std::string& relation,
                                  const std::string& component) const;
 
+  /// Declared permanent indexes, in catalog order. Used by ExportScript to
+  /// emit `INDEX rel component [ORDERED];` declarations.
+  struct IndexDescription {
+    std::string relation;
+    std::string component;
+    bool ordered = false;
+  };
+  std::vector<IndexDescription> ListIndexes() const;
+
   /// ANALYZE: computes (or refreshes) catalog statistics for `relation` by
   /// one full scan. Statistics record the relation's mod_count and go
   /// stale — FindFreshStats returns nullptr — after any mutation.
@@ -68,6 +77,13 @@ class Database {
   /// Returns the statistics for `relation` if they exist AND match the
   /// relation's current mod_count; nullptr otherwise. Never computes.
   const RelationStats* FindFreshStats(const std::string& relation) const;
+
+  /// Monotonic counter bumped whenever catalog statistics change (ANALYZE
+  /// recomputation, STATS seeding, relation drop). Together with per-
+  /// relation mod_counts this keys the prepared-query plan cache: a plan
+  /// chosen under one (epoch, mod_counts) snapshot is stale under any
+  /// other.
+  uint64_t stats_epoch() const { return stats_epoch_; }
 
   /// Installs externally supplied statistics (the STATS directive that
   /// ExportScript emits) as if ANALYZE had just run: they are stamped
@@ -99,6 +115,7 @@ class Database {
   std::map<std::string, std::shared_ptr<const EnumInfo>> enums_;
   std::map<std::string, IndexEntry> indexes_;
   std::map<std::string, RelationStats> stats_;
+  uint64_t stats_epoch_ = 0;
 };
 
 }  // namespace pascalr

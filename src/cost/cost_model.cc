@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "base/counters.h"
 #include "base/math_util.h"
 #include "base/str_util.h"
 #include "cost/selectivity.h"
@@ -21,15 +22,23 @@ class CostWalker {
   CostWalker(const QueryPlan& plan, const Database& db)
       : plan_(plan), db_(db), sel_(db, plan.sf) {}
 
-  CostEstimate Run() {
-    Prepare();
+  CostEstimate Run(const CollectionCost* reuse = nullptr) {
+    if (reuse != nullptr && reuse->valid &&
+        reuse->structure_rows.size() == plan_.structures.size() &&
+        reuse->index_rows.size() == plan_.indexes.size() &&
+        reuse->vl_count.size() == plan_.value_lists.size()) {
+      LoadCollection(*reuse);
+    } else {
+      Prepare();
+    }
     WalkCombination();
     return Finish();
   }
 
   /// Collection-phase walk only: the per-structure estimates the
-  /// join-order optimizer plans over.
-  std::vector<EstRel> StructureEstimates() {
+  /// join-order optimizer plans over. When `save` is non-null the walk
+  /// state is stored for a later Run(reuse) to resume from.
+  std::vector<EstRel> StructureEstimates(CollectionCost* save = nullptr) {
     Prepare();
     std::vector<EstRel> out(plan_.structures.size());
     for (size_t i = 0; i < plan_.structures.size(); ++i) {
@@ -39,11 +48,53 @@ class CostWalker {
             std::min(out[i].rows, std::max(0.0, sel_.RangeSize(col)));
       }
     }
+    if (save != nullptr) {
+      SaveCollection(save);
+      save->structures = out;
+    }
     return out;
   }
 
  private:
+  void LoadCollection(const CollectionCost& saved) {
+    structure_rows_ = saved.structure_rows;
+    index_rows_ = saved.index_rows;
+    index_distinct_ = saved.index_distinct;
+    vl_count_ = saved.vl_count;
+    vl_distinct_ = saved.vl_distinct;
+    borrowed_.assign(saved.borrowed.begin(), saved.borrowed.end());
+    relations_read_ = saved.relations_read;
+    elements_scanned_ = saved.elements_scanned;
+    index_probes_ = saved.index_probes;
+    single_list_refs_ = saved.single_list_refs;
+    indirect_join_refs_ = saved.indirect_join_refs;
+    quantifier_probes_ = saved.quantifier_probes;
+    comparisons_ = saved.comparisons;
+    permanent_index_hits_ = saved.permanent_index_hits;
+    extra_cost_ = saved.extra_cost;
+  }
+
+  void SaveCollection(CollectionCost* out) const {
+    out->valid = true;
+    out->structure_rows = structure_rows_;
+    out->index_rows = index_rows_;
+    out->index_distinct = index_distinct_;
+    out->vl_count = vl_count_;
+    out->vl_distinct = vl_distinct_;
+    out->borrowed.assign(borrowed_.begin(), borrowed_.end());
+    out->relations_read = relations_read_;
+    out->elements_scanned = elements_scanned_;
+    out->index_probes = index_probes_;
+    out->single_list_refs = single_list_refs_;
+    out->indirect_join_refs = indirect_join_refs_;
+    out->quantifier_probes = quantifier_probes_;
+    out->comparisons = comparisons_;
+    out->permanent_index_hits = permanent_index_hits_;
+    out->extra_cost = extra_cost_;
+  }
+
   void Prepare() {
+    ++GlobalCompileCounters().collection_walks;
     structure_rows_.assign(plan_.structures.size(), 0.0);
     index_rows_.assign(plan_.indexes.size(), 0.0);
     index_distinct_.assign(plan_.indexes.size(), 1.0);
@@ -432,15 +483,17 @@ std::string CostEstimate::ToString() const {
                    weighted_cost, predicted.ToString().c_str());
 }
 
-CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db) {
+CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db,
+                              const CollectionCost* reuse) {
   CostWalker walker(plan, db);
-  return walker.Run();
+  return walker.Run(reuse);
 }
 
 std::vector<EstRel> EstimateStructureSizes(const QueryPlan& plan,
-                                           const Database& db) {
+                                           const Database& db,
+                                           CollectionCost* save) {
   CostWalker walker(plan, db);
-  return walker.StructureEstimates();
+  return walker.StructureEstimates(save);
 }
 
 }  // namespace pascalr

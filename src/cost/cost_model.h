@@ -36,17 +36,54 @@ struct CostEstimate {
   std::string ToString() const;
 };
 
+/// The saved output of one collection-phase cost walk over a plan: the
+/// per-structure estimates the join-order optimizer plans over plus the
+/// accumulator state the combination walk resumes from. Computed by
+/// EstimateStructureSizes (via AttachJoinOrders) and replayed by
+/// EstimatePlanCost, so each kAuto candidate walks its collection phase
+/// once instead of twice. Valid only for the exact (plan, db) pair it was
+/// computed from — join trees attached *after* the walk are fine (they
+/// only change the combination phase), any other plan or catalog change
+/// is not.
+struct CollectionCost {
+  bool valid = false;
+  std::vector<EstRel> structures;  ///< index [i] matches plan.structures[i]
+
+  // Resumable walk state (collection-phase accumulators).
+  std::vector<double> structure_rows;
+  std::vector<double> index_rows;
+  std::vector<double> index_distinct;
+  std::vector<double> vl_count;
+  std::vector<double> vl_distinct;
+  std::vector<char> borrowed;
+  double relations_read = 0.0;
+  double elements_scanned = 0.0;
+  double index_probes = 0.0;
+  double single_list_refs = 0.0;
+  double indirect_join_refs = 0.0;
+  double quantifier_probes = 0.0;
+  double comparisons = 0.0;
+  double permanent_index_hits = 0.0;
+  double extra_cost = 0.0;
+};
+
 /// Costs `plan` against the catalog statistics of `db` (run ANALYZE for
 /// accurate estimates; unanalyzed relations fall back to live cardinality
-/// and textbook selectivities).
-CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db);
+/// and textbook selectivities). When `reuse` holds a valid CollectionCost
+/// for this plan, the collection phase is replayed from it instead of
+/// walked again.
+CostEstimate EstimatePlanCost(const QueryPlan& plan, const Database& db,
+                              const CollectionCost* reuse = nullptr);
 
 /// Estimated row counts and per-column distinct counts of every
 /// collection-phase structure of `plan`, by walking the collection phase
 /// only — the leaf cardinalities the join-order optimizer
 /// (src/joinorder/) plans over. Index [i] matches plan.structures[i].
+/// When `save` is non-null the full walk state is stored there for a
+/// later EstimatePlanCost to resume from.
 std::vector<EstRel> EstimateStructureSizes(const QueryPlan& plan,
-                                           const Database& db);
+                                           const Database& db,
+                                           CollectionCost* save = nullptr);
 
 /// True when the evaluator would reuse a fresh permanent catalog index
 /// for `spec` instead of building a transient one (the same rule

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "base/counters.h"
 #include "base/str_util.h"
 #include "cost/cost_model.h"
 #include "normalize/standard_form.h"
@@ -110,6 +111,7 @@ bool HasQuantifier(const Formula& f) {
 Result<PlannedQuery> SearchBestPlan(const Database& db,
                                     const BoundQuery& query,
                                     const PlannerOptions& base) {
+  ++GlobalCompileCounters().plan_searches;
   // The physical knobs that can matter for this query and catalog:
   // divisions only differ when a quantifier can survive to the
   // combination phase, permanent indexes only when the catalog has one.
@@ -175,7 +177,13 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
               }
             }
           }
-          planned->estimate = EstimatePlanCost(planned->plan, db);
+          // Reuse the collection-phase walk the join-order optimizer
+          // already did for this candidate (one walk per candidate, not
+          // two — see CollectionCost).
+          planned->estimate = EstimatePlanCost(
+              planned->plan, db,
+              planned->collection_cost.valid ? &planned->collection_cost
+                                             : nullptr);
           // Levels run 4 -> 0 but exact ties still choose the lowest
           // level, as the ascending enumeration used to.
           bool better =

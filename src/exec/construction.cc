@@ -4,11 +4,8 @@
 
 namespace pascalr {
 
-Result<std::vector<Tuple>> ExecuteConstruction(const QueryPlan& plan,
-                                               const RefRelation& table,
-                                               const Database& db,
-                                               ExecStats* stats) {
-  // Resolve projection columns once.
+Result<std::vector<int>> ResolveProjectionColumns(const QueryPlan& plan,
+                                                  const RefRelation& table) {
   std::vector<int> column_of_var;
   for (const OutputComponent& oc : plan.sf.projection) {
     int col = table.ColumnIndex(oc.var);
@@ -18,18 +15,34 @@ Result<std::vector<Tuple>> ExecuteConstruction(const QueryPlan& plan,
     }
     column_of_var.push_back(col);
   }
+  return column_of_var;
+}
 
+Result<Tuple> ConstructRow(const QueryPlan& plan, const RefRow& row,
+                           const std::vector<int>& column_of_var,
+                           const Database& db, ExecStats* stats) {
+  Tuple result;
+  for (size_t i = 0; i < plan.sf.projection.size(); ++i) {
+    const OutputComponent& oc = plan.sf.projection[i];
+    const Ref& ref = row[static_cast<size_t>(column_of_var[i])];
+    PASCALR_ASSIGN_OR_RETURN(const Tuple* tuple, db.Deref(ref));
+    if (stats != nullptr) ++stats->dereferences;
+    result.Append(tuple->at(static_cast<size_t>(oc.component_pos)));
+  }
+  return result;
+}
+
+Result<std::vector<Tuple>> ExecuteConstruction(const QueryPlan& plan,
+                                               const RefRelation& table,
+                                               const Database& db,
+                                               ExecStats* stats) {
+  PASCALR_ASSIGN_OR_RETURN(std::vector<int> column_of_var,
+                           ResolveProjectionColumns(plan, table));
   std::vector<Tuple> out;
   std::unordered_set<Tuple, TupleHash> seen;
   for (const RefRow& row : table.rows()) {
-    Tuple result;
-    for (size_t i = 0; i < plan.sf.projection.size(); ++i) {
-      const OutputComponent& oc = plan.sf.projection[i];
-      const Ref& ref = row[static_cast<size_t>(column_of_var[i])];
-      PASCALR_ASSIGN_OR_RETURN(const Tuple* tuple, db.Deref(ref));
-      if (stats != nullptr) ++stats->dereferences;
-      result.Append(tuple->at(static_cast<size_t>(oc.component_pos)));
-    }
+    PASCALR_ASSIGN_OR_RETURN(
+        Tuple result, ConstructRow(plan, row, column_of_var, db, stats));
     if (seen.insert(result).second) out.push_back(std::move(result));
   }
   return out;

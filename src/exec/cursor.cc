@@ -1,0 +1,67 @@
+#include "exec/cursor.h"
+
+#include "exec/combination.h"
+#include "exec/construction.h"
+
+namespace pascalr {
+
+Cursor& Cursor::operator=(Cursor&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  plan_ = std::move(other.plan_);
+  db_ = other.db_;
+  sink_ = other.sink_;
+  stats_ = other.stats_;
+  collection_ = std::move(other.collection_);
+  combined_ = std::move(other.combined_);
+  column_of_var_ = std::move(other.column_of_var_);
+  seen_ = std::move(other.seen_);
+  row_ = other.row_;
+  open_ = other.open_;
+  // The moved-from cursor must not flush the sink again on destruction.
+  other.open_ = false;
+  other.sink_ = nullptr;
+  other.plan_.reset();
+  return *this;
+}
+
+Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
+                            const Database& db, ExecStats* sink) {
+  if (plan == nullptr) return Status::InvalidArgument("cursor needs a plan");
+  Cursor c;
+  c.plan_ = std::move(plan);
+  c.db_ = &db;
+  c.sink_ = sink;
+  PASCALR_ASSIGN_OR_RETURN(c.collection_,
+                           ExecuteCollection(*c.plan_, db, &c.stats_));
+  PASCALR_ASSIGN_OR_RETURN(
+      c.combined_, ExecuteCombination(*c.plan_, c.collection_, &c.stats_));
+  PASCALR_ASSIGN_OR_RETURN(c.column_of_var_,
+                           ResolveProjectionColumns(*c.plan_, c.combined_));
+  c.open_ = true;
+  return c;
+}
+
+Result<bool> Cursor::Next(Tuple* out) {
+  if (!open_) return false;
+  while (row_ < combined_.rows().size()) {
+    const RefRow& row = combined_.row(row_++);
+    PASCALR_ASSIGN_OR_RETURN(
+        Tuple tuple,
+        ConstructRow(*plan_, row, column_of_var_, *db_, &stats_));
+    if (!seen_.insert(tuple).second) continue;  // duplicate row
+    *out = std::move(tuple);
+    return true;
+  }
+  return false;
+}
+
+void Cursor::Close() {
+  if (!open_) return;
+  open_ = false;
+  if (sink_ != nullptr) *sink_ += stats_;
+  sink_ = nullptr;
+  plan_.reset();
+}
+
+}  // namespace pascalr

@@ -1,0 +1,86 @@
+// Pull-based result cursor: Open runs the collection and combination
+// phases of a compiled plan (reference manipulation only, paper §3.3
+// steps 1-2); Next then streams the construction phase one tuple at a
+// time — dereference + projection + duplicate elimination on demand —
+// instead of materialising the whole result vector up front. Closing (or
+// dropping) a partially drained cursor simply skips the remaining
+// dereferences: the early-termination seam repeated host-program loops
+// want (fetch a few elements, decide, move on).
+//
+// Results are tuple-identical, including order, to ExecuteConstruction
+// over the same combination output.
+
+#ifndef PASCALR_EXEC_CURSOR_H_
+#define PASCALR_EXEC_CURSOR_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "catalog/database.h"
+#include "exec/collection.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+#include "refstruct/ref_relation.h"
+
+namespace pascalr {
+
+class Cursor {
+ public:
+  Cursor() = default;  ///< closed cursor
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+  Cursor(Cursor&& other) noexcept { *this = std::move(other); }
+  Cursor& operator=(Cursor&& other) noexcept;
+  ~Cursor() { Close(); }
+
+  /// Runs collection + combination. The cursor shares ownership of the
+  /// plan, so it stays valid even if the caller's plan cache replans
+  /// meanwhile. `sink` (optional) receives this run's ExecStats exactly
+  /// once, when the cursor is closed or destroyed; it must outlive the
+  /// cursor.
+  static Result<Cursor> Open(std::shared_ptr<const QueryPlan> plan,
+                             const Database& db, ExecStats* sink = nullptr);
+
+  /// Produces the next result tuple into `*out`. Returns false when the
+  /// result set is exhausted (or the cursor is closed).
+  Result<bool> Next(Tuple* out);
+
+  /// Flushes stats to the sink and releases the plan. Idempotent.
+  void Close();
+
+  bool is_open() const { return open_; }
+
+  /// Work counters of this cursor's run so far (collection + combination
+  /// at Open, dereferences as Next is called).
+  const ExecStats& stats() const { return stats_; }
+
+  /// Materialised collection-phase structures (Figure 2 exhibits).
+  const CollectionResult& collection() const { return collection_; }
+
+  /// Moves the collection structures out (e.g. into a QueryRun after the
+  /// cursor has been drained). The cursor must not be advanced afterwards.
+  CollectionResult ReleaseCollection() { return std::move(collection_); }
+
+  /// Combination-phase output rows still to be constructed (pre-dedup).
+  size_t rows_pending() const {
+    return combined_.rows().size() - std::min(row_, combined_.rows().size());
+  }
+
+ private:
+  std::shared_ptr<const QueryPlan> plan_;
+  const Database* db_ = nullptr;
+  ExecStats* sink_ = nullptr;
+  ExecStats stats_;
+  CollectionResult collection_;
+  RefRelation combined_;
+  std::vector<int> column_of_var_;
+  std::unordered_set<Tuple, TupleHash> seen_;
+  size_t row_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_EXEC_CURSOR_H_

@@ -29,7 +29,8 @@ bool StatsFreshFor(const QueryPlan& plan, const Database& db,
 }  // namespace
 
 size_t AttachJoinOrders(QueryPlan* plan, const Database& db,
-                        const JoinOrderOptions& options) {
+                        const JoinOrderOptions& options,
+                        CollectionCost* cost_cache) {
   plan->join_trees.clear();
   if (plan->conj_inputs.empty()) return 0;
 
@@ -42,7 +43,11 @@ size_t AttachJoinOrders(QueryPlan* plan, const Database& db,
     if (ids.size() < 3 || ids.size() > options.dp_max_inputs) continue;
     if (!StatsFreshFor(*plan, db, ids)) continue;
     if (!have_structures) {
-      structures = EstimateStructureSizes(*plan, db);
+      if (cost_cache != nullptr && cost_cache->valid) {
+        structures = cost_cache->structures;
+      } else {
+        structures = EstimateStructureSizes(*plan, db, cost_cache);
+      }
       have_structures = true;
     }
     std::vector<EstRel> inputs;

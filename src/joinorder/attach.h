@@ -7,6 +7,7 @@
 #define PASCALR_JOINORDER_ATTACH_H_
 
 #include "catalog/database.h"
+#include "cost/cost_model.h"
 #include "exec/plan.h"
 #include "joinorder/dp.h"
 
@@ -21,8 +22,14 @@ namespace pascalr {
 /// conjunction keeps the executor's greedy smallest-first fallback.
 /// Returns the number of trees attached (join_trees is left empty when
 /// zero, keeping such plans identical to pre-optimizer plans).
+///
+/// When `cost_cache` is non-null, the collection-phase cost walk this
+/// needs is saved there (or reused from there if already valid), so the
+/// plan-search driver can cost the candidate without walking the
+/// collection phase a second time.
 size_t AttachJoinOrders(QueryPlan* plan, const Database& db,
-                        const JoinOrderOptions& options);
+                        const JoinOrderOptions& options,
+                        CollectionCost* cost_cache = nullptr);
 
 }  // namespace pascalr
 

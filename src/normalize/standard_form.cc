@@ -1,5 +1,6 @@
 #include "normalize/standard_form.h"
 
+#include "base/counters.h"
 #include "base/str_util.h"
 #include "calculus/printer.h"
 #include "normalize/nnf.h"
@@ -45,6 +46,7 @@ Status ValidateMatrixVariables(const StandardForm& sf) {
 }  // namespace
 
 Result<StandardForm> BuildStandardForm(BoundQuery query) {
+  ++GlobalCompileCounters().standard_forms;
   StandardForm sf;
   sf.projection = std::move(query.selection.projection);
   sf.output_schema = std::move(query.output_schema);
@@ -67,6 +69,7 @@ Result<StandardForm> BuildStandardForm(BoundQuery query) {
 
 Result<StandardForm> RebuildStandardForm(const StandardForm& base,
                                          FormulaPtr adapted_nnf) {
+  ++GlobalCompileCounters().standard_forms;
   StandardForm sf;
   sf.projection = base.projection;
   sf.output_schema = base.output_schema;

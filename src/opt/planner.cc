@@ -1,10 +1,12 @@
 #include "opt/planner.h"
 
+#include "base/counters.h"
 #include "cost/plan_search.h"
 #include "exec/eval_util.h"
 #include "joinorder/attach.h"
 #include "normalize/fold_empty.h"
 #include "normalize/standard_form.h"
+#include "opt/params.h"
 #include "opt/scan_plan.h"
 
 namespace pascalr {
@@ -29,6 +31,7 @@ BoundQuery CloneBoundQuery(const BoundQuery& query) {
   out.selection = query.selection.Clone();
   out.vars = query.vars;
   out.output_schema = query.output_schema;
+  out.params = query.params;
   return out;
 }
 
@@ -62,12 +65,18 @@ Result<StandardForm> StandardFormWithFolding(const Database& db,
 
 Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
                                const PlannerOptions& options) {
+  if (SelectionHasUnboundParams(query.selection)) {
+    return Status::InvalidArgument(
+        "selection has unbound $parameters; prepare it with "
+        "Session::Prepare and Execute it with parameter values");
+  }
   if (options.level == OptLevel::kAuto || options.cost_based) {
     // Cost-based selection: enumerate concrete candidates and keep the
     // cheapest (src/cost/plan_search.cc re-enters PlanQuery with concrete
     // levels and cost_based off).
     return SearchBestPlan(db, query, options);
   }
+  ++GlobalCompileCounters().plans;
   PlannedQuery out;
   BoundQuery backup = CloneBoundQuery(query);
 
@@ -126,11 +135,13 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
   }
   if (options.join_order_dp) {
     // After the physical knobs: permanent-index borrowing changes the
-    // structure-size estimates the join-order DP plans over.
+    // structure-size estimates the join-order DP plans over. The
+    // collection-phase walk (when the DP needed one) rides along on the
+    // PlannedQuery so the plan-search driver can reuse it.
     JoinOrderOptions join_options;
     join_options.dp_max_inputs = options.join_dp_max_inputs;
     join_options.bushy = options.join_dp_bushy;
-    AttachJoinOrders(&out.plan, db, join_options);
+    AttachJoinOrders(&out.plan, db, join_options, &out.collection_cost);
   }
   return out;
 }

@@ -60,6 +60,22 @@ struct PlannerOptions {
   bool join_dp_bushy = false;
 };
 
+/// Field-wise equality — the prepared-query plan cache uses it to detect
+/// that the session's options changed between executions.
+inline bool operator==(const PlannerOptions& a, const PlannerOptions& b) {
+  return a.level == b.level && a.division == b.division &&
+         a.use_permanent_indexes == b.use_permanent_indexes &&
+         a.use_cnf_extensions == b.use_cnf_extensions &&
+         a.cost_based == b.cost_based &&
+         a.prefer_ordered_indexes == b.prefer_ordered_indexes &&
+         a.join_order_dp == b.join_order_dp &&
+         a.join_dp_max_inputs == b.join_dp_max_inputs &&
+         a.join_dp_bushy == b.join_dp_bushy;
+}
+inline bool operator!=(const PlannerOptions& a, const PlannerOptions& b) {
+  return !(a == b);
+}
+
 /// A fully planned (not yet executed) query with its transformation trail.
 struct PlannedQuery {
   QueryPlan plan;
@@ -73,6 +89,11 @@ struct PlannedQuery {
   bool cost_based = false;
   CostEstimate estimate;
   std::string cost_candidates;
+
+  /// Saved collection-phase cost walk (filled when the join-order
+  /// optimizer needed structure estimates), so the plan-search driver can
+  /// cost this candidate without a second collection walk.
+  CollectionCost collection_cost;
 };
 
 /// The result of running a query end to end.

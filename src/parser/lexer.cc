@@ -12,6 +12,7 @@ std::string_view TokenTypeToString(TokenType t) {
     case TokenType::kIdent: return "identifier";
     case TokenType::kInt: return "integer";
     case TokenType::kString: return "string";
+    case TokenType::kParam: return "parameter";
     case TokenType::kLBracket: return "'['";
     case TokenType::kRBracket: return "']'";
     case TokenType::kLParen: return "'('";
@@ -59,6 +60,7 @@ std::string Token::Describe() const {
   if (type == TokenType::kIdent) return "identifier '" + text + "'";
   if (type == TokenType::kInt) return "integer " + std::to_string(int_value);
   if (type == TokenType::kString) return "string '" + text + "'";
+  if (type == TokenType::kParam) return "parameter '$" + text + "'";
   return std::string(TokenTypeToString(type));
 }
 
@@ -206,6 +208,24 @@ Result<std::vector<Token>> Lexer::Tokenize() {
     }
     if (c == '\'') {
       PASCALR_ASSIGN_OR_RETURN(Token t, LexString());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '$') {
+      // $name — a host-variable parameter marker. The name follows
+      // identifier rules; the token's text is the name without the '$'.
+      Token t;
+      t.type = TokenType::kParam;
+      t.line = line_;
+      t.column = column_;
+      Advance();  // '$'
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        t.text += Advance();
+      }
+      if (t.text.empty()) {
+        return ErrorAt("expected a parameter name after '$'");
+      }
       tokens.push_back(std::move(t));
       continue;
     }

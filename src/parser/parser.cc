@@ -1,11 +1,13 @@
 #include "parser/parser.h"
 
+#include "base/counters.h"
 #include "base/str_util.h"
 #include "parser/lexer.h"
 
 namespace pascalr {
 
 Status Parser::Init() {
+  ++GlobalCompileCounters().parses;
   Lexer lexer(source_);
   PASCALR_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
   pos_ = 0;
@@ -71,10 +73,10 @@ Result<Statement> Parser::ParseStatement() {
     case TokenType::kIdent: {
       std::string name = Cur().text;
       TokenType next = Ahead().type;
-      // ANALYZE and SET are contextual statement keywords, not reserved
-      // words: they only act as keywords where no identifier-led
-      // statement (:=, :+, :-) could parse, so relations named `set` or
-      // `analyze` keep working.
+      // ANALYZE, SET, STATS, PREPARE, EXECUTE, and INDEX are contextual
+      // statement keywords, not reserved words: they only act as keywords
+      // where no identifier-led statement (:=, :+, :-) could parse, so
+      // relations named `set` or `index` keep working.
       std::string lower = AsciiToLower(name);
       if (lower == "analyze" &&
           (next == TokenType::kSemicolon || next == TokenType::kIdent)) {
@@ -90,6 +92,51 @@ Result<Statement> Parser::ParseStatement() {
       if (lower == "stats" && next == TokenType::kIdent) {
         Advance();
         PASCALR_ASSIGN_OR_RETURN(StatsStmt s, ParseStatsBody());
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
+      if (lower == "prepare" && next == TokenType::kIdent) {
+        Advance();
+        PrepareStmt s;
+        s.name = Cur().text;
+        Advance();
+        PASCALR_RETURN_IF_ERROR(ExpectWord("as"));
+        PASCALR_ASSIGN_OR_RETURN(s.selection, ParseSelection());
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
+      if (lower == "execute" && next == TokenType::kIdent) {
+        Advance();
+        ExecuteStmt s;
+        s.name = Cur().text;
+        Advance();
+        if (AcceptWord("with")) {
+          while (true) {
+            if (!Check(TokenType::kParam)) {
+              return ErrorHere("expected a '$parameter' name");
+            }
+            std::string param = Cur().text;
+            Advance();
+            PASCALR_RETURN_IF_ERROR(Expect(TokenType::kEq));
+            PASCALR_ASSIGN_OR_RETURN(RawLiteral value, ParseRawLiteral());
+            s.params.emplace_back(std::move(param), std::move(value));
+            if (!Accept(TokenType::kComma)) break;
+          }
+        }
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(std::move(s));
+      }
+      if (lower == "index" && next == TokenType::kIdent) {
+        Advance();
+        IndexStmt s;
+        s.relation = Cur().text;
+        Advance();
+        if (!Check(TokenType::kIdent)) {
+          return ErrorHere("expected component name");
+        }
+        s.component = Cur().text;
+        Advance();
+        if (AcceptWord("ordered")) s.ordered = true;
         PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
         return Statement(std::move(s));
       }
@@ -548,6 +595,13 @@ Result<Operand> Parser::ParseOperand() {
     case TokenType::kKwFalse: {
       Operand o = Operand::Literal(Value::MakeBool(Check(TokenType::kKwTrue)));
       o.type = Type::Bool();
+      Advance();
+      return o;
+    }
+    case TokenType::kParam: {
+      // Host-variable parameter: typed by the binder against the opposite
+      // component operand, valued at Execute.
+      Operand o = Operand::Param(Cur().text);
       Advance();
       return o;
     }

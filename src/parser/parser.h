@@ -12,6 +12,9 @@
 //   rel :- [<lit, ...>];                        delete by key (`:-`)
 //   PRINT rel;
 //   EXPLAIN selection;
+//   PREPARE name AS selection;                  named prepared query
+//   EXECUTE name [WITH $p = lit, ...];          run it with parameters
+//   INDEX rel component [ORDERED];              permanent component index
 //
 //   selection  := '[' '<' v.c {',' v.c} '>' OF ranges ':' wff ']'
 //   ranges     := EACH v IN range {',' EACH v IN range}
@@ -22,7 +25,7 @@
 //   quant      := (SOME|ALL) v IN range body
 //   body       := quant | '(' wff ')'           (paper's juxtaposition form)
 //   atom       := operand relop operand
-//   operand    := v '.' comp | literal
+//   operand    := v '.' comp | literal | '$' name   (parameter marker)
 //
 // The parser is purely syntactic: names are unresolved, enum-label literals
 // stay identifiers until the binder types them.
@@ -113,6 +116,29 @@ struct SetStmt {
   std::string value;  ///< lower-cased identifier or integer spelling
 };
 
+/// `PREPARE name AS selection;` — compiles a named prepared query held by
+/// the session. The selection may contain `$param` host-variable markers.
+struct PrepareStmt {
+  std::string name;
+  SelectionExpr selection;
+};
+
+/// `EXECUTE name [WITH $p = lit, ...];` — runs a prepared query with the
+/// given parameter values and prints the result tuples.
+struct ExecuteStmt {
+  std::string name;
+  std::vector<std::pair<std::string, RawLiteral>> params;
+};
+
+/// `INDEX rel component [ORDERED];` — declares (and builds) a permanent
+/// component index; ORDERED selects a B+tree over a hash index. Emitted by
+/// ExportScript so dumps carry their permanent indexes.
+struct IndexStmt {
+  std::string relation;
+  std::string component;
+  bool ordered = false;
+};
+
 /// One COLUMN clause of a STATS statement.
 struct StatsColumnClause {
   std::string component;
@@ -139,7 +165,7 @@ struct StatsStmt {
 using Statement =
     std::variant<TypeDeclStmt, RelationDeclStmt, AssignStmt, InsertStmt,
                  DeleteStmt, PrintStmt, ExplainStmt, AnalyzeStmt, SetStmt,
-                 StatsStmt>;
+                 StatsStmt, PrepareStmt, ExecuteStmt, IndexStmt>;
 
 struct Script {
   std::vector<Statement> statements;

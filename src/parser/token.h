@@ -13,6 +13,7 @@ enum class TokenType : uint8_t {
   kIdent,
   kInt,
   kString,  // 'quoted'
+  kParam,   // $name — host-variable parameter marker (Prepare/Execute)
   // Punctuation.
   kLBracket,    // [
   kRBracket,    // ]
@@ -55,9 +56,9 @@ enum class TokenType : uint8_t {
   kKwBoolean,
   kKwPrint,
   kKwExplain,
-  // ANALYZE and SET are deliberately NOT reserved words: they are
-  // recognised contextually at statement starts (parser.cc) so that
-  // relations and components may keep those names.
+  // ANALYZE, SET, STATS, PREPARE, EXECUTE, and INDEX are deliberately NOT
+  // reserved words: they are recognised contextually at statement starts
+  // (parser.cc) so that relations and components may keep those names.
 };
 
 struct Token {

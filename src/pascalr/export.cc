@@ -155,9 +155,17 @@ Result<std::string> ExportScript(const Database& db) {
       out += "TYPE " + info.name + " = (" + Join(info.labels, ", ") + ");\n";
     }
   }
+  const std::vector<Database::IndexDescription> indexes = db.ListIndexes();
   for (const std::string& name : db.RelationNames()) {
     PASCALR_ASSIGN_OR_RETURN(std::string rel_src, ExportRelation(db, name));
     out += "\n" + rel_src;
+    // Permanent indexes are re-declared after the inserts, so replaying
+    // builds each one exactly once over the final contents.
+    for (const Database::IndexDescription& index : indexes) {
+      if (index.relation != name) continue;
+      out += "INDEX " + index.relation + " " + index.component +
+             (index.ordered ? " ORDERED;\n" : ";\n");
+    }
     // Fresh statistics ride along as a STATS seeding directive (placed
     // after the inserts: seeding stamps the relation's final mod count).
     if (const RelationStats* stats = db.FindFreshStats(name)) {

@@ -10,6 +10,7 @@
 #ifndef PASCALR_PASCALR_PASCALR_H_
 #define PASCALR_PASCALR_PASCALR_H_
 
+#include "base/counters.h"          // IWYU pragma: export
 #include "base/status.h"            // IWYU pragma: export
 #include "calculus/ast.h"           // IWYU pragma: export
 #include "calculus/printer.h"       // IWYU pragma: export
@@ -18,13 +19,16 @@
 #include "cost/cost_model.h"        // IWYU pragma: export
 #include "cost/plan_search.h"       // IWYU pragma: export
 #include "cost/selectivity.h"       // IWYU pragma: export
+#include "exec/cursor.h"            // IWYU pragma: export
 #include "exec/naive.h"             // IWYU pragma: export
 #include "exec/stats.h"             // IWYU pragma: export
+#include "opt/params.h"             // IWYU pragma: export
 #include "normalize/standard_form.h"  // IWYU pragma: export
 #include "opt/explain.h"            // IWYU pragma: export
 #include "opt/planner.h"            // IWYU pragma: export
 #include "parser/parser.h"          // IWYU pragma: export
 #include "pascalr/dsl.h"            // IWYU pragma: export
+#include "pascalr/prepared.h"       // IWYU pragma: export
 #include "pascalr/sample_db.h"      // IWYU pragma: export
 #include "pascalr/session.h"        // IWYU pragma: export
 #include "semantics/binder.h"       // IWYU pragma: export

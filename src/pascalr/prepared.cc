@@ -1,0 +1,263 @@
+#include "pascalr/prepared.h"
+
+#include <algorithm>
+
+#include "opt/explain.h"
+#include "pascalr/session.h"
+#include "semantics/binder.h"
+
+namespace pascalr {
+
+namespace {
+
+const Schema kEmptySchema;
+
+}  // namespace
+
+void PreparedQuery::State::RecordBoundRelations() {
+  bound_relations.clear();
+  for (const auto& [var, binding] : template_query.vars) {
+    (void)var;
+    bool seen = false;
+    for (const auto& [name, id] : bound_relations) {
+      (void)id;
+      if (name == binding.relation_name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && binding.relation != nullptr) {
+      bound_relations.emplace_back(binding.relation_name,
+                                   binding.relation->id());
+    }
+  }
+}
+
+Status PreparedQuery::State::Rebind(const Database* db) {
+  Binder binder(db);
+  PASCALR_ASSIGN_OR_RETURN(BoundQuery rebound,
+                           binder.Bind(raw_selection.Clone()));
+  template_query = std::move(rebound);
+  param_types = template_query.params;
+  RecordBoundRelations();
+  planned.reset();
+  last_bindings.clear();
+  template_probes.clear();
+  plan_probes.clear();
+  ++stats.rebinds;
+  return Status::OK();
+}
+
+Status PreparedQuery::EnsurePlan(const ParamBindings& params,
+                                 bool* cache_hit) {
+  *cache_hit = false;
+  if (session_ == nullptr || state_ == nullptr) {
+    return Status::InvalidArgument("prepared query is empty");
+  }
+  State& st = *state_;
+  Database& db = *session_->db_;
+  PASCALR_ASSIGN_OR_RETURN(ParamBindings bound,
+                           CheckParamBindings(st.param_types, params));
+
+  // 1. Template validity: every referenced relation must still be the
+  // object the binder resolved. A re-created relation gets a fresh id;
+  // rebind against it (one bind, no re-parse). A missing one is an error.
+  bool template_ok = true;
+  for (const auto& [name, id] : st.bound_relations) {
+    Relation* rel = db.FindRelation(name);
+    if (rel == nullptr) {
+      return Status::NotFound("prepared query references dropped relation '" +
+                              name + "'");
+    }
+    if (rel->id() != id) {
+      template_ok = false;
+      break;
+    }
+  }
+  if (!template_ok) PASCALR_RETURN_IF_ERROR(st.Rebind(&db));
+
+  // 2. Plan-cache validity: same catalog-stats epoch, same relation
+  // mod_counts, same planner options.
+  bool valid = st.planned != nullptr &&
+               db.stats_epoch() == st.stamp_epoch &&
+               session_->options_ == st.stamp_options;
+  if (valid) {
+    for (const auto& [name, mod] : st.stamp_mods) {
+      Relation* rel = db.FindRelation(name);
+      if (rel == nullptr || rel->mod_count() != mod) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (valid) {
+    // Re-patch the parameter slots of the cached plan in place — this is
+    // the whole fast path: no parse, no normalization, no plan search.
+    if (bound != st.last_bindings) {
+      PatchPlanParams(&st.planned->plan, bound);
+      st.last_bindings = bound;
+    }
+    // Safety: adaptation decisions (Lemma 1 folding, rule-2 extension
+    // abandonment) were taken under the plan-time values. If a parameter
+    // inside an extended range now flips that range's emptiness, the
+    // cached plan could return wrong tuples — replan instead.
+    for (const auto& [range, was_empty] : st.template_probes) {
+      RangeExpr probe = range.Clone();
+      if (probe.IsExtended()) {
+        PASCALR_RETURN_IF_ERROR(
+            BindFormulaParams(probe.restriction.get(), bound));
+      }
+      if (RangeIsEmpty(db, probe) != was_empty) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      for (const auto& [idx, was_empty] : st.plan_probes) {
+        if (idx >= st.planned->plan.sf.prefix.size() ||
+            RangeIsEmpty(db, st.planned->plan.sf.prefix[idx].range) !=
+                was_empty) {
+          valid = false;
+          break;
+        }
+      }
+    }
+  }
+  if (valid) {
+    *cache_hit = true;
+    ++st.stats.plan_cache_hits;
+    return Status::OK();
+  }
+
+  // 3. (Re)plan under the current values: substitute them into a clone of
+  // the template and run the full pipeline — under OptLevel::kAuto the
+  // plan search estimates selectivity from these very values.
+  BoundQuery query = CloneBoundQuery(st.template_query);
+  PASCALR_RETURN_IF_ERROR(BindSelectionParams(&query.selection, bound));
+  PASCALR_ASSIGN_OR_RETURN(
+      PlannedQuery planned,
+      PlanQuery(db, std::move(query), session_->options_));
+  st.planned = std::make_shared<PlannedQuery>(std::move(planned));
+  ++st.stats.plan_compiles;
+  st.last_bindings = std::move(bound);
+
+  st.stamp_epoch = db.stats_epoch();
+  st.stamp_options = session_->options_;
+  st.stamp_mods.clear();
+  for (const auto& [name, id] : st.bound_relations) {
+    (void)id;
+    Relation* rel = db.FindRelation(name);
+    st.stamp_mods.emplace_back(name, rel == nullptr ? 0 : rel->mod_count());
+  }
+
+  st.template_probes.clear();
+  std::vector<RangeExpr> param_ranges;
+  CollectParamRanges(st.template_query.selection, &param_ranges);
+  for (RangeExpr& range : param_ranges) {
+    RangeExpr probe = range.Clone();
+    PASCALR_RETURN_IF_ERROR(
+        BindFormulaParams(probe.restriction.get(), st.last_bindings));
+    st.template_probes.emplace_back(std::move(range), RangeIsEmpty(db, probe));
+  }
+  st.plan_probes.clear();
+  const std::vector<QuantifiedVar>& prefix = st.planned->plan.sf.prefix;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (RangeHasParams(prefix[i].range)) {
+      st.plan_probes.emplace_back(i, RangeIsEmpty(db, prefix[i].range));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
+  bool cache_hit = false;
+  PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));
+  ++state_->stats.executes;
+  std::shared_ptr<const QueryPlan> plan(state_->planned,
+                                        &state_->planned->plan);
+  PASCALR_ASSIGN_OR_RETURN(
+      Cursor cursor, Cursor::Open(std::move(plan), *session_->db_, nullptr));
+  PreparedExecution out;
+  out.plan_cache_hit = cache_hit;
+  Tuple tuple;
+  while (true) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, cursor.Next(&tuple));
+    if (!more) break;
+    out.tuples.push_back(std::move(tuple));
+  }
+  out.stats = cursor.stats();
+  if (!cache_hit) out.stats.replans = state_->planned->replans;
+  out.collection = cursor.ReleaseCollection();
+  cursor.Close();
+  session_->total_stats_ += out.stats;
+  return out;
+}
+
+Result<Cursor> PreparedQuery::OpenCursor(const ParamBindings& params) {
+  bool cache_hit = false;
+  PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));
+  ++state_->stats.executes;
+  std::shared_ptr<const QueryPlan> plan(state_->planned,
+                                        &state_->planned->plan);
+  return Cursor::Open(std::move(plan), *session_->db_,
+                      &session_->total_stats_);
+}
+
+Result<std::string> PreparedQuery::Explain(const ParamBindings& params) {
+  if (session_ == nullptr || state_ == nullptr) {
+    return Status::InvalidArgument("prepared query is empty");
+  }
+  // With a plan already cached, explain it as-is — no bindings needed
+  // (and none validated); otherwise plan with the given params first.
+  if (state_->planned == nullptr) {
+    bool cache_hit = false;
+    PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));
+  }
+  return ExplainPlan(*state_->planned);
+}
+
+void PreparedQuery::InvalidatePlan() {
+  if (state_ == nullptr) return;
+  state_->planned.reset();
+  state_->last_bindings.clear();
+  state_->template_probes.clear();
+  state_->plan_probes.clear();
+}
+
+const Schema& PreparedQuery::output_schema() const {
+  return state_ == nullptr ? kEmptySchema : state_->template_query.output_schema;
+}
+
+std::vector<std::string> PreparedQuery::param_names() const {
+  std::vector<std::string> out;
+  if (state_ != nullptr) {
+    for (const auto& [name, type] : state_->param_types) {
+      (void)type;
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, Type>& PreparedQuery::param_types() const {
+  static const std::map<std::string, Type> kEmpty;
+  return state_ == nullptr ? kEmpty : state_->param_types;
+}
+
+const PreparedStats& PreparedQuery::stats() const {
+  static const PreparedStats kEmpty;
+  return state_ == nullptr ? kEmpty : state_->stats;
+}
+
+const PlannedQuery* PreparedQuery::planned() const {
+  return state_ == nullptr ? nullptr : state_->planned.get();
+}
+
+PlannedQuery PreparedQuery::TakePlanned() {
+  if (state_ == nullptr || state_->planned == nullptr) return PlannedQuery();
+  PlannedQuery out = std::move(*state_->planned);
+  state_->planned.reset();
+  return out;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,149 @@
+// Prepared queries: the Prepare / Bind / Execute lifecycle PASCAL/R's
+// embedding implies (Jarke & Schmidt §2 — the same selection runs
+// repeatedly inside host-program loops with changing host-variable
+// values, so compilation is split from execution and the strategy choice
+// is reused, not redone, per iteration).
+//
+//   auto pq = session.Prepare(
+//       "[<e.ename> OF EACH e IN employees: e.enr <= $top]");
+//   for (int64_t top : {5, 10, 50}) {
+//     auto run = pq->Execute({{"top", Value::MakeInt(top)}});
+//     ...
+//   }
+//
+// Prepare parses and binds once ($params are typed by the binder against
+// the components they are compared with). The first Execute substitutes
+// the bound values and runs cost-based planning — parameterized
+// selectivity is estimated from the actual values, so OptLevel::kAuto can
+// pick a different strategy level for a selective vs. a non-selective
+// binding. The compiled plan is cached keyed on the catalog stats epoch,
+// the referenced relations' mod_counts, and the session's planner
+// options; while the key matches, further Executes only re-patch the
+// parameter slots in place — zero parse / normalize / plan-search work
+// (asserted by tests against base/counters.h). A mutation or ANALYZE
+// changes the key and the next Execute transparently replans. Safety
+// wrinkle: when a parameter appears inside an extended range, its
+// emptiness (which drives the planner's runtime-adaptation rules) is
+// re-probed per execution, and a flip forces a replan — a stale cache
+// never returns wrong tuples.
+//
+// Results stream through a pull-based Cursor (exec/cursor.h); Execute is
+// simply OpenCursor + drain. A PreparedQuery must not outlive its Session
+// (or the Database).
+
+#ifndef PASCALR_PASCALR_PREPARED_H_
+#define PASCALR_PASCALR_PREPARED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "exec/cursor.h"
+#include "opt/params.h"
+#include "opt/planner.h"
+
+namespace pascalr {
+
+class Session;
+
+/// Lifecycle counters of one prepared query.
+struct PreparedStats {
+  uint64_t executes = 0;         ///< Execute + OpenCursor calls
+  uint64_t plan_cache_hits = 0;  ///< executions that reused the cached plan
+  uint64_t plan_compiles = 0;    ///< plan (re)builds, including the first
+  uint64_t rebinds = 0;          ///< template rebinds (relation re-created)
+};
+
+/// One Execute's materialised result (the cursor drained).
+struct PreparedExecution {
+  std::vector<Tuple> tuples;
+  ExecStats stats;
+  CollectionResult collection;
+  bool plan_cache_hit = false;
+};
+
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;  ///< empty shell; Session::Prepare makes real ones
+
+  /// Runs the query with the given parameter values, materialising the
+  /// whole result (OpenCursor + drain). Statistics are added to the
+  /// session totals.
+  Result<PreparedExecution> Execute(const ParamBindings& params = {});
+
+  /// Runs collection + combination and returns a streaming cursor over
+  /// the result; construction work (dereference + projection + dedup)
+  /// happens per Next() call, so a partially drained cursor never pays
+  /// for tuples nobody asked for. The cursor flushes its stats to the
+  /// session when closed and keeps the executed plan alive even if a
+  /// later Execute replans.
+  Result<Cursor> OpenCursor(const ParamBindings& params = {});
+
+  /// EXPLAIN text of the currently cached plan (plans with the given
+  /// params first when no plan is cached yet).
+  Result<std::string> Explain(const ParamBindings& params = {});
+
+  /// Drops the cached plan; the next Execute replans from the template.
+  void InvalidatePlan();
+
+  const Schema& output_schema() const;
+  /// Declared parameters in name order.
+  std::vector<std::string> param_names() const;
+  const std::map<std::string, Type>& param_types() const;
+  const PreparedStats& stats() const;
+  /// The cached plan's trail (estimate, adaptation notes, chosen level);
+  /// nullptr before the first Execute.
+  const PlannedQuery* planned() const;
+
+ private:
+  friend class Session;
+
+  struct State {
+    /// Pre-bind selection — the rebind source when a referenced relation
+    /// is dropped and re-created (no re-parse needed, Prepare parsed it).
+    SelectionExpr raw_selection;
+    /// Parsed + bound once, parameters marked and typed.
+    BoundQuery template_query;
+    std::map<std::string, Type> param_types;
+    /// Referenced relations at bind time: (name, id). An id mismatch means
+    /// drop + re-create — the template's schema resolutions are void.
+    std::vector<std::pair<std::string, RelationId>> bound_relations;
+
+    // ---- plan cache (null until the first Execute) -------------------
+    std::shared_ptr<PlannedQuery> planned;
+    uint64_t stamp_epoch = 0;  ///< Database::stats_epoch at plan time
+    std::vector<std::pair<std::string, uint64_t>> stamp_mods;
+    PlannerOptions stamp_options;
+    ParamBindings last_bindings;  ///< values currently patched into the plan
+    /// Emptiness, at plan time, of every range whose restriction holds a
+    /// parameter: template-level user-written ranges (they may have been
+    /// folded out of the plan entirely — adaptation rule 1) and plan-
+    /// prefix ranges (strategy-3 extensions — rule 2). A flip under new
+    /// values invalidates the plan.
+    std::vector<std::pair<RangeExpr, bool>> template_probes;
+    std::vector<std::pair<size_t, bool>> plan_probes;
+
+    PreparedStats stats;
+
+    Status Rebind(const Database* db);
+    void RecordBoundRelations();
+  };
+
+  /// Validates bindings, revalidates template + plan cache, replans if
+  /// needed, and leaves state_->planned holding an executable plan whose
+  /// parameter slots carry `params`. Sets *cache_hit.
+  Status EnsurePlan(const ParamBindings& params, bool* cache_hit);
+
+  /// Moves the planning trail out (Session::Query assembling a QueryRun
+  /// from a throwaway prepared query).
+  PlannedQuery TakePlanned();
+
+  Session* session_ = nullptr;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PASCALR_PREPARED_H_

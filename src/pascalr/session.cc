@@ -342,6 +342,22 @@ Status Session::ExecuteStatement(const Statement& stmt) {
   if (const auto* stats = std::get_if<StatsStmt>(&stmt)) {
     return RunStatsSeed(*stats);
   }
+  if (const auto* prepare = std::get_if<PrepareStmt>(&stmt)) {
+    return RunPrepare(*prepare);
+  }
+  if (const auto* execute = std::get_if<ExecuteStmt>(&stmt)) {
+    return RunExecute(*execute);
+  }
+  if (const auto* index = std::get_if<IndexStmt>(&stmt)) {
+    PASCALR_ASSIGN_OR_RETURN(
+        ComponentIndex * built,
+        db_->EnsureIndex(index->relation, index->component, index->ordered));
+    (void)built;
+    Emit(StrFormat("index %s.%s (%s)\n", index->relation.c_str(),
+                   index->component.c_str(),
+                   index->ordered ? "ordered" : "hash"));
+    return Status::OK();
+  }
   return Status::Internal("unknown statement kind");
 }
 
@@ -352,11 +368,98 @@ Result<BoundQuery> Session::Bind(std::string_view selection_source) {
   return binder.Bind(std::move(sel));
 }
 
+Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
+  Parser parser(selection_source);
+  PASCALR_ASSIGN_OR_RETURN(SelectionExpr sel, parser.ParseSelectionOnly());
+  return PrepareSelection(std::move(sel));
+}
+
+Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
+  auto state = std::make_shared<PreparedQuery::State>();
+  state->raw_selection = selection.Clone();
+  Binder binder(db_);
+  PASCALR_ASSIGN_OR_RETURN(state->template_query,
+                           binder.Bind(std::move(selection)));
+  state->param_types = state->template_query.params;
+  state->RecordBoundRelations();
+  PreparedQuery prepared;
+  prepared.session_ = this;
+  prepared.state_ = std::move(state);
+  return prepared;
+}
+
 Result<QueryRun> Session::Query(std::string_view selection_source) {
-  PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, Bind(selection_source));
-  Result<QueryRun> run = RunQuery(*db_, std::move(bound), options_);
-  if (run.ok()) total_stats_ += run->stats;
+  // Thin compatibility wrapper: Prepare + Execute (no parameters) + drain.
+  // Execute accumulates the stats into total_stats_ itself.
+  PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(selection_source));
+  PASCALR_ASSIGN_OR_RETURN(PreparedExecution exec, prepared.Execute());
+  QueryRun run;
+  run.tuples = std::move(exec.tuples);
+  run.stats = exec.stats;
+  run.collection = std::move(exec.collection);
+  run.planned = prepared.TakePlanned();
   return run;
+}
+
+PreparedQuery* Session::FindPrepared(const std::string& name) {
+  auto it = named_prepared_.find(name);
+  return it == named_prepared_.end() ? nullptr : &it->second;
+}
+
+Status Session::RunPrepare(const PrepareStmt& stmt) {
+  PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PrepareSelection(stmt.selection.Clone()));
+  std::vector<std::string> params = prepared.param_names();
+  named_prepared_[stmt.name] = std::move(prepared);
+  std::string note = "prepared " + stmt.name;
+  if (!params.empty()) {
+    note += " (";
+    for (size_t i = 0; i < params.size(); ++i) {
+      note += (i > 0 ? ", $" : "$") + params[i];
+    }
+    note += ")";
+  }
+  Emit(note + "\n");
+  return Status::OK();
+}
+
+Status Session::RunExecute(const ExecuteStmt& stmt) {
+  PreparedQuery* prepared = FindPrepared(stmt.name);
+  if (prepared == nullptr) {
+    return Status::NotFound("no prepared query named '" + stmt.name +
+                            "' (PREPARE it first)");
+  }
+  const std::map<std::string, Type>& types = prepared->param_types();
+  ParamBindings bindings;
+  for (const auto& [name, raw] : stmt.params) {
+    auto it = types.find(name);
+    if (it == types.end()) {
+      return Status::InvalidArgument("prepared query '" + stmt.name +
+                                     "' declares no parameter $" + name);
+    }
+    PASCALR_ASSIGN_OR_RETURN(Value value, ResolveLiteral(raw, it->second));
+    if (!bindings.emplace(name, std::move(value)).second) {
+      return Status::InvalidArgument("parameter $" + name +
+                                     " is bound twice in WITH");
+    }
+  }
+  PASCALR_ASSIGN_OR_RETURN(PreparedExecution exec,
+                           prepared->Execute(bindings));
+  Emit(StrFormat("%s: %zu tuple(s)%s\n", stmt.name.c_str(),
+                 exec.tuples.size(),
+                 exec.plan_cache_hit ? " (cached plan)" : ""));
+  const Schema& schema = prepared->output_schema();
+  for (const Tuple& tuple : exec.tuples) {
+    std::string row = "  <";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += i < schema.num_components()
+                 ? tuple.at(i).ToStringTyped(schema.component(i).type)
+                 : tuple.at(i).ToString();
+    }
+    Emit(row + ">\n");
+  }
+  return Status::OK();
 }
 
 Result<std::string> Session::Explain(std::string_view selection_source) {

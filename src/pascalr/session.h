@@ -1,10 +1,18 @@
 // Session: executes scripts of the PASCAL/R query language against a
 // Database — type and relation declarations, `:+` inserts, `:-` deletes,
-// `:=` selection assignments, PRINT and EXPLAIN.
+// `:=` selection assignments, PRINT, EXPLAIN, ANALYZE, SET, STATS,
+// INDEX, and the prepared-query statements PREPARE / EXECUTE.
+//
+// The C++ query surface is the prepared-statement lifecycle
+// (pascalr/prepared.h): Prepare once, Execute (or OpenCursor) many times
+// with changing $parameter values; the compiled plan is cached and
+// invalidated by catalog changes. Query() remains as a one-shot
+// convenience wrapper over Prepare + Execute + drain.
 
 #ifndef PASCALR_PASCALR_SESSION_H_
 #define PASCALR_PASCALR_SESSION_H_
 
+#include <map>
 #include <ostream>
 #include <string>
 
@@ -12,6 +20,7 @@
 #include "catalog/database.h"
 #include "opt/planner.h"
 #include "parser/parser.h"
+#include "pascalr/prepared.h"
 
 namespace pascalr {
 
@@ -22,13 +31,23 @@ class Session {
       : db_(db), out_(out) {}
 
   PlannerOptions& options() { return options_; }
+  Database* db() const { return db_; }
 
   /// Parses and executes a whole script.
   Status ExecuteScript(std::string_view source);
 
   Status ExecuteStatement(const Statement& stmt);
 
-  /// Parses, binds, and runs a single selection expression.
+  /// Parses and binds `selection_source` once, returning a reusable
+  /// prepared query. `$name` parameter markers are typed by the binder;
+  /// values are supplied per Execute. The handle must not outlive this
+  /// session.
+  Result<PreparedQuery> Prepare(std::string_view selection_source);
+
+  /// Prepare for an already-built AST (the DSL / generator path).
+  Result<PreparedQuery> PrepareSelection(SelectionExpr selection);
+
+  /// One-shot convenience: Prepare + Execute (no parameters) + drain.
   Result<QueryRun> Query(std::string_view selection_source);
 
   /// Parses and binds a selection without running it.
@@ -37,13 +56,21 @@ class Session {
   /// Returns the EXPLAIN text for a selection.
   Result<std::string> Explain(std::string_view selection_source);
 
+  /// The prepared query a `PREPARE name AS ...;` statement registered, or
+  /// nullptr. (EXECUTE statements look names up here.)
+  PreparedQuery* FindPrepared(const std::string& name);
+
   /// Cumulative statistics across all queries run by this session.
   const ExecStats& total_stats() const { return total_stats_; }
 
  private:
+  friend class PreparedQuery;
+
   Result<Type> ResolveType(const RawType& raw, const std::string& owner);
   Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
   Status RunAssign(const AssignStmt& stmt);
+  Status RunPrepare(const PrepareStmt& stmt);
+  Status RunExecute(const ExecuteStmt& stmt);
   /// `STATS rel ...;` — installs serialised catalog statistics
   /// (Database::SeedStats) without a relation scan.
   Status RunStatsSeed(const StatsStmt& stmt);
@@ -57,6 +84,7 @@ class Session {
   std::ostream* out_;
   PlannerOptions options_;
   ExecStats total_stats_;
+  std::map<std::string, PreparedQuery> named_prepared_;
   int anon_enum_counter_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "semantics/binder.h"
 
+#include "base/counters.h"
 #include "base/str_util.h"
 #include "calculus/printer.h"
 
@@ -35,6 +36,7 @@ Result<VarBinding> Binder::ResolveRange(const std::string& unique_name,
 }
 
 Result<BoundQuery> Binder::Bind(SelectionExpr sel) {
+  ++GlobalCompileCounters().binds;
   out_ = BoundQuery();
   out_.selection = std::move(sel);
   scope_.clear();
@@ -183,9 +185,34 @@ Status Binder::BindOperandVar(Operand* op) {
 
 Status Binder::TypeCheckTerm(JoinTerm* term) {
   Operand* sides[2] = {&term->lhs, &term->rhs};
-  // Resolve component operands first; their types drive literal typing.
+  // Resolve component operands first; their types drive literal and
+  // parameter typing.
   for (Operand* op : sides) {
     if (op->is_component()) PASCALR_RETURN_IF_ERROR(BindOperandVar(op));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Operand* param = sides[i];
+    Operand* other = sides[1 - i];
+    if (!param->is_param()) continue;
+    // A parameter takes the type of the component it is compared against;
+    // comparing two parameters (or a parameter and a literal) leaves it
+    // untypable and, worse, produces a variable-free term the standard
+    // form cannot place — reject it here with a usable message.
+    if (!other->is_component()) {
+      return Status::InvalidArgument(
+          "parameter $" + param->param_name +
+          " must be compared against a component (not another parameter "
+          "or a literal)");
+    }
+    auto it = out_.params.find(param->param_name);
+    if (it == out_.params.end()) {
+      out_.params.emplace(param->param_name, other->type);
+    } else if (!it->second.CompatibleWith(other->type)) {
+      return Status::TypeMismatch(
+          "parameter $" + param->param_name + " is used with types " +
+          it->second.ToString() + " and " + other->type.ToString());
+    }
+    param->type = other->type;
   }
   for (int i = 0; i < 2; ++i) {
     Operand* lit = sides[i];

@@ -36,6 +36,11 @@ struct BoundQuery {
   SelectionExpr selection;
   std::map<std::string, VarBinding> vars;  ///< unique name -> binding
   Schema output_schema;
+  /// Host-variable parameters (`$name`) and the types the binder derived
+  /// for them from the component operands they are compared against. A
+  /// query with parameters cannot be planned until values are substituted
+  /// (opt/params.h); Session::Prepare is the intended entry point.
+  std::map<std::string, Type> params;
 };
 
 class Binder {

@@ -1,5 +1,7 @@
 #include "pascalr/export.h"
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "pascalr/session.h"
@@ -162,6 +164,50 @@ TEST(ExportTest, EmptyRelationsExportDeclarationsOnly) {
   ASSERT_TRUE(script.ok());
   EXPECT_NE(script->find("VAR papers"), std::string::npos);
   EXPECT_EQ(script->find("papers :+"), std::string::npos);
+}
+
+TEST(ExportTest, PermanentIndexesRideAlongAsIndexDeclarations) {
+  auto db = MakeUniversityDb();
+  ASSERT_TRUE(db->EnsureIndex("employees", "enr", /*ordered=*/false).ok());
+  ASSERT_TRUE(db->EnsureIndex("timetable", "ttime", /*ordered=*/true).ok());
+
+  Result<std::string> script = ExportScript(*db);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_NE(script->find("INDEX employees enr;"), std::string::npos)
+      << *script;
+  EXPECT_NE(script->find("INDEX timetable ttime ORDERED;"),
+            std::string::npos)
+      << *script;
+
+  // Replaying the dump rebuilds the permanent indexes, fresh.
+  Database restored;
+  Session session(&restored);
+  Status st = session.ExecuteScript(*script);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\nscript:\n" << *script;
+  EXPECT_NE(restored.FindFreshIndex("employees", "enr"), nullptr);
+  EXPECT_NE(restored.FindFreshIndex("timetable", "ttime"), nullptr);
+  EXPECT_EQ(restored.FindFreshIndex("courses", "cnr"), nullptr);
+  bool found_ordered = false;
+  for (const Database::IndexDescription& index : restored.ListIndexes()) {
+    if (index.relation == "timetable" && index.component == "ttime") {
+      found_ordered = index.ordered;
+    }
+  }
+  EXPECT_TRUE(found_ordered);
+}
+
+TEST(ExportTest, IndexStatementBuildsAndReports) {
+  auto db = MakeUniversityDb();
+  std::ostringstream out;
+  Session session(db.get(), &out);
+  ASSERT_TRUE(session.ExecuteScript("INDEX employees enr;").ok());
+  EXPECT_NE(db->FindFreshIndex("employees", "enr"), nullptr);
+  EXPECT_NE(out.str().find("index employees.enr (hash)"), std::string::npos);
+  // Unknown relation / component surface as NotFound.
+  EXPECT_EQ(session.ExecuteScript("INDEX nope enr;").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.ExecuteScript("INDEX employees nope;").code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace
