@@ -1,14 +1,22 @@
 // Experiment Q (DESIGN.md): the headline series — the full Example 2.1
-// query at every optimization level O0..O4 over growing scale factors.
+// query at every optimization level O0..O4 over growing scale factors —
+// plus the streamed-vs-materialized combination comparison
+// (RunCombination): total drain time, time-to-first-tuple, and
+// peak_intermediate_rows for the join-iterator pipeline (src/pipeline/)
+// against the materializing combination path over the same plan.
 //
 // Expected shape (paper §4, overall claim): the naive combination phase
 // grows with the *product* of the range cardinalities while O1..O4 stay
 // near-linear; each added strategy reduces total work, with the largest
-// single step from O3/O4's treatment of the universal quantifier.
+// single step from O3/O4's treatment of the universal quantifier. For
+// RunCombination: the pipelined first tuple arrives in near-constant time
+// past the collection phase, and the pipelined peak stays flat while the
+// materialized peak grows with the joined result.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "exec/cursor.h"
 
 namespace pascalr {
 namespace {
@@ -55,6 +63,69 @@ BENCHMARK(RunPipeline)
     ->Args({4, 1000})
     ->Args({4, 4000})
     ->Unit(benchmark::kMillisecond);
+
+// Streamed vs materialized combination over one compiled plan: the
+// two-free-variable join (Example 2.1's shape without the quantifier
+// tail), whose result grows with the matching (e, c) pairs.
+//   mode 0: materialized combination, full drain
+//   mode 1: pipelined combination, full drain
+//   mode 2: pipelined combination, first tuple only (time-to-first-tuple)
+void RunCombination(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int mode = static_cast<int>(state.range(1));
+  auto db = MakeScaledDb(n);
+  const std::string query =
+      "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses:"
+      " SOME t IN timetable ((e.enr = t.tenr) AND (c.cnr = t.tcnr))]";
+  Parser parser(query);
+  Result<SelectionExpr> sel = parser.ParseSelectionOnly();
+  if (!sel.ok()) std::abort();
+  Binder binder(db.get());
+  Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
+  if (!bound.ok()) std::abort();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  options.pipeline = mode != 0;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, std::move(bound).value(), options);
+  if (!planned.ok()) std::abort();
+  auto plan = std::make_shared<const QueryPlan>(std::move(planned->plan));
+
+  ExecStats last;
+  size_t results = 0;
+  for (auto _ : state) {
+    Result<Cursor> cursor = Cursor::Open(plan, *db, nullptr);
+    if (!cursor.ok()) std::abort();
+    Tuple t;
+    results = 0;
+    while (true) {
+      Result<bool> more = cursor->Next(&t);
+      if (!more.ok()) std::abort();
+      if (!*more) break;
+      ++results;
+      if (mode == 2) break;  // time-to-first-tuple
+    }
+    last = cursor->stats();
+    cursor->Close();
+    benchmark::DoNotOptimize(results);
+  }
+  ExportStats(state, last, results);
+  state.SetLabel(mode == 0   ? "materialized"
+                 : mode == 1 ? "pipelined"
+                             : "pipelined-first-tuple");
+}
+
+BENCHMARK(RunCombination)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace pascalr

@@ -81,6 +81,9 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
       static_cast<double>(stats.division_input_rows);
   state.counters["quant_probes"] =
       static_cast<double>(stats.quantifier_probes);
+  state.counters["dereferences"] = static_cast<double>(stats.dereferences);
+  state.counters["peak_rows"] =
+      static_cast<double>(stats.peak_intermediate_rows);
   state.counters["total_work"] = static_cast<double>(stats.TotalWork());
   state.counters["result"] = static_cast<double>(result_size);
 }

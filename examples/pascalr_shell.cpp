@@ -6,6 +6,7 @@
 //   .help            this text
 //   .level N|auto    optimization level 0..4 or cost-based AUTO (default 4)
 //   .joinorder MODE  join ordering: dp (default), bushy, or greedy
+//   .pipeline on|off streamed combination (join iterators; default on)
 //   .stats           cumulative session statistics
 //   .dump            export the database as a replayable script
 //                    (includes STATS directives for analyzed relations)
@@ -45,8 +46,9 @@ void PrintHelp() {
       "  ANALYZE;            -- refresh catalog statistics\n"
       "  SET OPTLEVEL AUTO;  -- cost-based strategy selection\n"
       "  SET JOINORDER DP;   -- Selinger join ordering (or BUSHY, GREEDY)\n"
-      "meta: .help .level N|auto .joinorder dp|bushy|greedy .stats .dump "
-      ".quit\n";
+      "  SET PIPELINE ON;    -- streamed combination (join iterators)\n"
+      "meta: .help .level N|auto .joinorder dp|bushy|greedy .pipeline on|off "
+      ".stats .dump .quit\n";
 }
 
 }  // namespace
@@ -114,6 +116,16 @@ int main(int argc, char** argv) {
                             : " (run ANALYZE; so the DP has statistics)\n");
         } else {
           std::cout << "join order must be dp, bushy, or greedy\n";
+        }
+      } else if (line.rfind(".pipeline", 0) == 0) {
+        std::string arg = pascalr::AsciiToLower(Trim(line.substr(9)));
+        if (arg == "on" || arg == "off") {
+          session.options().pipeline = arg == "on";
+          std::cout << "combination: "
+                    << (arg == "on" ? "pipelined (streamed join iterators)\n"
+                                    : "materialized\n");
+        } else {
+          std::cout << "pipeline must be on or off\n";
         }
       } else {
         std::cout << "unknown meta command; .help for help\n";

@@ -10,6 +10,7 @@
 #include "base/str_util.h"
 #include "cost/selectivity.h"
 #include "joinorder/heuristics.h"
+#include "pipeline/shape.h"
 
 namespace pascalr {
 
@@ -32,6 +33,7 @@ class CostWalker {
       Prepare();
     }
     WalkCombination();
+    WalkPipelined();
     return Finish();
   }
 
@@ -269,8 +271,11 @@ class CostWalker {
 
   /// Costs an explicit join tree: every internal node contributes its
   /// JoinEstimate rows to combination_rows, exactly what the executor's
-  /// NaturalJoin would materialise running the same tree.
-  EstRel WalkJoinTree(const JoinTree& tree, const std::vector<EstRel>& inputs) {
+  /// NaturalJoin would materialise running the same tree. `base_live` is
+  /// the modeled row count already held live outside the tree (the union
+  /// accumulator) — intermediate peaks note it.
+  EstRel WalkJoinTree(const JoinTree& tree, const std::vector<EstRel>& inputs,
+                      double base_live) {
     std::vector<EstRel> node_est(tree.nodes.size());
     for (size_t i = 0; i < tree.nodes.size(); ++i) {
       const JoinTreeNode& node = tree.nodes[i];
@@ -278,11 +283,26 @@ class CostWalker {
         node_est[i] = inputs[node.input];
         continue;
       }
-      node_est[i] = JoinEstimate(node_est[static_cast<size_t>(node.left)],
-                                 node_est[static_cast<size_t>(node.right)]);
+      const EstRel& l = node_est[static_cast<size_t>(node.left)];
+      node_est[i] = JoinEstimate(l, node_est[static_cast<size_t>(node.right)]);
       combination_rows_ += node_est[i].rows;
+      // Mirror the executor's PeakTracker: collection structures (leaf
+      // children) are never tracked, joined intermediates are live until
+      // their parent consumes them.
+      double children_live = 0.0;
+      if (!tree.nodes[static_cast<size_t>(node.left)].leaf) {
+        children_live += l.rows;
+      }
+      if (!tree.nodes[static_cast<size_t>(node.right)].leaf) {
+        children_live += node_est[static_cast<size_t>(node.right)].rows;
+      }
+      NoteMatPeak(base_live + children_live + node_est[i].rows);
     }
     return node_est.back();
+  }
+
+  void NoteMatPeak(double live) {
+    mat_peak_ = std::max(mat_peak_, std::min(live, 1e18));
   }
 
   void WalkCombination() {
@@ -334,21 +354,25 @@ class CostWalker {
           greedy = GreedyJoinOrder(inputs);
           tree = &greedy;
         }
-        acc = WalkJoinTree(*tree, inputs);
+        acc = WalkJoinTree(*tree, inputs, combined.rows);
       }
       // Extend to all active variables by Cartesian product.
       for (const QuantifiedVar& qv : active) {
         if (acc.HasCol(qv.var)) continue;
+        double before = acc.rows;
         acc.rows *= std::max(0.0, range_size[qv.var]);
         acc.distinct[qv.var] = std::min(range_size[qv.var], acc.rows);
         for (auto& [col, dc] : acc.distinct) dc = std::min(dc, acc.rows);
         combination_rows_ += acc.rows;
+        NoteMatPeak(combined.rows + before + acc.rows);
       }
       // Align-project onto the active columns (a permutation).
       combination_rows_ += acc.rows;
+      NoteMatPeak(combined.rows + 2.0 * acc.rows);
       // Union with the running result.
       double union_rows = std::min(combined.rows + acc.rows, capacity);
       combination_rows_ += union_rows;
+      NoteMatPeak(combined.rows + acc.rows + union_rows);
       EstRel next;
       next.rows = union_rows;
       for (const QuantifiedVar& qv : active) {
@@ -367,6 +391,7 @@ class CostWalker {
         double domain = CappedProduct(combined, qv.var);
         double rows_out = ProjectedRows(combined.rows, domain);
         combination_rows_ += rows_out;
+        NoteMatPeak(combined.rows + rows_out);
         combined.rows = rows_out;
         combined.distinct.erase(qv.var);
         for (auto& [col, dc] : combined.distinct) {
@@ -385,6 +410,7 @@ class CostWalker {
         double qualifying =
             groups * std::pow(coverage, std::min(divisor, 32.0));
         combination_rows_ += qualifying;
+        NoteMatPeak(combined.rows + qualifying);
         combined.rows = qualifying;
         combined.distinct.erase(qv.var);
         for (auto& [col, dc] : combined.distinct) {
@@ -395,7 +421,161 @@ class CostWalker {
 
     // Final projection onto the free variables (a permutation here).
     combination_rows_ += combined.rows;
+    NoteMatPeak(2.0 * combined.rows);
     final_rows_ = combined.rows;
+  }
+
+  /// Prices the streamed combination (src/pipeline/): joins emit without
+  /// materialising, purely existential probes run as semi-joins (at most
+  /// one emission per outer row) or skip their extension entirely, and
+  /// only blocking buffers — the division input, the dedup sink, bushy
+  /// builds — hold rows. Mirrors the executor's compile.cc decisions via
+  /// the shared shape analysis.
+  void WalkPipelined() {
+    PipelineShape shape = AnalyzePipelineShape(plan_);
+    if (plan_.sf.matrix.IsFalse()) return;
+
+    std::map<std::string, double> range_size;
+    for (const QuantifiedVar& qv : shape.active) {
+      range_size[qv.var] = sel_.RangeSize(qv.var);
+    }
+
+    double comb = 0.0;           // streamed combination_rows
+    double division_in = 0.0;    // pipelined division input rows
+    double buffers = 0.0;        // bushy-build rows held live
+    double rows_to_sink = 0.0;   // pre-dedup rows reaching the sink/buffer
+    EstRel sink;                 // distinct-count view of the sink columns
+    for (const std::string& col : shape.needed) sink.distinct[col] = 0.0;
+
+    for (size_t c = 0; c < plan_.sf.matrix.disjuncts.size(); ++c) {
+      std::vector<EstRel> inputs;
+      std::vector<std::vector<std::string>> input_cols;
+      for (size_t id : plan_.conj_inputs[c]) {
+        EstRel e;
+        e.rows = structure_rows_[id];
+        for (const std::string& col : plan_.structures[id].columns) {
+          e.distinct[col] = std::min(e.rows, range_size.count(col) > 0
+                                                 ? range_size[col]
+                                                 : e.rows);
+        }
+        inputs.push_back(std::move(e));
+        input_cols.push_back(plan_.structures[id].columns);
+      }
+      EstRel acc;
+      if (inputs.empty()) {
+        acc.rows = 1.0;
+      } else {
+        const JoinTree* tree = nullptr;
+        if (c < plan_.join_trees.size() &&
+            plan_.join_trees[c].Matches(inputs.size())) {
+          tree = &plan_.join_trees[c];
+        }
+        JoinTree greedy;
+        if (tree == nullptr) {
+          greedy = GreedyJoinOrder(inputs);
+          tree = &greedy;
+        }
+        std::vector<bool> semi = SemiJoinEligible(*tree, input_cols, shape);
+        std::vector<EstRel> node_est(tree->nodes.size());
+        for (size_t i = 0; i < tree->nodes.size(); ++i) {
+          const JoinTreeNode& node = tree->nodes[i];
+          if (node.leaf) {
+            node_est[i] = inputs[node.input];
+            continue;
+          }
+          const EstRel& l = node_est[static_cast<size_t>(node.left)];
+          const EstRel& r = node_est[static_cast<size_t>(node.right)];
+          if (!tree->nodes[static_cast<size_t>(node.right)].leaf) {
+            buffers += r.rows;  // bushy build: blocking, buffered
+          }
+          EstRel est = JoinEstimate(l, r);
+          if (semi[i]) {
+            // EXISTS-style probe: at most one emission per outer row, and
+            // the right side's existential columns are dropped.
+            est.rows = std::min(est.rows, l.rows);
+            for (const auto& [col, dc] : r.distinct) {
+              (void)dc;
+              if (!l.HasCol(col)) est.distinct.erase(col);
+            }
+            for (auto& [col, dc] : est.distinct) dc = std::min(dc, est.rows);
+          }
+          comb += est.rows;
+          node_est[i] = std::move(est);
+        }
+        acc = node_est.back();
+      }
+      // Extension: needed variables only; purely existential ones are
+      // witnessed by semi-joins or a non-empty range instead.
+      for (const QuantifiedVar& qv : shape.active) {
+        if (acc.HasCol(qv.var)) continue;
+        if (shape.IsExistential(qv.var)) {
+          if (range_size[qv.var] <= 0.0) acc.rows = 0.0;  // annihilated
+          continue;
+        }
+        acc.rows *= std::max(0.0, range_size[qv.var]);
+        acc.distinct[qv.var] = std::min(range_size[qv.var], acc.rows);
+        for (auto& [col, dc] : acc.distinct) dc = std::min(dc, acc.rows);
+        comb += acc.rows;
+      }
+      // Projection onto the needed layout (streamed, no dedup). Chains
+      // already emitting exactly the needed columns skip the copy in
+      // compile.cc; mirror that (column order is invisible here, so this
+      // is the optimistic estimate).
+      bool aligned = acc.distinct.size() == shape.needed.size();
+      for (const std::string& col : shape.needed) {
+        aligned = aligned && acc.HasCol(col);
+      }
+      if (!aligned) comb += acc.rows;
+      rows_to_sink += acc.rows;
+      for (const std::string& col : shape.needed) {
+        if (acc.HasCol(col)) {
+          sink.distinct[col] = std::max(sink.distinct[col],
+                                        acc.distinct[col]);
+        }
+      }
+    }
+
+    sink.rows = ProjectedRows(rows_to_sink, CappedProduct(sink));
+    double pipe_peak = buffers;
+    double final_rows = sink.rows;
+    if (shape.has_division) {
+      comb += sink.rows;  // buffer Adds (set semantics)
+      EstRel cur = sink;
+      double live = cur.rows;
+      for (size_t i = shape.tail.size(); i-- > 0;) {
+        const QuantifiedVar& qv = shape.tail[i];
+        if (qv.quantifier == Quantifier::kFree) break;
+        double rows_out;
+        if (qv.quantifier == Quantifier::kSome) {
+          rows_out = ProjectedRows(cur.rows, CappedProduct(cur, qv.var));
+        } else {
+          division_in += cur.rows;
+          double divisor = std::max(1.0, range_size[qv.var]);
+          double groups =
+              ProjectedRows(cur.rows, CappedProduct(cur, qv.var));
+          double per_group = groups > 0.0 ? cur.rows / groups : 0.0;
+          double coverage = Clamp01(per_group / divisor);
+          rows_out = groups * std::pow(coverage, std::min(divisor, 32.0));
+        }
+        comb += rows_out;
+        pipe_peak = std::max(pipe_peak, buffers + cur.rows + rows_out);
+        cur.rows = rows_out;
+        cur.distinct.erase(qv.var);
+        for (auto& [col, dc] : cur.distinct) dc = std::min(dc, rows_out);
+        live = rows_out;
+      }
+      comb += live;  // final projection onto the free variables
+      pipe_peak = std::max(pipe_peak, buffers + 2.0 * live);
+      final_rows = live;
+    } else {
+      comb += sink.rows;  // dedup-sink emissions
+      pipe_peak = std::max(pipe_peak, buffers + sink.rows);
+    }
+
+    pipelined_combination_rows_ = comb;
+    pipelined_division_rows_ = division_in;
+    pipe_peak_ = pipe_peak;
+    pipelined_final_rows_ = final_rows;
   }
 
   // --------------------------------------------------------------- finish
@@ -428,6 +608,14 @@ class CostWalker {
                   division_input_rows_ + quantifier_probes_ + comparisons_ +
                   dereferences_;
     est.weighted_cost = work + extra_cost_;
+    est.pipelined_combination_rows = pipelined_combination_rows_;
+    est.pipelined_total_work =
+        work - combination_rows_ - division_input_rows_ - dereferences_ +
+        pipelined_combination_rows_ + pipelined_division_rows_ +
+        pipelined_final_rows_ *
+            static_cast<double>(plan_.sf.projection.size());
+    est.est_peak_materialized = mat_peak_;
+    est.est_peak_pipelined = pipe_peak_;
     return est;
   }
 
@@ -448,6 +636,11 @@ class CostWalker {
   double permanent_index_hits_ = 0.0;
   double extra_cost_ = 0.0;
   double final_rows_ = 0.0;
+  double mat_peak_ = 0.0;
+  double pipe_peak_ = 0.0;
+  double pipelined_combination_rows_ = 0.0;
+  double pipelined_division_rows_ = 0.0;
+  double pipelined_final_rows_ = 0.0;
 
   std::vector<double> structure_rows_;
   std::vector<double> index_rows_;

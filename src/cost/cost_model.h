@@ -33,6 +33,19 @@ struct CostEstimate {
   /// division). Lower is better.
   double weighted_cost = 0.0;
 
+  /// Pipelined-combination pricing (src/pipeline/): what the streaming
+  /// cursor does instead of the materializing path — no join
+  /// intermediates, semi-joins that stop at the first match for purely
+  /// existential probes (EXISTS-style early termination), skipped
+  /// Cartesian extensions. `predicted` / `weighted_cost` above always
+  /// price the materializing reference path (candidates are ranked and
+  /// validated against it); these fields price the pipelined mode.
+  double pipelined_combination_rows = 0.0;
+  double pipelined_total_work = 0.0;
+  /// Predicted ExecStats::peak_intermediate_rows per combination mode.
+  double est_peak_materialized = 0.0;
+  double est_peak_pipelined = 0.0;
+
   std::string ToString() const;
 };
 

@@ -11,48 +11,19 @@ namespace pascalr {
 
 namespace {
 
-/// Joins the conjunction's structures, preferring joins over products:
-/// start from the smallest structure, repeatedly take the smallest
-/// remaining structure that shares a column, and fall back to the smallest
-/// overall (a genuine Cartesian step) when none connects.
-RefRelation JoinStructures(std::vector<const RefRelation*> inputs,
-                           ExecStats* stats) {
-  if (inputs.empty()) {
-    RefRelation unit{std::vector<std::string>{}};
-    unit.Add({});  // arity-0 relation containing the empty row: TRUE
-    return unit;
+/// Size-only summaries of actual structures: the signal the greedy order
+/// needs (row counts decide the picks, columns decide connectivity).
+std::vector<EstRel> SizeOnlySummaries(
+    const std::vector<const RefRelation*>& inputs) {
+  std::vector<EstRel> actual;
+  actual.reserve(inputs.size());
+  for (const RefRelation* rel : inputs) {
+    EstRel e;
+    e.rows = static_cast<double>(rel->size());
+    for (const std::string& col : rel->columns()) e.distinct[col] = e.rows;
+    actual.push_back(std::move(e));
   }
-  auto smallest = std::min_element(
-      inputs.begin(), inputs.end(),
-      [](const RefRelation* a, const RefRelation* b) {
-        return a->size() < b->size();
-      });
-  RefRelation acc = **smallest;
-  inputs.erase(smallest);
-  while (!inputs.empty()) {
-    size_t best = inputs.size();
-    size_t best_connected = inputs.size();
-    for (size_t i = 0; i < inputs.size(); ++i) {
-      bool connected = false;
-      for (const std::string& col : inputs[i]->columns()) {
-        if (acc.ColumnIndex(col) >= 0) {
-          connected = true;
-          break;
-        }
-      }
-      if (connected && (best_connected == inputs.size() ||
-                        inputs[i]->size() < inputs[best_connected]->size())) {
-        best_connected = i;
-      }
-      if (best == inputs.size() || inputs[i]->size() < inputs[best]->size()) {
-        best = i;
-      }
-    }
-    size_t pick = best_connected != inputs.size() ? best_connected : best;
-    acc = NaturalJoin(acc, *inputs[pick], stats);
-    inputs.erase(inputs.begin() + static_cast<long>(pick));
-  }
-  return acc;
+  return actual;
 }
 
 /// Exact summary of a materialised structure: actual row count and exact
@@ -100,14 +71,7 @@ bool TreeStillBeatsGreedy(const JoinTree& tree,
   // First cut from sizes alone (the only signal greedy's order needs):
   // when the planner's tree IS the greedy order, executing it is the
   // fallback, so skip the per-column distinct pass entirely.
-  std::vector<EstRel> actual;
-  actual.reserve(inputs.size());
-  for (const RefRelation* rel : inputs) {
-    EstRel e;
-    e.rows = static_cast<double>(rel->size());
-    for (const std::string& col : rel->columns()) e.distinct[col] = e.rows;
-    actual.push_back(std::move(e));
-  }
+  std::vector<EstRel> actual = SizeOnlySummaries(inputs);
   JoinTree greedy = GreedyJoinOrder(actual);
   if (SameTreeShape(tree, greedy)) return true;
   // The orders differ: summarise exactly and compare. Penalty-free — at
@@ -121,10 +85,17 @@ bool TreeStillBeatsGreedy(const JoinTree& tree,
 }
 
 /// Executes an explicit join tree bottom-up: NaturalJoin at every
-/// internal node, children before parents by construction.
+/// internal node, children before parents by construction. On return the
+/// result's rows are registered with `tracker` (intermediates have been
+/// released and unregistered).
 RefRelation ExecuteJoinTree(const JoinTree& tree,
                             const std::vector<const RefRelation*>& inputs,
-                            ExecStats* stats) {
+                            ExecStats* stats, PeakTracker* tracker) {
+  if (tree.nodes.back().leaf) {  // single input: a copy of the structure
+    RefRelation out = *inputs[tree.nodes.back().input];
+    tracker->Add(out.size());
+    return out;
+  }
   // Leaves are consumed in place — only join results are materialised.
   std::vector<RefRelation> joined(tree.nodes.size());
   std::vector<const RefRelation*> node_rels(tree.nodes.size(), nullptr);
@@ -136,25 +107,42 @@ RefRelation ExecuteJoinTree(const JoinTree& tree,
       size_t left = static_cast<size_t>(node.left);
       size_t right = static_cast<size_t>(node.right);
       joined[i] = NaturalJoin(*node_rels[left], *node_rels[right], stats);
+      tracker->Add(joined[i].size());
       node_rels[i] = &joined[i];
       // Each node feeds exactly one parent (Matches), so consumed
       // intermediates can be dropped immediately — peak memory stays at
       // the greedy path's accumulator-plus-one profile.
+      tracker->Sub(joined[left].size());
+      tracker->Sub(joined[right].size());
       joined[left] = RefRelation();
       joined[right] = RefRelation();
       node_rels[left] = nullptr;
       node_rels[right] = nullptr;
     }
   }
-  if (tree.nodes.back().leaf) return *node_rels.back();  // single input
   return std::move(joined.back());
 }
 
 }  // namespace
 
+JoinTree RuntimeJoinOrder(const QueryPlan& plan, size_t conj,
+                          const std::vector<const RefRelation*>& inputs) {
+  // Execute the optimizer's join tree when one is attached (and matches
+  // these inputs, and still wins once actual structure sizes are in);
+  // otherwise the greedy smallest-first heuristic on actual sizes.
+  if (conj < plan.join_trees.size() &&
+      plan.join_trees[conj].Matches(inputs.size()) &&
+      TreeStillBeatsGreedy(plan.join_trees[conj], inputs)) {
+    return plan.join_trees[conj];
+  }
+  return GreedyJoinOrder(SizeOnlySummaries(inputs));
+}
+
 Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
                                        const CollectionResult& coll,
                                        ExecStats* stats) {
+  PeakTracker tracker(stats);
+
   // Active variables: the prefix minus strategy-4 eliminations, in prefix
   // order. Free variables come first by construction.
   std::vector<QuantifiedVar> active;
@@ -180,18 +168,15 @@ Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
     for (size_t id : plan.conj_inputs[c]) {
       inputs.push_back(&coll.structures[id]);
     }
-    // Execute the optimizer's join tree when one is attached (and matches
-    // these inputs, and still wins once actual structure sizes are in);
-    // otherwise the greedy smallest-first heuristic on actual sizes.
-    const JoinTree* tree =
-        c < plan.join_trees.size() &&
-                plan.join_trees[c].Matches(inputs.size()) &&
-                TreeStillBeatsGreedy(plan.join_trees[c], inputs)
-            ? &plan.join_trees[c]
-            : nullptr;
-    RefRelation conj_result = tree != nullptr
-                                  ? ExecuteJoinTree(*tree, inputs, stats)
-                                  : JoinStructures(std::move(inputs), stats);
+    RefRelation conj_result;
+    if (inputs.empty()) {
+      conj_result = RefRelation(std::vector<std::string>{});
+      conj_result.Add({});  // arity-0 relation containing the empty row: TRUE
+      tracker.Add(1);
+    } else {
+      JoinTree tree = RuntimeJoinOrder(plan, c, inputs);
+      conj_result = ExecuteJoinTree(tree, inputs, stats, &tracker);
+    }
     // Extend to all active variables (the n-tuple invariant of §3.3).
     for (const QuantifiedVar& qv : active) {
       if (conj_result.ColumnIndex(qv.var) >= 0) continue;
@@ -199,34 +184,56 @@ Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
       if (it == coll.range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
       }
-      conj_result = ProductWithRefs(conj_result, qv.var, it->second, stats);
+      RefRelation extended =
+          ProductWithRefs(conj_result, qv.var, it->second, stats);
+      tracker.Add(extended.size());
+      tracker.Sub(conj_result.size());
+      conj_result = std::move(extended);
     }
     PASCALR_ASSIGN_OR_RETURN(RefRelation aligned,
                              Project(conj_result, active_names, stats));
-    PASCALR_ASSIGN_OR_RETURN(combined, UnionRows(combined, aligned, stats));
+    tracker.Add(aligned.size());
+    tracker.Sub(conj_result.size());
+    conj_result.Clear();
+    PASCALR_ASSIGN_OR_RETURN(RefRelation next,
+                             UnionRows(combined, aligned, stats));
+    tracker.Add(next.size());
+    tracker.Sub(combined.size());
+    tracker.Sub(aligned.size());
+    combined = std::move(next);
   }
 
   // Step 3: quantifiers right to left.
   for (size_t i = active.size(); i-- > 0;) {
     const QuantifiedVar& qv = active[i];
     if (qv.quantifier == Quantifier::kFree) break;
+    RefRelation next;
     if (qv.quantifier == Quantifier::kSome) {
       std::vector<std::string> keep;
       for (const std::string& col : combined.columns()) {
         if (col != qv.var) keep.push_back(col);
       }
-      PASCALR_ASSIGN_OR_RETURN(combined, Project(combined, keep, stats));
+      PASCALR_ASSIGN_OR_RETURN(next, Project(combined, keep, stats));
     } else {
       auto it = coll.range_refs.find(qv.var);
       if (it == coll.range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
       }
       PASCALR_ASSIGN_OR_RETURN(
-          combined, Divide(combined, qv.var, it->second, stats, plan.division));
+          next, Divide(combined, qv.var, it->second, stats, plan.division));
     }
+    tracker.Add(next.size());
+    tracker.Sub(combined.size());
+    combined = std::move(next);
   }
 
-  PASCALR_ASSIGN_OR_RETURN(combined, Project(combined, free_names, stats));
+  {
+    PASCALR_ASSIGN_OR_RETURN(RefRelation final_rel,
+                             Project(combined, free_names, stats));
+    tracker.Add(final_rel.size());
+    tracker.Sub(combined.size());
+    combined = std::move(final_rel);
+  }
   return combined;
 }
 

@@ -20,6 +20,16 @@ Result<RefRelation> ExecuteCombination(const QueryPlan& plan,
                                        const CollectionResult& coll,
                                        ExecStats* stats);
 
+/// The executor's runtime join-order decision for one conjunction's
+/// actual inputs (non-empty): the plan's attached tree when it matches
+/// and — recosted against actual structure sizes — still beats the greedy
+/// smallest-first order by the required margin, otherwise that greedy
+/// order reified as a left-deep JoinTree. Exposed so the materializing
+/// and pipelined (src/pipeline/) combination paths make the identical
+/// choice.
+JoinTree RuntimeJoinOrder(const QueryPlan& plan, size_t conj,
+                          const std::vector<const RefRelation*>& inputs);
+
 }  // namespace pascalr
 
 #endif  // PASCALR_EXEC_COMBINATION_H_

@@ -6,9 +6,20 @@ namespace pascalr {
 
 Result<std::vector<int>> ResolveProjectionColumns(const QueryPlan& plan,
                                                   const RefRelation& table) {
+  return ResolveProjectionColumns(plan, table.columns());
+}
+
+Result<std::vector<int>> ResolveProjectionColumns(
+    const QueryPlan& plan, const std::vector<std::string>& columns) {
   std::vector<int> column_of_var;
   for (const OutputComponent& oc : plan.sf.projection) {
-    int col = table.ColumnIndex(oc.var);
+    int col = -1;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == oc.var) {
+        col = static_cast<int>(i);
+        break;
+      }
+    }
     if (col < 0) {
       return Status::Internal("combination result lacks column '" + oc.var +
                               "'");

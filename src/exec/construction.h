@@ -22,6 +22,11 @@ namespace pascalr {
 Result<std::vector<int>> ResolveProjectionColumns(const QueryPlan& plan,
                                                   const RefRelation& table);
 
+/// Same, against a bare column layout (the pipelined combination stream
+/// has no materialised RefRelation to resolve against).
+Result<std::vector<int>> ResolveProjectionColumns(
+    const QueryPlan& plan, const std::vector<std::string>& columns);
+
 /// Dereferences one combination row and projects it onto the component
 /// selection (`column_of_var` from ResolveProjectionColumns).
 Result<Tuple> ConstructRow(const QueryPlan& plan, const RefRow& row,

@@ -1,9 +1,17 @@
 #include "exec/cursor.h"
 
+#include "base/logging.h"
 #include "exec/combination.h"
 #include "exec/construction.h"
 
 namespace pascalr {
+
+namespace {
+
+const ExecStats kEmptyStats;
+const CollectionResult kEmptyCollection;
+
+}  // namespace
 
 Cursor& Cursor::operator=(Cursor&& other) noexcept {
   if (this == &other) return *this;
@@ -11,12 +19,7 @@ Cursor& Cursor::operator=(Cursor&& other) noexcept {
   plan_ = std::move(other.plan_);
   db_ = other.db_;
   sink_ = other.sink_;
-  stats_ = other.stats_;
-  collection_ = std::move(other.collection_);
-  combined_ = std::move(other.combined_);
-  column_of_var_ = std::move(other.column_of_var_);
-  seen_ = std::move(other.seen_);
-  row_ = other.row_;
+  run_ = std::move(other.run_);
   open_ = other.open_;
   // The moved-from cursor must not flush the sink again on destruction.
   other.open_ = false;
@@ -32,24 +35,63 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   c.plan_ = std::move(plan);
   c.db_ = &db;
   c.sink_ = sink;
-  PASCALR_ASSIGN_OR_RETURN(c.collection_,
-                           ExecuteCollection(*c.plan_, db, &c.stats_));
+  c.run_ = std::make_unique<RunState>();
+  RunState& run = *c.run_;
+  PASCALR_ASSIGN_OR_RETURN(run.collection,
+                           ExecuteCollection(*c.plan_, db, &run.stats));
+  if (c.plan_->pipeline) {
+    // Streamed combination: compile the iterator tree now, join later —
+    // Next pulls rows on demand. Every compile failure is an invariant
+    // violation (there is no legitimate decline today); the materializing
+    // fallback below keeps the query correct, but the failure must not
+    // pass silently or a pipeline bug ships as an invisible perf
+    // regression.
+    Result<CompiledPipeline> compiled =
+        CompilePipeline(*c.plan_, run.collection, &run.stats, &run.tracker);
+    if (!compiled.ok()) {
+      PASCALR_LOG_WARNING << "pipeline compile failed, falling back to "
+                             "materializing combination: "
+                          << compiled.status().ToString();
+    }
+    if (compiled.ok() && compiled->ok()) {
+      run.pipeline = std::move(compiled).value();
+      PASCALR_ASSIGN_OR_RETURN(
+          run.column_of_var,
+          ResolveProjectionColumns(*c.plan_, run.pipeline.columns));
+      c.open_ = true;
+      return c;
+    }
+  }
   PASCALR_ASSIGN_OR_RETURN(
-      c.combined_, ExecuteCombination(*c.plan_, c.collection_, &c.stats_));
-  PASCALR_ASSIGN_OR_RETURN(c.column_of_var_,
-                           ResolveProjectionColumns(*c.plan_, c.combined_));
+      run.combined, ExecuteCombination(*c.plan_, run.collection, &run.stats));
+  PASCALR_ASSIGN_OR_RETURN(run.column_of_var,
+                           ResolveProjectionColumns(*c.plan_, run.combined));
   c.open_ = true;
   return c;
 }
 
 Result<bool> Cursor::Next(Tuple* out) {
   if (!open_) return false;
-  while (row_ < combined_.rows().size()) {
-    const RefRow& row = combined_.row(row_++);
+  RunState& run = *run_;
+  if (run.pipeline.ok()) {
+    RefRow row;
+    while (true) {
+      PASCALR_ASSIGN_OR_RETURN(bool more, run.pipeline.root->Next(&row));
+      if (!more) return false;
+      PASCALR_ASSIGN_OR_RETURN(
+          Tuple tuple,
+          ConstructRow(*plan_, row, run.column_of_var, *db_, &run.stats));
+      if (!run.seen.insert(tuple).second) continue;  // duplicate row
+      *out = std::move(tuple);
+      return true;
+    }
+  }
+  while (run.row < run.combined.rows().size()) {
+    const RefRow& row = run.combined.row(run.row++);
     PASCALR_ASSIGN_OR_RETURN(
         Tuple tuple,
-        ConstructRow(*plan_, row, column_of_var_, *db_, &stats_));
-    if (!seen_.insert(tuple).second) continue;  // duplicate row
+        ConstructRow(*plan_, row, run.column_of_var, *db_, &run.stats));
+    if (!run.seen.insert(tuple).second) continue;  // duplicate row
     *out = std::move(tuple);
     return true;
   }
@@ -59,9 +101,36 @@ Result<bool> Cursor::Next(Tuple* out) {
 void Cursor::Close() {
   if (!open_) return;
   open_ = false;
-  if (sink_ != nullptr) *sink_ += stats_;
+  if (run_ != nullptr) {
+    // Tear down the iterator tree first: its operators hold pointers into
+    // the plan and the collection structures.
+    run_->pipeline.root.reset();
+    if (sink_ != nullptr) *sink_ += run_->stats;
+  }
   sink_ = nullptr;
   plan_.reset();
+}
+
+const ExecStats& Cursor::stats() const {
+  return run_ == nullptr ? kEmptyStats : run_->stats;
+}
+
+const CollectionResult& Cursor::collection() const {
+  return run_ == nullptr ? kEmptyCollection : run_->collection;
+}
+
+CollectionResult Cursor::ReleaseCollection() {
+  if (run_ == nullptr) return CollectionResult();
+  // The iterators probe the structures in place; a released collection
+  // must not be probed again.
+  run_->pipeline.root.reset();
+  return std::move(run_->collection);
+}
+
+size_t Cursor::rows_pending() const {
+  if (run_ == nullptr || run_->pipeline.ok()) return 0;
+  const size_t total = run_->combined.rows().size();
+  return total - std::min(run_->row, total);
 }
 
 }  // namespace pascalr

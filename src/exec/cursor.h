@@ -1,14 +1,22 @@
-// Pull-based result cursor: Open runs the collection and combination
-// phases of a compiled plan (reference manipulation only, paper §3.3
-// steps 1-2); Next then streams the construction phase one tuple at a
-// time — dereference + projection + duplicate elimination on demand —
-// instead of materialising the whole result vector up front. Closing (or
-// dropping) a partially drained cursor simply skips the remaining
-// dereferences: the early-termination seam repeated host-program loops
-// want (fetch a few elements, decide, move on).
+// Pull-based result cursor over a compiled plan.
 //
-// Results are tuple-identical, including order, to ExecuteConstruction
-// over the same combination output.
+// Pipelined mode (QueryPlan::pipeline, the default): Open runs only the
+// collection phase (paper §3.3 step 1) and compiles the combination phase
+// into a join-iterator tree (src/pipeline/); every Next pulls ONE
+// combination row through that tree and straight into the per-tuple
+// construction helpers — dereference + projection + duplicate elimination
+// on demand. No combination intermediate is materialised (blocking
+// buffers — division input, dedup sinks — excepted), and closing (or
+// dropping) a partially drained cursor skips the remaining join work as
+// well as the remaining dereferences.
+//
+// Materializing fallback (pipeline off, or compilation declined): Open
+// runs collection + combination as before and Next streams construction
+// over the materialised combination result.
+//
+// Both modes produce the same tuple multiset after dedup; row order may
+// differ between them (pipelined joins emit probe-side-major in stream
+// order). A given mode is deterministic.
 
 #ifndef PASCALR_EXEC_CURSOR_H_
 #define PASCALR_EXEC_CURSOR_H_
@@ -22,6 +30,7 @@
 #include "exec/collection.h"
 #include "exec/plan.h"
 #include "exec/stats.h"
+#include "pipeline/compile.h"
 #include "refstruct/ref_relation.h"
 
 namespace pascalr {
@@ -35,11 +44,11 @@ class Cursor {
   Cursor& operator=(Cursor&& other) noexcept;
   ~Cursor() { Close(); }
 
-  /// Runs collection + combination. The cursor shares ownership of the
-  /// plan, so it stays valid even if the caller's plan cache replans
-  /// meanwhile. `sink` (optional) receives this run's ExecStats exactly
-  /// once, when the cursor is closed or destroyed; it must outlive the
-  /// cursor.
+  /// Runs the collection phase (and, in the materializing fallback, the
+  /// combination phase). The cursor shares ownership of the plan, so it
+  /// stays valid even if the caller's plan cache replans meanwhile.
+  /// `sink` (optional) receives this run's ExecStats exactly once, when
+  /// the cursor is closed or destroyed; it must outlive the cursor.
   static Result<Cursor> Open(std::shared_ptr<const QueryPlan> plan,
                              const Database& db, ExecStats* sink = nullptr);
 
@@ -47,37 +56,50 @@ class Cursor {
   /// result set is exhausted (or the cursor is closed).
   Result<bool> Next(Tuple* out);
 
-  /// Flushes stats to the sink and releases the plan. Idempotent.
+  /// Flushes stats to the sink, tears down the iterator tree (skipping
+  /// unperformed join work) and releases the plan. Idempotent.
   void Close();
 
   bool is_open() const { return open_; }
 
-  /// Work counters of this cursor's run so far (collection + combination
-  /// at Open, dereferences as Next is called).
-  const ExecStats& stats() const { return stats_; }
+  /// True when this cursor streams the combination phase through the
+  /// join-iterator pipeline (false: materializing fallback).
+  bool pipelined() const { return run_ != nullptr && run_->pipeline.ok(); }
+
+  /// Work counters of this cursor's run so far (collection at Open, then
+  /// join/construction work as Next is called).
+  const ExecStats& stats() const;
 
   /// Materialised collection-phase structures (Figure 2 exhibits).
-  const CollectionResult& collection() const { return collection_; }
+  const CollectionResult& collection() const;
 
   /// Moves the collection structures out (e.g. into a QueryRun after the
   /// cursor has been drained). The cursor must not be advanced afterwards.
-  CollectionResult ReleaseCollection() { return std::move(collection_); }
+  CollectionResult ReleaseCollection();
 
   /// Combination-phase output rows still to be constructed (pre-dedup).
-  size_t rows_pending() const {
-    return combined_.rows().size() - std::min(row_, combined_.rows().size());
-  }
+  /// Only known on the materializing fallback; a pipelined cursor has no
+  /// materialised pending set and reports 0.
+  size_t rows_pending() const;
 
  private:
+  /// Heap-held so the iterators' back-pointers (stats, tracker,
+  /// collection structures) survive Cursor moves.
+  struct RunState {
+    ExecStats stats;
+    PeakTracker tracker{&stats};
+    CollectionResult collection;
+    CompiledPipeline pipeline;  ///< root null on the materializing path
+    RefRelation combined;       ///< materializing path only
+    size_t row = 0;
+    std::vector<int> column_of_var;
+    std::unordered_set<Tuple, TupleHash> seen;
+  };
+
   std::shared_ptr<const QueryPlan> plan_;
   const Database* db_ = nullptr;
   ExecStats* sink_ = nullptr;
-  ExecStats stats_;
-  CollectionResult collection_;
-  RefRelation combined_;
-  std::vector<int> column_of_var_;
-  std::unordered_set<Tuple, TupleHash> seen_;
-  size_t row_ = 0;
+  std::unique_ptr<RunState> run_;
   bool open_ = false;
 };
 

@@ -272,6 +272,14 @@ struct QueryPlan {
 
   DivisionAlgorithm division = DivisionAlgorithm::kHash;
 
+  /// Stream the combination phase through the join-iterator pipeline
+  /// (src/pipeline/): Cursor::Open runs only the collection phase and
+  /// every Next pulls one n-tuple through the iterator tree. When off (or
+  /// when compilation declines a plan shape) the cursor falls back to the
+  /// materializing combination path. Both modes produce the same tuple
+  /// multiset after dedup.
+  bool pipeline = true;
+
   bool IsEliminated(const std::string& var) const {
     for (const std::string& v : eliminated_vars) {
       if (v == var) return true;

@@ -17,6 +17,11 @@ ExecStats& ExecStats::operator+=(const ExecStats& o) {
   dereferences += o.dereferences;
   replans += o.replans;
   permanent_index_hits += o.permanent_index_hits;
+  // A memory high-water mark, not a flow: accumulating runs keeps the
+  // largest peak seen, it does not sum them.
+  if (o.peak_intermediate_rows > peak_intermediate_rows) {
+    peak_intermediate_rows = o.peak_intermediate_rows;
+  }
   return *this;
 }
 
@@ -25,7 +30,8 @@ std::string ExecStats::ToString() const {
       "relations_read=%llu elements_scanned=%llu index_probes=%llu "
       "single_list_refs=%llu indirect_join_refs=%llu combination_rows=%llu "
       "division_input_rows=%llu quantifier_probes=%llu comparisons=%llu "
-      "dereferences=%llu replans=%llu permanent_index_hits=%llu",
+      "dereferences=%llu replans=%llu permanent_index_hits=%llu "
+      "peak_intermediate_rows=%llu",
       static_cast<unsigned long long>(relations_read),
       static_cast<unsigned long long>(elements_scanned),
       static_cast<unsigned long long>(index_probes),
@@ -37,7 +43,8 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(comparisons),
       static_cast<unsigned long long>(dereferences),
       static_cast<unsigned long long>(replans),
-      static_cast<unsigned long long>(permanent_index_hits));
+      static_cast<unsigned long long>(permanent_index_hits),
+      static_cast<unsigned long long>(peak_intermediate_rows));
 }
 
 }  // namespace pascalr

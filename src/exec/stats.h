@@ -24,6 +24,13 @@ struct ExecStats {
   uint64_t dereferences = 0;       ///< construction-phase dereferences
   uint64_t replans = 0;            ///< runtime adaptations (empty ranges)
   uint64_t permanent_index_hits = 0;  ///< transient index builds skipped
+  /// High-water mark of combination-phase rows held live at once:
+  /// intermediate join/union/projection relations on the materializing
+  /// path, blocking buffers (division input, dedup sinks, bushy builds)
+  /// on the pipelined path. Collection structures are excluded — both
+  /// paths share them. A memory measure, not work: stays out of
+  /// TotalWork() and accumulates by maximum, not sum.
+  uint64_t peak_intermediate_rows = 0;
 
   ExecStats& operator+=(const ExecStats& o);
 
@@ -48,6 +55,31 @@ struct ExecStats {
   }
 
   std::string ToString() const;
+};
+
+/// Live-row accounting behind ExecStats::peak_intermediate_rows: every
+/// combination-phase materialisation Adds its rows while alive and Subs
+/// them when freed; the stats field records the high-water mark. Both
+/// combination paths (exec/combination.cc and src/pipeline/) drive one of
+/// these, so their peaks are directly comparable.
+class PeakTracker {
+ public:
+  explicit PeakTracker(ExecStats* stats) : stats_(stats) {}
+
+  void Add(uint64_t rows) {
+    live_ += rows;
+    if (stats_ != nullptr && live_ > stats_->peak_intermediate_rows) {
+      stats_->peak_intermediate_rows = live_;
+    }
+  }
+
+  void Sub(uint64_t rows) { live_ -= rows < live_ ? rows : live_; }
+
+  uint64_t live() const { return live_; }
+
+ private:
+  ExecStats* stats_;
+  uint64_t live_ = 0;
 };
 
 }  // namespace pascalr

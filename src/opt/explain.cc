@@ -1,6 +1,9 @@
 #include "opt/explain.h"
 
+#include <algorithm>
+
 #include "base/str_util.h"
+#include "pipeline/shape.h"
 
 namespace pascalr {
 
@@ -47,28 +50,35 @@ const char* ModeName(ValueList::Mode mode) {
 
 /// Renders one join-tree node (and its children) at `depth`, leaves named
 /// after their structure, internal nodes showing the join columns and the
-/// optimizer's estimated output cardinality.
+/// optimizer's estimated output cardinality. Under the pipelined mode the
+/// nodes are the iterator tree itself: internal nodes print as streamed
+/// probe-joins, with EXISTS-style first-match probes marked `semi`.
 void RenderJoinTree(const QueryPlan& plan, size_t conj, const JoinTree& tree,
-                    size_t node_id, int depth, std::string* out) {
+                    const std::vector<bool>* semi, size_t node_id, int depth,
+                    std::string* out) {
   const JoinTreeNode& node = tree.nodes[node_id];
   *out += std::string(6 + 2 * static_cast<size_t>(depth), ' ');
   if (node.leaf) {
     size_t structure_id = plan.conj_inputs[conj][node.input];
-    *out += StrFormat("%s ~%.0f rows\n",
+    *out += StrFormat("%s%s ~%.0f rows\n", semi != nullptr ? "scan " : "",
                       plan.structures[structure_id].debug_name.c_str(),
                       node.est_rows);
     return;
   }
+  const char* op = semi != nullptr ? "probe-join" : "join";
+  const char* mark =
+      semi != nullptr && (*semi)[node_id] ? " (semi: first match)" : "";
   if (node.join_columns.empty()) {
-    *out += StrFormat("cross join ~%.0f rows\n", node.est_rows);
+    *out += StrFormat("cross %s%s ~%.0f rows\n", op, mark, node.est_rows);
   } else {
-    *out += StrFormat("join on [%s] ~%.0f rows\n",
-                      Join(node.join_columns, ", ").c_str(), node.est_rows);
+    *out += StrFormat("%s on [%s]%s ~%.0f rows\n", op,
+                      Join(node.join_columns, ", ").c_str(), mark,
+                      node.est_rows);
   }
-  RenderJoinTree(plan, conj, tree, static_cast<size_t>(node.left), depth + 1,
-                 out);
-  RenderJoinTree(plan, conj, tree, static_cast<size_t>(node.right), depth + 1,
-                 out);
+  RenderJoinTree(plan, conj, tree, semi, static_cast<size_t>(node.left),
+                 depth + 1, out);
+  RenderJoinTree(plan, conj, tree, semi, static_cast<size_t>(node.right),
+                 depth + 1, out);
 }
 
 }  // namespace
@@ -150,6 +160,18 @@ std::string ExplainPlan(const PlannedQuery& planned) {
   }
 
   out += "combination phase:\n";
+  PipelineShape shape = AnalyzePipelineShape(plan);
+  if (plan.pipeline) {
+    out += "  mode: pipelined (streamed join iterators; Cursor::Next pulls "
+           "one combination row)\n";
+    if (!shape.existential.empty()) {
+      out += "  existential-only vars (semi-join probes, no extension): " +
+             Join(shape.existential, ", ") + "\n";
+    }
+  } else {
+    out += "  mode: materialized (reference relations built per "
+           "operation)\n";
+  }
   for (size_t c = 0; c < plan.conj_inputs.size(); ++c) {
     std::vector<std::string> names;
     for (size_t id : plan.conj_inputs[c]) {
@@ -160,13 +182,30 @@ std::string ExplainPlan(const PlannedQuery& planned) {
     if (c < plan.join_trees.size() &&
         plan.join_trees[c].Matches(plan.conj_inputs[c].size())) {
       const JoinTree& tree = plan.join_trees[c];
+      std::vector<bool> semi;
+      if (plan.pipeline) {
+        std::vector<std::vector<std::string>> input_cols;
+        for (size_t id : plan.conj_inputs[c]) {
+          input_cols.push_back(plan.structures[id].columns);
+        }
+        semi = SemiJoinEligible(tree, input_cols, shape);
+      }
       out += StrFormat(
-          "    join order (%s):\n",
+          "    %s (%s):\n",
+          plan.pipeline ? "iterator tree" : "join order",
           std::string(JoinOrderSourceToString(tree.source)).c_str());
-      RenderJoinTree(plan, c, tree, tree.nodes.size() - 1, 0, &out);
+      RenderJoinTree(plan, c, tree, plan.pipeline ? &semi : nullptr,
+                     tree.nodes.size() - 1, 0, &out);
     } else if (plan.conj_inputs[c].size() > 1) {
       out += "    join order: greedy smallest-first at execution\n";
     }
+  }
+  if (plan.pipeline) {
+    out += shape.has_division
+               ? "  pipelined sink: disjunct streams buffered for division "
+                 "(blocking), then streamed\n"
+               : "  pipelined sink: streaming dedup, straight into "
+                 "construction\n";
   }
   out += "  union of all conjunctions, then quantifiers right-to-left:\n";
   for (size_t i = plan.sf.prefix.size(); i-- > 0;) {
@@ -207,6 +246,20 @@ std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
   row("comparisons", est.comparisons, actual.comparisons);
   row("dereferences", est.dereferences, actual.dereferences);
   row("total_work", est.TotalWork(), actual.TotalWork());
+  // The estimated-vs-actual run executes the materializing reference
+  // path, so the peak row prices that mode; the pipelined price follows
+  // for comparison.
+  row("peak_intermediate_rows",
+      static_cast<uint64_t>(
+          std::min(std::max(0.0, planned.estimate.est_peak_materialized),
+                   9.0e18)),
+      actual.peak_intermediate_rows);
+  out += StrFormat(
+      "  pipelined pricing: combination_rows %.0f, total_work %.0f, "
+      "peak %.0f\n",
+      planned.estimate.pipelined_combination_rows,
+      planned.estimate.pipelined_total_work,
+      planned.estimate.est_peak_pipelined);
   return out;
 }
 

@@ -121,6 +121,7 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
   if (!plan.ok()) return plan.status();
   out.plan = std::move(plan).value();
   out.plan.division = options.division;
+  out.plan.pipeline = options.pipeline;
   if (options.prefer_ordered_indexes) {
     for (IndexBuildSpec& spec : out.plan.indexes) spec.ordered = true;
   }

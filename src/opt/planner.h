@@ -58,6 +58,14 @@ struct PlannerOptions {
   size_t join_dp_max_inputs = 12;
   /// Let the DP consider bushy join trees, not just left-deep ones.
   bool join_dp_bushy = false;
+  /// Stream the combination phase through the join-iterator pipeline
+  /// (src/pipeline/) when executing via Cursor: Open runs only the
+  /// collection phase, Next pulls one combination row at a time, and an
+  /// early Close skips unperformed join work. Off forces the
+  /// materializing combination path everywhere. Both modes yield the same
+  /// tuple multiset after dedup (asserted by the pipeline property
+  /// tests); default on.
+  bool pipeline = true;
 };
 
 /// Field-wise equality — the prepared-query plan cache uses it to detect
@@ -70,7 +78,7 @@ inline bool operator==(const PlannerOptions& a, const PlannerOptions& b) {
          a.prefer_ordered_indexes == b.prefer_ordered_indexes &&
          a.join_order_dp == b.join_order_dp &&
          a.join_dp_max_inputs == b.join_dp_max_inputs &&
-         a.join_dp_bushy == b.join_dp_bushy;
+         a.join_dp_bushy == b.join_dp_bushy && a.pipeline == b.pipeline;
 }
 inline bool operator!=(const PlannerOptions& a, const PlannerOptions& b) {
   return !(a == b);

@@ -116,6 +116,14 @@ Status Session::ApplyOption(const std::string& name,
     return Status::InvalidArgument("SET PERMINDEXES expects ON or OFF, got '" +
                                    value + "'");
   }
+  if (name == "pipeline") {
+    if (value == "on" || value == "off") {
+      options_.pipeline = value == "on";
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SET PIPELINE expects ON or OFF, got '" +
+                                   value + "'");
+  }
   if (name == "joinorder") {
     if (value == "dp") {
       options_.join_order_dp = true;
@@ -136,7 +144,7 @@ Status Session::ApplyOption(const std::string& name,
   }
   return Status::InvalidArgument("unknown option '" + name +
                                  "' (expected OPTLEVEL, DIVISION, "
-                                 "PERMINDEXES, or JOINORDER)");
+                                 "PERMINDEXES, JOINORDER, or PIPELINE)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {

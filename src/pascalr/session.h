@@ -76,7 +76,7 @@ class Session {
   Status RunStatsSeed(const StatsStmt& stmt);
   /// `SET name value;` — planner option assignment: OPTLEVEL 0-4 | AUTO,
   /// DIVISION HASH | SORT, PERMINDEXES ON | OFF,
-  /// JOINORDER DP | BUSHY | GREEDY.
+  /// JOINORDER DP | BUSHY | GREEDY, PIPELINE ON | OFF.
   Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 

@@ -1,0 +1,205 @@
+#include "pipeline/compile.h"
+
+#include <algorithm>
+
+#include "exec/combination.h"
+
+namespace pascalr {
+
+namespace {
+
+int IndexOf(const std::vector<std::string>& cols, const std::string& name) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Build state of one join-tree node while lowering it to iterators.
+struct NodeState {
+  const RefRelation* structure = nullptr;  ///< leaf: probe/scan in place
+  RefIteratorPtr iter;                     ///< internal (or consumed leaf)
+  std::vector<std::string> cols;
+};
+
+/// The node as a stream (leaves become scans on demand; right-side leaves
+/// are probed in place instead and never pass through here).
+RefIteratorPtr AsIterator(NodeState* node) {
+  if (node->iter != nullptr) return std::move(node->iter);
+  return std::make_unique<ScanIter>(node->structure);
+}
+
+/// Lowers one conjunction's join tree + extension + projection-to-needed
+/// into an iterator chain emitting rows in `shape.needed` layout.
+Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
+                                          const CollectionResult& coll,
+                                          const PipelineShape& shape,
+                                          ExecStats* stats,
+                                          PeakTracker* tracker) {
+  std::vector<const RefRelation*> inputs;
+  std::vector<std::vector<std::string>> input_cols;
+  for (size_t id : plan.conj_inputs[conj]) {
+    inputs.push_back(&coll.structures[id]);
+    input_cols.push_back(coll.structures[id].columns());
+  }
+
+  RefIteratorPtr chain;
+  std::vector<std::string> cols;
+  if (inputs.empty()) {
+    chain = std::make_unique<UnitIter>();  // TRUE: the empty row
+  } else {
+    JoinTree tree = RuntimeJoinOrder(plan, conj, inputs);
+    if (!tree.Matches(inputs.size())) {
+      return Status::Internal("pipeline: malformed runtime join tree");
+    }
+    std::vector<bool> semi = SemiJoinEligible(tree, input_cols, shape);
+    std::vector<NodeState> nodes(tree.nodes.size());
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const JoinTreeNode& node = tree.nodes[i];
+      NodeState& state = nodes[i];
+      if (node.leaf) {
+        state.structure = inputs[node.input];
+        state.cols = input_cols[node.input];
+        continue;
+      }
+      NodeState& left = nodes[static_cast<size_t>(node.left)];
+      NodeState& right = nodes[static_cast<size_t>(node.right)];
+      std::vector<int> left_key, right_key, right_extras;
+      std::vector<std::string> extra_names;
+      for (size_t r = 0; r < right.cols.size(); ++r) {
+        int pos = IndexOf(left.cols, right.cols[r]);
+        if (pos >= 0) {
+          left_key.push_back(pos);
+          right_key.push_back(static_cast<int>(r));
+        } else {
+          right_extras.push_back(static_cast<int>(r));
+          extra_names.push_back(right.cols[r]);
+        }
+      }
+      state.cols = left.cols;
+      if (!semi[i]) {
+        state.cols.insert(state.cols.end(), extra_names.begin(),
+                          extra_names.end());
+      }
+      RefIteratorPtr left_iter = AsIterator(&left);
+      if (right.structure != nullptr) {
+        state.iter = std::make_unique<ProbeJoinIter>(
+            std::move(left_iter), right.structure, std::move(left_key),
+            std::move(right_key), std::move(right_extras), semi[i], stats);
+      } else {
+        // Bushy right subtree: blocking build, drained at first Next.
+        state.iter = std::make_unique<ProbeJoinIter>(
+            std::move(left_iter), std::move(right.iter), right.cols,
+            std::move(left_key), std::move(right_key),
+            std::move(right_extras), semi[i], stats, tracker);
+      }
+    }
+    chain = AsIterator(&nodes.back());
+    cols = std::move(nodes.back().cols);
+  }
+
+  // Extend to the active variables the conjunction does not bind. Purely
+  // existential variables never extend: present in some structure, the
+  // joins witnessed them; absent everywhere, a non-empty range is the
+  // whole existence proof (and an empty one annihilates the conjunct,
+  // exactly like the materializing path's product with an empty range).
+  for (const QuantifiedVar& qv : shape.active) {
+    if (IndexOf(cols, qv.var) >= 0) continue;
+    if (shape.IsExistential(qv.var)) {
+      bool in_structures = false;
+      for (const std::vector<std::string>& sc : input_cols) {
+        if (IndexOf(sc, qv.var) >= 0) {
+          in_structures = true;
+          break;
+        }
+      }
+      if (in_structures) continue;  // semi-dropped: already witnessed
+      auto it = coll.range_refs.find(qv.var);
+      if (it == coll.range_refs.end()) {
+        return Status::Internal("no materialised range for '" + qv.var + "'");
+      }
+      if (it->second.empty()) return RefIteratorPtr(new EmptyIter());
+      continue;
+    }
+    auto it = coll.range_refs.find(qv.var);
+    if (it == coll.range_refs.end()) {
+      return Status::Internal("no materialised range for '" + qv.var + "'");
+    }
+    chain = std::make_unique<ExtendIter>(std::move(chain), &it->second, stats);
+    cols.push_back(qv.var);
+  }
+
+  // Align onto the needed layout (drops leftover existential columns).
+  // Already-aligned chains — the common single-structure conjunction —
+  // skip the copy; the sink above dedups either way.
+  std::vector<int> positions;
+  for (const std::string& name : shape.needed) {
+    int pos = IndexOf(cols, name);
+    if (pos < 0) {
+      return Status::Internal("pipeline: conjunction lacks column '" + name +
+                              "'");
+    }
+    positions.push_back(pos);
+  }
+  if (cols.size() == shape.needed.size() &&
+      std::is_sorted(positions.begin(), positions.end())) {
+    return chain;  // identity layout
+  }
+  return RefIteratorPtr(new ProjectIter(std::move(chain),
+                                        std::move(positions), shape.needed,
+                                        /*dedup=*/false, stats, tracker));
+}
+
+}  // namespace
+
+Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
+                                         const CollectionResult& coll,
+                                         ExecStats* stats,
+                                         PeakTracker* tracker) {
+  PipelineShape shape = AnalyzePipelineShape(plan);
+  CompiledPipeline out;
+  out.columns = shape.free_names;
+
+  if (plan.sf.matrix.IsFalse()) {
+    out.root = std::make_unique<EmptyIter>();
+    return out;
+  }
+  if (plan.conj_inputs.size() < plan.sf.matrix.disjuncts.size()) {
+    return Status::Internal("pipeline: conjunction inputs out of sync");
+  }
+
+  std::vector<RefIteratorPtr> disjuncts;
+  for (size_t c = 0; c < plan.sf.matrix.disjuncts.size(); ++c) {
+    PASCALR_ASSIGN_OR_RETURN(
+        RefIteratorPtr one,
+        CompileConjunction(plan, c, coll, shape, stats, tracker));
+    disjuncts.push_back(std::move(one));
+  }
+  RefIteratorPtr stream =
+      disjuncts.size() == 1
+          ? std::move(disjuncts.front())
+          : RefIteratorPtr(new ConcatIter(std::move(disjuncts)));
+
+  if (shape.has_division) {
+    // Universal quantification is inherently blocking: buffer the needed
+    // columns (set semantics) and run the tail right-to-left.
+    out.root = std::make_unique<QuantifierTailIter>(
+        std::move(stream), std::move(shape.tail), shape.needed,
+        shape.free_names, &coll.range_refs, plan.division, stats, tracker);
+    return out;
+  }
+
+  // No division: `needed` already IS the free layout; a streaming dedup
+  // sink makes the row set identical to the materializing path's final
+  // projection.
+  std::vector<int> identity;
+  for (size_t i = 0; i < shape.needed.size(); ++i) {
+    identity.push_back(static_cast<int>(i));
+  }
+  out.root = std::make_unique<ProjectIter>(std::move(stream),
+                                           std::move(identity), shape.needed,
+                                           /*dedup=*/true, stats, tracker);
+  return out;
+}
+
+}  // namespace pascalr

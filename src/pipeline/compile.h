@@ -1,0 +1,52 @@
+// Compiles a QueryPlan's combination phase into a Volcano-style iterator
+// tree over the collection phase's reference structures (the pipelined
+// combination subsystem). The compiled pipeline delivers the free-variable
+// n-tuples of §3.3 one row per Next — the same row *set* the materializing
+// ExecuteCombination produces, without materialising join intermediates.
+//
+// Per conjunction: the runtime join order (the optimizer's attached tree
+// when it survives re-validation against actual structure sizes, greedy
+// smallest-first otherwise) becomes a chain of ProbeJoinIters; purely
+// existential variables run as semi-joins (EXISTS-style first-match
+// probes) or skip their Cartesian extension entirely; remaining prefix
+// variables are extended from the materialised ranges. The disjunct
+// streams concatenate, then either feed the blocking quantifier tail
+// (plans with a surviving ALL — division is inherently blocking) or a
+// streaming dedup sink.
+
+#ifndef PASCALR_PIPELINE_COMPILE_H_
+#define PASCALR_PIPELINE_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "exec/collection.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+#include "pipeline/iterators.h"
+#include "pipeline/shape.h"
+
+namespace pascalr {
+
+struct CompiledPipeline {
+  RefIteratorPtr root;
+  /// Output column layout (the free variables, prefix order).
+  std::vector<std::string> columns;
+
+  bool ok() const { return root != nullptr; }
+};
+
+/// Builds the iterator tree for `plan` over the collection result.
+/// `stats` receives the per-operator work counters as rows are pulled;
+/// blocking buffers register with `tracker`. Both must outlive the
+/// pipeline, as must `plan` and `coll` (the iterators probe the
+/// structures in place).
+Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
+                                         const CollectionResult& coll,
+                                         ExecStats* stats,
+                                         PeakTracker* tracker);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PIPELINE_COMPILE_H_

@@ -1,0 +1,302 @@
+#include "pipeline/iterators.h"
+
+#include "base/str_util.h"
+#include "refstruct/division.h"
+#include "refstruct/ops.h"
+
+namespace pascalr {
+
+namespace {
+
+uint64_t HashKey(const RefRow& row, const std::vector<int>& positions) {
+  uint64_t h = 0x100001b3ULL;
+  for (int p : positions) {
+    h = HashCombine(h, row[static_cast<size_t>(p)].Hash());
+  }
+  return h;
+}
+
+bool KeyEquals(const RefRow& a, const std::vector<int>& pa, const RefRow& b,
+               const std::vector<int>& pb) {
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (a[static_cast<size_t>(pa[i])] != b[static_cast<size_t>(pb[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> UnitIter::Next(RefRow* out) {
+  if (done_) return false;
+  done_ = true;
+  out->clear();
+  return true;
+}
+
+Result<bool> ScanIter::Next(RefRow* out) {
+  if (pos_ >= rel_->size()) return false;
+  *out = rel_->row(pos_++);
+  return true;
+}
+
+// ------------------------------------------------------------ ProbeJoinIter
+
+ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, const RefRelation* right,
+                             std::vector<int> left_key,
+                             std::vector<int> right_key,
+                             std::vector<int> right_extras, bool semi,
+                             ExecStats* stats)
+    : left_(std::move(left)),
+      right_(right),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      right_extras_(std::move(right_extras)),
+      semi_(semi),
+      stats_(stats) {}
+
+ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, RefIteratorPtr right_source,
+                             std::vector<std::string> right_columns,
+                             std::vector<int> left_key,
+                             std::vector<int> right_key,
+                             std::vector<int> right_extras, bool semi,
+                             ExecStats* stats, PeakTracker* tracker)
+    : left_(std::move(left)),
+      right_source_(std::move(right_source)),
+      right_buf_(std::move(right_columns)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      right_extras_(std::move(right_extras)),
+      semi_(semi),
+      stats_(stats),
+      tracker_(tracker) {}
+
+Status ProbeJoinIter::Prepare() {
+  if (right_source_ != nullptr) {
+    // Bushy build: the right subtree must be complete before the first
+    // probe — the one genuinely blocking join input, peak-counted.
+    RefRow row;
+    while (true) {
+      PASCALR_ASSIGN_OR_RETURN(bool more, right_source_->Next(&row));
+      if (!more) break;
+      if (right_buf_.Add(std::move(row)) && tracker_ != nullptr) {
+        tracker_->Add(1);
+      }
+    }
+    right_source_.reset();
+    right_ = &right_buf_;
+  }
+  if (!left_key_.empty()) {
+    table_.reserve(right_->size());
+    for (size_t i = 0; i < right_->size(); ++i) {
+      table_[HashKey(right_->row(i), right_key_)].push_back(i);
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+bool ProbeJoinIter::Emit(const RefRow& right_row, RefRow* out) {
+  *out = left_row_;
+  if (!semi_) {
+    out->reserve(out->size() + right_extras_.size());
+    for (int e : right_extras_) {
+      out->push_back(right_row[static_cast<size_t>(e)]);
+    }
+  }
+  if (stats_ != nullptr) ++stats_->combination_rows;
+  return true;
+}
+
+Result<bool> ProbeJoinIter::Next(RefRow* out) {
+  if (!prepared_) PASCALR_RETURN_IF_ERROR(Prepare());
+  while (true) {
+    if (!have_left_) {
+      PASCALR_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      have_left_ = true;
+      match_pos_ = 0;
+      if (!left_key_.empty()) {
+        auto it = table_.find(HashKey(left_row_, left_key_));
+        matches_ = it == table_.end() ? nullptr : &it->second;
+      }
+    }
+    if (left_key_.empty()) {
+      // Cartesian step. Semi: the right side only needs to be non-empty.
+      if (semi_) {
+        have_left_ = false;
+        if (!right_->empty()) return Emit(right_->row(0), out);
+        continue;
+      }
+      if (match_pos_ < right_->size()) {
+        return Emit(right_->row(match_pos_++), out);
+      }
+      have_left_ = false;
+      continue;
+    }
+    // Keyed probe: walk the hash chain, verifying against collisions.
+    while (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const RefRow& candidate = right_->row((*matches_)[match_pos_++]);
+      if (!KeyEquals(left_row_, left_key_, candidate, right_key_)) continue;
+      if (semi_) have_left_ = false;  // first match wins; next left row
+      return Emit(candidate, out);
+    }
+    have_left_ = false;
+  }
+}
+
+// --------------------------------------------------------------- ExtendIter
+
+Result<bool> ExtendIter::Next(RefRow* out) {
+  if (refs_->empty()) return false;  // product with an empty range
+  while (true) {
+    if (!have_) {
+      PASCALR_ASSIGN_OR_RETURN(bool more, child_->Next(&row_));
+      if (!more) return false;
+      have_ = true;
+      pos_ = 0;
+    }
+    if (pos_ < refs_->size()) {
+      *out = row_;
+      out->push_back((*refs_)[pos_++]);
+      if (stats_ != nullptr) ++stats_->combination_rows;
+      return true;
+    }
+    have_ = false;
+  }
+}
+
+// --------------------------------------------------------------- FilterIter
+
+Result<bool> FilterIter::Next(RefRow* out) {
+  while (true) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (stats_ != nullptr) ++stats_->comparisons;
+    bool same = (*out)[static_cast<size_t>(left_pos_)] ==
+                (*out)[static_cast<size_t>(right_pos_)];
+    if (same == equal_) return true;
+  }
+}
+
+// -------------------------------------------------------------- ProjectIter
+
+ProjectIter::ProjectIter(RefIteratorPtr child, std::vector<int> positions,
+                         std::vector<std::string> columns, bool dedup,
+                         ExecStats* stats, PeakTracker* tracker)
+    : child_(std::move(child)),
+      positions_(std::move(positions)),
+      dedup_(dedup),
+      seen_(dedup ? RefRelation(std::move(columns)) : RefRelation()),
+      stats_(stats),
+      tracker_(tracker) {}
+
+Result<bool> ProjectIter::Next(RefRow* out) {
+  RefRow row;
+  while (true) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) return false;
+    RefRow projected;
+    projected.reserve(positions_.size());
+    for (int p : positions_) projected.push_back(row[static_cast<size_t>(p)]);
+    if (dedup_) {
+      if (!seen_.Add(projected)) continue;  // duplicate row, suppressed
+      if (tracker_ != nullptr) tracker_->Add(1);
+    }
+    if (stats_ != nullptr) ++stats_->combination_rows;
+    *out = std::move(projected);
+    return true;
+  }
+}
+
+// --------------------------------------------------------------- ConcatIter
+
+Result<bool> ConcatIter::Next(RefRow* out) {
+  while (current_ < children_.size()) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    children_[current_].reset();  // fully drained; release its state
+    ++current_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------ QuantifierTailIter
+
+QuantifierTailIter::QuantifierTailIter(
+    RefIteratorPtr child, std::vector<QuantifiedVar> tail,
+    std::vector<std::string> columns, std::vector<std::string> free_names,
+    const std::map<std::string, std::vector<Ref>>* range_refs,
+    DivisionAlgorithm division, ExecStats* stats, PeakTracker* tracker)
+    : child_(std::move(child)),
+      tail_(std::move(tail)),
+      columns_(std::move(columns)),
+      free_names_(std::move(free_names)),
+      range_refs_(range_refs),
+      division_(division),
+      stats_(stats),
+      tracker_(tracker) {}
+
+Status QuantifierTailIter::Materialize() {
+  materialized_ = true;
+  // Buffer the stream with set semantics: exactly the division input the
+  // materializing path arrives at after its inner-SOME projections.
+  RefRelation combined(columns_);
+  RefRow row;
+  while (true) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    if (combined.Add(std::move(row))) {
+      if (tracker_ != nullptr) tracker_->Add(1);
+      if (stats_ != nullptr) ++stats_->combination_rows;
+    }
+  }
+  child_.reset();
+
+  for (size_t i = tail_.size(); i-- > 0;) {
+    const QuantifiedVar& qv = tail_[i];
+    if (qv.quantifier == Quantifier::kFree) break;
+    RefRelation next;
+    if (qv.quantifier == Quantifier::kSome) {
+      std::vector<std::string> keep;
+      for (const std::string& col : combined.columns()) {
+        if (col != qv.var) keep.push_back(col);
+      }
+      PASCALR_ASSIGN_OR_RETURN(next, Project(combined, keep, stats_));
+    } else {
+      auto it = range_refs_->find(qv.var);
+      if (it == range_refs_->end()) {
+        return Status::Internal("no materialised range for '" + qv.var + "'");
+      }
+      PASCALR_ASSIGN_OR_RETURN(
+          next, Divide(combined, qv.var, it->second, stats_, division_));
+    }
+    if (tracker_ != nullptr) {
+      tracker_->Add(next.size());
+      tracker_->Sub(combined.size());
+    }
+    combined = std::move(next);
+  }
+
+  PASCALR_ASSIGN_OR_RETURN(result_, Project(combined, free_names_, stats_));
+  if (tracker_ != nullptr) {
+    tracker_->Add(result_.size());
+    tracker_->Sub(combined.size());
+  }
+  return Status::OK();
+}
+
+Result<bool> QuantifierTailIter::Next(RefRow* out) {
+  if (!materialized_) PASCALR_RETURN_IF_ERROR(Materialize());
+  if (pos_ >= result_.size()) {
+    if (tracker_ != nullptr) tracker_->Sub(result_.size());
+    result_.Clear();
+    pos_ = 0;
+    return false;
+  }
+  *out = result_.row(pos_++);
+  return true;
+}
+
+}  // namespace pascalr

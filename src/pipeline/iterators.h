@@ -1,0 +1,244 @@
+// Volcano-style pull iterators over reference structures — the streamed
+// combination phase (paper §3.3 step 2, evaluated tuple-at-a-time in the
+// classic pipelined model surveyed by arXiv:0903.4305). Each operator
+// produces one RefRow per Next; the cursor's Next drives the whole tree,
+// so an early Close skips all unperformed join work.
+//
+// Operator inventory:
+//   ScanIter        structure scan (a collection-phase RefRelation)
+//   ProbeJoinIter   hash/nested-loop join: streams the left child, probes
+//                   an index over the right side; the right side is a
+//                   structure (zero-copy) or a drained subtree (bushy
+//                   trees — a genuine blocking build, peak-counted). A
+//                   semi-join flag stops at the first match and drops the
+//                   right side's purely-existential columns.
+//   ExtendIter      Cartesian extension with a variable's materialised
+//                   range (§3.3's n-tuple invariant)
+//   FilterIter      residual predicate over the stream (reference-level
+//                   column comparisons). Not yet emitted by compile.cc —
+//                   every current predicate is realised as a collection
+//                   gate or a join structure — kept (unit-tested) as the
+//                   seam for predicates that outlive those forms
+//   ProjectIter     column drop/reorder; with dedup on, the sink that
+//                   suppresses duplicates (seen rows are peak-counted)
+//   ConcatIter      union of the disjunct streams (children share one
+//                   column layout, so union is concatenation)
+//   QuantifierTailIter  blocking tail for universal quantification:
+//                   buffers the stream (dedup via set semantics), runs
+//                   division / projection right-to-left, streams out
+//   UnitIter / EmptyIter  the arity-0 TRUE row / the empty stream
+//
+// Memory discipline: streaming operators hold O(1) rows plus index maps
+// of row *indices* over already-materialised structures; only blocking
+// buffers (dedup sinks, division input, bushy builds) register rows with
+// the PeakTracker. That is what keeps the pipelined
+// ExecStats::peak_intermediate_rows at or below the materializing path's.
+
+#ifndef PASCALR_PIPELINE_ITERATORS_H_
+#define PASCALR_PIPELINE_ITERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "exec/plan.h"
+#include "exec/stats.h"
+#include "refstruct/ref_relation.h"
+
+namespace pascalr {
+
+class RefIterator {
+ public:
+  virtual ~RefIterator() = default;
+  /// Produces the next row into `*out` (arity = the operator's column
+  /// layout). Returns false when the stream is exhausted.
+  virtual Result<bool> Next(RefRow* out) = 0;
+};
+
+using RefIteratorPtr = std::unique_ptr<RefIterator>;
+
+class EmptyIter : public RefIterator {
+ public:
+  Result<bool> Next(RefRow*) override { return false; }
+};
+
+/// The arity-0 relation containing the empty row: TRUE (a conjunction
+/// with no combination inputs).
+class UnitIter : public RefIterator {
+ public:
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  bool done_ = false;
+};
+
+class ScanIter : public RefIterator {
+ public:
+  explicit ScanIter(const RefRelation* rel) : rel_(rel) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  const RefRelation* rel_;
+  size_t pos_ = 0;
+};
+
+/// Streaming join. Probes an index (join-key -> row indices) over the
+/// right side, built lazily at the first Next. With an empty key the join
+/// degenerates to the nested-loop Cartesian step. Output layout: left
+/// columns, then the right side's extra columns (none under semi).
+class ProbeJoinIter : public RefIterator {
+ public:
+  /// Right side is an existing structure: the index stores row indices
+  /// into it — no row copies, nothing peak-counted.
+  ProbeJoinIter(RefIteratorPtr left, const RefRelation* right,
+                std::vector<int> left_key, std::vector<int> right_key,
+                std::vector<int> right_extras, bool semi, ExecStats* stats);
+
+  /// Right side is a subtree (bushy trees): drained into an owned buffer
+  /// at the first Next — a blocking build registered with `tracker`.
+  ProbeJoinIter(RefIteratorPtr left, RefIteratorPtr right_source,
+                std::vector<std::string> right_columns,
+                std::vector<int> left_key, std::vector<int> right_key,
+                std::vector<int> right_extras, bool semi, ExecStats* stats,
+                PeakTracker* tracker);
+
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  Status Prepare();
+  bool Emit(const RefRow& right_row, RefRow* out);
+
+  RefIteratorPtr left_;
+  const RefRelation* right_ = nullptr;
+  RefIteratorPtr right_source_;  ///< non-null until drained
+  RefRelation right_buf_;
+  std::vector<int> left_key_;
+  std::vector<int> right_key_;
+  std::vector<int> right_extras_;
+  bool semi_;
+  ExecStats* stats_;
+  PeakTracker* tracker_ = nullptr;
+
+  bool prepared_ = false;
+  std::unordered_map<uint64_t, std::vector<size_t>> table_;
+  RefRow left_row_;
+  bool have_left_ = false;
+  const std::vector<size_t>* matches_ = nullptr;  ///< keyed probe chain
+  size_t match_pos_ = 0;  ///< position in chain (keyed) or right rows (cross)
+};
+
+/// Cartesian extension with a materialised range: each child row is
+/// emitted once per ref (the product step of §3.3's n-tuple invariant).
+class ExtendIter : public RefIterator {
+ public:
+  ExtendIter(RefIteratorPtr child, const std::vector<Ref>* refs,
+             ExecStats* stats)
+      : child_(std::move(child)), refs_(refs), stats_(stats) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  RefIteratorPtr child_;
+  const std::vector<Ref>* refs_;
+  ExecStats* stats_;
+  RefRow row_;
+  size_t pos_ = 0;
+  bool have_ = false;
+};
+
+/// Residual predicate over the stream: keeps rows whose columns at
+/// `left_pos` / `right_pos` compare equal (resp. unequal). The seam for
+/// predicates that would survive into the combination phase without a
+/// supporting structure; today every predicate is realised as a
+/// collection gate or join structure, so compile.cc does not emit this
+/// operator yet (unit tests keep it honest).
+class FilterIter : public RefIterator {
+ public:
+  FilterIter(RefIteratorPtr child, int left_pos, int right_pos, bool equal,
+             ExecStats* stats)
+      : child_(std::move(child)),
+        left_pos_(left_pos),
+        right_pos_(right_pos),
+        equal_(equal),
+        stats_(stats) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  RefIteratorPtr child_;
+  int left_pos_;
+  int right_pos_;
+  bool equal_;
+  ExecStats* stats_;
+};
+
+/// Column drop/reorder (`positions[i]` = child column of output column
+/// i). With `dedup`, suppresses rows already emitted — the pipeline's
+/// sink operator; the seen-set rows are registered with `tracker`.
+class ProjectIter : public RefIterator {
+ public:
+  ProjectIter(RefIteratorPtr child, std::vector<int> positions,
+              std::vector<std::string> columns, bool dedup, ExecStats* stats,
+              PeakTracker* tracker);
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  RefIteratorPtr child_;
+  std::vector<int> positions_;
+  bool dedup_;
+  RefRelation seen_;
+  ExecStats* stats_;
+  PeakTracker* tracker_;
+};
+
+/// Union of the disjunct streams: children are drained in order. All
+/// children share one column layout by construction, so no realignment
+/// (and no work counted) — duplicates fall to the sink above.
+class ConcatIter : public RefIterator {
+ public:
+  explicit ConcatIter(std::vector<RefIteratorPtr> children)
+      : children_(std::move(children)) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  std::vector<RefIteratorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Blocking tail for plans with a surviving universal quantifier: drains
+/// the child stream into a set-semantics buffer (the division input the
+/// materializing path would have built — identical by construction), then
+/// evaluates the tail quantifiers right-to-left (projection for SOME,
+/// relational division for ALL), projects onto the free variables, and
+/// streams the result. Buffered rows are registered with the tracker.
+class QuantifierTailIter : public RefIterator {
+ public:
+  QuantifierTailIter(RefIteratorPtr child,
+                     std::vector<QuantifiedVar> tail,
+                     std::vector<std::string> columns,
+                     std::vector<std::string> free_names,
+                     const std::map<std::string, std::vector<Ref>>* range_refs,
+                     DivisionAlgorithm division, ExecStats* stats,
+                     PeakTracker* tracker);
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  Status Materialize();
+
+  RefIteratorPtr child_;
+  std::vector<QuantifiedVar> tail_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> free_names_;
+  const std::map<std::string, std::vector<Ref>>* range_refs_;
+  DivisionAlgorithm division_;
+  ExecStats* stats_;
+  PeakTracker* tracker_;
+
+  bool materialized_ = false;
+  RefRelation result_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PIPELINE_ITERATORS_H_

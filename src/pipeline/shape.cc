@@ -1,0 +1,104 @@
+#include "pipeline/shape.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pascalr {
+
+PipelineShape AnalyzePipelineShape(const QueryPlan& plan) {
+  PipelineShape shape;
+  for (const QuantifiedVar& qv : plan.sf.prefix) {
+    if (!plan.IsEliminated(qv.var)) shape.active.push_back(qv.Clone());
+  }
+  for (const QuantifiedVar& qv : shape.active) {
+    if (qv.quantifier == Quantifier::kFree) {
+      shape.free_names.push_back(qv.var);
+    }
+  }
+  size_t last_all = shape.active.size();
+  for (size_t i = 0; i < shape.active.size(); ++i) {
+    if (shape.active[i].quantifier == Quantifier::kAll) last_all = i;
+  }
+  shape.has_division = last_all != shape.active.size();
+  for (size_t i = 0; i < shape.active.size(); ++i) {
+    const QuantifiedVar& qv = shape.active[i];
+    bool survives = qv.quantifier == Quantifier::kFree ||
+                    (shape.has_division && i <= last_all);
+    if (survives) {
+      shape.needed.push_back(qv.var);
+    } else {
+      shape.existential.push_back(qv.var);
+    }
+  }
+  if (shape.has_division) {
+    for (size_t i = 0; i <= last_all; ++i) {
+      shape.tail.push_back(shape.active[i].Clone());
+    }
+  }
+  return shape;
+}
+
+std::vector<bool> SemiJoinEligible(
+    const JoinTree& tree,
+    const std::vector<std::vector<std::string>>& input_cols,
+    const PipelineShape& shape) {
+  std::vector<bool> semi(tree.nodes.size(), false);
+  if (tree.nodes.empty()) return semi;
+
+  // Column sets bottom-up (pre-semi unions — conservative: a column the
+  // other side would itself have semi-dropped still blocks, which only
+  // costs a missed optimisation, never correctness).
+  std::vector<std::set<std::string>> cols(tree.nodes.size());
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) {
+      cols[i].insert(input_cols[node.input].begin(),
+                     input_cols[node.input].end());
+    } else {
+      cols[i] = cols[static_cast<size_t>(node.left)];
+      cols[i].insert(cols[static_cast<size_t>(node.right)].begin(),
+                     cols[static_cast<size_t>(node.right)].end());
+    }
+  }
+
+  // Columns required above each node, top-down: the conjunction's output
+  // needs `shape.needed`; below a join, each side additionally needs
+  // whatever the other side joins on (any shared column).
+  std::vector<std::set<std::string>> required(tree.nodes.size());
+  required.back().insert(shape.needed.begin(), shape.needed.end());
+  for (size_t i = tree.nodes.size(); i-- > 0;) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) continue;
+    size_t left = static_cast<size_t>(node.left);
+    size_t right = static_cast<size_t>(node.right);
+    required[left] = required[i];
+    required[left].insert(cols[right].begin(), cols[right].end());
+    required[right] = required[i];
+    required[right].insert(cols[left].begin(), cols[left].end());
+  }
+
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) continue;
+    size_t left = static_cast<size_t>(node.left);
+    size_t right = static_cast<size_t>(node.right);
+    bool eligible = true;
+    bool any_extra = false;
+    for (const std::string& col : cols[right]) {
+      if (cols[left].count(col) > 0) continue;  // join column, kept
+      any_extra = true;
+      if (!shape.IsExistential(col) || required[i].count(col) > 0) {
+        eligible = false;
+        break;
+      }
+    }
+    // With no extra columns the join is already a pure existence filter
+    // (the probe key covers every right column, so at most one match per
+    // left row); the semi flag is redundant but harmless — keep it off so
+    // EXPLAIN only marks genuine column-dropping probes.
+    semi[i] = eligible && any_extra;
+  }
+  return semi;
+}
+
+}  // namespace pascalr

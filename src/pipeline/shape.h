@@ -1,0 +1,67 @@
+// Static analysis of a QueryPlan's combination phase for pipelined
+// (tuple-at-a-time) execution: which prefix variables survive to the
+// blocking tail, which are *purely existential* — SOME-quantified inner
+// to the outermost ALL, so their columns never reach a division and their
+// joins may stop at the first match (EXISTS-style probes) — and which
+// join-tree nodes qualify for that semi-join early termination.
+//
+// The compiler (compile.h), the cost model (src/cost/) and EXPLAIN
+// (src/opt/explain.cc) all consume the same analysis, so executed,
+// priced, and printed pipelines agree by construction.
+
+#ifndef PASCALR_PIPELINE_SHAPE_H_
+#define PASCALR_PIPELINE_SHAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace pascalr {
+
+struct PipelineShape {
+  /// The prefix minus strategy-4 eliminations, in prefix order (free
+  /// variables first by construction) — §3.3's n-tuple variables.
+  std::vector<QuantifiedVar> active;
+  std::vector<std::string> free_names;
+  /// Columns a conjunction's stream must deliver upward: the free
+  /// variables plus every quantified variable up to and including the
+  /// outermost ALL (division consumes whole columns, so everything outer
+  /// to it must be present when the divisions run). Prefix order; the
+  /// free names are its leading entries.
+  std::vector<std::string> needed;
+  /// Purely existential variables: SOME-quantified and inner to every
+  /// ALL. Their columns are dropped before any division, so a conjunction
+  /// need only witness that a binding *exists* — semi-joins and skipped
+  /// range extensions, never materialised columns.
+  std::vector<std::string> existential;
+  /// active[0 .. last ALL], the quantifiers the blocking tail evaluates
+  /// right-to-left over the buffered stream. Empty when no ALL survives —
+  /// the stream then feeds a dedup sink directly.
+  std::vector<QuantifiedVar> tail;
+  bool has_division = false;
+
+  bool IsExistential(const std::string& var) const {
+    for (const std::string& v : existential) {
+      if (v == var) return true;
+    }
+    return false;
+  }
+};
+
+PipelineShape AnalyzePipelineShape(const QueryPlan& plan);
+
+/// Per-node semi-join eligibility for `tree` joining inputs with the
+/// given column sets (input_cols[i] matches leaf input i). An internal
+/// node may emit each left row once at the first match — and drop the
+/// right side's extra columns entirely — when every such column is
+/// purely existential and no ancestor join needs it. Indexed like
+/// tree.nodes; leaves are false.
+std::vector<bool> SemiJoinEligible(
+    const JoinTree& tree,
+    const std::vector<std::vector<std::string>>& input_cols,
+    const PipelineShape& shape);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PIPELINE_SHAPE_H_
