@@ -84,6 +84,10 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
   state.counters["dereferences"] = static_cast<double>(stats.dereferences);
   state.counters["peak_rows"] =
       static_cast<double>(stats.peak_intermediate_rows);
+  state.counters["structures_built"] =
+      static_cast<double>(stats.structures_built);
+  state.counters["structure_elements"] =
+      static_cast<double>(stats.structure_elements_built);
   state.counters["total_work"] = static_cast<double>(stats.TotalWork());
   state.counters["result"] = static_cast<double>(result_size);
 }

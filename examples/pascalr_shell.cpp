@@ -7,6 +7,8 @@
 //   .level N|auto    optimization level 0..4 or cost-based AUTO (default 4)
 //   .joinorder MODE  join ordering: dp (default), bushy, or greedy
 //   .pipeline on|off streamed combination (join iterators; default on)
+//   .collection MODE collection phase: eager (default) or lazy
+//                    (demand-driven structure builders behind Next)
 //   .stats           cumulative session statistics
 //   .dump            export the database as a replayable script
 //                    (includes STATS directives for analyzed relations)
@@ -47,8 +49,9 @@ void PrintHelp() {
       "  SET OPTLEVEL AUTO;  -- cost-based strategy selection\n"
       "  SET JOINORDER DP;   -- Selinger join ordering (or BUSHY, GREEDY)\n"
       "  SET PIPELINE ON;    -- streamed combination (join iterators)\n"
+      "  SET COLLECTION LAZY; -- demand-driven collection builders\n"
       "meta: .help .level N|auto .joinorder dp|bushy|greedy .pipeline on|off "
-      ".stats .dump .quit\n";
+      ".collection eager|lazy .stats .dump .quit\n";
 }
 
 }  // namespace
@@ -126,6 +129,19 @@ int main(int argc, char** argv) {
                                     : "materialized\n");
         } else {
           std::cout << "pipeline must be on or off\n";
+        }
+      } else if (line.rfind(".collection", 0) == 0) {
+        std::string arg = pascalr::AsciiToLower(Trim(line.substr(11)));
+        if (arg == "eager" || arg == "lazy") {
+          session.options().collection =
+              arg == "lazy" ? pascalr::CollectionPolicy::kLazy
+                            : pascalr::CollectionPolicy::kEager;
+          std::cout << "collection: "
+                    << (arg == "lazy"
+                            ? "lazy (demand-driven builders behind Next)\n"
+                            : "eager (built at Open)\n");
+        } else {
+          std::cout << "collection must be eager or lazy\n";
         }
       } else {
         std::cout << "unknown meta command; .help for help\n";

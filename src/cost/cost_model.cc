@@ -9,6 +9,8 @@
 #include "base/math_util.h"
 #include "base/str_util.h"
 #include "cost/selectivity.h"
+#include "exec/collection.h"
+#include "pipeline/compile.h"
 #include "joinorder/heuristics.h"
 #include "pipeline/shape.h"
 
@@ -432,7 +434,11 @@ class CostWalker {
   /// builds — hold rows. Mirrors the executor's compile.cc decisions via
   /// the shared shape analysis.
   void WalkPipelined() {
-    PipelineShape shape = AnalyzePipelineShape(plan_);
+    // Saved for the TTFT estimate: LazyConjunctionLeafModes reuses this
+    // analysis instead of recomputing it per candidate.
+    pipeline_shape_ = AnalyzePipelineShape(plan_);
+    const PipelineShape& shape = pipeline_shape_;
+    has_division_ = shape.has_division;
     if (plan_.sf.matrix.IsFalse()) return;
 
     std::map<std::string, double> range_size;
@@ -614,9 +620,60 @@ class CostWalker {
         pipelined_combination_rows_ + pipelined_division_rows_ +
         pipelined_final_rows_ *
             static_cast<double>(plan_.sf.projection.size());
+    est.pipelined_weighted_cost = est.pipelined_total_work + extra_cost_;
     est.est_peak_materialized = mat_peak_;
     est.est_peak_pipelined = pipe_peak_;
+    est.est_time_to_first_tuple = EstimateTimeToFirstTuple(work, est);
     return est;
+  }
+
+  /// Work before the first tuple, for the mode this plan executes. Coarse
+  /// by design — it ranks policies and feeds bench/EXPLAIN, it is not a
+  /// counter prediction.
+  double EstimateTimeToFirstTuple(double mat_work,
+                                  const CostEstimate& est) const {
+    const double proj = static_cast<double>(plan_.sf.projection.size());
+    if (!plan_.pipeline) {
+      // Collection + combination complete before the first construction.
+      return std::max(0.0, mat_work - dereferences_) + proj;
+    }
+    // A surviving ALL buffers the whole stream before the first row can
+    // leave the tail: no policy streams past it.
+    if (has_division_) {
+      return std::max(0.0, est.pipelined_total_work - dereferences_) + proj;
+    }
+    const double collection_work = elements_scanned_ + index_probes_ +
+                                   single_list_refs_ + indirect_join_refs_ +
+                                   quantifier_probes_ + comparisons_;
+    const double inputs0 = plan_.conj_inputs.empty()
+                               ? 0.0
+                               : static_cast<double>(plan_.conj_inputs[0].size());
+    if (plan_.collection == CollectionPolicy::kEager) {
+      return collection_work + inputs0 + 1.0 + proj;
+    }
+    // Lazy: the first conjunction demands its builds only — keyed /
+    // streamed leaves pay one element evaluation per probe, deferred
+    // ones their full build; supporting indexes always build in full.
+    // LazyConjunctionLeafModes mirrors the lowering, so a keyed-capable
+    // structure the join cannot actually probe on its keyed column is
+    // priced at its full build, not the per-key shortcut.
+    double lazy_work = 0.0;
+    if (!plan_.conj_inputs.empty()) {
+      std::vector<LazyLeafMode> leaf_modes =
+          LazyConjunctionLeafModes(plan_, 0, pipeline_shape_);
+      for (size_t k = 0; k < plan_.conj_inputs[0].size(); ++k) {
+        if (leaf_modes[k] == LazyLeafMode::kDeferred) {
+          lazy_work += structure_rows_[plan_.conj_inputs[0][k]];
+        } else {
+          lazy_work += 2.0;  // deref + gates for the first element/key
+        }
+      }
+    }
+    for (size_t i = 0; i < index_rows_.size(); ++i) {
+      if (!borrowed_[i]) lazy_work += index_rows_[i];
+    }
+    for (double rows : vl_count_) lazy_work += rows;
+    return lazy_work + inputs0 + 1.0 + proj;
   }
 
   const QueryPlan& plan_;
@@ -638,6 +695,8 @@ class CostWalker {
   double final_rows_ = 0.0;
   double mat_peak_ = 0.0;
   double pipe_peak_ = 0.0;
+  bool has_division_ = false;
+  PipelineShape pipeline_shape_;
   double pipelined_combination_rows_ = 0.0;
   double pipelined_division_rows_ = 0.0;
   double pipelined_final_rows_ = 0.0;

@@ -42,9 +42,25 @@ struct CostEstimate {
   /// validated against it); these fields price the pipelined mode.
   double pipelined_combination_rows = 0.0;
   double pipelined_total_work = 0.0;
+  /// Ranking score for sessions that execute pipelined: the pipelined
+  /// work plus the same structural nudges weighted_cost carries. The
+  /// kAuto search ranks on this when PlannerOptions::pipeline is on
+  /// (mode-aware ranking), and on weighted_cost otherwise.
+  double pipelined_weighted_cost = 0.0;
   /// Predicted ExecStats::peak_intermediate_rows per combination mode.
   double est_peak_materialized = 0.0;
   double est_peak_pipelined = 0.0;
+
+  /// Predicted work before the first result tuple reaches the caller, in
+  /// TotalWork units, for the mode the plan executes (pipeline flag +
+  /// collection policy). Materializing: everything except the remaining
+  /// rows' construction. Pipelined eager: the whole collection phase
+  /// plus one row's join/construction work. Pipelined lazy: only the
+  /// first conjunction's demanded builds — full builds for structures
+  /// that cannot populate per key, index builds, one element evaluation
+  /// per keyed probe. A blocking division tail forces the full pipelined
+  /// run regardless of policy.
+  double est_time_to_first_tuple = 0.0;
 
   std::string ToString() const;
 };

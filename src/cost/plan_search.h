@@ -10,6 +10,14 @@
 // Levels are visited strongest-first carrying the best cost so far, and
 // candidates whose scan lower bound already exceeds it are pruned before
 // compilation (the pruned count is logged in the EXPLAIN candidate table).
+//
+// The ranking is mode-aware: sessions that execute the streamed
+// combination (PlannerOptions::pipeline) rank candidates by
+// CostEstimate::pipelined_weighted_cost — the price of what the cursor
+// will actually run — while materializing sessions keep the materializing
+// ranking. Flips between the two rankings are logged in the candidate
+// table, and the regret sweep in auto_planner_test validates the
+// pipelined ranking against every fixed level in pipelined measured work.
 
 #ifndef PASCALR_COST_PLAN_SEARCH_H_
 #define PASCALR_COST_PLAN_SEARCH_H_

@@ -37,17 +37,25 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   c.sink_ = sink;
   c.run_ = std::make_unique<RunState>();
   RunState& run = *c.run_;
-  PASCALR_ASSIGN_OR_RETURN(run.collection,
-                           ExecuteCollection(*c.plan_, db, &run.stats));
+  run.builders =
+      std::make_unique<CollectionBuilders>(*c.plan_, db, &run.stats);
+  // Laziness only pays on the pipelined path: the materializing
+  // combination joins every structure at Open, so it forces a full build
+  // regardless of policy.
+  const bool lazy = c.plan_->pipeline &&
+                    c.plan_->collection == CollectionPolicy::kLazy;
+  if (!lazy) {
+    PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
+  }
   if (c.plan_->pipeline) {
-    // Streamed combination: compile the iterator tree now, join later —
-    // Next pulls rows on demand. Every compile failure is an invariant
-    // violation (there is no legitimate decline today); the materializing
-    // fallback below keeps the query correct, but the failure must not
-    // pass silently or a pipeline bug ships as an invisible perf
-    // regression.
-    Result<CompiledPipeline> compiled =
-        CompilePipeline(*c.plan_, run.collection, &run.stats, &run.tracker);
+    // Streamed combination: compile the iterator tree now, join (and,
+    // under the lazy policy, collect) later — Next pulls rows on demand.
+    // Every compile failure is an invariant violation (there is no
+    // legitimate decline today); the materializing fallback below keeps
+    // the query correct, but the failure must not pass silently or a
+    // pipeline bug ships as an invisible perf regression.
+    Result<CompiledPipeline> compiled = CompilePipeline(
+        *c.plan_, run.builders.get(), &run.stats, &run.tracker);
     if (!compiled.ok()) {
       PASCALR_LOG_WARNING << "pipeline compile failed, falling back to "
                              "materializing combination: "
@@ -62,8 +70,12 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
       return c;
     }
   }
+  // Materializing fallback: needs the whole collection up front (a no-op
+  // unless the lazy policy skipped it above).
+  PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
   PASCALR_ASSIGN_OR_RETURN(
-      run.combined, ExecuteCombination(*c.plan_, run.collection, &run.stats));
+      run.combined,
+      ExecuteCombination(*c.plan_, run.builders->result(), &run.stats));
   PASCALR_ASSIGN_OR_RETURN(run.column_of_var,
                            ResolveProjectionColumns(*c.plan_, run.combined));
   c.open_ = true;
@@ -103,9 +115,9 @@ void Cursor::Close() {
   open_ = false;
   if (run_ != nullptr) {
     // Tear down the iterator tree first: its operators hold pointers into
-    // the plan and the collection structures.
+    // the plan and the collection builders.
     run_->pipeline.root.reset();
-    if (sink_ != nullptr) *sink_ += run_->stats;
+    if (sink_ != nullptr) sink_->Merge(run_->stats);
   }
   sink_ = nullptr;
   plan_.reset();
@@ -116,15 +128,16 @@ const ExecStats& Cursor::stats() const {
 }
 
 const CollectionResult& Cursor::collection() const {
-  return run_ == nullptr ? kEmptyCollection : run_->collection;
+  return run_ == nullptr || run_->builders == nullptr ? kEmptyCollection
+                                                      : run_->builders->result();
 }
 
 CollectionResult Cursor::ReleaseCollection() {
-  if (run_ == nullptr) return CollectionResult();
-  // The iterators probe the structures in place; a released collection
-  // must not be probed again.
+  if (run_ == nullptr || run_->builders == nullptr) return CollectionResult();
+  // The iterators populate and probe the structures in place; a released
+  // collection must not be touched again.
   run_->pipeline.root.reset();
-  return std::move(run_->collection);
+  return run_->builders->Release();
 }
 
 size_t Cursor::rows_pending() const {

@@ -1,14 +1,19 @@
 // Pull-based result cursor over a compiled plan.
 //
-// Pipelined mode (QueryPlan::pipeline, the default): Open runs only the
-// collection phase (paper §3.3 step 1) and compiles the combination phase
-// into a join-iterator tree (src/pipeline/); every Next pulls ONE
-// combination row through that tree and straight into the per-tuple
-// construction helpers — dereference + projection + duplicate elimination
-// on demand. No combination intermediate is materialised (blocking
-// buffers — division input, dedup sinks — excepted), and closing (or
-// dropping) a partially drained cursor skips the remaining join work as
-// well as the remaining dereferences.
+// Pipelined mode (QueryPlan::pipeline, the default): Open compiles the
+// combination phase into a join-iterator tree (src/pipeline/); every Next
+// pulls ONE combination row through that tree and straight into the
+// per-tuple construction helpers — dereference + projection + duplicate
+// elimination on demand. Under the eager collection policy Open still
+// runs the whole collection phase (paper §3.3 step 1) first; under
+// CollectionPolicy::kLazy Open only *registers* per-structure builders
+// and every piece of collection work — structure builds, index builds,
+// range materialisation — happens behind Next, on demand. No combination
+// intermediate is materialised (blocking buffers — division input, dedup
+// sinks — excepted), and closing (or dropping) a partially drained
+// cursor skips the remaining join work, the remaining dereferences, and
+// (lazy) the never-demanded collection structures — visible through
+// ExecStats::structures_built / structure_elements_built.
 //
 // Materializing fallback (pipeline off, or compilation declined): Open
 // runs collection + combination as before and Next streams construction
@@ -44,9 +49,12 @@ class Cursor {
   Cursor& operator=(Cursor&& other) noexcept;
   ~Cursor() { Close(); }
 
-  /// Runs the collection phase (and, in the materializing fallback, the
-  /// combination phase). The cursor shares ownership of the plan, so it
-  /// stays valid even if the caller's plan cache replans meanwhile.
+  /// Compiles the execution state for the plan. Eager policy (or the
+  /// materializing fallback): runs the collection phase — and, when not
+  /// pipelined, the combination phase — before returning. Lazy policy on
+  /// a pipelined plan: only registers collection builders; all collection
+  /// work happens behind Next. The cursor shares ownership of the plan,
+  /// so it stays valid even if the caller's plan cache replans meanwhile.
   /// `sink` (optional) receives this run's ExecStats exactly once, when
   /// the cursor is closed or destroyed; it must outlive the cursor.
   static Result<Cursor> Open(std::shared_ptr<const QueryPlan> plan,
@@ -57,7 +65,8 @@ class Cursor {
   Result<bool> Next(Tuple* out);
 
   /// Flushes stats to the sink, tears down the iterator tree (skipping
-  /// unperformed join work) and releases the plan. Idempotent.
+  /// unperformed join and collection work) and releases the plan.
+  /// Idempotent.
   void Close();
 
   bool is_open() const { return open_; }
@@ -66,11 +75,13 @@ class Cursor {
   /// join-iterator pipeline (false: materializing fallback).
   bool pipelined() const { return run_ != nullptr && run_->pipeline.ok(); }
 
-  /// Work counters of this cursor's run so far (collection at Open, then
-  /// join/construction work as Next is called).
+  /// Work counters of this cursor's run so far (collection at Open under
+  /// the eager policy, then join/construction — and lazy collection —
+  /// work as Next is called).
   const ExecStats& stats() const;
 
-  /// Materialised collection-phase structures (Figure 2 exhibits).
+  /// Collection-phase structures as materialised so far (Figure 2
+  /// exhibits; complete under the eager policy, partial under lazy).
   const CollectionResult& collection() const;
 
   /// Moves the collection structures out (e.g. into a QueryRun after the
@@ -83,12 +94,12 @@ class Cursor {
   size_t rows_pending() const;
 
  private:
-  /// Heap-held so the iterators' back-pointers (stats, tracker,
-  /// collection structures) survive Cursor moves.
+  /// Heap-held so the iterators' back-pointers (stats, tracker, the
+  /// collection builders) survive Cursor moves.
   struct RunState {
     ExecStats stats;
     PeakTracker tracker{&stats};
-    CollectionResult collection;
+    std::unique_ptr<CollectionBuilders> builders;
     CompiledPipeline pipeline;  ///< root null on the materializing path
     RefRelation combined;       ///< materializing path only
     size_t row = 0;

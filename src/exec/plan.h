@@ -52,6 +52,25 @@ enum class OptLevel : int {
 
 std::string_view OptLevelToString(OptLevel level);
 
+/// How the collection phase materialises its structures (exec/collection):
+///  - kEager: every structure, index, value list and range is built before
+///    combination starts (the paper's phase-1/phase-2 split, and the
+///    correctness oracle);
+///  - kLazy: Cursor::Open only compiles per-structure builders; population
+///    happens behind Next, on demand — full materialisation at first use,
+///    per-join-key population for probe-side structures, or streaming the
+///    base relation without ever building the structure. Only the
+///    pipelined combination mode can exploit laziness (the materializing
+///    path joins everything at Open and forces a full build anyway).
+enum class CollectionPolicy : uint8_t {
+  kEager = 0,
+  kLazy = 1,
+};
+
+inline std::string_view CollectionPolicyToString(CollectionPolicy policy) {
+  return policy == CollectionPolicy::kLazy ? "lazy" : "eager";
+}
+
 /// A transient (or permanent) index to build: `var`'s range on one
 /// component, restricted by monadic gates (S2).
 struct IndexBuildSpec {
@@ -279,6 +298,11 @@ struct QueryPlan {
   /// materializing combination path. Both modes produce the same tuple
   /// multiset after dedup.
   bool pipeline = true;
+
+  /// Collection-phase population policy (see CollectionPolicy). Only
+  /// consulted on the pipelined cursor path; the materializing paths
+  /// always build eagerly.
+  CollectionPolicy collection = CollectionPolicy::kEager;
 
   bool IsEliminated(const std::string& var) const {
     for (const std::string& v : eliminated_vars) {

@@ -4,7 +4,7 @@
 
 namespace pascalr {
 
-ExecStats& ExecStats::operator+=(const ExecStats& o) {
+void ExecStats::Merge(const ExecStats& o) {
   relations_read += o.relations_read;
   elements_scanned += o.elements_scanned;
   index_probes += o.index_probes;
@@ -17,12 +17,13 @@ ExecStats& ExecStats::operator+=(const ExecStats& o) {
   dereferences += o.dereferences;
   replans += o.replans;
   permanent_index_hits += o.permanent_index_hits;
+  structures_built += o.structures_built;
+  structure_elements_built += o.structure_elements_built;
   // A memory high-water mark, not a flow: accumulating runs keeps the
   // largest peak seen, it does not sum them.
   if (o.peak_intermediate_rows > peak_intermediate_rows) {
     peak_intermediate_rows = o.peak_intermediate_rows;
   }
-  return *this;
 }
 
 std::string ExecStats::ToString() const {
@@ -31,6 +32,7 @@ std::string ExecStats::ToString() const {
       "single_list_refs=%llu indirect_join_refs=%llu combination_rows=%llu "
       "division_input_rows=%llu quantifier_probes=%llu comparisons=%llu "
       "dereferences=%llu replans=%llu permanent_index_hits=%llu "
+      "structures_built=%llu structure_elements_built=%llu "
       "peak_intermediate_rows=%llu",
       static_cast<unsigned long long>(relations_read),
       static_cast<unsigned long long>(elements_scanned),
@@ -44,6 +46,8 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(dereferences),
       static_cast<unsigned long long>(replans),
       static_cast<unsigned long long>(permanent_index_hits),
+      static_cast<unsigned long long>(structures_built),
+      static_cast<unsigned long long>(structure_elements_built),
       static_cast<unsigned long long>(peak_intermediate_rows));
 }
 

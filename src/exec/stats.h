@@ -24,6 +24,19 @@ struct ExecStats {
   uint64_t dereferences = 0;       ///< construction-phase dereferences
   uint64_t replans = 0;            ///< runtime adaptations (empty ranges)
   uint64_t permanent_index_hits = 0;  ///< transient index builds skipped
+  /// Collection structures (single lists / indirect joins) *fully*
+  /// materialised. Under the lazy collection policy this stays strictly
+  /// below the plan's structure count whenever a cursor closes before
+  /// every structure was demanded; keyed-partial and streamed structures
+  /// never count. Event count, not work: stays out of TotalWork().
+  uint64_t structures_built = 0;
+  /// Elements materialised into collection structures: structure rows
+  /// (keyed-partial cache rows included), index entries, and value-list
+  /// additions. The demand-driven acceptance measure — lazy runs that
+  /// stop early build strictly fewer elements than the eager oracle.
+  /// Structure rows are already priced in single_list_refs /
+  /// indirect_join_refs, so this stays out of TotalWork() too.
+  uint64_t structure_elements_built = 0;
   /// High-water mark of combination-phase rows held live at once:
   /// intermediate join/union/projection relations on the materializing
   /// path, blocking buffers (division input, dedup sinks, bushy builds)
@@ -32,7 +45,17 @@ struct ExecStats {
   /// TotalWork() and accumulates by maximum, not sum.
   uint64_t peak_intermediate_rows = 0;
 
-  ExecStats& operator+=(const ExecStats& o);
+  /// The one place that knows which fields accumulate by sum and which by
+  /// maximum (peak_intermediate_rows is a high-water mark, not a flow).
+  /// Every accumulation of one ExecStats into another must go through
+  /// here — hand-summing fields is exactly the misuse that silently turns
+  /// a peak into a total.
+  void Merge(const ExecStats& o);
+
+  ExecStats& operator+=(const ExecStats& o) {
+    Merge(o);
+    return *this;
+  }
 
   /// Aggregate "work" measure used by bench shape checks and the cost
   /// model: everything the evaluator touched. Defined as the sum of
@@ -46,8 +69,9 @@ struct ExecStats {
   /// + comparisons           (join-term comparisons evaluated)
   /// + dereferences          (construction-phase dereferences)
   /// so collection-phase materialisation is visible alongside scan and
-  /// combination work. relations_read, replans and permanent_index_hits
-  /// are event counts, not work, and stay out of the sum.
+  /// combination work. relations_read, replans, permanent_index_hits and
+  /// the structure-build counters are event counts, not work, and stay
+  /// out of the sum.
   uint64_t TotalWork() const {
     return elements_scanned + index_probes + single_list_refs +
            indirect_join_refs + combination_rows + division_input_rows +

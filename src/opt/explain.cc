@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/str_util.h"
+#include "pipeline/compile.h"
 #include "pipeline/shape.h"
 
 namespace pascalr {
@@ -99,7 +100,50 @@ std::string ExplainPlan(const PlannedQuery& planned) {
   out += "strategy 3:\n" + planned.range_extension.ToString();
   out += "strategy 4:\n" + planned.quant_pushdown_summary.ToString();
 
-  out += "collection phase:\n";
+  const bool lazy_collection = plan.pipeline &&
+                               plan.collection == CollectionPolicy::kLazy;
+  // One shape analysis serves the lazy build-mode table here and the
+  // combination-phase rendering below.
+  PipelineShape shape = AnalyzePipelineShape(plan);
+  out += StrFormat("collection phase (policy: %s%s):\n",
+                   std::string(CollectionPolicyToString(plan.collection))
+                       .c_str(),
+                   lazy_collection
+                       ? ", demand-driven builders behind Cursor::Next"
+                       : "");
+  if (lazy_collection) {
+    // Per-conjunction build modes: how the lazy lowering will populate
+    // each input structure when (and if) the pipeline demands it.
+    // LazyConjunctionLeafModes replays the lowering's tree choice and
+    // join-key computation, so the printed mode is the executed mode.
+    for (size_t c = 0; c < plan.conj_inputs.size(); ++c) {
+      if (plan.conj_inputs[c].empty()) continue;
+      std::vector<LazyLeafMode> modes =
+          LazyConjunctionLeafModes(plan, c, shape);
+      std::vector<std::string> parts;
+      for (size_t k = 0; k < plan.conj_inputs[c].size(); ++k) {
+        size_t id = plan.conj_inputs[c][k];
+        const StructureDef& def = plan.structures[id];
+        switch (modes[k]) {
+          case LazyLeafMode::kStreamed:
+            parts.push_back(def.debug_name + ": streamed (never built)");
+            break;
+          case LazyLeafMode::kKeyed: {
+            int keyed = StructureKeyedColumn(plan, id);
+            parts.push_back(
+                def.debug_name + ": keyed on " +
+                def.columns[static_cast<size_t>(keyed < 0 ? 0 : keyed)]);
+            break;
+          }
+          case LazyLeafMode::kDeferred:
+            parts.push_back(def.debug_name + ": full build at first use");
+            break;
+        }
+      }
+      out += StrFormat("  conjunction %zu on demand: %s\n", c,
+                       Join(parts, "; ").c_str());
+    }
+  }
   for (const RelationScan& scan : plan.scans) {
     out += "  scan " + scan.relation;
     if (!scan.debug_label.empty() && scan.debug_label != "scan " + scan.relation) {
@@ -160,7 +204,6 @@ std::string ExplainPlan(const PlannedQuery& planned) {
   }
 
   out += "combination phase:\n";
-  PipelineShape shape = AnalyzePipelineShape(plan);
   if (plan.pipeline) {
     out += "  mode: pipelined (streamed join iterators; Cursor::Next pulls "
            "one combination row)\n";
@@ -260,6 +303,15 @@ std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
       planned.estimate.pipelined_combination_rows,
       planned.estimate.pipelined_total_work,
       planned.estimate.est_peak_pipelined);
+  std::string ttft_mode =
+      planned.plan.pipeline
+          ? "pipelined, " +
+                std::string(CollectionPolicyToString(planned.plan.collection)) +
+                " collection"
+          : std::string("materializing");
+  out += StrFormat("  est time-to-first-tuple (%s): %.0f\n",
+                   ttft_mode.c_str(),
+                   planned.estimate.est_time_to_first_tuple);
   return out;
 }
 

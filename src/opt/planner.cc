@@ -122,6 +122,7 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
   out.plan = std::move(plan).value();
   out.plan.division = options.division;
   out.plan.pipeline = options.pipeline;
+  out.plan.collection = options.collection;
   if (options.prefer_ordered_indexes) {
     for (IndexBuildSpec& spec : out.plan.indexes) spec.ordered = true;
   }

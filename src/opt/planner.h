@@ -66,6 +66,15 @@ struct PlannerOptions {
   /// tuple multiset after dedup (asserted by the pipeline property
   /// tests); default on.
   bool pipeline = true;
+  /// Collection-phase population policy (`SET COLLECTION EAGER|LAZY;`).
+  /// kEager builds every structure at Cursor::Open (the paper's phase
+  /// split and the oracle); kLazy defers all collection work behind Next
+  /// on pipelined cursors — structures materialise fully on first use,
+  /// per requested join key, or stream without materialising. Same tuple
+  /// multiset either way (lazy property sweep); lazy wins when cursors
+  /// stop early and can lose on full drains of small relations (repeat
+  /// scans). Only the pipelined path can exploit it.
+  CollectionPolicy collection = CollectionPolicy::kEager;
 };
 
 /// Field-wise equality — the prepared-query plan cache uses it to detect
@@ -78,7 +87,8 @@ inline bool operator==(const PlannerOptions& a, const PlannerOptions& b) {
          a.prefer_ordered_indexes == b.prefer_ordered_indexes &&
          a.join_order_dp == b.join_order_dp &&
          a.join_dp_max_inputs == b.join_dp_max_inputs &&
-         a.join_dp_bushy == b.join_dp_bushy && a.pipeline == b.pipeline;
+         a.join_dp_bushy == b.join_dp_bushy && a.pipeline == b.pipeline &&
+         a.collection == b.collection;
 }
 inline bool operator!=(const PlannerOptions& a, const PlannerOptions& b) {
   return !(a == b);

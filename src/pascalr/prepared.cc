@@ -189,7 +189,7 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   if (!cache_hit) out.stats.replans = state_->planned->replans;
   out.collection = cursor.ReleaseCollection();
   cursor.Close();
-  session_->total_stats_ += out.stats;
+  session_->total_stats_.Merge(out.stats);
   return out;
 }
 

@@ -124,6 +124,15 @@ Status Session::ApplyOption(const std::string& name,
     return Status::InvalidArgument("SET PIPELINE expects ON or OFF, got '" +
                                    value + "'");
   }
+  if (name == "collection") {
+    if (value == "eager" || value == "lazy") {
+      options_.collection = value == "lazy" ? CollectionPolicy::kLazy
+                                            : CollectionPolicy::kEager;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "SET COLLECTION expects EAGER or LAZY, got '" + value + "'");
+  }
   if (name == "joinorder") {
     if (value == "dp") {
       options_.join_order_dp = true;
@@ -144,7 +153,8 @@ Status Session::ApplyOption(const std::string& name,
   }
   return Status::InvalidArgument("unknown option '" + name +
                                  "' (expected OPTLEVEL, DIVISION, "
-                                 "PERMINDEXES, JOINORDER, or PIPELINE)");
+                                 "PERMINDEXES, JOINORDER, PIPELINE, or "
+                                 "COLLECTION)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {
@@ -154,7 +164,7 @@ Status Session::RunAssign(const AssignStmt& stmt) {
   Schema output_schema = bound.output_schema;
   PASCALR_ASSIGN_OR_RETURN(QueryRun run,
                            RunQuery(*db_, std::move(bound), options_));
-  total_stats_ += run.stats;
+  total_stats_.Merge(run.stats);
 
   // Create or replace the target relation.
   if (db_->FindRelation(stmt.target) != nullptr) {
@@ -327,7 +337,7 @@ Status Session::ExecuteStatement(const Statement& stmt) {
       PASCALR_ASSIGN_OR_RETURN(ExecOutcome outcome,
                                ExecutePlan(planned.plan, *db_, &stats));
       (void)outcome;
-      total_stats_ += stats;
+      total_stats_.Merge(stats);
       Emit(ExplainEstimatedVsActual(planned, stats));
     }
     return Status::OK();

@@ -76,7 +76,8 @@ class Session {
   Status RunStatsSeed(const StatsStmt& stmt);
   /// `SET name value;` — planner option assignment: OPTLEVEL 0-4 | AUTO,
   /// DIVISION HASH | SORT, PERMINDEXES ON | OFF,
-  /// JOINORDER DP | BUSHY | GREEDY, PIPELINE ON | OFF.
+  /// JOINORDER DP | BUSHY | GREEDY, PIPELINE ON | OFF,
+  /// COLLECTION EAGER | LAZY.
   Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 

@@ -15,87 +15,221 @@ int IndexOf(const std::vector<std::string>& cols, const std::string& name) {
   return -1;
 }
 
-/// Build state of one join-tree node while lowering it to iterators.
-struct NodeState {
-  const RefRelation* structure = nullptr;  ///< leaf: probe/scan in place
-  RefIteratorPtr iter;                     ///< internal (or consumed leaf)
-  std::vector<std::string> cols;
+/// Left-deep chain over the inputs in declaration order — the lazy
+/// fallback when no optimizer tree is attached: actual structure sizes
+/// are unknown by design (nothing is built yet), so there is no signal
+/// for the greedy smallest-first order to rank on.
+JoinTree LeftDeepChain(size_t num_inputs) {
+  JoinTree tree;
+  tree.source = JoinOrderSource::kGreedy;
+  JoinTreeNode leaf;
+  leaf.leaf = true;
+  leaf.input = 0;
+  tree.nodes.push_back(leaf);
+  int root = 0;
+  for (size_t i = 1; i < num_inputs; ++i) {
+    JoinTreeNode next_leaf;
+    next_leaf.leaf = true;
+    next_leaf.input = i;
+    tree.nodes.push_back(next_leaf);
+    JoinTreeNode join;
+    join.left = root;
+    join.right = static_cast<int>(tree.nodes.size()) - 1;
+    tree.nodes.push_back(join);
+    root = static_cast<int>(tree.nodes.size()) - 1;
+  }
+  return tree;
+}
+
+/// The lazy policy's join-tree choice: the optimizer's attached tree,
+/// trusted as planned (re-validating against actual structure sizes
+/// would force the very builds laziness defers), else a left-deep chain.
+JoinTree LazyJoinTree(const QueryPlan& plan, size_t conj, size_t num_inputs) {
+  if (conj < plan.join_trees.size() &&
+      plan.join_trees[conj].Matches(num_inputs)) {
+    return plan.join_trees[conj];
+  }
+  return LeftDeepChain(num_inputs);
+}
+
+/// One tree node's lowering decisions (keys, output columns, keyed-probe
+/// position). Leaves carry only `cols`.
+struct NodePlan {
+  std::vector<int> left_key;
+  std::vector<int> right_key;
+  std::vector<int> right_extras;
+  std::vector<std::string> cols;  ///< the node's output column layout
+  /// Right-leaf joins only: the left column whose ref keys the lazy
+  /// per-join-key population of the right structure, or -1 when keyed
+  /// population does not apply (capability column not in the probe key).
+  int keyed_probe_pos = -1;
 };
 
-/// The node as a stream (leaves become scans on demand; right-side leaves
-/// are probed in place instead and never pass through here).
-RefIteratorPtr AsIterator(NodeState* node) {
-  if (node->iter != nullptr) return std::move(node->iter);
-  return std::make_unique<ScanIter>(node->structure);
+/// Everything the lowering of one conjunction decides, computed in ONE
+/// walk shared by the iterator compiler, EXPLAIN, and the cost model —
+/// the single source of truth that keeps printed/priced build modes
+/// equal to executed ones.
+struct ConjunctionLowering {
+  JoinTree tree;
+  std::vector<bool> semi;
+  std::vector<NodePlan> nodes;           ///< indexed like tree.nodes
+  std::vector<LazyLeafMode> leaf_modes;  ///< indexed like conj_inputs[conj]
+};
+
+ConjunctionLowering PlanConjunctionLowering(const QueryPlan& plan,
+                                            size_t conj, JoinTree tree,
+                                            const PipelineShape& shape) {
+  const std::vector<size_t>& ids = plan.conj_inputs[conj];
+  ConjunctionLowering low;
+  low.tree = std::move(tree);
+  low.leaf_modes.assign(ids.size(), LazyLeafMode::kDeferred);
+  std::vector<std::vector<std::string>> input_cols;
+  for (size_t id : ids) input_cols.push_back(plan.structures[id].columns);
+  low.semi = SemiJoinEligible(low.tree, input_cols, shape);
+  low.nodes.resize(low.tree.nodes.size());
+
+  auto scan_mode = [&](size_t input) {
+    return StructureKeyedColumn(plan, ids[input]) >= 0
+               ? LazyLeafMode::kStreamed
+               : LazyLeafMode::kDeferred;
+  };
+  for (size_t i = 0; i < low.tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = low.tree.nodes[i];
+    NodePlan& np = low.nodes[i];
+    if (node.leaf) {
+      np.cols = input_cols[node.input];
+      continue;
+    }
+    const JoinTreeNode& lnode = low.tree.nodes[static_cast<size_t>(node.left)];
+    const JoinTreeNode& rnode =
+        low.tree.nodes[static_cast<size_t>(node.right)];
+    const NodePlan& left = low.nodes[static_cast<size_t>(node.left)];
+    const NodePlan& right = low.nodes[static_cast<size_t>(node.right)];
+    std::vector<std::string> extra_names;
+    for (size_t r = 0; r < right.cols.size(); ++r) {
+      int pos = IndexOf(left.cols, right.cols[r]);
+      if (pos >= 0) {
+        np.left_key.push_back(pos);
+        np.right_key.push_back(static_cast<int>(r));
+      } else {
+        np.right_extras.push_back(static_cast<int>(r));
+        extra_names.push_back(right.cols[r]);
+      }
+    }
+    if (lnode.leaf) {
+      // Consumed as this join's driving stream.
+      low.leaf_modes[lnode.input] = scan_mode(lnode.input);
+    }
+    if (rnode.leaf) {
+      int keyed_col = StructureKeyedColumn(plan, ids[rnode.input]);
+      for (size_t k = 0; k < np.right_key.size(); ++k) {
+        if (np.right_key[k] == keyed_col) {
+          np.keyed_probe_pos = np.left_key[k];
+          break;
+        }
+      }
+      low.leaf_modes[rnode.input] = np.keyed_probe_pos >= 0
+                                        ? LazyLeafMode::kKeyed
+                                        : LazyLeafMode::kDeferred;
+    }
+    np.cols = left.cols;
+    if (!low.semi[i]) {
+      np.cols.insert(np.cols.end(), extra_names.begin(), extra_names.end());
+    }
+  }
+  if (low.tree.nodes.back().leaf) {
+    // Single-input conjunction: the structure is scanned directly.
+    low.leaf_modes[low.tree.nodes.back().input] =
+        scan_mode(low.tree.nodes.back().input);
+  }
+  return low;
 }
 
 /// Lowers one conjunction's join tree + extension + projection-to-needed
 /// into an iterator chain emitting rows in `shape.needed` layout.
 Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
-                                          const CollectionResult& coll,
+                                          CollectionBuilders* builders,
                                           const PipelineShape& shape,
                                           ExecStats* stats,
                                           PeakTracker* tracker) {
-  std::vector<const RefRelation*> inputs;
-  std::vector<std::vector<std::string>> input_cols;
-  for (size_t id : plan.conj_inputs[conj]) {
-    inputs.push_back(&coll.structures[id]);
-    input_cols.push_back(coll.structures[id].columns());
-  }
+  const bool lazy = plan.collection == CollectionPolicy::kLazy;
+  const CollectionResult& coll = builders->result();
+  const std::vector<size_t>& ids = plan.conj_inputs[conj];
 
   RefIteratorPtr chain;
   std::vector<std::string> cols;
-  if (inputs.empty()) {
+  if (ids.empty()) {
     chain = std::make_unique<UnitIter>();  // TRUE: the empty row
   } else {
-    JoinTree tree = RuntimeJoinOrder(plan, conj, inputs);
-    if (!tree.Matches(inputs.size())) {
+    JoinTree tree;
+    if (lazy) {
+      tree = LazyJoinTree(plan, conj, ids.size());
+    } else {
+      std::vector<const RefRelation*> inputs;
+      for (size_t id : ids) inputs.push_back(&coll.structures[id]);
+      tree = RuntimeJoinOrder(plan, conj, inputs);
+    }
+    if (!tree.Matches(ids.size())) {
       return Status::Internal("pipeline: malformed runtime join tree");
     }
-    std::vector<bool> semi = SemiJoinEligible(tree, input_cols, shape);
-    std::vector<NodeState> nodes(tree.nodes.size());
-    for (size_t i = 0; i < tree.nodes.size(); ++i) {
-      const JoinTreeNode& node = tree.nodes[i];
-      NodeState& state = nodes[i];
-      if (node.leaf) {
-        state.structure = inputs[node.input];
-        state.cols = input_cols[node.input];
-        continue;
-      }
-      NodeState& left = nodes[static_cast<size_t>(node.left)];
-      NodeState& right = nodes[static_cast<size_t>(node.right)];
-      std::vector<int> left_key, right_key, right_extras;
-      std::vector<std::string> extra_names;
-      for (size_t r = 0; r < right.cols.size(); ++r) {
-        int pos = IndexOf(left.cols, right.cols[r]);
-        if (pos >= 0) {
-          left_key.push_back(pos);
-          right_key.push_back(static_cast<int>(r));
-        } else {
-          right_extras.push_back(static_cast<int>(r));
-          extra_names.push_back(right.cols[r]);
+    ConjunctionLowering low =
+        PlanConjunctionLowering(plan, conj, std::move(tree), shape);
+
+    std::vector<RefIteratorPtr> node_iters(low.tree.nodes.size());
+    // A leaf as a stream: lazy leaves stream straight off the base
+    // relation when the lowering says so (collection mode (c) — the
+    // structure is never materialised) and defer a full build to the
+    // first Next otherwise.
+    auto leaf_stream = [&](size_t node_idx) -> RefIteratorPtr {
+      size_t input = low.tree.nodes[node_idx].input;
+      size_t id = ids[input];
+      if (lazy && !builders->structure_built(id)) {
+        if (low.leaf_modes[input] == LazyLeafMode::kStreamed) {
+          return std::make_unique<BaseScanIter>(builders, id);
         }
+        return std::make_unique<ScanIter>(builders, id);
       }
-      state.cols = left.cols;
-      if (!semi[i]) {
-        state.cols.insert(state.cols.end(), extra_names.begin(),
-                          extra_names.end());
-      }
-      RefIteratorPtr left_iter = AsIterator(&left);
-      if (right.structure != nullptr) {
-        state.iter = std::make_unique<ProbeJoinIter>(
-            std::move(left_iter), right.structure, std::move(left_key),
-            std::move(right_key), std::move(right_extras), semi[i], stats);
+      return std::make_unique<ScanIter>(&coll.structures[id]);
+    };
+    auto as_iterator = [&](int node_idx) -> RefIteratorPtr {
+      size_t idx = static_cast<size_t>(node_idx);
+      if (low.tree.nodes[idx].leaf) return leaf_stream(idx);
+      return std::move(node_iters[idx]);
+    };
+
+    for (size_t i = 0; i < low.tree.nodes.size(); ++i) {
+      const JoinTreeNode& node = low.tree.nodes[i];
+      if (node.leaf) continue;
+      NodePlan& np = low.nodes[i];
+      RefIteratorPtr left_iter = as_iterator(node.left);
+      const JoinTreeNode& rnode =
+          low.tree.nodes[static_cast<size_t>(node.right)];
+      if (rnode.leaf) {
+        size_t right_id = ids[rnode.input];
+        if (lazy && !builders->structure_built(right_id)) {
+          node_iters[i] = std::make_unique<ProbeJoinIter>(
+              std::move(left_iter), builders, right_id,
+              std::move(np.left_key), std::move(np.right_key),
+              std::move(np.right_extras), low.semi[i], stats,
+              np.keyed_probe_pos);
+        } else {
+          node_iters[i] = std::make_unique<ProbeJoinIter>(
+              std::move(left_iter), &coll.structures[right_id],
+              std::move(np.left_key), std::move(np.right_key),
+              std::move(np.right_extras), low.semi[i], stats);
+        }
       } else {
         // Bushy right subtree: blocking build, drained at first Next.
-        state.iter = std::make_unique<ProbeJoinIter>(
-            std::move(left_iter), std::move(right.iter), right.cols,
-            std::move(left_key), std::move(right_key),
-            std::move(right_extras), semi[i], stats, tracker);
+        node_iters[i] = std::make_unique<ProbeJoinIter>(
+            std::move(left_iter),
+            std::move(node_iters[static_cast<size_t>(node.right)]),
+            low.nodes[static_cast<size_t>(node.right)].cols,
+            std::move(np.left_key), std::move(np.right_key),
+            std::move(np.right_extras), low.semi[i], stats, tracker);
       }
     }
-    chain = AsIterator(&nodes.back());
-    cols = std::move(nodes.back().cols);
+    chain = as_iterator(static_cast<int>(low.tree.nodes.size()) - 1);
+    cols = std::move(low.nodes.back().cols);
   }
 
   // Extend to the active variables the conjunction does not bind. Purely
@@ -107,13 +241,20 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
     if (IndexOf(cols, qv.var) >= 0) continue;
     if (shape.IsExistential(qv.var)) {
       bool in_structures = false;
-      for (const std::vector<std::string>& sc : input_cols) {
-        if (IndexOf(sc, qv.var) >= 0) {
+      for (size_t id : ids) {
+        if (IndexOf(plan.structures[id].columns, qv.var) >= 0) {
           in_structures = true;
           break;
         }
       }
       if (in_structures) continue;  // semi-dropped: already witnessed
+      if (lazy) {
+        // The emptiness check must not force the range at compile time;
+        // the guard materialises it at the first pull instead.
+        chain = std::make_unique<RangeGuardIter>(std::move(chain), builders,
+                                                 qv.var);
+        continue;
+      }
       auto it = coll.range_refs.find(qv.var);
       if (it == coll.range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
@@ -121,11 +262,17 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
       if (it->second.empty()) return RefIteratorPtr(new EmptyIter());
       continue;
     }
-    auto it = coll.range_refs.find(qv.var);
-    if (it == coll.range_refs.end()) {
-      return Status::Internal("no materialised range for '" + qv.var + "'");
+    if (lazy) {
+      chain = std::make_unique<ExtendIter>(std::move(chain), builders,
+                                           qv.var, stats);
+    } else {
+      auto it = coll.range_refs.find(qv.var);
+      if (it == coll.range_refs.end()) {
+        return Status::Internal("no materialised range for '" + qv.var + "'");
+      }
+      chain =
+          std::make_unique<ExtendIter>(std::move(chain), &it->second, stats);
     }
-    chain = std::make_unique<ExtendIter>(std::move(chain), &it->second, stats);
     cols.push_back(qv.var);
   }
 
@@ -152,8 +299,20 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
 
 }  // namespace
 
+std::vector<LazyLeafMode> LazyConjunctionLeafModes(
+    const QueryPlan& plan, size_t conj, const PipelineShape& shape) {
+  const size_t n = plan.conj_inputs[conj].size();
+  if (n == 0) return {};
+  JoinTree tree = LazyJoinTree(plan, conj, n);
+  if (!tree.Matches(n)) {
+    return std::vector<LazyLeafMode>(n, LazyLeafMode::kDeferred);
+  }
+  return PlanConjunctionLowering(plan, conj, std::move(tree), shape)
+      .leaf_modes;
+}
+
 Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
-                                         const CollectionResult& coll,
+                                         CollectionBuilders* builders,
                                          ExecStats* stats,
                                          PeakTracker* tracker) {
   PipelineShape shape = AnalyzePipelineShape(plan);
@@ -172,7 +331,7 @@ Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
   for (size_t c = 0; c < plan.sf.matrix.disjuncts.size(); ++c) {
     PASCALR_ASSIGN_OR_RETURN(
         RefIteratorPtr one,
-        CompileConjunction(plan, c, coll, shape, stats, tracker));
+        CompileConjunction(plan, c, builders, shape, stats, tracker));
     disjuncts.push_back(std::move(one));
   }
   RefIteratorPtr stream =
@@ -185,7 +344,7 @@ Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
     // columns (set semantics) and run the tail right-to-left.
     out.root = std::make_unique<QuantifierTailIter>(
         std::move(stream), std::move(shape.tail), shape.needed,
-        shape.free_names, &coll.range_refs, plan.division, stats, tracker);
+        shape.free_names, builders, plan.division, stats, tracker);
     return out;
   }
 

@@ -13,6 +13,17 @@
 // streams concatenate, then either feed the blocking quantifier tail
 // (plans with a surviving ALL — division is inherently blocking) or a
 // streaming dedup sink.
+//
+// The compiler consumes CollectionBuilders, not a finished collection.
+// Under CollectionPolicy::kEager the cursor ran EnsureAll() before
+// compiling, structures are real, and the lowering is exactly the
+// pre-demand-driven one (runtime join-order re-validation included).
+// Under kLazy nothing is built yet: leaves lower to demand-driven scans
+// (streamed off the base relation when the structure supports per-element
+// evaluation), probe sides populate per join key or at first use, ranges
+// materialise behind Extend/guard/tail iterators — and the attached join
+// tree is trusted as planned, since re-validating against actual sizes
+// would force the very builds laziness defers.
 
 #ifndef PASCALR_PIPELINE_COMPILE_H_
 #define PASCALR_PIPELINE_COMPILE_H_
@@ -37,13 +48,32 @@ struct CompiledPipeline {
   bool ok() const { return root != nullptr; }
 };
 
-/// Builds the iterator tree for `plan` over the collection result.
+/// How the lazy lowering populates one conjunction-input structure.
+enum class LazyLeafMode : uint8_t {
+  kStreamed,  ///< scanned straight off the base relation, never built
+  kKeyed,     ///< populated per requested join key on probe
+  kDeferred,  ///< materialised in full at first use
+};
+
+/// The population mode the lazy lowering will use for each leaf of
+/// conjunction `conj` (indexed like plan.conj_inputs[conj]). Shares
+/// CompileConjunction's lowering walk — same tree choice, same join-key
+/// computation, same semi-join column dropping — so EXPLAIN and the
+/// cost model describe the modes the executor actually runs. `shape`
+/// is the caller's AnalyzePipelineShape(plan) (callers always have one
+/// in hand; recomputing it per conjunction is the expensive part). Only
+/// meaningful for plans with CollectionPolicy::kLazy.
+std::vector<LazyLeafMode> LazyConjunctionLeafModes(const QueryPlan& plan,
+                                                   size_t conj,
+                                                   const PipelineShape& shape);
+
+/// Builds the iterator tree for `plan` over the collection builders.
 /// `stats` receives the per-operator work counters as rows are pulled;
 /// blocking buffers register with `tracker`. Both must outlive the
-/// pipeline, as must `plan` and `coll` (the iterators probe the
-/// structures in place).
+/// pipeline, as must `plan` and `builders` (the iterators populate and
+/// probe the structures in place).
 Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
-                                         const CollectionResult& coll,
+                                         CollectionBuilders* builders,
                                          ExecStats* stats,
                                          PeakTracker* tracker);
 

@@ -3,6 +3,7 @@
 #include "base/str_util.h"
 #include "refstruct/division.h"
 #include "refstruct/ops.h"
+#include "storage/relation.h"
 
 namespace pascalr {
 
@@ -36,9 +37,37 @@ Result<bool> UnitIter::Next(RefRow* out) {
 }
 
 Result<bool> ScanIter::Next(RefRow* out) {
+  if (rel_ == nullptr) {
+    // Demand-driven: the structure materialises at the first pull.
+    PASCALR_RETURN_IF_ERROR(builders_->EnsureStructure(structure_id_));
+    rel_ = &builders_->result().structures[structure_id_];
+  }
   if (pos_ >= rel_->size()) return false;
   *out = rel_->row(pos_++);
   return true;
+}
+
+// ------------------------------------------------------------- BaseScanIter
+
+Result<bool> BaseScanIter::Next(RefRow* out) {
+  if (!prepared_) {
+    prepared_ = true;
+    PASCALR_RETURN_IF_ERROR(builders_->EnsureElementPrereqs(structure_id_));
+    PASCALR_ASSIGN_OR_RETURN(const Relation* rel,
+                             builders_->StructureBaseRelation(structure_id_));
+    refs_ = rel->AllRefs();
+  }
+  while (true) {
+    if (pending_pos_ < pending_.size()) {
+      *out = pending_[pending_pos_++];
+      return true;
+    }
+    if (ref_pos_ >= refs_.size()) return false;
+    pending_.clear();
+    pending_pos_ = 0;
+    PASCALR_RETURN_IF_ERROR(
+        builders_->EvalElement(structure_id_, refs_[ref_pos_++], &pending_));
+  }
 }
 
 // ------------------------------------------------------------ ProbeJoinIter
@@ -55,6 +84,21 @@ ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, const RefRelation* right,
       right_extras_(std::move(right_extras)),
       semi_(semi),
       stats_(stats) {}
+
+ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, CollectionBuilders* builders,
+                             size_t right_structure, std::vector<int> left_key,
+                             std::vector<int> right_key,
+                             std::vector<int> right_extras, bool semi,
+                             ExecStats* stats, int keyed_probe_pos)
+    : left_(std::move(left)),
+      builders_(builders),
+      right_structure_(right_structure),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      right_extras_(std::move(right_extras)),
+      semi_(semi),
+      stats_(stats),
+      key_probe_pos_(keyed_probe_pos) {}
 
 ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, RefIteratorPtr right_source,
                              std::vector<std::string> right_columns,
@@ -73,6 +117,24 @@ ProbeJoinIter::ProbeJoinIter(RefIteratorPtr left, RefIteratorPtr right_source,
       tracker_(tracker) {}
 
 Status ProbeJoinIter::Prepare() {
+  // prepared_ is only set on success: a failed Prepare (lazy build error,
+  // bushy drain error) must re-run on the next Next, not probe
+  // half-initialized state.
+  if (builders_ != nullptr && key_probe_pos_ >= 0 &&
+      !builders_->structure_built(right_structure_)) {
+    // Lazy right side in keyed mode (the lowering decided the structure's
+    // keyed column is part of the probe key): populate per requested join
+    // key — an O(probe) element evaluation instead of an O(relation)
+    // build; KeyEquals still verifies the full (possibly multi-column)
+    // key below.
+    keyed_mode_ = true;
+    prepared_ = true;
+    return Status::OK();
+  }
+  if (builders_ != nullptr) {
+    PASCALR_RETURN_IF_ERROR(builders_->EnsureStructure(right_structure_));
+    right_ = &builders_->result().structures[right_structure_];
+  }
   if (right_source_ != nullptr) {
     // Bushy build: the right subtree must be complete before the first
     // probe — the one genuinely blocking join input, peak-counted.
@@ -117,10 +179,26 @@ Result<bool> ProbeJoinIter::Next(RefRow* out) {
       if (!more) return false;
       have_left_ = true;
       match_pos_ = 0;
-      if (!left_key_.empty()) {
+      if (keyed_mode_) {
+        PASCALR_ASSIGN_OR_RETURN(
+            keyed_rows_,
+            builders_->KeyedMatches(
+                right_structure_,
+                left_row_[static_cast<size_t>(key_probe_pos_)]));
+      } else if (!left_key_.empty()) {
         auto it = table_.find(HashKey(left_row_, left_key_));
         matches_ = it == table_.end() ? nullptr : &it->second;
       }
+    }
+    if (keyed_mode_) {
+      while (keyed_rows_ != nullptr && match_pos_ < keyed_rows_->size()) {
+        const RefRow& candidate = (*keyed_rows_)[match_pos_++];
+        if (!KeyEquals(left_row_, left_key_, candidate, right_key_)) continue;
+        if (semi_) have_left_ = false;  // first match wins; next left row
+        return Emit(candidate, out);
+      }
+      have_left_ = false;
+      continue;
     }
     if (left_key_.empty()) {
       // Cartesian step. Semi: the right side only needs to be non-empty.
@@ -149,6 +227,14 @@ Result<bool> ProbeJoinIter::Next(RefRow* out) {
 // --------------------------------------------------------------- ExtendIter
 
 Result<bool> ExtendIter::Next(RefRow* out) {
+  if (refs_ == nullptr) {
+    PASCALR_RETURN_IF_ERROR(builders_->EnsureRange(var_));
+    auto it = builders_->result().range_refs.find(var_);
+    if (it == builders_->result().range_refs.end()) {
+      return Status::Internal("no materialised range for '" + var_ + "'");
+    }
+    refs_ = &it->second;
+  }
   if (refs_->empty()) return false;  // product with an empty range
   while (true) {
     if (!have_) {
@@ -165,6 +251,19 @@ Result<bool> ExtendIter::Next(RefRow* out) {
     }
     have_ = false;
   }
+}
+
+// ------------------------------------------------------------ RangeGuardIter
+
+Result<bool> RangeGuardIter::Next(RefRow* out) {
+  if (!checked_) {
+    checked_ = true;
+    PASCALR_RETURN_IF_ERROR(builders_->EnsureRange(var_));
+    auto it = builders_->result().range_refs.find(var_);
+    empty_ = it == builders_->result().range_refs.end() || it->second.empty();
+  }
+  if (empty_) return false;
+  return child_->Next(out);
 }
 
 // --------------------------------------------------------------- FilterIter
@@ -227,13 +326,13 @@ Result<bool> ConcatIter::Next(RefRow* out) {
 QuantifierTailIter::QuantifierTailIter(
     RefIteratorPtr child, std::vector<QuantifiedVar> tail,
     std::vector<std::string> columns, std::vector<std::string> free_names,
-    const std::map<std::string, std::vector<Ref>>* range_refs,
-    DivisionAlgorithm division, ExecStats* stats, PeakTracker* tracker)
+    CollectionBuilders* builders, DivisionAlgorithm division,
+    ExecStats* stats, PeakTracker* tracker)
     : child_(std::move(child)),
       tail_(std::move(tail)),
       columns_(std::move(columns)),
       free_names_(std::move(free_names)),
-      range_refs_(range_refs),
+      builders_(builders),
       division_(division),
       stats_(stats),
       tracker_(tracker) {}
@@ -265,8 +364,9 @@ Status QuantifierTailIter::Materialize() {
       }
       PASCALR_ASSIGN_OR_RETURN(next, Project(combined, keep, stats_));
     } else {
-      auto it = range_refs_->find(qv.var);
-      if (it == range_refs_->end()) {
+      PASCALR_RETURN_IF_ERROR(builders_->EnsureRange(qv.var));
+      auto it = builders_->result().range_refs.find(qv.var);
+      if (it == builders_->result().range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
       }
       PASCALR_ASSIGN_OR_RETURN(

@@ -4,16 +4,35 @@
 // produces one RefRow per Next; the cursor's Next drives the whole tree,
 // so an early Close skips all unperformed join work.
 //
+// Under the demand-driven collection policy (CollectionPolicy::kLazy) the
+// leaves additionally pull the *collection* phase on demand: scans and
+// probe builds receive a CollectionBuilders handle instead of a finished
+// structure and populate it behind Next — fully at first use, per join
+// key, or streaming the base relation without materialising at all. An
+// early Close then also skips collection work, not just join work.
+//
 // Operator inventory:
-//   ScanIter        structure scan (a collection-phase RefRelation)
+//   ScanIter        structure scan (a collection-phase RefRelation; with
+//                   a builders handle, EnsureStructure at the first Next)
+//   BaseScanIter    demand-driven single-producer scan: streams the base
+//                   relation element-at-a-time through the structure's
+//                   producers (gates, restriction, index probes) without
+//                   ever materialising the structure — collection mode (c)
 //   ProbeJoinIter   hash/nested-loop join: streams the left child, probes
 //                   an index over the right side; the right side is a
-//                   structure (zero-copy) or a drained subtree (bushy
-//                   trees — a genuine blocking build, peak-counted). A
-//                   semi-join flag stops at the first match and drops the
-//                   right side's purely-existential columns.
+//                   structure (zero-copy), a builders handle (lazy:
+//                   keyed-partial per-join-key population when the
+//                   structure supports it, full build at first probe
+//                   otherwise), or a drained subtree (bushy trees — a
+//                   genuine blocking build, peak-counted). A semi-join
+//                   flag stops at the first match and drops the right
+//                   side's purely-existential columns.
 //   ExtendIter      Cartesian extension with a variable's materialised
-//                   range (§3.3's n-tuple invariant)
+//                   range (§3.3's n-tuple invariant); with a builders
+//                   handle the range materialises at the first Next
+//   RangeGuardIter  annihilates the stream when an (absent, purely
+//                   existential) variable's range is empty — the lazy
+//                   form of the compile-time empty-range check
 //   FilterIter      residual predicate over the stream (reference-level
 //                   column comparisons). Not yet emitted by compile.cc —
 //                   every current predicate is realised as a collection
@@ -43,6 +62,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "exec/collection.h"
 #include "exec/plan.h"
 #include "exec/stats.h"
 #include "refstruct/ref_relation.h"
@@ -77,11 +97,38 @@ class UnitIter : public RefIterator {
 class ScanIter : public RefIterator {
  public:
   explicit ScanIter(const RefRelation* rel) : rel_(rel) {}
+  /// Demand-driven: EnsureStructure(structure_id) at the first Next, then
+  /// scan the materialised rows.
+  ScanIter(CollectionBuilders* builders, size_t structure_id)
+      : builders_(builders), structure_id_(structure_id) {}
   Result<bool> Next(RefRow* out) override;
 
  private:
-  const RefRelation* rel_;
+  const RefRelation* rel_ = nullptr;
+  CollectionBuilders* builders_ = nullptr;
+  size_t structure_id_ = 0;
   size_t pos_ = 0;
+};
+
+/// Collection mode (c): streams the structure's base relation element at
+/// a time through its producers — the structure itself never exists.
+/// Requires CollectionBuilders::KeyedColumn(structure_id) >= 0 (single
+/// scanned variable). Emits the same row set a materialised scan would,
+/// in the same (slot) order.
+class BaseScanIter : public RefIterator {
+ public:
+  BaseScanIter(CollectionBuilders* builders, size_t structure_id)
+      : builders_(builders), structure_id_(structure_id) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  CollectionBuilders* builders_;
+  size_t structure_id_;
+  bool prepared_ = false;
+  std::vector<Ref> refs_;        ///< live base-relation refs, slot order
+  size_t ref_pos_ = 0;
+  std::vector<RefRow> pending_;  ///< rows of the current element
+  size_t pending_pos_ = 0;
 };
 
 /// Streaming join. Probes an index (join-key -> row indices) over the
@@ -95,6 +142,16 @@ class ProbeJoinIter : public RefIterator {
   ProbeJoinIter(RefIteratorPtr left, const RefRelation* right,
                 std::vector<int> left_key, std::vector<int> right_key,
                 std::vector<int> right_extras, bool semi, ExecStats* stats);
+
+  /// Right side is an unbuilt structure (lazy collection). The lowering
+  /// (PlanConjunctionLowering) already decided whether keyed-partial
+  /// population applies: `keyed_probe_pos` >= 0 names the left column
+  /// whose ref keys each per-join-key demand, -1 forces a full
+  /// on-demand build at the first probe.
+  ProbeJoinIter(RefIteratorPtr left, CollectionBuilders* builders,
+                size_t right_structure, std::vector<int> left_key,
+                std::vector<int> right_key, std::vector<int> right_extras,
+                bool semi, ExecStats* stats, int keyed_probe_pos);
 
   /// Right side is a subtree (bushy trees): drained into an owned buffer
   /// at the first Next — a blocking build registered with `tracker`.
@@ -114,6 +171,8 @@ class ProbeJoinIter : public RefIterator {
   const RefRelation* right_ = nullptr;
   RefIteratorPtr right_source_;  ///< non-null until drained
   RefRelation right_buf_;
+  CollectionBuilders* builders_ = nullptr;  ///< lazy right side
+  size_t right_structure_ = 0;
   std::vector<int> left_key_;
   std::vector<int> right_key_;
   std::vector<int> right_extras_;
@@ -122,29 +181,62 @@ class ProbeJoinIter : public RefIterator {
   PeakTracker* tracker_ = nullptr;
 
   bool prepared_ = false;
+  bool keyed_mode_ = false;  ///< per-join-key population of the right side
+  int key_probe_pos_ = -1;   ///< left column probed in keyed mode (-1: off)
   std::unordered_map<uint64_t, std::vector<size_t>> table_;
   RefRow left_row_;
   bool have_left_ = false;
   const std::vector<size_t>* matches_ = nullptr;  ///< keyed probe chain
+  const std::vector<RefRow>* keyed_rows_ = nullptr;  ///< keyed-partial rows
   size_t match_pos_ = 0;  ///< position in chain (keyed) or right rows (cross)
 };
 
 /// Cartesian extension with a materialised range: each child row is
 /// emitted once per ref (the product step of §3.3's n-tuple invariant).
+/// With a builders handle, the range materialises at the first Next.
 class ExtendIter : public RefIterator {
  public:
   ExtendIter(RefIteratorPtr child, const std::vector<Ref>* refs,
              ExecStats* stats)
       : child_(std::move(child)), refs_(refs), stats_(stats) {}
+  ExtendIter(RefIteratorPtr child, CollectionBuilders* builders,
+             std::string var, ExecStats* stats)
+      : child_(std::move(child)),
+        builders_(builders),
+        var_(std::move(var)),
+        stats_(stats) {}
   Result<bool> Next(RefRow* out) override;
 
  private:
   RefIteratorPtr child_;
-  const std::vector<Ref>* refs_;
+  const std::vector<Ref>* refs_ = nullptr;
+  CollectionBuilders* builders_ = nullptr;
+  std::string var_;
   ExecStats* stats_;
   RefRow row_;
   size_t pos_ = 0;
   bool have_ = false;
+};
+
+/// Annihilates the stream when `var`'s range is empty, passing rows
+/// through unchanged otherwise. The demand-driven form of the semantics a
+/// purely existential variable absent from every structure imposes: a
+/// non-empty range is the whole existence proof, an empty one zeroes the
+/// conjunct (exactly like the materializing path's product with an empty
+/// range). The range materialises at the first Next.
+class RangeGuardIter : public RefIterator {
+ public:
+  RangeGuardIter(RefIteratorPtr child, CollectionBuilders* builders,
+                 std::string var)
+      : child_(std::move(child)), builders_(builders), var_(std::move(var)) {}
+  Result<bool> Next(RefRow* out) override;
+
+ private:
+  RefIteratorPtr child_;
+  CollectionBuilders* builders_;
+  std::string var_;
+  bool checked_ = false;
+  bool empty_ = false;
 };
 
 /// Residual predicate over the stream: keeps rows whose columns at
@@ -211,13 +303,15 @@ class ConcatIter : public RefIterator {
 /// evaluates the tail quantifiers right-to-left (projection for SOME,
 /// relational division for ALL), projects onto the free variables, and
 /// streams the result. Buffered rows are registered with the tracker.
+/// Divisor ranges come from the builders, materialised on demand (a
+/// no-op under the eager policy).
 class QuantifierTailIter : public RefIterator {
  public:
   QuantifierTailIter(RefIteratorPtr child,
                      std::vector<QuantifiedVar> tail,
                      std::vector<std::string> columns,
                      std::vector<std::string> free_names,
-                     const std::map<std::string, std::vector<Ref>>* range_refs,
+                     CollectionBuilders* builders,
                      DivisionAlgorithm division, ExecStats* stats,
                      PeakTracker* tracker);
   Result<bool> Next(RefRow* out) override;
@@ -229,7 +323,7 @@ class QuantifierTailIter : public RefIterator {
   std::vector<QuantifiedVar> tail_;
   std::vector<std::string> columns_;
   std::vector<std::string> free_names_;
-  const std::map<std::string, std::vector<Ref>>* range_refs_;
+  CollectionBuilders* builders_;
   DivisionAlgorithm division_;
   ExecStats* stats_;
   PeakTracker* tracker_;

@@ -8,6 +8,7 @@
 #include "opt/explain.h"
 #include "opt/planner.h"
 #include "pascalr/sample_db.h"
+#include "pascalr/session.h"
 #include "tests/query_gen.h"
 #include "tests/test_util.h"
 
@@ -51,6 +52,10 @@ Result<QueryRun> RunAuto(const Database& db, const SelectionExpr& sel) {
   PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(sel.Clone()));
   PlannerOptions options;
   options.level = OptLevel::kAuto;
+  // RunQuery executes the materializing path, so rank candidates in the
+  // mode this regret sweep measures. The pipelined ranking has its own
+  // sweep below, measured in pipelined work through the cursor.
+  options.pipeline = false;
   return RunQuery(db, std::move(bound), options);
 }
 
@@ -193,6 +198,131 @@ TEST(AutoPlannerTest, PruningNeverDiscardsAWinningNaiveCandidate) {
   }
   // The sweep is only meaningful if pruning fired at least once.
   EXPECT_GE(pruned_queries, 1u);
+}
+
+// ----------------------------------------------------------------------
+// Mode-aware ranking (the ROADMAP item): sessions that execute the
+// streamed combination rank kAuto candidates by the pipelined work
+// estimate. The regret sweep measures in *pipelined actual work* — every
+// run below goes through the prepared cursor with pipeline on — against
+// the best fixed level executed the same way.
+
+struct PipelinedRun {
+  OptLevel level = OptLevel::kNaive;
+  uint64_t work = 0;
+  std::string candidates;  ///< kAuto only
+};
+
+/// Drains `sel` through the pipelined cursor at the given level and
+/// returns the measured work.
+Result<PipelinedRun> RunPipelined(Database* db, const SelectionExpr& sel,
+                                  OptLevel level) {
+  Session session(db);
+  session.options().level = level;
+  session.options().pipeline = true;
+  PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           session.PrepareSelection(sel.Clone()));
+  PASCALR_ASSIGN_OR_RETURN(PreparedExecution exec, prepared.Execute());
+  PipelinedRun out;
+  out.work = exec.stats.TotalWork();
+  const PlannedQuery* planned = prepared.planned();
+  if (planned != nullptr) {
+    out.level = planned->plan.level;
+    out.candidates = planned->cost_candidates;
+  }
+  return out;
+}
+
+Result<PipelinedRun> BestFixedLevelPipelined(Database* db,
+                                             const SelectionExpr& sel) {
+  PipelinedRun best;
+  bool have = false;
+  for (int level = 0; level <= 4; ++level) {
+    PASCALR_ASSIGN_OR_RETURN(
+        PipelinedRun run,
+        RunPipelined(db, sel, static_cast<OptLevel>(level)));
+    if (!have || run.work < best.work) {
+      best = run;
+      best.level = static_cast<OptLevel>(level);
+      have = true;
+    }
+  }
+  return best;
+}
+
+/// `best` is the caller's BestFixedLevelPipelined result — callers have
+/// already run the fixed-level sweep to qualify the query, so it is
+/// passed in rather than recomputed (it is the dominant cost per seed).
+void ExpectPipelinedAutoWithinRegret(Database* db, const SelectionExpr& sel,
+                                     const PipelinedRun& best,
+                                     const std::string& what) {
+  Result<PipelinedRun> auto_run = RunPipelined(db, sel, OptLevel::kAuto);
+  ASSERT_TRUE(auto_run.ok()) << what << ": "
+                             << auto_run.status().ToString();
+  EXPECT_NE(auto_run->candidates.find("ranking: pipelined work"),
+            std::string::npos)
+      << what << ": kAuto under a pipelined session must rank by the "
+      << "pipelined estimate\n"
+      << auto_run->candidates;
+  double bound = kRegretBound * static_cast<double>(best.work);
+  EXPECT_LE(static_cast<double>(auto_run->work), bound)
+      << what << ": pipelined auto chose "
+      << OptLevelToString(auto_run->level) << " with work "
+      << auto_run->work << " but best fixed level "
+      << OptLevelToString(best.level) << " needs only " << best.work
+      << "\n"
+      << auto_run->candidates;
+}
+
+TEST(AutoPlannerTest, PipelinedRankingPaperExamplesWithinRegretBound) {
+  auto db = MakeUniversityDb();
+  ASSERT_TRUE(db->AnalyzeAll().ok());
+  for (const auto& [source, what] :
+       {std::pair<std::string, std::string>{Example21QuerySource(),
+                                            "example 2.1 (pipelined)"},
+        {Example45QuerySource(), "example 4.5 (pipelined)"}}) {
+    SelectionExpr sel = ParseSelection(source);
+    Result<PipelinedRun> best = BestFixedLevelPipelined(db.get(), sel);
+    ASSERT_TRUE(best.ok()) << what << ": " << best.status().ToString();
+    ExpectPipelinedAutoWithinRegret(db.get(), sel, *best, what);
+  }
+}
+
+TEST(AutoPlannerTest, PipelinedRankingGeneratedQueriesWithinRegretBound) {
+  auto db = MakeUniversityDb();
+  ASSERT_TRUE(db->AnalyzeAll().ok());
+  size_t checked = 0;
+  for (uint64_t seed = 1; checked < 32 && seed <= 300; ++seed) {
+    QueryGenerator gen(seed);
+    SelectionExpr sel =
+        seed % 3 == 0 ? gen.RandomSelectionTwoFree() : gen.RandomSelection();
+    // Only queries every fixed level can run qualify as a comparison.
+    Result<PipelinedRun> best = BestFixedLevelPipelined(db.get(), sel);
+    if (!best.ok()) continue;
+    ++checked;
+    ExpectPipelinedAutoWithinRegret(
+        db.get(), sel, *best,
+        "pipelined generated seed " + std::to_string(seed));
+  }
+  EXPECT_GE(checked, 32u);
+}
+
+TEST(AutoPlannerTest, MaterializingSessionKeepsMaterializingRanking) {
+  auto db = MakeUniversityDb();
+  ASSERT_TRUE(db->AnalyzeAll().ok());
+  Binder binder(db.get());
+  Result<BoundQuery> bound =
+      binder.Bind(ParseSelection(Example21QuerySource()).Clone());
+  ASSERT_TRUE(bound.ok());
+  PlannerOptions options;
+  options.level = OptLevel::kAuto;
+  options.pipeline = false;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, std::move(bound).value(), options);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_EQ(planned->cost_candidates.find("ranking: pipelined work"),
+            std::string::npos)
+      << planned->cost_candidates;
 }
 
 TEST(AutoPlannerTest, CostBasedFlagEquivalentToAutoLevel) {
