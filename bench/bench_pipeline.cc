@@ -15,12 +15,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "exec/cursor.h"
 
 namespace pascalr {
 namespace {
 
+using bench_util::ExportLatencyPercentiles;
 using bench_util::ExportStats;
 using bench_util::MakeScaledDb;
 using bench_util::MustRun;
@@ -201,6 +204,63 @@ BENCHMARK(RunCollection)
     ->Args({256, 1})
     ->Args({256, 2})
     ->Args({256, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+// Tail-latency exhibit: per-iteration drain latency of the streamed
+// combination recorded into the obs/ latency histogram, exported as
+// p50/p95/p99/max into BENCH_*.json. Mean-only timing hides the replans
+// and cold builds; the percentiles record them.
+void RunDrainLatency(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto db = MakeScaledDb(n);
+  const std::string query =
+      "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses:"
+      " SOME t IN timetable ((e.enr = t.tenr) AND (c.cnr = t.tcnr))]";
+  Parser parser(query);
+  Result<SelectionExpr> sel = parser.ParseSelectionOnly();
+  if (!sel.ok()) std::abort();
+  Binder binder(db.get());
+  Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
+  if (!bound.ok()) std::abort();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, std::move(bound).value(), options);
+  if (!planned.ok()) std::abort();
+  auto plan = std::make_shared<const QueryPlan>(std::move(planned->plan));
+
+  LatencyHistogram latency;
+  ExecStats last;
+  size_t results = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<Cursor> cursor = Cursor::Open(plan, *db, nullptr);
+    if (!cursor.ok()) std::abort();
+    Tuple t;
+    results = 0;
+    while (true) {
+      Result<bool> more = cursor->Next(&t);
+      if (!more.ok()) std::abort();
+      if (!*more) break;
+      ++results;
+    }
+    last = cursor->stats();
+    cursor->Close();
+    latency.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    benchmark::DoNotOptimize(results);
+  }
+  ExportStats(state, last, results);
+  ExportLatencyPercentiles(state, latency, "latency_us");
+  state.SetLabel("pipelined-drain");
+}
+
+BENCHMARK(RunDrainLatency)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

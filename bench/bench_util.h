@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pascalr/pascalr.h"
 
 #if defined(__GLIBC__)
@@ -90,6 +91,24 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
       static_cast<double>(stats.structure_elements_built);
   state.counters["total_work"] = static_cast<double>(stats.TotalWork());
   state.counters["result"] = static_cast<double>(result_size);
+}
+
+/// Publishes a latency histogram's percentile summary on a benchmark
+/// state under `prefix` (e.g. "latency_us"); the percentiles land in the
+/// BENCH_*.json exhibit next to the work counters, giving the perf
+/// trajectory tail latencies rather than only means.
+inline void ExportLatencyPercentiles(benchmark::State& state,
+                                     const LatencyHistogram& histogram,
+                                     const std::string& prefix) {
+  if (histogram.count() == 0) return;
+  state.counters[prefix + "_p50"] =
+      static_cast<double>(histogram.Percentile(0.50));
+  state.counters[prefix + "_p95"] =
+      static_cast<double>(histogram.Percentile(0.95));
+  state.counters[prefix + "_p99"] =
+      static_cast<double>(histogram.Percentile(0.99));
+  state.counters[prefix + "_max"] = static_cast<double>(histogram.max());
+  state.counters[prefix + "_mean"] = static_cast<double>(histogram.Mean());
 }
 
 }  // namespace bench_util

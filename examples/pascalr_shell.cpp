@@ -10,6 +10,10 @@
 //   .collection MODE collection phase: eager (default) or lazy
 //                    (demand-driven structure builders behind Next)
 //   .stats           cumulative session statistics
+//   .metrics         session metrics (latency percentiles, plan cache, ...)
+//   .trace on|off    query tracing (same as SET TRACE ON|OFF;)
+//   .trace FILE      export collected traces as Chrome trace-event JSON
+//                    (load in chrome://tracing or Perfetto), then clear
 //   .dump            export the database as a replayable script
 //                    (includes STATS directives for analyzed relations)
 //   .quit            exit
@@ -22,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/trace_export.h"
 #include "pascalr/export.h"
 #include "pascalr/pascalr.h"
 
@@ -50,8 +55,12 @@ void PrintHelp() {
       "  SET JOINORDER DP;   -- Selinger join ordering (or BUSHY, GREEDY)\n"
       "  SET PIPELINE ON;    -- streamed combination (join iterators)\n"
       "  SET COLLECTION LAZY; -- demand-driven collection builders\n"
+      "  SET TRACE ON;       -- per-query span traces (.trace FILE exports)\n"
+      "  EXPLAIN ANALYZE [<x.s> OF EACH x IN r: x.a < 10];\n"
+      "  METRICS;            -- session metrics (same as .metrics)\n"
       "meta: .help .level N|auto .joinorder dp|bushy|greedy .pipeline on|off "
-      ".collection eager|lazy .stats .dump .quit\n";
+      ".collection eager|lazy .stats .metrics .trace on|off|FILE .dump "
+      ".quit\n";
 }
 
 }  // namespace
@@ -85,6 +94,37 @@ int main(int argc, char** argv) {
         PrintHelp();
       } else if (line == ".stats") {
         std::cout << session.total_stats().ToString() << "\n";
+      } else if (line == ".metrics") {
+        std::cout << session.metrics().Dump();
+      } else if (line.rfind(".trace", 0) == 0) {
+        std::string arg = Trim(line.substr(6));
+        std::string lower = pascalr::AsciiToLower(arg);
+        if (lower == "on" || lower == "off") {
+          session.set_tracing(lower == "on");
+          std::cout << "tracing " << lower
+                    << (lower == "on" ? " (.trace FILE exports Chrome "
+                                        "trace-event JSON)\n"
+                                      : "\n");
+        } else if (arg.empty()) {
+          // No argument: show the collected traces inline.
+          if (session.traces().empty()) {
+            std::cout << "no traces collected (SET TRACE ON; or .trace on "
+                         "first)\n";
+          } else {
+            for (const pascalr::QueryTrace& t : session.traces()) {
+              std::cout << t.ToString();
+            }
+          }
+        } else {
+          auto st = pascalr::WriteTraceFile(arg, session.traces());
+          if (st.ok()) {
+            std::cout << "wrote " << session.traces().size()
+                      << " trace(s) to " << arg << "\n";
+            session.ClearTraces();
+          } else {
+            std::cout << "error: " << st.ToString() << "\n";
+          }
+        }
       } else if (line == ".dump") {
         auto script = pascalr::ExportScript(db);
         if (script.ok()) {

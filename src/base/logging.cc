@@ -4,6 +4,19 @@
 #include <cstdlib>
 
 namespace pascalr {
+
+namespace {
+// Single-threaded by design (see base/counters.h) — plain globals.
+LogSeverity g_min_severity = LogSeverity::kInfo;
+std::string* g_capture = nullptr;
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+void SetLogCaptureForTest(std::string* capture) { g_capture = capture; }
+
 namespace internal {
 
 namespace {
@@ -29,9 +42,18 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  // kFatal always emits: the filter must never swallow the diagnostic of
+  // an abort.
+  if (severity_ < g_min_severity && severity_ != LogSeverity::kFatal) {
+    return;
+  }
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fflush(stderr);
+  if (g_capture != nullptr) {
+    *g_capture += stream_.str();
+  } else {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
   if (severity_ == LogSeverity::kFatal) std::abort();
 }
 

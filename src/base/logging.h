@@ -3,6 +3,10 @@
 // PASCALR_CHECK* abort the process with a diagnostic; they guard *internal*
 // invariants only. API misuse is reported through Status, never through
 // CHECK failures.
+//
+// Severity is filterable at runtime: SetMinLogSeverity(LogSeverity::kError)
+// silences INFO and WARNING lines (kFatal always emits and aborts). The
+// default threshold is kInfo — everything emits.
 
 #ifndef PASCALR_BASE_LOGGING_H_
 #define PASCALR_BASE_LOGGING_H_
@@ -11,11 +15,22 @@
 #include <string>
 
 namespace pascalr {
-namespace internal {
 
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
 
-/// Accumulates a message and emits it (to stderr) on destruction.
+/// Sets the minimum severity that actually emits; messages below it are
+/// discarded. kFatal cannot be filtered — it always emits and aborts.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+/// Test hook: while `capture` is non-null, emitted messages are appended
+/// to *capture instead of stderr. Pass nullptr to restore stderr.
+void SetLogCaptureForTest(std::string* capture);
+
+namespace internal {
+
+/// Accumulates a message and emits it (to stderr) on destruction —
+/// unless filtered by the runtime severity threshold.
 /// kFatal aborts the process after emitting.
 class LogMessage {
  public:
@@ -35,17 +50,21 @@ class LogMessage {
 }  // namespace internal
 }  // namespace pascalr
 
-#define PASCALR_LOG_INFO                                            \
-  ::pascalr::internal::LogMessage(                                  \
-      ::pascalr::internal::LogSeverity::kInfo, __FILE__, __LINE__)  \
+#define PASCALR_LOG_INFO                                  \
+  ::pascalr::internal::LogMessage(                        \
+      ::pascalr::LogSeverity::kInfo, __FILE__, __LINE__)  \
       .stream()
-#define PASCALR_LOG_WARNING                                            \
-  ::pascalr::internal::LogMessage(                                     \
-      ::pascalr::internal::LogSeverity::kWarning, __FILE__, __LINE__)  \
+#define PASCALR_LOG_WARNING                                  \
+  ::pascalr::internal::LogMessage(                           \
+      ::pascalr::LogSeverity::kWarning, __FILE__, __LINE__)  \
       .stream()
-#define PASCALR_LOG_FATAL                                            \
-  ::pascalr::internal::LogMessage(                                   \
-      ::pascalr::internal::LogSeverity::kFatal, __FILE__, __LINE__)  \
+#define PASCALR_LOG_ERROR                                  \
+  ::pascalr::internal::LogMessage(                         \
+      ::pascalr::LogSeverity::kError, __FILE__, __LINE__)  \
+      .stream()
+#define PASCALR_LOG_FATAL                                  \
+  ::pascalr::internal::LogMessage(                         \
+      ::pascalr::LogSeverity::kFatal, __FILE__, __LINE__)  \
       .stream()
 
 #define PASCALR_CHECK(cond)                                      \

@@ -8,6 +8,7 @@
 #include "base/str_util.h"
 #include "cost/cost_model.h"
 #include "normalize/standard_form.h"
+#include "obs/trace.h"
 
 namespace pascalr {
 
@@ -112,6 +113,7 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
                                     const BoundQuery& query,
                                     const PlannerOptions& base) {
   ++GlobalCompileCounters().plan_searches;
+  TraceSpanGuard trace_span("plan-search");
   // The physical knobs that can matter for this query and catalog:
   // divisions only differ when a quantifier can survive to the
   // combination phase, permanent indexes only when the catalog has one.

@@ -6,6 +6,7 @@
 #include "exec/eval_util.h"
 #include "index/btree_index.h"
 #include "index/hash_index.h"
+#include "obs/trace.h"
 
 namespace pascalr {
 
@@ -159,6 +160,10 @@ CollectionBuilders::CollectionBuilders(const QueryPlan& plan,
 Status CollectionBuilders::RunScanFiltered(size_t scan_index,
                                            const ScanWants& wants) {
   const RelationScan& scan = plan_.scans[scan_index];
+  // One span per relation pass — the paper's collection-phase unit of
+  // work; a demand-driven partial pass traces the same way as an eager
+  // full one, with the counters telling them apart.
+  TraceSpanGuard trace_span("scan", stats_, scan.relation);
   const Relation* rel = db_.FindRelation(scan.relation);
   if (rel == nullptr) {
     return Status::NotFound("no relation named '" + scan.relation + "'");
@@ -396,6 +401,8 @@ Status CollectionBuilders::EnsureRange(const std::string& var) {
 
 Status CollectionBuilders::EnsureIndex(size_t index_id) {
   if (index_built_[index_id]) return Status::OK();
+  TraceSpanGuard trace_span("build-index", stats_,
+                            plan_.indexes[index_id].debug_name);
   ScanWants wants;
   wants.want_index = true;
   wants.index = index_id;
@@ -415,6 +422,8 @@ Status CollectionBuilders::EnsureValueList(size_t value_list_id) {
   if (vl_building_[value_list_id]) {
     return Status::Internal("cyclic value-list dependency");
   }
+  TraceSpanGuard trace_span("build-value-list", stats_,
+                            plan_.value_lists[value_list_id].debug_name);
   vl_building_[value_list_id] = true;
   // Cascaded eliminations (Example 4.7): the gating lists feed this one,
   // so they must be complete before this list's scan runs.
@@ -472,6 +481,8 @@ Status CollectionBuilders::EnsureElementPrereqs(size_t structure_id) {
 
 Status CollectionBuilders::EnsureStructure(size_t structure_id) {
   if (structure_built_[structure_id]) return Status::OK();
+  TraceSpanGuard trace_span("build-structure", stats_,
+                            plan_.structures[structure_id].debug_name);
   PASCALR_RETURN_IF_ERROR(EnsureElementPrereqs(structure_id));
   ScanWants wants;
   wants.want_structure = true;

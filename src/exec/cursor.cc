@@ -1,8 +1,12 @@
 #include "exec/cursor.h"
 
+#include <chrono>
+
 #include "base/logging.h"
 #include "exec/combination.h"
 #include "exec/construction.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace pascalr {
 
@@ -10,6 +14,13 @@ namespace {
 
 const ExecStats kEmptyStats;
 const CollectionResult kEmptyCollection;
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -29,7 +40,8 @@ Cursor& Cursor::operator=(Cursor&& other) noexcept {
 }
 
 Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
-                            const Database& db, ExecStats* sink) {
+                            const Database& db, ExecStats* sink,
+                            PipelineProfile* profile) {
   if (plan == nullptr) return Status::InvalidArgument("cursor needs a plan");
   Cursor c;
   c.plan_ = std::move(plan);
@@ -37,6 +49,8 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   c.sink_ = sink;
   c.run_ = std::make_unique<RunState>();
   RunState& run = *c.run_;
+  run.tracer = Tracer::Current();
+  run.profile = profile;
   run.builders =
       std::make_unique<CollectionBuilders>(*c.plan_, db, &run.stats);
   // Laziness only pays on the pipelined path: the materializing
@@ -45,6 +59,7 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   const bool lazy = c.plan_->pipeline &&
                     c.plan_->collection == CollectionPolicy::kLazy;
   if (!lazy) {
+    TraceSpanGuard span("collection", &run.stats);
     PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
   }
   if (c.plan_->pipeline) {
@@ -55,7 +70,7 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
     // the query correct, but the failure must not pass silently or a
     // pipeline bug ships as an invisible perf regression.
     Result<CompiledPipeline> compiled = CompilePipeline(
-        *c.plan_, run.builders.get(), &run.stats, &run.tracker);
+        *c.plan_, run.builders.get(), &run.stats, &run.tracker, profile);
     if (!compiled.ok()) {
       PASCALR_LOG_WARNING << "pipeline compile failed, falling back to "
                              "materializing combination: "
@@ -66,24 +81,77 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
       PASCALR_ASSIGN_OR_RETURN(
           run.column_of_var,
           ResolveProjectionColumns(*c.plan_, run.pipeline.columns));
+      if (profile != nullptr) {
+        // Construction (dereference + projection + dedup) runs in the
+        // cursor above the pipeline sink; a node of its own lets EXPLAIN
+        // ANALYZE attribute that per-tuple time too.
+        run.root_prof = profile->Add("construct", -1.0, {profile->root()});
+        profile->SetRoot(run.root_prof);
+      }
+      run.stats_at_open = run.stats;
       c.open_ = true;
       return c;
     }
   }
   // Materializing fallback: needs the whole collection up front (a no-op
   // unless the lazy policy skipped it above).
-  PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
-  PASCALR_ASSIGN_OR_RETURN(
-      run.combined,
-      ExecuteCombination(*c.plan_, run.builders->result(), &run.stats));
+  {
+    TraceSpanGuard span("collection", &run.stats);
+    PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
+  }
+  {
+    TraceSpanGuard span("combination", &run.stats);
+    const uint64_t t0 = profile != nullptr ? MonotonicNowNs() : 0;
+    PASCALR_ASSIGN_OR_RETURN(
+        run.combined,
+        ExecuteCombination(*c.plan_, run.builders->result(), &run.stats));
+    if (profile != nullptr) {
+      // No iterator tree to instrument here: one phase-level node carries
+      // the whole blocking combination.
+      int mat = profile->Add("materialized-combination", -1.0, {});
+      OpProfile* p = profile->prof(mat);
+      p->open_calls = 1;
+      p->next_calls = 1;
+      p->rows_out = run.combined.rows().size();
+      p->time_ns = MonotonicNowNs() - t0;
+      run.root_prof = profile->Add("construct", -1.0, {mat});
+      profile->SetRoot(run.root_prof);
+    }
+  }
   PASCALR_ASSIGN_OR_RETURN(run.column_of_var,
                            ResolveProjectionColumns(*c.plan_, run.combined));
+  run.stats_at_open = run.stats;
   c.open_ = true;
   return c;
 }
 
 Result<bool> Cursor::Next(Tuple* out) {
   if (!open_) return false;
+  RunState& run = *run_;
+  // The untraced, unprofiled path (every normal query) takes zero
+  // instrumentation: no clock read, no counter touched.
+  const bool timed = run.tracer != nullptr || run.root_prof >= 0;
+  if (!timed) return NextImpl(out);
+  const uint64_t t0 = MonotonicNowNs();
+  if (run.tracer != nullptr && run.drain_ns == 0 && run.rows_emitted == 0) {
+    run.drain_start_ns = run.tracer->NowNs();
+  }
+  Result<bool> result = NextImpl(out);
+  const uint64_t dt = MonotonicNowNs() - t0;
+  run.drain_ns += dt;
+  const bool produced = result.ok() && result.value();
+  if (produced) ++run.rows_emitted;
+  if (run.root_prof >= 0) {
+    OpProfile* p = run.profile->prof(run.root_prof);
+    p->open_calls = 1;
+    ++p->next_calls;
+    p->time_ns += dt;
+    if (produced) ++p->rows_out;
+  }
+  return result;
+}
+
+Result<bool> Cursor::NextImpl(Tuple* out) {
   RunState& run = *run_;
   if (run.pipeline.ok()) {
     RefRow row;
@@ -114,6 +182,14 @@ void Cursor::Close() {
   if (!open_) return;
   open_ = false;
   if (run_ != nullptr) {
+    // One complete span for the whole drain (per-Next spans would dwarf
+    // the trace), carrying the run-time counter deltas.
+    if (run_->tracer != nullptr && run_->drain_ns > 0) {
+      auto counters = ExecStatsDelta(run_->stats_at_open, run_->stats);
+      counters.emplace_back("rows_emitted", run_->rows_emitted);
+      run_->tracer->AddCompleteSpan("drain", "", run_->drain_start_ns,
+                                    run_->drain_ns, std::move(counters));
+    }
     // Tear down the iterator tree first: its operators hold pointers into
     // the plan and the collection builders.
     run_->pipeline.root.reset();

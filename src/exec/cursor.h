@@ -40,6 +40,9 @@
 
 namespace pascalr {
 
+class PipelineProfile;  // obs/profile.h
+class Tracer;           // obs/trace.h
+
 class Cursor {
  public:
   Cursor() = default;  ///< closed cursor
@@ -57,8 +60,14 @@ class Cursor {
   /// so it stays valid even if the caller's plan cache replans meanwhile.
   /// `sink` (optional) receives this run's ExecStats exactly once, when
   /// the cursor is closed or destroyed; it must outlive the cursor.
+  /// `profile` (optional, EXPLAIN ANALYZE) receives one profiled node per
+  /// pipeline operator plus a construction/dedup root — or a single
+  /// phase-level combination node on the materializing fallback, which
+  /// has no iterator tree to instrument. It must outlive the cursor.
+  /// When null (every normal query) no instrumentation is inserted.
   static Result<Cursor> Open(std::shared_ptr<const QueryPlan> plan,
-                             const Database& db, ExecStats* sink = nullptr);
+                             const Database& db, ExecStats* sink = nullptr,
+                             PipelineProfile* profile = nullptr);
 
   /// Produces the next result tuple into `*out`. Returns false when the
   /// result set is exhausted (or the cursor is closed).
@@ -94,6 +103,10 @@ class Cursor {
   size_t rows_pending() const;
 
  private:
+  /// Next minus the instrumentation shell (Next itself times the pull
+  /// when a tracer or profile is attached).
+  Result<bool> NextImpl(Tuple* out);
+
   /// Heap-held so the iterators' back-pointers (stats, tracker, the
   /// collection builders) survive Cursor moves.
   struct RunState {
@@ -105,6 +118,19 @@ class Cursor {
     size_t row = 0;
     std::vector<int> column_of_var;
     std::unordered_set<Tuple, TupleHash> seen;
+
+    // ---- observability (null/-1 on every untraced, unprofiled run) ----
+    /// Thread-current tracer captured at Open; when set, Next accumulates
+    /// drain time and Close emits one complete "drain" span (per-Next
+    /// spans would dwarf the trace).
+    Tracer* tracer = nullptr;
+    ExecStats stats_at_open;  ///< baseline for the drain span's counters
+    uint64_t drain_start_ns = 0;
+    uint64_t drain_ns = 0;
+    uint64_t rows_emitted = 0;
+    PipelineProfile* profile = nullptr;
+    int root_prof = -1;  ///< construct/dedup node (pipelined) or
+                         ///< combination node (materializing)
   };
 
   std::shared_ptr<const QueryPlan> plan_;

@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Position of the highest set bit (0 for value 0 or 1).
+size_t HighBit(uint64_t value) {
+  size_t bit = 0;
+  while (value >>= 1) ++bit;
+  return bit;
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketOf(uint64_t value) {
+  // Values below kSubBuckets map 1:1 (exact small-value resolution);
+  // beyond that, each octave splits into kSubBuckets equal slices.
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  size_t octave = HighBit(value);
+  uint64_t base = uint64_t{1} << octave;
+  size_t sub = static_cast<size_t>((value - base) * kSubBuckets / base);
+  size_t bucket = octave * kSubBuckets + sub;
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  size_t octave = bucket / kSubBuckets;
+  size_t sub = bucket % kSubBuckets;
+  uint64_t base = uint64_t{1} << octave;
+  return base + base * (sub + 1) / kSubBuckets - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++buckets_[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  // Rank of the p-quantile, 1-based, rounded up (p99 of 100 = rank 99).
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+  if (rank < p * static_cast<double>(count_) || rank == 0) ++rank;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Never report beyond the observed extremes.
+      uint64_t bound = BucketUpperBound(b);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  return StrFormat(
+      "count=%llu mean=%llu p50=%llu p95=%llu p99=%llu max=%llu",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(Mean()),
+      static_cast<unsigned long long>(Percentile(0.50)),
+      static_cast<unsigned long long>(Percentile(0.95)),
+      static_cast<unsigned long long>(Percentile(0.99)),
+      static_cast<unsigned long long>(max_));
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("counter   %-28s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("gauge     %-28s %lld\n", name.c_str(),
+                     static_cast<long long>(gauge.value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += StrFormat("histogram %-28s %s\n", name.c_str(),
+                     hist.Summary().c_str());
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace pascalr

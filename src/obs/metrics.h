@@ -1,0 +1,104 @@
+// Engine metrics surface: named counters, gauges, and latency histograms
+// with percentile readout. One MetricsRegistry lives on each Session and
+// is fed by the query path (query latency, plan-cache hits/misses,
+// replans, lazy-build events); the `METRICS;` statement and the shell's
+// `.metrics` dump it, and bench_util exports the latency percentiles into
+// BENCH_*.json.
+//
+// Everything here is deliberately boring: plain uint64 slots behind a
+// sorted name map, no locking (the engine is single-threaded by design,
+// like base/counters.h), and a log-bucketed histogram whose percentiles
+// are deterministic functions of the recorded values — the dump is
+// byte-stable across identical runs except for the latency numbers
+// themselves.
+
+#ifndef PASCALR_OBS_METRICS_H_
+#define PASCALR_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pascalr {
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Log-bucketed histogram: 4 sub-buckets per octave (~19% bucket width),
+/// values up to 2^63. Percentile() returns the upper bound of the bucket
+/// containing the p-quantile — an overestimate by at most one bucket
+/// width, which is the right bias for latency reporting.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 4;  ///< per octave
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  /// Mean of the recorded values (0 when empty).
+  uint64_t Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  /// Upper bound of the bucket holding the p-quantile, p in (0, 1].
+  uint64_t Percentile(double p) const;
+
+  /// "count=12 mean=34 p50=30 p95=60 p99=61 max=58" — the one-line form
+  /// used by MetricsRegistry::Dump.
+  std::string Summary() const;
+
+ private:
+  static size_t BucketOf(uint64_t value);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Named metrics, created on first touch. Names are dotted paths
+/// ("plan_cache.hits", "query.latency_us"); Dump() renders them sorted so
+/// the output is stable.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Read-only lookup; nullptr when the metric was never touched.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  /// All metrics, one per line, sorted by name within each kind.
+  std::string Dump() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OBS_METRICS_H_

@@ -1,0 +1,173 @@
+// Query tracing: a span tree per query, recorded through RAII guards.
+//
+// The classic query-processor decomposition into compile-time and
+// run-time stages (parse, bind, normalize, plan-search, collection,
+// combination, construction) is already materialized in this engine's
+// CompileCounters and ExecStats; a QueryTrace pins those counters to the
+// *stage that moved them*, with wall-clock durations, so one query's time
+// and work become attributable ("where inside this query did the 773
+// units of work go?") instead of a flat total.
+//
+// Usage model: a Session owns a Tracer; while tracing is enabled
+// (`SET TRACE ON;`) the session installs it as the thread-current tracer
+// for the duration of each statement. Deep engine code — the planner, the
+// collection builders, the cursor — opens spans through TraceSpanGuard
+// without any signature plumbing:
+//
+//   TraceSpanGuard span("normalize");           // no-op when not tracing
+//   TraceSpanGuard span("collection", &stats);  // + ExecStats delta
+//
+// When no tracer is installed (the default), a guard is one thread-local
+// load and a null check; no clock is read, no counter is touched, and the
+// engine's deterministic counters stay bit-identical to an untraced run
+// (asserted by the observability tests).
+//
+// Span counters: each span closes with the *delta* of the global
+// CompileCounters and (when a stats pointer was supplied) the ExecStats
+// that moved while it was open, stored as name/value pairs — only the
+// nonzero ones, so traces stay small.
+
+#ifndef PASCALR_OBS_TRACE_H_
+#define PASCALR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/counters.h"
+#include "exec/stats.h"
+
+namespace pascalr {
+
+struct TraceSpan {
+  std::string name;
+  std::string detail;  ///< free-form annotation (structure name, source)
+  int parent = -1;     ///< index into QueryTrace::spans; -1 = trace root
+  uint64_t start_ns = 0;  ///< since the Tracer's epoch (steady clock)
+  uint64_t dur_ns = 0;
+  /// Deterministic counters that moved inside this span (nonzero deltas
+  /// of CompileCounters / ExecStats, plus profile summaries), name→value.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// One traced top-level operation (a query, an EXPLAIN ANALYZE, a
+/// prepared Execute). Spans are stored in open order; a span's parent
+/// always precedes it, so spans[0] is the root.
+struct QueryTrace {
+  std::string label;
+  std::vector<TraceSpan> spans;
+
+  /// Indented span tree with durations (us) and counters — the human
+  /// rendering; chrome export lives in obs/trace_export.h.
+  std::string ToString() const;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// The thread-current tracer, or nullptr when tracing is off.
+  static Tracer* Current();
+
+  /// Nanoseconds since this tracer's construction (steady clock).
+  uint64_t NowNs() const;
+
+  /// Starts a new QueryTrace and opens its root span. If a query is
+  /// already open, opens a nested span instead (Session::Query wraps
+  /// Prepare + Execute, each of which would otherwise start its own
+  /// trace). Returns the span id to pass to CloseSpan.
+  int BeginQuery(const std::string& kind, const std::string& label);
+
+  /// Opens a child span of the innermost open span. Returns its id, or -1
+  /// when no query is open (the span is dropped — tracing never fails).
+  int OpenSpan(const std::string& name, const std::string& detail);
+
+  /// Closes span `id`, recording duration and the supplied counter deltas.
+  void CloseSpan(int id,
+                 std::vector<std::pair<std::string, uint64_t>> counters);
+
+  /// Appends an already-measured span (start/duration supplied by the
+  /// caller) under the innermost open span of the latest trace — used by
+  /// the cursor, whose drain outlives any single guard scope. No-op when
+  /// no trace exists yet.
+  void AddCompleteSpan(const std::string& name, const std::string& detail,
+                       uint64_t start_ns, uint64_t dur_ns,
+                       std::vector<std::pair<std::string, uint64_t>> counters);
+
+  const std::vector<QueryTrace>& traces() const { return traces_; }
+  void Clear();
+
+ private:
+  friend class ScopedTracerInstall;
+
+  uint64_t epoch_ns_;              ///< steady-clock origin
+  std::vector<QueryTrace> traces_;
+  std::vector<int> stack_;         ///< open span ids in the current trace
+};
+
+/// Installs `tracer` as the thread-current tracer for the current scope
+/// (pass nullptr for a no-op guard — the session's "tracing off" path).
+/// Re-installing the already-current tracer is fine (statement execution
+/// nests: ExecuteStatement -> RunExecute -> PreparedQuery::Execute).
+class ScopedTracerInstall {
+ public:
+  explicit ScopedTracerInstall(Tracer* tracer);
+  ~ScopedTracerInstall();
+
+  ScopedTracerInstall(const ScopedTracerInstall&) = delete;
+  ScopedTracerInstall& operator=(const ScopedTracerInstall&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// RAII stage span. Snapshots the global CompileCounters (and `stats`
+/// when given) at open; the destructor records the nonzero deltas.
+class TraceSpanGuard {
+ public:
+  explicit TraceSpanGuard(const char* name, const ExecStats* stats = nullptr,
+                          std::string detail = std::string());
+  ~TraceSpanGuard();
+
+  TraceSpanGuard(const TraceSpanGuard&) = delete;
+  TraceSpanGuard& operator=(const TraceSpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const ExecStats* stats_;
+  int span_ = -1;
+  CompileCounters compile_at_open_;
+  ExecStats stats_at_open_;
+};
+
+/// RAII top-level trace (BeginQuery/CloseSpan pair). Same counter
+/// snapshotting as TraceSpanGuard.
+class QueryTraceGuard {
+ public:
+  QueryTraceGuard(const char* kind, const std::string& label,
+                  const ExecStats* stats = nullptr);
+  ~QueryTraceGuard();
+
+  QueryTraceGuard(const QueryTraceGuard&) = delete;
+  QueryTraceGuard& operator=(const QueryTraceGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const ExecStats* stats_;
+  int span_ = -1;
+  CompileCounters compile_at_open_;
+  ExecStats stats_at_open_;
+};
+
+/// The nonzero fields of `now - base`, named — shared by the guards and
+/// the cursor's drain span. Saturating per field (peak_intermediate_rows
+/// is a high-water mark, not a flow; its "delta" is the growth).
+std::vector<std::pair<std::string, uint64_t>> ExecStatsDelta(
+    const ExecStats& base, const ExecStats& now);
+std::vector<std::pair<std::string, uint64_t>> CompileCountersDelta(
+    const CompileCounters& base, const CompileCounters& now);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OBS_TRACE_H_

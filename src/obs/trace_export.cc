@@ -1,0 +1,102 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Minimal JSON string escape: the control/quote/backslash set. Span
+/// names and details are engine-generated ASCII, so nothing fancier is
+/// needed, but stay correct if a relation name carries a quote.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendEvent(std::string* out, const TraceSpan& span, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  // Complete ("X") events; trace-event timestamps are microseconds.
+  *out += StrFormat(
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+      "\"pid\":1,\"tid\":1",
+      JsonEscape(span.name).c_str(),
+      static_cast<double>(span.start_ns) / 1e3,
+      static_cast<double>(span.dur_ns) / 1e3);
+  if (!span.detail.empty() || !span.counters.empty()) {
+    *out += ",\"args\":{";
+    bool first_arg = true;
+    if (!span.detail.empty()) {
+      *out += StrFormat("\"detail\":\"%s\"", JsonEscape(span.detail).c_str());
+      first_arg = false;
+    }
+    for (const auto& [name, value] : span.counters) {
+      if (!first_arg) *out += ",";
+      first_arg = false;
+      *out += StrFormat("\"%s\":%llu", JsonEscape(name).c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string TracesToChromeJson(const std::vector<QueryTrace>& traces) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const QueryTrace& trace : traces) {
+    for (const TraceSpan& span : trace.spans) {
+      AppendEvent(&out, span, &first);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<QueryTrace>& traces) {
+  std::string json = TracesToChromeJson(traces);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pascalr

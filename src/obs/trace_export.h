@@ -1,0 +1,27 @@
+// Chrome trace-event JSON export: renders a Tracer's recorded QueryTraces
+// in the trace-event format consumed by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) — complete "X" events with microsecond
+// timestamps, span counters carried in args. One engine session exports
+// as one process/one thread, so query stages line up on a single track.
+
+#ifndef PASCALR_OBS_TRACE_EXPORT_H_
+#define PASCALR_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/trace.h"
+
+namespace pascalr {
+
+/// The traces as one JSON document: {"traceEvents":[...]}.
+std::string TracesToChromeJson(const std::vector<QueryTrace>& traces);
+
+/// Writes TracesToChromeJson(traces) to `path`.
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<QueryTrace>& traces);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OBS_TRACE_EXPORT_H_

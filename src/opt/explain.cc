@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/str_util.h"
+#include "obs/profile.h"
 #include "pipeline/compile.h"
 #include "pipeline/shape.h"
 
@@ -312,6 +313,26 @@ std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
   out += StrFormat("  est time-to-first-tuple (%s): %.0f\n",
                    ttft_mode.c_str(),
                    planned.estimate.est_time_to_first_tuple);
+  return out;
+}
+
+std::string ExplainAnalyzeReport(const PlannedQuery& planned,
+                                 const PipelineProfile& profile,
+                                 const ExecStats& actual,
+                                 size_t result_tuples, uint64_t wall_ns) {
+  std::string out = "analyze:\n";
+  if (profile.root() >= 0) {
+    out += profile.Render();
+  } else {
+    out += "  (no operators profiled)\n";
+  }
+  out += StrFormat(
+      "  result: %zu tuple(s) in %.3f ms, total work %llu\n", result_tuples,
+      static_cast<double>(wall_ns) / 1e6,
+      static_cast<unsigned long long>(actual.TotalWork()));
+  if (planned.cost_based) {
+    out += ExplainEstimatedVsActual(planned, actual);
+  }
   return out;
 }
 

@@ -5,11 +5,14 @@
 #ifndef PASCALR_OPT_EXPLAIN_H_
 #define PASCALR_OPT_EXPLAIN_H_
 
+#include <cstdint>
 #include <string>
 
 #include "opt/planner.h"
 
 namespace pascalr {
+
+class PipelineProfile;  // obs/profile.h
 
 /// Full plan rendering. Cost-based plans additionally print the candidate
 /// table and the chosen plan's estimated counters.
@@ -25,6 +28,16 @@ std::string ExplainCollection(const QueryPlan& plan,
 /// plan was chosen cost-based, but renders for any estimate).
 std::string ExplainEstimatedVsActual(const PlannedQuery& planned,
                                      const ExecStats& actual);
+
+/// The EXPLAIN ANALYZE appendix: the profiled operator tree (actual rows,
+/// per-operator self-time, estimated-vs-actual q-error), a run summary
+/// line, and — for cost-based plans — the estimated-vs-actual counter
+/// table. `wall_ns` is the whole run (open + drain); `result_tuples` the
+/// post-dedup result cardinality.
+std::string ExplainAnalyzeReport(const PlannedQuery& planned,
+                                 const PipelineProfile& profile,
+                                 const ExecStats& actual,
+                                 size_t result_tuples, uint64_t wall_ns);
 
 }  // namespace pascalr
 

@@ -6,6 +6,7 @@
 #include "joinorder/attach.h"
 #include "normalize/fold_empty.h"
 #include "normalize/standard_form.h"
+#include "obs/trace.h"
 #include "opt/params.h"
 #include "opt/scan_plan.h"
 
@@ -43,6 +44,7 @@ Result<StandardForm> StandardFormWithFolding(const Database& db,
                                              BoundQuery query,
                                              std::string* notes,
                                              uint64_t* replans) {
+  TraceSpanGuard trace_span("normalize");
   PASCALR_ASSIGN_OR_RETURN(StandardForm sf,
                            BuildStandardForm(std::move(query)));
   bool any_empty = false;
@@ -77,6 +79,8 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
     return SearchBestPlan(db, query, options);
   }
   ++GlobalCompileCounters().plans;
+  TraceSpanGuard trace_span("plan", nullptr,
+                            std::string(OptLevelToString(options.level)));
   PlannedQuery out;
   BoundQuery backup = CloneBoundQuery(query);
 

@@ -66,6 +66,9 @@ Result<Statement> Parser::ParseStatement() {
     case TokenType::kKwExplain: {
       Advance();
       ExplainStmt s;
+      // ANALYZE is contextual here too: a selection can never start with
+      // a bare identifier, so the word is unambiguous after EXPLAIN.
+      s.analyze = AcceptWord("analyze");
       PASCALR_ASSIGN_OR_RETURN(s.selection, ParseSelection());
       PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
       return Statement(std::move(s));
@@ -73,8 +76,9 @@ Result<Statement> Parser::ParseStatement() {
     case TokenType::kIdent: {
       std::string name = Cur().text;
       TokenType next = Ahead().type;
-      // ANALYZE, SET, STATS, PREPARE, EXECUTE, and INDEX are contextual
-      // statement keywords, not reserved words: they only act as keywords
+      // ANALYZE, SET, STATS, PREPARE, EXECUTE, INDEX, and METRICS are
+      // contextual statement keywords, not reserved words: they only act
+      // as keywords
       // where no identifier-led statement (:=, :+, :-) could parse, so
       // relations named `set` or `index` keep working.
       std::string lower = AsciiToLower(name);
@@ -88,6 +92,11 @@ Result<Statement> Parser::ParseStatement() {
         }
         PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
         return Statement(std::move(s));
+      }
+      if (lower == "metrics" && next == TokenType::kSemicolon) {
+        Advance();
+        PASCALR_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+        return Statement(MetricsStmt{});
       }
       if (lower == "stats" && next == TokenType::kIdent) {
         Advance();

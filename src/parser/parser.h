@@ -99,9 +99,17 @@ struct PrintStmt {
   std::string relation;
 };
 
+/// `EXPLAIN selection;` renders the plan; `EXPLAIN ANALYZE selection;`
+/// additionally executes it and annotates the operator tree with actual
+/// rows, per-operator self-time, and estimated-vs-actual q-error.
 struct ExplainStmt {
   SelectionExpr selection;
+  bool analyze = false;
 };
+
+/// `METRICS;` — dumps the session's MetricsRegistry (counters, gauges,
+/// latency histograms).
+struct MetricsStmt {};
 
 /// `ANALYZE;` refreshes catalog statistics for every relation;
 /// `ANALYZE rel;` for one relation.
@@ -165,7 +173,7 @@ struct StatsStmt {
 using Statement =
     std::variant<TypeDeclStmt, RelationDeclStmt, AssignStmt, InsertStmt,
                  DeleteStmt, PrintStmt, ExplainStmt, AnalyzeStmt, SetStmt,
-                 StatsStmt, PrepareStmt, ExecuteStmt, IndexStmt>;
+                 StatsStmt, PrepareStmt, ExecuteStmt, IndexStmt, MetricsStmt>;
 
 struct Script {
   std::vector<Statement> statements;

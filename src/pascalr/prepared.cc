@@ -1,7 +1,9 @@
 #include "pascalr/prepared.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/trace.h"
 #include "opt/explain.h"
 #include "pascalr/session.h"
 #include "semantics/binder.h"
@@ -126,8 +128,10 @@ Status PreparedQuery::EnsurePlan(const ParamBindings& params,
   if (valid) {
     *cache_hit = true;
     ++st.stats.plan_cache_hits;
+    session_->metrics_.counter("plan_cache.hits").Inc();
     return Status::OK();
   }
+  session_->metrics_.counter("plan_cache.misses").Inc();
 
   // 3. (Re)plan under the current values: substitute them into a clone of
   // the template and run the full pipeline — under OptLevel::kAuto the
@@ -170,6 +174,15 @@ Status PreparedQuery::EnsurePlan(const ParamBindings& params,
 }
 
 Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
+  if (session_ == nullptr || state_ == nullptr) {
+    return Status::InvalidArgument("prepared query is empty");
+  }
+  // Direct C++ entry point: install the session tracer (a no-op re-install
+  // under the statement path) and open an "execute" trace — nested as a
+  // span when Session::Query already opened the query's trace.
+  ScopedTracerInstall install_tracer(session_->active_tracer());
+  QueryTraceGuard query_guard("execute", "");
+  const auto t0 = std::chrono::steady_clock::now();
   bool cache_hit = false;
   PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));
   ++state_->stats.executes;
@@ -190,13 +203,41 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   out.collection = cursor.ReleaseCollection();
   cursor.Close();
   session_->total_stats_.Merge(out.stats);
+  // Metrics feed: every executed query records its latency; the work
+  // counters that vary with the collection policy ride along so METRICS
+  // shows lazy-build savings without a trace.
+  MetricsRegistry& metrics = session_->metrics_;
+  metrics.counter("query.count").Inc();
+  metrics.histogram("query.latency_us")
+      .Record(static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()));
+  if (out.stats.replans > 0) {
+    metrics.counter("query.replans").Inc(out.stats.replans);
+  }
+  if (out.stats.structures_built > 0) {
+    metrics.counter("collection.structures_built")
+        .Inc(out.stats.structures_built);
+  }
+  if (out.stats.structure_elements_built > 0) {
+    metrics.counter("collection.elements_built")
+        .Inc(out.stats.structure_elements_built);
+  }
   return out;
 }
 
 Result<Cursor> PreparedQuery::OpenCursor(const ParamBindings& params) {
+  if (session_ == nullptr || state_ == nullptr) {
+    return Status::InvalidArgument("prepared query is empty");
+  }
+  ScopedTracerInstall install_tracer(session_->active_tracer());
+  // No QueryTraceGuard here: the cursor outlives this call, so its drain
+  // is recorded as one complete span at Cursor::Close instead.
   bool cache_hit = false;
   PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));
   ++state_->stats.executes;
+  session_->metrics_.counter("query.count").Inc();
   std::shared_ptr<const QueryPlan> plan(state_->planned,
                                         &state_->planned->plan);
   return Cursor::Open(std::move(plan), *session_->db_,

@@ -1,6 +1,9 @@
 #include "pascalr/session.h"
 
+#include <chrono>
+
 #include "base/str_util.h"
+#include "obs/profile.h"
 #include "opt/explain.h"
 #include "semantics/binder.h"
 
@@ -133,6 +136,16 @@ Status Session::ApplyOption(const std::string& name,
     return Status::InvalidArgument(
         "SET COLLECTION expects EAGER or LAZY, got '" + value + "'");
   }
+  if (name == "trace") {
+    // Session-level, NOT a PlannerOptions member: flipping tracing must
+    // not invalidate cached plans or alter any planning decision.
+    if (value == "on" || value == "off") {
+      tracing_ = value == "on";
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SET TRACE expects ON or OFF, got '" +
+                                   value + "'");
+  }
   if (name == "joinorder") {
     if (value == "dp") {
       options_.join_order_dp = true;
@@ -153,8 +166,8 @@ Status Session::ApplyOption(const std::string& name,
   }
   return Status::InvalidArgument("unknown option '" + name +
                                  "' (expected OPTLEVEL, DIVISION, "
-                                 "PERMINDEXES, JOINORDER, PIPELINE, or "
-                                 "COLLECTION)");
+                                 "PERMINDEXES, JOINORDER, PIPELINE, "
+                                 "COLLECTION, or TRACE)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {
@@ -241,6 +254,10 @@ Status Session::RunStatsSeed(const StatsStmt& stmt) {
 }
 
 Status Session::ExecuteStatement(const Statement& stmt) {
+  // While tracing is on, the session tracer is thread-current for the
+  // whole statement; every deeper span guard attaches to it. While off
+  // this installs nullptr and every guard below is a no-op.
+  ScopedTracerInstall install_tracer(active_tracer());
   if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
     switch (type_decl->type.kind) {
       case RawType::Kind::kInlineEnum: {
@@ -324,6 +341,13 @@ Status Session::ExecuteStatement(const Statement& stmt) {
     return Status::OK();
   }
   if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    if (explain->analyze) {
+      PASCALR_ASSIGN_OR_RETURN(
+          std::string report,
+          ExplainAnalyzeSelection(explain->selection.Clone()));
+      Emit(report);
+      return Status::OK();
+    }
     Binder binder(db_);
     PASCALR_ASSIGN_OR_RETURN(BoundQuery bound,
                              binder.Bind(explain->selection.Clone()));
@@ -366,6 +390,10 @@ Status Session::ExecuteStatement(const Statement& stmt) {
   if (const auto* execute = std::get_if<ExecuteStmt>(&stmt)) {
     return RunExecute(*execute);
   }
+  if (std::get_if<MetricsStmt>(&stmt) != nullptr) {
+    Emit(metrics_.Dump());
+    return Status::OK();
+  }
   if (const auto* index = std::get_if<IndexStmt>(&stmt)) {
     PASCALR_ASSIGN_OR_RETURN(
         ComponentIndex * built,
@@ -387,17 +415,31 @@ Result<BoundQuery> Session::Bind(std::string_view selection_source) {
 }
 
 Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
+  // Direct C++ entry point: install the tracer ourselves (the statement
+  // path installed it already; re-installing the same tracer is benign).
+  // Under an open query trace the guard nests as a "prepare" span;
+  // standalone it opens its own trace.
+  ScopedTracerInstall install_tracer(active_tracer());
+  QueryTraceGuard query_guard("prepare", std::string(selection_source));
   Parser parser(selection_source);
-  PASCALR_ASSIGN_OR_RETURN(SelectionExpr sel, parser.ParseSelectionOnly());
+  SelectionExpr sel;
+  {
+    TraceSpanGuard span("parse");
+    PASCALR_ASSIGN_OR_RETURN(sel, parser.ParseSelectionOnly());
+  }
   return PrepareSelection(std::move(sel));
 }
 
 Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
+  ScopedTracerInstall install_tracer(active_tracer());
   auto state = std::make_shared<PreparedQuery::State>();
   state->raw_selection = selection.Clone();
   Binder binder(db_);
-  PASCALR_ASSIGN_OR_RETURN(state->template_query,
-                           binder.Bind(std::move(selection)));
+  {
+    TraceSpanGuard span("bind");
+    PASCALR_ASSIGN_OR_RETURN(state->template_query,
+                             binder.Bind(std::move(selection)));
+  }
   state->param_types = state->template_query.params;
   state->RecordBoundRelations();
   PreparedQuery prepared;
@@ -409,6 +451,9 @@ Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
 Result<QueryRun> Session::Query(std::string_view selection_source) {
   // Thin compatibility wrapper: Prepare + Execute (no parameters) + drain.
   // Execute accumulates the stats into total_stats_ itself.
+  ScopedTracerInstall install_tracer(active_tracer());
+  QueryTraceGuard query_guard("query", std::string(selection_source),
+                              &total_stats_);
   PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(selection_source));
   PASCALR_ASSIGN_OR_RETURN(PreparedExecution exec, prepared.Execute());
   QueryRun run;
@@ -425,6 +470,9 @@ PreparedQuery* Session::FindPrepared(const std::string& name) {
 }
 
 Status Session::RunPrepare(const PrepareStmt& stmt) {
+  // ExecuteStatement installed the tracer; this opens the statement's
+  // query trace so the bind span below it has a home.
+  QueryTraceGuard query_guard("prepare", stmt.name);
   PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PrepareSelection(stmt.selection.Clone()));
   std::vector<std::string> params = prepared.param_names();
@@ -485,6 +533,71 @@ Result<std::string> Session::Explain(std::string_view selection_source) {
   PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
                            PlanQuery(*db_, std::move(bound), options_));
   return ExplainPlan(planned);
+}
+
+Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
+  ScopedTracerInstall install_tracer(active_tracer());
+  QueryTraceGuard query_guard("explain-analyze",
+                              std::string(selection_source));
+  Parser parser(selection_source);
+  SelectionExpr sel;
+  {
+    TraceSpanGuard span("parse");
+    PASCALR_ASSIGN_OR_RETURN(sel, parser.ParseSelectionOnly());
+  }
+  return ExplainAnalyzeSelection(std::move(sel));
+}
+
+Result<std::string> Session::ExplainAnalyzeSelection(SelectionExpr selection) {
+  ScopedTracerInstall install_tracer(active_tracer());
+  QueryTraceGuard query_guard("explain-analyze", "");
+  Binder binder(db_);
+  BoundQuery bound;
+  {
+    TraceSpanGuard span("bind");
+    PASCALR_ASSIGN_OR_RETURN(bound, binder.Bind(std::move(selection)));
+  }
+  PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
+                           PlanQuery(*db_, std::move(bound), options_));
+  // Shared ownership mirrors the prepared-query path: the cursor keeps the
+  // plan alive through an aliasing pointer into the PlannedQuery.
+  auto shared = std::make_shared<PlannedQuery>(std::move(planned));
+  std::shared_ptr<const QueryPlan> plan(shared, &shared->plan);
+
+  // Execute with profiling on. The result tuples are drained and
+  // discarded — EXPLAIN ANALYZE reports about the run, it does not return
+  // rows — but the run is a real one: it feeds total_stats() and the
+  // latency histogram exactly like Execute.
+  PipelineProfile profile;
+  const auto t0 = std::chrono::steady_clock::now();
+  PASCALR_ASSIGN_OR_RETURN(
+      Cursor cursor,
+      Cursor::Open(plan, *db_, /*sink=*/nullptr, &profile));
+  size_t result_tuples = 0;
+  Tuple tuple;
+  while (true) {
+    PASCALR_ASSIGN_OR_RETURN(bool more, cursor.Next(&tuple));
+    if (!more) break;
+    ++result_tuples;
+  }
+  ExecStats stats = cursor.stats();
+  cursor.Close();
+  stats.replans = shared->replans;
+  total_stats_.Merge(stats);
+  const uint64_t wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics_.counter("query.count").Inc();
+  metrics_.histogram("query.latency_us").Record(wall_ns / 1000);
+  if (stats.replans > 0) {
+    metrics_.counter("query.replans").Inc(stats.replans);
+  }
+
+  std::string report = ExplainPlan(*shared);
+  report +=
+      ExplainAnalyzeReport(*shared, profile, stats, result_tuples, wall_ns);
+  return report;
 }
 
 }  // namespace pascalr

@@ -18,6 +18,8 @@
 
 #include "base/status.h"
 #include "catalog/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/planner.h"
 #include "parser/parser.h"
 #include "pascalr/prepared.h"
@@ -56,6 +58,16 @@ class Session {
   /// Returns the EXPLAIN text for a selection.
   Result<std::string> Explain(std::string_view selection_source);
 
+  /// EXPLAIN ANALYZE: plans AND executes the selection, returning the
+  /// plan rendering plus the operator tree annotated with actual rows,
+  /// per-operator self-time, and estimated-vs-actual q-error. The
+  /// instrumented run feeds total_stats() and the metrics registry like
+  /// any other query; its result tuples are discarded (tests prove they
+  /// are identical to an uninstrumented run's).
+  Result<std::string> ExplainAnalyze(std::string_view selection_source);
+  /// EXPLAIN ANALYZE for an already-parsed selection (the statement path).
+  Result<std::string> ExplainAnalyzeSelection(SelectionExpr selection);
+
   /// The prepared query a `PREPARE name AS ...;` statement registered, or
   /// nullptr. (EXECUTE statements look names up here.)
   PreparedQuery* FindPrepared(const std::string& name);
@@ -63,8 +75,29 @@ class Session {
   /// Cumulative statistics across all queries run by this session.
   const ExecStats& total_stats() const { return total_stats_; }
 
+  /// Session metrics (query latency, plan-cache hits/misses, lazy-build
+  /// events); dumped by the `METRICS;` statement and the shell's
+  /// `.metrics`.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Query tracing (`SET TRACE ON;`). While on, every statement / query
+  /// entry point installs the session tracer for its scope and the engine
+  /// records a QueryTrace span tree per query; while off (the default)
+  /// no tracer is installed anywhere and execution is bit-identical to an
+  /// untraced build. Traces accumulate until ClearTraces (the shell's
+  /// `.trace <file>` exports and clears).
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  const std::vector<QueryTrace>& traces() const { return tracer_.traces(); }
+  void ClearTraces() { tracer_.Clear(); }
+
  private:
   friend class PreparedQuery;
+
+  /// The tracer to install for the current statement: the session tracer
+  /// while tracing is on, nullptr (a no-op install) while off.
+  Tracer* active_tracer() { return tracing_ ? &tracer_ : nullptr; }
 
   Result<Type> ResolveType(const RawType& raw, const std::string& owner);
   Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
@@ -77,7 +110,9 @@ class Session {
   /// `SET name value;` — planner option assignment: OPTLEVEL 0-4 | AUTO,
   /// DIVISION HASH | SORT, PERMINDEXES ON | OFF,
   /// JOINORDER DP | BUSHY | GREEDY, PIPELINE ON | OFF,
-  /// COLLECTION EAGER | LAZY.
+  /// COLLECTION EAGER | LAZY — plus the session-level TRACE ON | OFF
+  /// (deliberately NOT a PlannerOptions member: tracing must not perturb
+  /// the plan-cache key or any planning decision).
   Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 
@@ -87,6 +122,10 @@ class Session {
   ExecStats total_stats_;
   std::map<std::string, PreparedQuery> named_prepared_;
   int anon_enum_counter_ = 0;
+
+  bool tracing_ = false;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace pascalr

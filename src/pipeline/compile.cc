@@ -2,11 +2,33 @@
 
 #include <algorithm>
 
+#include "base/str_util.h"
 #include "exec/combination.h"
+#include "obs/profile.h"
 
 namespace pascalr {
 
 namespace {
+
+/// Registers `iter` as a profile node and wraps it in a ProfiledIter;
+/// with no profile (every normal query) returns `iter` untouched, so the
+/// unprofiled tree is bit-identical to the pre-profiling build.
+/// `est_rows` < 0 marks operators the planner attaches no estimate to.
+/// `*node_out` receives the profile node id (-1 unprofiled) for use as a
+/// later wrap's child.
+RefIteratorPtr ProfileWrap(PipelineProfile* profile, RefIteratorPtr iter,
+                           std::string label, double est_rows,
+                           std::vector<int> children, int* node_out) {
+  if (profile == nullptr) {
+    if (node_out != nullptr) *node_out = -1;
+    return iter;
+  }
+  children.erase(std::remove(children.begin(), children.end(), -1),
+                 children.end());
+  int id = profile->Add(std::move(label), est_rows, std::move(children));
+  if (node_out != nullptr) *node_out = id;
+  return std::make_unique<ProfiledIter>(std::move(iter), profile->prof(id));
+}
 
 int IndexOf(const std::vector<std::string>& cols, const std::string& name) {
   for (size_t i = 0; i < cols.size(); ++i) {
@@ -147,19 +169,26 @@ ConjunctionLowering PlanConjunctionLowering(const QueryPlan& plan,
 
 /// Lowers one conjunction's join tree + extension + projection-to-needed
 /// into an iterator chain emitting rows in `shape.needed` layout.
+/// `*root_node` receives the chain root's profile node id (-1 unprofiled).
 Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
                                           CollectionBuilders* builders,
                                           const PipelineShape& shape,
                                           ExecStats* stats,
-                                          PeakTracker* tracker) {
+                                          PeakTracker* tracker,
+                                          PipelineProfile* profile,
+                                          int* root_node) {
   const bool lazy = plan.collection == CollectionPolicy::kLazy;
   const CollectionResult& coll = builders->result();
   const std::vector<size_t>& ids = plan.conj_inputs[conj];
 
   RefIteratorPtr chain;
+  int chain_node = -1;
+  *root_node = -1;
   std::vector<std::string> cols;
   if (ids.empty()) {
-    chain = std::make_unique<UnitIter>();  // TRUE: the empty row
+    // TRUE: the empty row.
+    chain = ProfileWrap(profile, std::make_unique<UnitIter>(), "unit", -1.0,
+                        {}, &chain_node);
   } else {
     JoinTree tree;
     if (lazy) {
@@ -176,6 +205,7 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
         PlanConjunctionLowering(plan, conj, std::move(tree), shape);
 
     std::vector<RefIteratorPtr> node_iters(low.tree.nodes.size());
+    std::vector<int> node_profs(low.tree.nodes.size(), -1);
     // A leaf as a stream: lazy leaves stream straight off the base
     // relation when the lowering says so (collection mode (c) — the
     // structure is never materialised) and defer a full build to the
@@ -183,13 +213,25 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
     auto leaf_stream = [&](size_t node_idx) -> RefIteratorPtr {
       size_t input = low.tree.nodes[node_idx].input;
       size_t id = ids[input];
+      double est = low.tree.nodes[node_idx].est_rows > 0.0
+                       ? low.tree.nodes[node_idx].est_rows
+                       : -1.0;
+      const std::string& name = plan.structures[id].debug_name;
+      RefIteratorPtr leaf;
+      const char* kind = "scan";
       if (lazy && !builders->structure_built(id)) {
         if (low.leaf_modes[input] == LazyLeafMode::kStreamed) {
-          return std::make_unique<BaseScanIter>(builders, id);
+          leaf = std::make_unique<BaseScanIter>(builders, id);
+          kind = "base-scan";
+        } else {
+          leaf = std::make_unique<ScanIter>(builders, id);
         }
-        return std::make_unique<ScanIter>(builders, id);
+      } else {
+        leaf = std::make_unique<ScanIter>(&coll.structures[id]);
       }
-      return std::make_unique<ScanIter>(&coll.structures[id]);
+      return ProfileWrap(profile, std::move(leaf),
+                         StrFormat("%s %s", kind, name.c_str()), est, {},
+                         &node_profs[node_idx]);
     };
     auto as_iterator = [&](int node_idx) -> RefIteratorPtr {
       size_t idx = static_cast<size_t>(node_idx);
@@ -202,33 +244,47 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
       if (node.leaf) continue;
       NodePlan& np = low.nodes[i];
       RefIteratorPtr left_iter = as_iterator(node.left);
+      int left_prof = node_profs[static_cast<size_t>(node.left)];
+      double est = node.est_rows > 0.0 ? node.est_rows : -1.0;
+      const char* join_kind = low.semi[i] ? "semi-join" : "probe-join";
       const JoinTreeNode& rnode =
           low.tree.nodes[static_cast<size_t>(node.right)];
+      RefIteratorPtr join;
+      std::string join_label;
+      std::vector<int> join_children = {left_prof};
       if (rnode.leaf) {
         size_t right_id = ids[rnode.input];
+        join_label = StrFormat("%s %s", join_kind,
+                               plan.structures[right_id].debug_name.c_str());
         if (lazy && !builders->structure_built(right_id)) {
-          node_iters[i] = std::make_unique<ProbeJoinIter>(
+          join = std::make_unique<ProbeJoinIter>(
               std::move(left_iter), builders, right_id,
               std::move(np.left_key), std::move(np.right_key),
               std::move(np.right_extras), low.semi[i], stats,
               np.keyed_probe_pos);
         } else {
-          node_iters[i] = std::make_unique<ProbeJoinIter>(
+          join = std::make_unique<ProbeJoinIter>(
               std::move(left_iter), &coll.structures[right_id],
               std::move(np.left_key), std::move(np.right_key),
               std::move(np.right_extras), low.semi[i], stats);
         }
       } else {
         // Bushy right subtree: blocking build, drained at first Next.
-        node_iters[i] = std::make_unique<ProbeJoinIter>(
+        join_label = StrFormat("%s (bushy build)", join_kind);
+        join_children.push_back(node_profs[static_cast<size_t>(node.right)]);
+        join = std::make_unique<ProbeJoinIter>(
             std::move(left_iter),
             std::move(node_iters[static_cast<size_t>(node.right)]),
             low.nodes[static_cast<size_t>(node.right)].cols,
             std::move(np.left_key), std::move(np.right_key),
             std::move(np.right_extras), low.semi[i], stats, tracker);
       }
+      node_iters[i] = ProfileWrap(profile, std::move(join),
+                                  std::move(join_label), est,
+                                  std::move(join_children), &node_profs[i]);
     }
     chain = as_iterator(static_cast<int>(low.tree.nodes.size()) - 1);
+    chain_node = node_profs.back();
     cols = std::move(low.nodes.back().cols);
   }
 
@@ -251,28 +307,37 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
       if (lazy) {
         // The emptiness check must not force the range at compile time;
         // the guard materialises it at the first pull instead.
-        chain = std::make_unique<RangeGuardIter>(std::move(chain), builders,
-                                                 qv.var);
+        chain = ProfileWrap(
+            profile,
+            std::make_unique<RangeGuardIter>(std::move(chain), builders,
+                                             qv.var),
+            "range-guard " + qv.var, -1.0, {chain_node}, &chain_node);
         continue;
       }
       auto it = coll.range_refs.find(qv.var);
       if (it == coll.range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
       }
-      if (it->second.empty()) return RefIteratorPtr(new EmptyIter());
+      if (it->second.empty()) {
+        return ProfileWrap(profile, RefIteratorPtr(new EmptyIter()), "empty",
+                           -1.0, {}, root_node);
+      }
       continue;
     }
+    RefIteratorPtr extended;
     if (lazy) {
-      chain = std::make_unique<ExtendIter>(std::move(chain), builders,
-                                           qv.var, stats);
+      extended = std::make_unique<ExtendIter>(std::move(chain), builders,
+                                              qv.var, stats);
     } else {
       auto it = coll.range_refs.find(qv.var);
       if (it == coll.range_refs.end()) {
         return Status::Internal("no materialised range for '" + qv.var + "'");
       }
-      chain =
+      extended =
           std::make_unique<ExtendIter>(std::move(chain), &it->second, stats);
     }
+    chain = ProfileWrap(profile, std::move(extended), "extend " + qv.var,
+                        -1.0, {chain_node}, &chain_node);
     cols.push_back(qv.var);
   }
 
@@ -290,11 +355,15 @@ Result<RefIteratorPtr> CompileConjunction(const QueryPlan& plan, size_t conj,
   }
   if (cols.size() == shape.needed.size() &&
       std::is_sorted(positions.begin(), positions.end())) {
+    *root_node = chain_node;
     return chain;  // identity layout
   }
-  return RefIteratorPtr(new ProjectIter(std::move(chain),
-                                        std::move(positions), shape.needed,
-                                        /*dedup=*/false, stats, tracker));
+  return ProfileWrap(
+      profile,
+      RefIteratorPtr(new ProjectIter(std::move(chain), std::move(positions),
+                                     shape.needed,
+                                     /*dedup=*/false, stats, tracker)),
+      "project", -1.0, {chain_node}, root_node);
 }
 
 }  // namespace
@@ -314,13 +383,17 @@ std::vector<LazyLeafMode> LazyConjunctionLeafModes(
 Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
                                          CollectionBuilders* builders,
                                          ExecStats* stats,
-                                         PeakTracker* tracker) {
+                                         PeakTracker* tracker,
+                                         PipelineProfile* profile) {
   PipelineShape shape = AnalyzePipelineShape(plan);
   CompiledPipeline out;
   out.columns = shape.free_names;
 
   if (plan.sf.matrix.IsFalse()) {
-    out.root = std::make_unique<EmptyIter>();
+    int node = -1;
+    out.root = ProfileWrap(profile, std::make_unique<EmptyIter>(), "empty",
+                           -1.0, {}, &node);
+    if (profile != nullptr) profile->SetRoot(node);
     return out;
   }
   if (plan.conj_inputs.size() < plan.sf.matrix.disjuncts.size()) {
@@ -328,23 +401,38 @@ Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
   }
 
   std::vector<RefIteratorPtr> disjuncts;
+  std::vector<int> disjunct_nodes;
   for (size_t c = 0; c < plan.sf.matrix.disjuncts.size(); ++c) {
+    int node = -1;
     PASCALR_ASSIGN_OR_RETURN(
-        RefIteratorPtr one,
-        CompileConjunction(plan, c, builders, shape, stats, tracker));
+        RefIteratorPtr one, CompileConjunction(plan, c, builders, shape,
+                                               stats, tracker, profile,
+                                               &node));
     disjuncts.push_back(std::move(one));
+    disjunct_nodes.push_back(node);
   }
-  RefIteratorPtr stream =
-      disjuncts.size() == 1
-          ? std::move(disjuncts.front())
-          : RefIteratorPtr(new ConcatIter(std::move(disjuncts)));
+  int stream_node = disjunct_nodes.front();
+  RefIteratorPtr stream;
+  if (disjuncts.size() == 1) {
+    stream = std::move(disjuncts.front());
+  } else {
+    stream = ProfileWrap(profile,
+                         RefIteratorPtr(new ConcatIter(std::move(disjuncts))),
+                         "concat", -1.0, std::move(disjunct_nodes),
+                         &stream_node);
+  }
 
+  int root_node = -1;
   if (shape.has_division) {
     // Universal quantification is inherently blocking: buffer the needed
     // columns (set semantics) and run the tail right-to-left.
-    out.root = std::make_unique<QuantifierTailIter>(
-        std::move(stream), std::move(shape.tail), shape.needed,
-        shape.free_names, builders, plan.division, stats, tracker);
+    out.root = ProfileWrap(
+        profile,
+        RefIteratorPtr(new QuantifierTailIter(
+            std::move(stream), std::move(shape.tail), shape.needed,
+            shape.free_names, builders, plan.division, stats, tracker)),
+        "quantifier-tail", -1.0, {stream_node}, &root_node);
+    if (profile != nullptr) profile->SetRoot(root_node);
     return out;
   }
 
@@ -355,9 +443,13 @@ Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
   for (size_t i = 0; i < shape.needed.size(); ++i) {
     identity.push_back(static_cast<int>(i));
   }
-  out.root = std::make_unique<ProjectIter>(std::move(stream),
-                                           std::move(identity), shape.needed,
-                                           /*dedup=*/true, stats, tracker);
+  out.root = ProfileWrap(
+      profile,
+      RefIteratorPtr(new ProjectIter(std::move(stream), std::move(identity),
+                                     shape.needed,
+                                     /*dedup=*/true, stats, tracker)),
+      "dedup-sink", -1.0, {stream_node}, &root_node);
+  if (profile != nullptr) profile->SetRoot(root_node);
   return out;
 }
 

@@ -40,6 +40,8 @@
 
 namespace pascalr {
 
+class PipelineProfile;  // obs/profile.h
+
 struct CompiledPipeline {
   RefIteratorPtr root;
   /// Output column layout (the free variables, prefix order).
@@ -72,10 +74,18 @@ std::vector<LazyLeafMode> LazyConjunctionLeafModes(const QueryPlan& plan,
 /// blocking buffers register with `tracker`. Both must outlive the
 /// pipeline, as must `plan` and `builders` (the iterators populate and
 /// probe the structures in place).
+///
+/// `profile` (optional, EXPLAIN ANALYZE) registers one OpNode per emitted
+/// operator and wraps each in a counting/timing ProfiledIter; it must
+/// outlive the pipeline. When null — the default for every normal query —
+/// no wrapper is inserted anywhere, so the compiled tree is bit-identical
+/// to the unprofiled build and execution carries zero instrumentation
+/// overhead.
 Result<CompiledPipeline> CompilePipeline(const QueryPlan& plan,
                                          CollectionBuilders* builders,
                                          ExecStats* stats,
-                                         PeakTracker* tracker);
+                                         PeakTracker* tracker,
+                                         PipelineProfile* profile = nullptr);
 
 }  // namespace pascalr
 

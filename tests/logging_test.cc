@@ -1,0 +1,72 @@
+#include "base/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pascalr {
+namespace {
+
+/// Restores the default threshold and capture sink on scope exit so a
+/// failing assertion cannot leak filtered logging into later tests.
+class ScopedLogConfig {
+ public:
+  explicit ScopedLogConfig(std::string* capture) {
+    SetLogCaptureForTest(capture);
+  }
+  ~ScopedLogConfig() {
+    SetMinLogSeverity(LogSeverity::kInfo);
+    SetLogCaptureForTest(nullptr);
+  }
+};
+
+TEST(LoggingTest, DefaultThresholdEmitsEverythingNonFatal) {
+  std::string captured;
+  ScopedLogConfig config(&captured);
+  ASSERT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+  PASCALR_LOG_INFO << "info line";
+  PASCALR_LOG_WARNING << "warning line";
+  PASCALR_LOG_ERROR << "error line";
+  EXPECT_NE(captured.find("info line"), std::string::npos);
+  EXPECT_NE(captured.find("warning line"), std::string::npos);
+  EXPECT_NE(captured.find("error line"), std::string::npos);
+}
+
+TEST(LoggingTest, MinSeverityFiltersLowerLines) {
+  std::string captured;
+  ScopedLogConfig config(&captured);
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  PASCALR_LOG_INFO << "filtered info";
+  PASCALR_LOG_WARNING << "filtered warning";
+  PASCALR_LOG_ERROR << "kept error";
+  EXPECT_EQ(captured.find("filtered info"), std::string::npos);
+  EXPECT_EQ(captured.find("filtered warning"), std::string::npos);
+  EXPECT_NE(captured.find("kept error"), std::string::npos);
+}
+
+TEST(LoggingTest, WarningThresholdKeepsWarnings) {
+  std::string captured;
+  ScopedLogConfig config(&captured);
+  SetMinLogSeverity(LogSeverity::kWarning);
+  PASCALR_LOG_INFO << "filtered info";
+  PASCALR_LOG_WARNING << "kept warning";
+  EXPECT_EQ(captured.find("filtered info"), std::string::npos);
+  EXPECT_NE(captured.find("kept warning"), std::string::npos);
+}
+
+TEST(LoggingTest, LinesCarrySeverityTagAndLocation) {
+  std::string captured;
+  ScopedLogConfig config(&captured);
+  PASCALR_LOG_WARNING << "tagged";
+  EXPECT_NE(captured.find("[W "), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(captured.find("] tagged\n"), std::string::npos);
+}
+
+TEST(LoggingTest, ThresholdRestoredBetweenTests) {
+  // Whichever order the fixtures ran in, the scoped restore above must
+  // have reset the global threshold.
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+}
+
+}  // namespace
+}  // namespace pascalr

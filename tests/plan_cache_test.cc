@@ -50,6 +50,36 @@ TEST(PlanCacheTest, MutationBumpsModCountAndForcesReplan) {
   EXPECT_TRUE(unrelated->plan_cache_hit);
 }
 
+TEST(PlanCacheTest, HitAndMissCountersFeedTheSessionMetrics) {
+  auto db = MakeUniversityDb();
+  Session session(db.get());
+  auto prepared = session.Prepare(
+      "[<e.ename> OF EACH e IN employees: e.enr >= $lo]");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.misses"), nullptr);
+
+  // First execute compiles: one miss, no hit yet.
+  ASSERT_TRUE(prepared->Execute({{"lo", Value::MakeInt(1)}}).ok());
+  ASSERT_NE(session.metrics().FindCounter("plan_cache.misses"), nullptr);
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.misses")->value(), 1u);
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.hits"), nullptr);
+
+  // Cached re-executes count hits without moving the miss counter.
+  ASSERT_TRUE(prepared->Execute({{"lo", Value::MakeInt(2)}}).ok());
+  ASSERT_TRUE(prepared->Execute({{"lo", Value::MakeInt(3)}}).ok());
+  ASSERT_NE(session.metrics().FindCounter("plan_cache.hits"), nullptr);
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.hits")->value(), 2u);
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.misses")->value(), 1u);
+
+  // Invalidation turns the next execute back into a miss.
+  ASSERT_TRUE(session
+                  .ExecuteScript("employees :+ [<43, 'Yuri', student>];")
+                  .ok());
+  ASSERT_TRUE(prepared->Execute({{"lo", Value::MakeInt(1)}}).ok());
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.misses")->value(), 2u);
+  EXPECT_EQ(session.metrics().FindCounter("plan_cache.hits")->value(), 2u);
+}
+
 TEST(PlanCacheTest, AnalyzeAfterSkewShiftDropsTheCachedAutoPlan) {
   auto db = MakeUniversityDb();
   ASSERT_TRUE(db->AnalyzeAll().ok());
