@@ -1,21 +1,40 @@
 #include "base/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace pascalr {
 
 namespace {
-// Single-threaded by design (see base/counters.h) — plain globals.
-LogSeverity g_min_severity = LogSeverity::kInfo;
-std::string* g_capture = nullptr;
+// Concurrent sessions log from many threads: the severity threshold and
+// capture pointer are atomics (readable without a lock on the fast
+// filtered-out path) and the emission itself is serialised by a mutex so
+// lines never interleave mid-message — whether appended to a capture
+// string or written to stderr.
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::atomic<std::string*> g_capture{nullptr};
+
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
 
-LogSeverity MinLogSeverity() { return g_min_severity; }
+LogSeverity MinLogSeverity() {
+  return g_min_severity.load(std::memory_order_relaxed);
+}
 
-void SetLogCaptureForTest(std::string* capture) { g_capture = capture; }
+void SetLogCaptureForTest(std::string* capture) {
+  // The emit lock makes swapping the sink safe against in-flight messages.
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  g_capture.store(capture, std::memory_order_relaxed);
+}
 
 namespace internal {
 
@@ -44,15 +63,19 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 LogMessage::~LogMessage() {
   // kFatal always emits: the filter must never swallow the diagnostic of
   // an abort.
-  if (severity_ < g_min_severity && severity_ != LogSeverity::kFatal) {
+  if (severity_ < MinLogSeverity() && severity_ != LogSeverity::kFatal) {
     return;
   }
   stream_ << "\n";
-  if (g_capture != nullptr) {
-    *g_capture += stream_.str();
-  } else {
-    std::fputs(stream_.str().c_str(), stderr);
-    std::fflush(stderr);
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::string* capture = g_capture.load(std::memory_order_relaxed);
+    if (capture != nullptr) {
+      *capture += stream_.str();
+    } else {
+      std::fputs(stream_.str().c_str(), stderr);
+      std::fflush(stderr);
+    }
   }
   if (severity_ == LogSeverity::kFatal) std::abort();
 }

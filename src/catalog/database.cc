@@ -6,10 +6,26 @@
 
 namespace pascalr {
 
+const Snapshot* Database::AmbientSnapshot() const {
+  // A write statement reads the live catalog — mirrors ReadWatermark's
+  // batch-before-snapshot priority in storage/relation.cc.
+  WriteBatch* batch = CurrentWriteBatch();
+  if (batch != nullptr && batch->state() == &concurrency_) return nullptr;
+  const Snapshot* snap = CurrentSnapshot();
+  if (snap != nullptr && snap->origin == &concurrency_) return snap;
+  return nullptr;
+}
+
+std::unique_lock<std::mutex> Database::LockCommitIfServing() const {
+  if (!serving()) return {};
+  return std::unique_lock<std::mutex>(concurrency_.commit_mu);
+}
+
 Status Database::RegisterEnum(std::shared_ptr<const EnumInfo> info) {
   if (info == nullptr || info->name.empty()) {
     return Status::InvalidArgument("enum type needs a name");
   }
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
   if (enums_.count(info->name) > 0) {
     return Status::AlreadyExists("type '" + info->name + "' already declared");
   }
@@ -23,6 +39,7 @@ Status Database::RegisterEnum(std::shared_ptr<const EnumInfo> info) {
 
 std::shared_ptr<const EnumInfo> Database::FindEnum(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   auto it = enums_.find(name);
   return it == enums_.end() ? nullptr : it->second;
 }
@@ -30,36 +47,61 @@ std::shared_ptr<const EnumInfo> Database::FindEnum(
 Result<Relation*> Database::CreateRelation(const std::string& name,
                                            Schema schema) {
   if (name.empty()) return Status::InvalidArgument("relation needs a name");
+  // DDL self-commits: while serving, the catalog change and its db_version
+  // bump are one atomic step under commit_mu, so no snapshot can observe a
+  // half-created relation.
+  std::unique_lock<std::mutex> commit = LockCommitIfServing();
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("relation '" + name + "' already declared");
   }
   RelationId id = static_cast<RelationId>(relations_.size());
-  relations_.push_back(std::make_unique<Relation>(id, name, std::move(schema)));
+  relations_.push_back(std::make_shared<Relation>(id, name, std::move(schema)));
+  relations_.back()->AttachConcurrency(&concurrency_);
   by_name_[name] = id;
+  if (commit.owns_lock()) {
+    concurrency_.db_version.fetch_add(1, std::memory_order_relaxed);
+  }
   return relations_.back().get();
 }
 
 Status Database::DropRelation(const std::string& name) {
+  std::unique_lock<std::mutex> commit = LockCommitIfServing();
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
   }
-  // Ids are positional; keep the slot but null the entry.
+  // Ids are positional; keep the slot but null the entry. Snapshots hold
+  // their own strong refs, so readers over the dropped relation are safe.
   relations_[it->second].reset();
   by_name_.erase(it);
   for (auto idx = indexes_.begin(); idx != indexes_.end();) {
     if (idx->first.rfind(name + ".", 0) == 0) {
+      if (serving()) {
+        // An executing plan in another session may still hold the raw
+        // index pointer; park it until the next compaction quiesce.
+        retired_indexes_.push_back(std::move(idx->second.index));
+      }
       idx = indexes_.erase(idx);
     } else {
       ++idx;
     }
   }
-  stats_.erase(name);
-  ++stats_epoch_;
+  auto st = stats_.find(name);
+  if (st != stats_.end()) {
+    if (serving()) retired_stats_.push_back(std::move(st->second));
+    stats_.erase(st);
+  }
+  stats_epoch_.fetch_add(1, std::memory_order_release);
+  if (commit.owns_lock()) {
+    concurrency_.db_version.fetch_add(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
 std::vector<Database::IndexDescription> Database::ListIndexes() const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   std::vector<IndexDescription> out;
   for (const auto& [key, entry] : indexes_) {
     std::string::size_type dot = key.rfind('.');
@@ -70,12 +112,25 @@ std::vector<Database::IndexDescription> Database::ListIndexes() const {
 }
 
 Relation* Database::FindRelation(const std::string& name) const {
+  if (const Snapshot* snap = AmbientSnapshot()) {
+    // Resolve through the snapshot's captured catalog: relations dropped
+    // after capture stay visible, ones created after capture do not.
+    for (const auto& rel : snap->relations) {
+      if (rel != nullptr && rel->name() == name) return rel.get();
+    }
+    return nullptr;
+  }
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return nullptr;
   return relations_[it->second].get();
 }
 
 Relation* Database::FindRelation(RelationId id) const {
+  if (const Snapshot* snap = AmbientSnapshot()) {
+    return id < snap->relations.size() ? snap->relations[id].get() : nullptr;
+  }
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   if (id >= relations_.size()) return nullptr;
   return relations_[id].get();
 }
@@ -92,7 +147,10 @@ Result<const Tuple*> Database::Deref(const Ref& ref) const {
 Result<ComponentIndex*> Database::EnsureIndex(const std::string& relation,
                                               const std::string& component,
                                               bool ordered) {
-  Relation* rel = FindRelation(relation);
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  auto rel_it = by_name_.find(relation);
+  Relation* rel =
+      rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
   if (rel == nullptr) {
     return Status::NotFound("no relation named '" + relation + "'");
   }
@@ -122,36 +180,53 @@ Result<ComponentIndex*> Database::EnsureIndex(const std::string& relation,
   });
   entry.built_at_mod = rel->mod_count();
   ComponentIndex* out = entry.index.get();
-  indexes_[key] = std::move(entry);
+  if (it != indexes_.end()) {
+    if (serving()) retired_indexes_.push_back(std::move(it->second.index));
+    it->second = std::move(entry);
+  } else {
+    indexes_[key] = std::move(entry);
+  }
   // A new (or rebuilt) permanent index changes what the planner can
   // borrow; move the epoch so cached prepared plans reconsider it.
-  ++stats_epoch_;
+  stats_epoch_.fetch_add(1, std::memory_order_release);
   return out;
 }
 
 ComponentIndex* Database::FindFreshIndex(const std::string& relation,
                                          const std::string& component) const {
+  // The relation's mod_count is ambient-aware, so a snapshot reader only
+  // gets the index when it was built at exactly its watermark.
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr) return nullptr;
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   auto it = indexes_.find(IndexKey(relation, component));
   if (it == indexes_.end()) return nullptr;
-  Relation* rel = FindRelation(relation);
-  if (rel == nullptr || it->second.built_at_mod != rel->mod_count()) {
-    return nullptr;
-  }
+  if (it->second.built_at_mod != rel->mod_count()) return nullptr;
   return it->second.index.get();
 }
 
 Result<const RelationStats*> Database::Analyze(const std::string& relation) {
-  Relation* rel = FindRelation(relation);
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  auto rel_it = by_name_.find(relation);
+  Relation* rel =
+      rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
   if (rel == nullptr) {
     return Status::NotFound("no relation named '" + relation + "'");
   }
   auto it = stats_.find(relation);
-  if (it != stats_.end() && it->second.built_at_mod == rel->mod_count()) {
-    return &it->second;
+  if (it != stats_.end() && it->second->built_at_mod == rel->mod_count()) {
+    return it->second.get();
   }
-  stats_[relation] = ComputeRelationStats(*rel);
-  ++stats_epoch_;
-  return &stats_[relation];
+  auto fresh =
+      std::make_shared<const RelationStats>(ComputeRelationStats(*rel));
+  if (it != stats_.end()) {
+    if (serving()) retired_stats_.push_back(std::move(it->second));
+    it->second = fresh;
+  } else {
+    stats_[relation] = fresh;
+  }
+  stats_epoch_.fetch_add(1, std::memory_order_release);
+  return fresh.get();
 }
 
 Status Database::AnalyzeAll() {
@@ -163,7 +238,10 @@ Status Database::AnalyzeAll() {
 }
 
 Status Database::SeedStats(RelationStats stats) {
-  Relation* rel = FindRelation(stats.relation);
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  auto rel_it = by_name_.find(stats.relation);
+  Relation* rel =
+      rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
   if (rel == nullptr) {
     return Status::NotFound("no relation named '" + stats.relation + "'");
   }
@@ -173,23 +251,32 @@ Status Database::SeedStats(RelationStats stats) {
         stats.columns.size(), rel->schema().num_components()));
   }
   stats.built_at_mod = rel->mod_count();
-  stats_[stats.relation] = std::move(stats);
-  ++stats_epoch_;
+  std::string name = stats.relation;
+  auto fresh = std::make_shared<const RelationStats>(std::move(stats));
+  auto it = stats_.find(name);
+  if (it != stats_.end()) {
+    if (serving()) retired_stats_.push_back(std::move(it->second));
+    it->second = std::move(fresh);
+  } else {
+    stats_[name] = std::move(fresh);
+  }
+  stats_epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 const RelationStats* Database::FindFreshStats(
     const std::string& relation) const {
+  Relation* rel = FindRelation(relation);
+  if (rel == nullptr) return nullptr;
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   auto it = stats_.find(relation);
   if (it == stats_.end()) return nullptr;
-  Relation* rel = FindRelation(relation);
-  if (rel == nullptr || it->second.built_at_mod != rel->mod_count()) {
-    return nullptr;
-  }
-  return &it->second;
+  if (it->second->built_at_mod != rel->mod_count()) return nullptr;
+  return it->second.get();
 }
 
 std::vector<std::string> Database::RelationNames() const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   std::vector<std::string> out;
   out.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) out.push_back(name);
@@ -197,6 +284,7 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 std::string Database::DebugString() const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   std::string out = "database:\n";
   for (const auto& [name, id] : by_name_) {
     const Relation* rel = relations_[id].get();
@@ -208,6 +296,108 @@ std::string Database::DebugString() const {
                      entry.ordered ? "ordered" : "hash", entry.index->size());
   }
   return out;
+}
+
+// ---- concurrent serving ---------------------------------------------
+
+void Database::EnableConcurrentServing() {
+  // Relations are attached to concurrency_ at creation; flipping the flag
+  // is all it takes. One-way by design.
+  concurrency_.serving.store(true, std::memory_order_release);
+}
+
+SnapshotRef Database::TakeSnapshot() const {
+  if (!serving()) return nullptr;
+  return concurrency_.registry.Register([this] {
+    auto snap = std::make_unique<Snapshot>();
+    snap->origin = &concurrency_;
+    // commit_mu pins (db_version, watermarks, live counts) to one commit
+    // boundary; the catalog shared lock pins the relation set.
+    std::lock_guard<std::mutex> commit(concurrency_.commit_mu);
+    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+    snap->db_version = concurrency_.db_version.load(std::memory_order_relaxed);
+    snap->relations = relations_;
+    snap->watermarks.reserve(relations_.size());
+    snap->live_counts.reserve(relations_.size());
+    for (const auto& rel : relations_) {
+      snap->watermarks.push_back(rel == nullptr ? 0 : rel->published_mod());
+      snap->live_counts.push_back(rel == nullptr ? 0 : rel->published_live());
+    }
+    concurrency_.counters.snapshots_taken.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    return std::unique_ptr<const Snapshot>(std::move(snap));
+  });
+}
+
+SnapshotRef Database::SnapshotForRead() const {
+  if (AmbientSnapshot() != nullptr) return CurrentSnapshotRef();
+  return TakeSnapshot();
+}
+
+uint64_t Database::WriteStatementGuard::Commit() {
+  install_.reset();
+  uint64_t version = 0;
+  if (batch_ != nullptr) {
+    version = batch_->Commit();
+    batch_.reset();
+  }
+  if (lock_.owns_lock()) lock_.unlock();
+  return version;
+}
+
+Database::WriteStatementGuard Database::BeginWriteStatement() {
+  WriteStatementGuard guard;
+  guard.lock_ = std::unique_lock<std::mutex>(write_mu_);
+  guard.batch_ = std::make_unique<WriteBatch>(&concurrency_);
+  guard.install_ =
+      std::make_unique<ScopedWriteBatchInstall>(guard.batch_.get());
+  return guard;
+}
+
+size_t Database::CompactAllLocked() {
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  size_t retired = 0;
+  for (const auto& rel : relations_) {
+    if (rel != nullptr) retired += rel->CompactVersions();
+  }
+  retired_indexes_.clear();
+  retired_stats_.clear();
+  return retired;
+}
+
+size_t Database::Compact() {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  size_t retired = 0;
+  concurrency_.registry.Quiesce([&] { retired = CompactAllLocked(); });
+  concurrency_.counters.compactions.fetch_add(1, std::memory_order_relaxed);
+  concurrency_.counters.versions_retired.fetch_add(retired,
+                                                   std::memory_order_relaxed);
+  return retired;
+}
+
+bool Database::MaybeCompact() {
+  if (!serving()) return false;
+  size_t dead = 0;
+  {
+    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+    for (const auto& rel : relations_) {
+      if (rel != nullptr) dead += rel->delta().delta_deletes();
+    }
+  }
+  if (dead < kCompactionThreshold) return false;
+  // Callers must NOT hold a WriteStatementGuard (write_mu_ is
+  // non-recursive); sessions call this after their statement commits.
+  std::unique_lock<std::mutex> write_lock(write_mu_, std::try_to_lock);
+  if (!write_lock.owns_lock()) return false;
+  size_t retired = 0;
+  const bool ran =
+      concurrency_.registry.TryQuiesce([&] { retired = CompactAllLocked(); });
+  if (ran) {
+    concurrency_.counters.compactions.fetch_add(1, std::memory_order_relaxed);
+    concurrency_.counters.versions_retired.fetch_add(
+        retired, std::memory_order_relaxed);
+  }
+  return ran;
 }
 
 }  // namespace pascalr

@@ -5,17 +5,45 @@
 // mod_count it was built at and is rebuilt lazily when the relation has
 // changed since (the paper maintains them inside application code; a
 // library must do it for the user).
+//
+// Concurrent serving (src/concurrency/): one Database can serve many
+// Sessions at once. EnableConcurrentServing() — done by SessionManager —
+// flips the relations into versioned mode and activates:
+//
+//  - TakeSnapshot(): captures a consistent read point (db_version + one
+//    published watermark and live count per relation) under commit_mu, so
+//    readers never block behind writers and never observe a half-applied
+//    statement. Returns null while serving is off — the legacy
+//    single-threaded path pays nothing.
+//  - BeginWriteStatement(): serialises writers on write_mu_ and installs
+//    an ambient WriteBatch; the guard's commit publishes every touched
+//    relation and bumps db_version in one atomic step.
+//  - Compact()/MaybeCompact(): reclaim dead versions under the
+//    SnapshotRegistry's exclusive quiesce; retired permanent indexes and
+//    statistics (replaced while readers might still hold pointers) are
+//    parked in graveyards and freed here too.
+//  - shared_plans(): the process-wide prepared-plan cache — N sessions
+//    preparing the same selection share one plan search.
+//
+// Lock order (outermost first): write_mu_ → registry.mu_ → commit_mu →
+// catalog_mu_. Catalog reads take catalog_mu_ shared; snapshot readers
+// resolve FindRelation through their snapshot and skip the catalog lock.
 
 #ifndef PASCALR_CATALOG_DATABASE_H_
 #define PASCALR_CATALOG_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
 #include "catalog/relation_stats.h"
+#include "concurrency/plan_cache.h"
+#include "concurrency/snapshot.h"
 #include "index/index.h"
 #include "storage/relation.h"
 #include "value/type.h"
@@ -24,7 +52,7 @@ namespace pascalr {
 
 class Database {
  public:
-  Database() = default;
+  Database() { shared_plans_.AttachCounters(&concurrency_.counters); }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -37,7 +65,10 @@ class Database {
   Result<Relation*> CreateRelation(const std::string& name, Schema schema);
   Status DropRelation(const std::string& name);
 
-  /// Lookup by name / id; nullptr when absent.
+  /// Lookup by name / id; nullptr when absent. Snapshot-aware: under an
+  /// ambient snapshot of this database, resolution goes through the
+  /// snapshot's captured catalog — a relation dropped after capture stays
+  /// readable, one created after capture is not yet visible.
   Relation* FindRelation(const std::string& name) const;
   Relation* FindRelation(RelationId id) const;
 
@@ -53,7 +84,7 @@ class Database {
                                       bool ordered);
 
   /// Returns the permanent index on `relation.component` if it exists AND
-  /// is fresh; nullptr otherwise. Never builds.
+  /// is fresh at the caller's watermark; nullptr otherwise. Never builds.
   ComponentIndex* FindFreshIndex(const std::string& relation,
                                  const std::string& component) const;
 
@@ -75,7 +106,9 @@ class Database {
   Status AnalyzeAll();
 
   /// Returns the statistics for `relation` if they exist AND match the
-  /// relation's current mod_count; nullptr otherwise. Never computes.
+  /// relation's mod_count at the caller's watermark; nullptr otherwise.
+  /// Never computes. The pointer stays valid until the next compaction
+  /// (replaced statistics are parked in a graveyard, not freed).
   const RelationStats* FindFreshStats(const std::string& relation) const;
 
   /// Monotonic counter bumped whenever catalog statistics change (ANALYZE
@@ -83,7 +116,9 @@ class Database {
   /// relation mod_counts this keys the prepared-query plan cache: a plan
   /// chosen under one (epoch, mod_counts) snapshot is stale under any
   /// other.
-  uint64_t stats_epoch() const { return stats_epoch_; }
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Installs externally supplied statistics (the STATS directive that
   /// ExportScript emits) as if ANALYZE had just run: they are stamped
@@ -96,6 +131,73 @@ class Database {
 
   /// Human-readable catalog summary.
   std::string DebugString() const;
+
+  // ---- concurrent serving -------------------------------------------
+
+  /// Flips every relation (current and future) into versioned serving
+  /// mode. One-way; called by SessionManager's constructor.
+  void EnableConcurrentServing();
+  bool serving() const {
+    return concurrency_.serving.load(std::memory_order_relaxed);
+  }
+
+  /// The commit version: bumped once per committed write statement and
+  /// once per catalog change while serving.
+  uint64_t db_version() const {
+    return concurrency_.db_version.load(std::memory_order_relaxed);
+  }
+
+  /// Captures a consistent read point and registers it with the
+  /// SnapshotRegistry (so compaction waits for it). Returns null while
+  /// serving is off: ScopedSnapshotInstall(nullptr) is a no-op and every
+  /// read goes down the legacy path.
+  SnapshotRef TakeSnapshot() const;
+
+  /// The snapshot a read entry point should install: the ambient one when
+  /// it is already ours (a nested entry point keeps its caller's read
+  /// point instead of capturing twice), else a fresh TakeSnapshot().
+  SnapshotRef SnapshotForRead() const;
+
+  /// One write statement: holds the database write mutex and keeps an
+  /// ambient WriteBatch installed, so relation mutators stamp versions and
+  /// defer publication until the guard commits (explicitly or at scope
+  /// exit). Member order gives the destructor the right sequence:
+  /// uninstall the ambient batch, commit, release the mutex.
+  class WriteStatementGuard {
+   public:
+    WriteStatementGuard() = default;
+    WriteStatementGuard(WriteStatementGuard&&) = default;
+    WriteStatementGuard& operator=(WriteStatementGuard&&) = default;
+
+    /// Publishes and returns the commit version (idempotent; the stress
+    /// test keys its serial-oracle log on this).
+    uint64_t Commit();
+
+   private:
+    friend class Database;
+    std::unique_lock<std::mutex> lock_;
+    std::unique_ptr<WriteBatch> batch_;
+    std::unique_ptr<ScopedWriteBatchInstall> install_;
+  };
+  WriteStatementGuard BeginWriteStatement();
+
+  /// Blocking compaction: waits out every live snapshot (registry
+  /// quiesce), reclaims all dead versions, folds deltas into bases, and
+  /// frees the index/stats graveyards. Returns versions retired.
+  size_t Compact();
+
+  /// Opportunistic compaction for the write path: runs only if the write
+  /// mutex and an empty registry are available *right now* (a thread
+  /// holding a SnapshotRef can call this safely — it simply won't run).
+  /// Triggers once the accumulated dead-version count crosses a threshold.
+  bool MaybeCompact();
+
+  ConcurrencyCounters::View ConcurrencyCountersView() const {
+    return concurrency_.counters.Read();
+  }
+
+  SharedPlanCache& shared_plans() { return shared_plans_; }
+  const SharedPlanCache& shared_plans() const { return shared_plans_; }
 
  private:
   struct IndexEntry {
@@ -110,12 +212,40 @@ class Database {
     return relation + "." + component;
   }
 
-  std::vector<std::unique_ptr<Relation>> relations_;  // index == RelationId
+  /// Accumulated dead versions that trigger MaybeCompact.
+  static constexpr size_t kCompactionThreshold = 4096;
+
+  /// Snapshot-aware id resolution shared by FindRelation overloads.
+  const Snapshot* AmbientSnapshot() const;
+
+  /// Compaction body: caller holds write_mu_ and the registry quiesce.
+  size_t CompactAllLocked();
+
+  /// Catalog mutation prologue for serving mode: DDL self-commits — the
+  /// change plus its db_version bump happen atomically under commit_mu,
+  /// so a snapshot never observes a half-created or half-dropped
+  /// relation. Returns a lock that is empty while serving is off.
+  std::unique_lock<std::mutex> LockCommitIfServing() const;
+
+  mutable std::shared_mutex catalog_mu_;
+  std::vector<std::shared_ptr<Relation>> relations_;  // index == RelationId
   std::map<std::string, RelationId> by_name_;
   std::map<std::string, std::shared_ptr<const EnumInfo>> enums_;
   std::map<std::string, IndexEntry> indexes_;
-  std::map<std::string, RelationStats> stats_;
-  uint64_t stats_epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const RelationStats>> stats_;
+  std::atomic<uint64_t> stats_epoch_{0};
+
+  /// Replaced/dropped permanent indexes and statistics that an executing
+  /// plan in another session may still reference. Freed at compaction
+  /// (quiesce ⇒ no snapshot ⇒ no plan mid-execution).
+  std::vector<std::unique_ptr<ComponentIndex>> retired_indexes_;
+  std::vector<std::shared_ptr<const RelationStats>> retired_stats_;
+
+  /// Serialises write statements; outermost lock of the order above.
+  std::mutex write_mu_;
+
+  mutable ConcurrencyState concurrency_;
+  SharedPlanCache shared_plans_;
 };
 
 }  // namespace pascalr

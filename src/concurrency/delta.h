@@ -1,0 +1,99 @@
+// DeltaLayer: per-relation differential bookkeeping in the rdf3x
+// DifferentialIndex mold. The slot array of a serving-mode Relation is
+// logically two regions:
+//
+//   [0, base_size)      the immutable base — the slots that existed at the
+//                       last compaction. Writers never append here; they
+//                       may only set `died` stamps (deletes of base rows).
+//   [base_size, size)   the delta — versions appended since the last
+//                       compaction (inserts and upsert-replacements).
+//
+// Every scan merges the two regions at read time (MergeScan below), with
+// the slot born/died stamps resolving visibility inside each region; a
+// scan that observes a non-empty delta counts one `delta_merges`.
+// Compaction — under the SnapshotRegistry's exclusive quiesce — folds the
+// delta into the base: dead versions are reclaimed, the boundary advances
+// to the current size, and the counters reset.
+//
+// Writers mutate under the relation latch; readers only touch the atomic
+// boundary/counter fields, so the merge adds no locking to scans.
+
+#ifndef PASCALR_CONCURRENCY_DELTA_H_
+#define PASCALR_CONCURRENCY_DELTA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "concurrency/snapshot.h"
+
+namespace pascalr {
+
+class DeltaLayer {
+ public:
+  /// Slot index of the base/delta boundary (== size at last compaction).
+  size_t base_size() const {
+    return base_size_.load(std::memory_order_acquire);
+  }
+  /// The relation's mod count at the last compaction.
+  uint64_t base_mod() const {
+    return base_mod_.load(std::memory_order_relaxed);
+  }
+
+  size_t delta_inserts() const {
+    return delta_inserts_.load(std::memory_order_relaxed);
+  }
+  size_t delta_deletes() const {
+    return delta_deletes_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return delta_inserts() == 0 && delta_deletes() == 0; }
+
+  /// Writer-side (under the relation latch): a version was appended past
+  /// the boundary / a `died` stamp was set on a base-region slot.
+  void NoteAppend() {
+    delta_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteBaseDelete() {
+    delta_deletes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drives one merged scan over `published_size` slots: the base region
+  /// first, then the delta. `visit(slot_index)` returns false to stop.
+  /// Counts a delta merge when the scan actually sees delta slots.
+  template <typename Visit>
+  void MergeScan(size_t published_size, ConcurrencyCounters* counters,
+                 const Visit& visit) const {
+    const size_t boundary = std::min(base_size(), published_size);
+    for (size_t i = 0; i < boundary; ++i) {
+      if (!visit(i)) return;
+    }
+    if (published_size <= boundary) return;
+    if (counters != nullptr) {
+      counters->delta_merges.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t i = boundary; i < published_size; ++i) {
+      if (!visit(i)) return;
+    }
+  }
+
+  /// Compaction epilogue (exclusive quiesce; no concurrent readers or
+  /// writers): the delta is folded, the boundary moves to `new_base_size`
+  /// and the deltas reset.
+  void Compacted(size_t new_base_size, uint64_t mod) {
+    base_size_.store(new_base_size, std::memory_order_release);
+    base_mod_.store(mod, std::memory_order_relaxed);
+    delta_inserts_.store(0, std::memory_order_relaxed);
+    delta_deletes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> base_size_{0};
+  std::atomic<uint64_t> base_mod_{0};
+  std::atomic<size_t> delta_inserts_{0};
+  std::atomic<size_t> delta_deletes_{0};
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CONCURRENCY_DELTA_H_

@@ -1,0 +1,90 @@
+#include "concurrency/plan_cache.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+#include "opt/planner.h"
+
+namespace pascalr {
+
+std::string EncodePlannerOptions(const PlannerOptions& o) {
+  return StrFormat(
+      "level=%d div=%d permidx=%d cnf=%d cost=%d ordidx=%d dp=%d dpmax=%zu "
+      "bushy=%d pipe=%d coll=%d",
+      static_cast<int>(o.level), static_cast<int>(o.division),
+      o.use_permanent_indexes ? 1 : 0, o.use_cnf_extensions ? 1 : 0,
+      o.cost_based ? 1 : 0, o.prefer_ordered_indexes ? 1 : 0,
+      o.join_order_dp ? 1 : 0, o.join_dp_max_inputs, o.join_dp_bushy ? 1 : 0,
+      o.pipeline ? 1 : 0, static_cast<int>(o.collection));
+}
+
+bool SharedPlanCache::Lookup(const std::string& key,
+                             SharedPlanEntry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SharedPlanCache::Insert(const std::string& key, SharedPlanEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = std::move(entry);  // replace in place; keeps FIFO position
+    return;
+  }
+  entries_.emplace(key, std::move(entry));
+  insertion_order_.push_back(key);
+  EvictIfNeededLocked();
+}
+
+void SharedPlanCache::EvictIfNeededLocked() {
+  while (entries_.size() > capacity_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+}
+
+void SharedPlanCache::RecordHit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+  }
+  if (counters_ != nullptr) {
+    counters_->shared_plan_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SharedPlanCache::RecordMiss() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+  if (counters_ != nullptr) {
+    counters_->shared_plan_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t SharedPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SharedPlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SharedPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SharedPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+}  // namespace pascalr

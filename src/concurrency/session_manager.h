@@ -1,0 +1,72 @@
+// SessionManager: the front door for serving one shared Database to many
+// concurrent clients. Construction flips the database into concurrent
+// serving mode (versioned relations, snapshot reads, serialised write
+// statements, the shared plan cache); CreateSession() then hands out
+// independent Sessions over the shared Database.
+//
+// Isolation model per Session:
+//  - its own PlannerOptions, prepared-query registry, metrics registry,
+//    tracer, and cumulative ExecStats — nothing observable is shared, so
+//    two sessions' METRICS dumps never bleed into each other;
+//  - every read entry point (Query / Prepare / Execute / PRINT / EXPLAIN)
+//    captures a Snapshot and never blocks behind writers;
+//  - every write statement runs under the database write mutex and
+//    publishes atomically at commit.
+//
+// Sessions are NOT individually thread-safe — one thread per Session (the
+// usual connection model); it is many Sessions on many threads that the
+// subsystem serves. Sessions must not outlive the manager's Database.
+
+#ifndef PASCALR_CONCURRENCY_SESSION_MANAGER_H_
+#define PASCALR_CONCURRENCY_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <ostream>
+
+#include "pascalr/session.h"
+
+namespace pascalr {
+
+class SessionManager {
+ public:
+  /// Enables concurrent serving on `db` (one-way). `db` must outlive the
+  /// manager and every session it creates.
+  explicit SessionManager(Database* db) : db_(db) {
+    db_->EnableConcurrentServing();
+  }
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// A fresh Session over the shared database. `out` receives the
+  /// session's PRINT/EXPLAIN output (nullptr discards). Thread-compatible:
+  /// call from any thread, use each Session from one thread at a time.
+  std::unique_ptr<Session> CreateSession(std::ostream* out = nullptr) {
+    sessions_created_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<Session>(db_, out);
+  }
+
+  Database* db() const { return db_; }
+  uint64_t sessions_created() const {
+    return sessions_created_.load(std::memory_order_relaxed);
+  }
+
+  /// Convenience pass-throughs for serving-side observability and
+  /// maintenance.
+  ConcurrencyCounters::View counters() const {
+    return db_->ConcurrencyCountersView();
+  }
+  /// BLOCKS until every live snapshot is released (it quiesces the
+  /// registry): never call it from a thread that still holds a
+  /// SnapshotRef or has one ambiently installed — that self-deadlocks,
+  /// exactly like compacting under an open read transaction would.
+  size_t Compact() { return db_->Compact(); }
+
+ private:
+  Database* db_;
+  std::atomic<uint64_t> sessions_created_{0};
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CONCURRENCY_SESSION_MANAGER_H_

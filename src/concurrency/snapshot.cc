@@ -1,0 +1,106 @@
+#include "concurrency/snapshot.h"
+
+#include <algorithm>
+
+#include "storage/relation.h"
+
+namespace pascalr {
+
+namespace {
+thread_local SnapshotRef g_current_snapshot;
+thread_local WriteBatch* g_current_batch = nullptr;
+}  // namespace
+
+Snapshot::Snapshot() = default;
+Snapshot::~Snapshot() = default;
+
+SnapshotRef SnapshotRegistry::Register(
+    const std::function<std::unique_ptr<const Snapshot>()>& build) {
+  std::unique_ptr<const Snapshot> snap;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !gate_closed_; });
+    snap = build();
+    ++active_;
+  }
+  return SnapshotRef(snap.release(), [this](const Snapshot* s) {
+    delete s;
+    Unregister();
+  });
+}
+
+void SnapshotRegistry::Unregister() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  cv_.notify_all();
+}
+
+void SnapshotRegistry::Quiesce(const std::function<void()>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !gate_closed_; });
+  gate_closed_ = true;
+  cv_.wait(lock, [this] { return active_ == 0; });
+  fn();
+  gate_closed_ = false;
+  cv_.notify_all();
+}
+
+bool SnapshotRegistry::TryQuiesce(const std::function<void()>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (gate_closed_ || active_ != 0) return false;
+  // Holding mu_ keeps Register() out for the duration of fn.
+  fn();
+  return true;
+}
+
+size_t SnapshotRegistry::ActiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+const SnapshotRef& CurrentSnapshotRef() { return g_current_snapshot; }
+
+const Snapshot* CurrentSnapshot() { return g_current_snapshot.get(); }
+
+ScopedSnapshotInstall::ScopedSnapshotInstall(SnapshotRef snap)
+    : prev_(std::move(g_current_snapshot)) {
+  g_current_snapshot = std::move(snap);
+}
+
+ScopedSnapshotInstall::~ScopedSnapshotInstall() {
+  g_current_snapshot = std::move(prev_);
+}
+
+void WriteBatch::Touch(Relation* rel) {
+  if (std::find(touched_.begin(), touched_.end(), rel) == touched_.end()) {
+    touched_.push_back(rel);
+  }
+}
+
+uint64_t WriteBatch::Commit() {
+  if (committed_) return committed_version_;
+  committed_ = true;
+  std::lock_guard<std::mutex> lock(state_->commit_mu);
+  for (Relation* rel : touched_) rel->PublishPendingVersions();
+  if (!touched_.empty()) {
+    committed_version_ =
+        state_->db_version.fetch_add(1, std::memory_order_relaxed) + 1;
+    state_->counters.write_statements.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    committed_version_ = state_->db_version.load(std::memory_order_relaxed);
+  }
+  return committed_version_;
+}
+
+WriteBatch* CurrentWriteBatch() { return g_current_batch; }
+
+ScopedWriteBatchInstall::ScopedWriteBatchInstall(WriteBatch* batch)
+    : prev_(g_current_batch) {
+  g_current_batch = batch;
+}
+
+ScopedWriteBatchInstall::~ScopedWriteBatchInstall() {
+  g_current_batch = prev_;
+}
+
+}  // namespace pascalr

@@ -1,0 +1,240 @@
+// Concurrency core: epoch-based snapshots, the registry that gates
+// compaction behind an exclusive quiesce, ambient (thread-local) snapshot
+// installation, and statement-level write batches.
+//
+// The model is MVCC-lite. Writers are serialised (one write statement at a
+// time holds the Database's write mutex) but readers NEVER wait for them:
+// a reader captures a Snapshot — the database version plus one published
+// mod-count watermark per relation — and every scan/lookup filters slot
+// versions by that watermark. A writer appends versions (storage/relation
+// stamps each slot with born/died mod counts) and publishes them in one
+// atomic commit step, so a snapshot either sees all of a statement's
+// effects or none of them.
+//
+// The snapshot travels *ambiently*: ScopedSnapshotInstall puts a
+// SnapshotRef into a thread_local (exactly the ScopedTracerInstall pattern
+// in obs/trace.h), so the dozens of Relation::Scan/Deref/SelectByKey call
+// sites across exec/, pipeline/, normalize/, and opt/ become
+// snapshot-aware without plumbing a parameter through every layer. A
+// Cursor captures the ambient ref at Open and re-installs it for each
+// Next/Close, so a half-drained cursor keeps reading its snapshot even
+// after the session has moved on.
+//
+// Lifetime rules: snapshots hold strong refs to their relations (a
+// DROPped relation stays readable until the last snapshot over it dies)
+// and register with the owning ConcurrencyState's SnapshotRegistry, whose
+// Quiesce() is how compaction obtains the "no readers" window it needs to
+// reclaim dead versions. Sessions/snapshots must not outlive the Database.
+
+#ifndef PASCALR_CONCURRENCY_SNAPSHOT_H_
+#define PASCALR_CONCURRENCY_SNAPSHOT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/ref.h"
+
+namespace pascalr {
+
+class Relation;
+struct ConcurrencyState;
+
+/// Process-wide counters of concurrency events, readable without locks.
+/// Surfaced through Database::ConcurrencyCountersView and the METRICS
+/// dump of sessions created by a SessionManager.
+struct ConcurrencyCounters {
+  std::atomic<uint64_t> snapshots_taken{0};
+  std::atomic<uint64_t> delta_merges{0};   ///< scans that merged a non-empty delta
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> versions_retired{0};  ///< slots reclaimed by compaction
+  std::atomic<uint64_t> write_statements{0};
+  std::atomic<uint64_t> shared_plan_hits{0};
+  std::atomic<uint64_t> shared_plan_misses{0};
+
+  /// Plain copyable readout.
+  struct View {
+    uint64_t snapshots_taken = 0;
+    uint64_t delta_merges = 0;
+    uint64_t compactions = 0;
+    uint64_t versions_retired = 0;
+    uint64_t write_statements = 0;
+    uint64_t shared_plan_hits = 0;
+    uint64_t shared_plan_misses = 0;
+  };
+  View Read() const {
+    View v;
+    v.snapshots_taken = snapshots_taken.load(std::memory_order_relaxed);
+    v.delta_merges = delta_merges.load(std::memory_order_relaxed);
+    v.compactions = compactions.load(std::memory_order_relaxed);
+    v.versions_retired = versions_retired.load(std::memory_order_relaxed);
+    v.write_statements = write_statements.load(std::memory_order_relaxed);
+    v.shared_plan_hits = shared_plan_hits.load(std::memory_order_relaxed);
+    v.shared_plan_misses = shared_plan_misses.load(std::memory_order_relaxed);
+    return v;
+  }
+};
+
+/// A consistent read point: the database version and, per relation id, the
+/// relation's published mod count at capture time. Immutable once built.
+struct Snapshot {
+  /// Database commit version at capture (every committed write statement
+  /// and every catalog change bumps it by one).
+  uint64_t db_version = 0;
+  /// The ConcurrencyState this snapshot was captured from. A Relation
+  /// consults the ambient snapshot only when the origins match, so
+  /// snapshots of one Database never filter reads of another.
+  const ConcurrencyState* origin = nullptr;
+  /// Strong refs, indexed by RelationId; null for ids dropped before
+  /// capture. Relations created after capture are simply not covered.
+  std::vector<std::shared_ptr<Relation>> relations;
+  /// Parallel to `relations`: each relation's published mod count.
+  std::vector<uint64_t> watermarks;
+  /// Parallel to `relations`: each relation's published live-element
+  /// count, so cardinality() under a snapshot is O(1).
+  std::vector<size_t> live_counts;
+
+  Snapshot();
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  bool Covers(RelationId id) const {
+    return id < relations.size() && relations[id] != nullptr;
+  }
+  /// The visibility watermark for `id` under this snapshot. 0 for ids the
+  /// snapshot does not cover — such a relation did not exist at capture,
+  /// so none of its versions (all born >= 1) are visible.
+  uint64_t WatermarkFor(RelationId id) const {
+    return Covers(id) ? watermarks[id] : 0;
+  }
+  size_t LiveCountFor(RelationId id) const {
+    return Covers(id) ? live_counts[id] : 0;
+  }
+};
+
+using SnapshotRef = std::shared_ptr<const Snapshot>;
+
+/// Tracks live snapshots and lets compaction wait for (or test for) a
+/// moment with none. Register/unregister are cheap (one mutex hop at
+/// snapshot creation/destruction — never per read).
+class SnapshotRegistry {
+ public:
+  /// Calls `build` under the registry lock (so a Quiesce can never slip
+  /// between capture and registration) and wraps the result in a
+  /// shared_ptr whose destruction unregisters it. Blocks while a Quiesce
+  /// is in progress — the only time readers wait.
+  SnapshotRef Register(
+      const std::function<std::unique_ptr<const Snapshot>()>& build);
+
+  /// Closes the gate to new snapshots, waits until every registered
+  /// snapshot has been released, runs `fn` exclusively, reopens the gate.
+  /// `fn` must not create or destroy snapshots (self-deadlock).
+  void Quiesce(const std::function<void()>& fn);
+
+  /// Non-blocking Quiesce: runs `fn` only if no snapshot is live right
+  /// now; returns whether it ran. The automatic-compaction path uses this
+  /// so a thread that itself holds a SnapshotRef can never deadlock.
+  bool TryQuiesce(const std::function<void()>& fn);
+
+  size_t ActiveCount() const;
+
+ private:
+  void Unregister();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t active_ = 0;
+  bool gate_closed_ = false;
+};
+
+/// The shared concurrency state of one Database, attached to each of its
+/// Relations. `serving` is the master switch: while false (the default,
+/// and every existing single-threaded test), relations behave exactly as
+/// before — in-place upserts, immediate slot reuse, no version retention.
+/// SessionManager (or Database::EnableConcurrentServing) flips it on.
+struct ConcurrencyState {
+  std::atomic<bool> serving{false};
+  std::atomic<uint64_t> db_version{0};
+  /// Serialises commit publication against snapshot capture: a commit
+  /// publishes its relations' mod counts and bumps db_version while
+  /// holding this, and capture reads db_version + all watermarks while
+  /// holding it — so a snapshot can never pair a version number with a
+  /// half-published set of watermarks. Held for microseconds only.
+  std::mutex commit_mu;
+  SnapshotRegistry registry;
+  ConcurrencyCounters counters;
+};
+
+/// The thread-current snapshot (null when none is installed). Relations
+/// check it on every read; Database::FindRelation(id) consults it so
+/// dropped-but-snapshotted relations stay resolvable.
+const SnapshotRef& CurrentSnapshotRef();
+const Snapshot* CurrentSnapshot();
+
+/// RAII ambient installation, nestable (a Cursor re-installs its captured
+/// snapshot inside whatever the caller had current).
+class ScopedSnapshotInstall {
+ public:
+  explicit ScopedSnapshotInstall(SnapshotRef snap);
+  ~ScopedSnapshotInstall();
+  ScopedSnapshotInstall(const ScopedSnapshotInstall&) = delete;
+  ScopedSnapshotInstall& operator=(const ScopedSnapshotInstall&) = delete;
+
+ private:
+  SnapshotRef prev_;
+};
+
+/// One write statement's pending publication. While a WriteBatch is
+/// thread-current and serving is on, relation mutators stamp versions and
+/// *defer* publication (readers keep seeing the pre-statement watermarks);
+/// Commit() — or destruction — publishes every touched relation and bumps
+/// db_version in one commit_mu-protected step. The committed version is
+/// returned so callers (the stress test's serial oracle) can key a log of
+/// statements by commit order.
+class WriteBatch {
+ public:
+  explicit WriteBatch(ConcurrencyState* state) : state_(state) {}
+  ~WriteBatch() { Commit(); }
+  WriteBatch(const WriteBatch&) = delete;
+  WriteBatch& operator=(const WriteBatch&) = delete;
+
+  /// Called by Relation mutators (via the ambient lookup below).
+  void Touch(Relation* rel);
+
+  /// Publishes all touched relations and bumps db_version; idempotent.
+  /// Returns the db_version this batch committed as (the pre-commit
+  /// version if the batch touched nothing).
+  uint64_t Commit();
+
+  bool committed() const { return committed_; }
+  const ConcurrencyState* state() const { return state_; }
+
+ private:
+  ConcurrencyState* state_;
+  std::vector<Relation*> touched_;
+  bool committed_ = false;
+  uint64_t committed_version_ = 0;
+};
+
+/// The thread-current write batch (null outside a write statement).
+WriteBatch* CurrentWriteBatch();
+
+class ScopedWriteBatchInstall {
+ public:
+  explicit ScopedWriteBatchInstall(WriteBatch* batch);
+  ~ScopedWriteBatchInstall();
+  ScopedWriteBatchInstall(const ScopedWriteBatchInstall&) = delete;
+  ScopedWriteBatchInstall& operator=(const ScopedWriteBatchInstall&) = delete;
+
+ private:
+  WriteBatch* prev_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CONCURRENCY_SNAPSHOT_H_

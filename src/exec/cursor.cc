@@ -49,6 +49,7 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   c.sink_ = sink;
   c.run_ = std::make_unique<RunState>();
   RunState& run = *c.run_;
+  run.snapshot = CurrentSnapshotRef();
   run.tracer = Tracer::Current();
   run.profile = profile;
   run.builders =
@@ -128,6 +129,9 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
 Result<bool> Cursor::Next(Tuple* out) {
   if (!open_) return false;
   RunState& run = *run_;
+  // Re-install the Open-time snapshot: the cursor reads at its own
+  // capture point no matter what the calling thread has current now.
+  ScopedSnapshotInstall install_snapshot(run.snapshot);
   // The untraced, unprofiled path (every normal query) takes zero
   // instrumentation: no clock read, no counter touched.
   const bool timed = run.tracer != nullptr || run.root_prof >= 0;
@@ -182,6 +186,7 @@ void Cursor::Close() {
   if (!open_) return;
   open_ = false;
   if (run_ != nullptr) {
+    ScopedSnapshotInstall install_snapshot(run_->snapshot);
     // One complete span for the whole drain (per-Next spans would dwarf
     // the trace), carrying the run-time counter deltas.
     if (run_->tracer != nullptr && run_->drain_ns > 0) {

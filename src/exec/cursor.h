@@ -110,6 +110,12 @@ class Cursor {
   /// Heap-held so the iterators' back-pointers (stats, tracker, the
   /// collection builders) survive Cursor moves.
   struct RunState {
+    /// The ambient snapshot at Open (null while concurrent serving is
+    /// off). Next/Close re-install it, so a half-drained cursor keeps
+    /// reading its capture-time state even after the session has moved
+    /// on — and holds the strong refs that keep dropped relations and
+    /// unreclaimed versions alive.
+    SnapshotRef snapshot;
     ExecStats stats;
     PeakTracker tracker{&stats};
     std::unique_ptr<CollectionBuilders> builders;

@@ -35,60 +35,74 @@ uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
 }
 
 void LatencyHistogram::Record(uint64_t value) {
-  ++buckets_[BucketOf(value)];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 uint64_t LatencyHistogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
   if (p <= 0.0) return min();
   // Rank of the p-quantile, 1-based, rounded up (p99 of 100 = rank 99).
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
-  if (rank < p * static_cast<double>(count_) || rank == 0) ++rank;
-  if (rank > count_) rank = count_;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n));
+  if (rank < p * static_cast<double>(n) || rank == 0) ++rank;
+  if (rank > n) rank = n;
   uint64_t seen = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
+    seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen >= rank) {
       // Never report beyond the observed extremes.
       uint64_t bound = BucketUpperBound(b);
-      return bound > max_ ? max_ : bound;
+      uint64_t hi = max();
+      return bound > hi ? hi : bound;
     }
   }
-  return max_;
+  return max();
 }
 
 std::string LatencyHistogram::Summary() const {
   return StrFormat(
       "count=%llu mean=%llu p50=%llu p95=%llu p99=%llu max=%llu",
-      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(count()),
       static_cast<unsigned long long>(Mean()),
       static_cast<unsigned long long>(Percentile(0.50)),
       static_cast<unsigned long long>(Percentile(0.95)),
       static_cast<unsigned long long>(Percentile(0.99)),
-      static_cast<unsigned long long>(max_));
+      static_cast<unsigned long long>(max()));
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const LatencyHistogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("counter   %-28s %llu\n", name.c_str(),

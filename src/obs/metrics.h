@@ -5,38 +5,44 @@
 // `.metrics` dump it, and bench_util exports the latency percentiles into
 // BENCH_*.json.
 //
-// Everything here is deliberately boring: plain uint64 slots behind a
-// sorted name map, no locking (the engine is single-threaded by design,
-// like base/counters.h), and a log-bucketed histogram whose percentiles
-// are deterministic functions of the recorded values — the dump is
-// byte-stable across identical runs except for the latency numbers
-// themselves.
+// Thread-safety: every instrument is a fixed set of relaxed atomics, and
+// the registry guards its name maps with a mutex — only map *mutation*
+// takes the lock; the references handed out stay valid forever because
+// std::map nodes never move. Concurrent Record/Inc calls never corrupt a
+// metric (each field is individually atomic); a Dump racing a writer may
+// observe a histogram whose count and sum are from adjacent instants,
+// which is the usual monitoring-surface contract. Single-threaded use is
+// bit-identical to the pre-atomic implementation.
 
 #ifndef PASCALR_OBS_METRICS_H_
 #define PASCALR_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace pascalr {
 
 class Counter {
  public:
-  void Inc(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  int64_t value() const { return value_; }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Log-bucketed histogram: 4 sub-buckets per octave (~19% bucket width),
@@ -50,12 +56,20 @@ class LatencyHistogram {
 
   void Record(uint64_t value);
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    // min_ starts at UINT64_MAX so concurrent Records can race it down
+    // with a plain CAS loop; the sentinel never leaks out.
+    uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   /// Mean of the recorded values (0 when empty).
-  uint64_t Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  uint64_t Mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0 : sum() / n;
+  }
   /// Upper bound of the bucket holding the p-quantile, p in (0, 1].
   uint64_t Percentile(double p) const;
 
@@ -67,21 +81,30 @@ class LatencyHistogram {
   static size_t BucketOf(uint64_t value);
   static uint64_t BucketUpperBound(size_t bucket);
 
-  uint64_t buckets_[kNumBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
 };
 
 /// Named metrics, created on first touch. Names are dotted paths
 /// ("plan_cache.hits", "query.latency_us"); Dump() renders them sorted so
-/// the output is stable.
+/// the output is stable. Lookup/creation is mutex-guarded; the returned
+/// references are stable (map nodes never move) so hot paths may cache
+/// them and update lock-free through the instruments' atomics.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
   LatencyHistogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     return histograms_[name];
   }
 
@@ -94,6 +117,7 @@ class MetricsRegistry {
   std::string Dump() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;

@@ -36,6 +36,38 @@ BoundQuery CloneBoundQuery(const BoundQuery& query) {
   return out;
 }
 
+QueryPlan CloneQueryPlan(const QueryPlan& plan) {
+  QueryPlan out;
+  out.sf = plan.sf.Clone();
+  out.level = plan.level;
+  out.scans = plan.scans;
+  out.indexes = plan.indexes;
+  out.value_lists = plan.value_lists;
+  out.structures = plan.structures;
+  out.post_probes = plan.post_probes;
+  out.conj_inputs = plan.conj_inputs;
+  out.join_trees = plan.join_trees;
+  out.eliminated_vars = plan.eliminated_vars;
+  out.division = plan.division;
+  out.pipeline = plan.pipeline;
+  out.collection = plan.collection;
+  return out;
+}
+
+PlannedQuery ClonePlannedQuery(const PlannedQuery& planned) {
+  PlannedQuery out;
+  out.plan = CloneQueryPlan(planned.plan);
+  out.range_extension = planned.range_extension;
+  out.quant_pushdown_summary = planned.quant_pushdown_summary;
+  out.adaptation_notes = planned.adaptation_notes;
+  out.replans = planned.replans;
+  out.cost_based = planned.cost_based;
+  out.estimate = planned.estimate;
+  out.cost_candidates = planned.cost_candidates;
+  out.collection_cost = planned.collection_cost;
+  return out;
+}
+
 namespace {
 
 /// Builds the standard form and applies adaptation rule 1: folds

@@ -125,6 +125,13 @@ struct QueryRun {
 
 BoundQuery CloneBoundQuery(const BoundQuery& query);
 
+/// Deep copies (StandardForm is move-only; everything else is copyable).
+/// The shared plan cache hands one compiled PlannedQuery to many sessions,
+/// and plans are parameter-patched in place per execution — so every
+/// adopter clones before patching.
+QueryPlan CloneQueryPlan(const QueryPlan& plan);
+PlannedQuery ClonePlannedQuery(const PlannedQuery& planned);
+
 /// Normalise + optimise + compile. Performs adaptation rules 1 and 2.
 Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
                                const PlannerOptions& options);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "concurrency/plan_cache.h"
+#include "concurrency/snapshot.h"
 #include "obs/trace.h"
 #include "opt/explain.h"
 #include "pascalr/session.h"
@@ -131,6 +134,80 @@ Status PreparedQuery::EnsurePlan(const ParamBindings& params,
     session_->metrics_.counter("plan_cache.hits").Inc();
     return Status::OK();
   }
+
+  // 2b. Shared plan cache (concurrent serving only): another session may
+  // already have compiled this exact selection under these options. The
+  // cache stores, the adopter judges: every stamp and probe verdict is
+  // re-validated here under OUR snapshot and OUR bindings, and the plan
+  // is cloned before parameter patching (sessions never share a mutable
+  // plan object).
+  const bool shared_cache_on = db.serving();
+  std::string shared_key;
+  if (shared_cache_on) {
+    shared_key = st.source + "|" + EncodePlannerOptions(session_->options_);
+    SharedPlanEntry entry;
+    bool adoptable = db.shared_plans().Lookup(shared_key, &entry) &&
+                     entry.planned != nullptr &&
+                     entry.stats_epoch == db.stats_epoch();
+    if (adoptable) {
+      for (const auto& [name, mod] : entry.rel_mods) {
+        Relation* rel = db.FindRelation(name);
+        if (rel == nullptr || rel->mod_count() != mod) {
+          adoptable = false;
+          break;
+        }
+      }
+    }
+    std::vector<std::pair<RangeExpr, bool>> fresh_probes;
+    if (adoptable) {
+      // Lemma-1 safety under our values: every parameter-carrying template
+      // range must be empty-vs-nonempty exactly as it was at plan time.
+      std::vector<RangeExpr> param_ranges;
+      CollectParamRanges(st.template_query.selection, &param_ranges);
+      adoptable = param_ranges.size() == entry.template_range_empty.size();
+      for (size_t i = 0; adoptable && i < param_ranges.size(); ++i) {
+        RangeExpr probe = param_ranges[i].Clone();
+        PASCALR_RETURN_IF_ERROR(
+            BindFormulaParams(probe.restriction.get(), bound));
+        const bool is_empty = RangeIsEmpty(db, probe);
+        if (is_empty != entry.template_range_empty[i]) {
+          adoptable = false;
+        } else {
+          fresh_probes.emplace_back(std::move(param_ranges[i]), is_empty);
+        }
+      }
+    }
+    if (adoptable) {
+      auto adopted =
+          std::make_shared<PlannedQuery>(ClonePlannedQuery(*entry.planned));
+      PatchPlanParams(&adopted->plan, bound);
+      // Rule-2 safety: strategy-3 extended prefix ranges must keep their
+      // plan-time emptiness verdict under our bindings.
+      for (const auto& [idx, was_empty] : entry.plan_probes) {
+        if (idx >= adopted->plan.sf.prefix.size() ||
+            RangeIsEmpty(db, adopted->plan.sf.prefix[idx].range) !=
+                was_empty) {
+          adoptable = false;
+          break;
+        }
+      }
+      if (adoptable) {
+        st.planned = std::move(adopted);
+        st.last_bindings = std::move(bound);
+        st.stamp_epoch = entry.stats_epoch;
+        st.stamp_options = session_->options_;
+        st.stamp_mods = std::move(entry.rel_mods);
+        st.template_probes = std::move(fresh_probes);
+        st.plan_probes = std::move(entry.plan_probes);
+        db.shared_plans().RecordHit();
+        *cache_hit = true;
+        ++st.stats.plan_cache_hits;
+        session_->metrics_.counter("plan_cache.shared_hits").Inc();
+        return Status::OK();
+      }
+    }
+    db.shared_plans().RecordMiss();
+  }
   session_->metrics_.counter("plan_cache.misses").Inc();
 
   // 3. (Re)plan under the current values: substitute them into a clone of
@@ -170,6 +247,24 @@ Status PreparedQuery::EnsurePlan(const ParamBindings& params,
       st.plan_probes.emplace_back(i, RangeIsEmpty(db, prefix[i].range));
     }
   }
+
+  // Publish the fresh plan to the shared cache as an independent clone —
+  // our own copy keeps being parameter-patched in place, the shared one
+  // must stay frozen for other sessions to clone from.
+  if (shared_cache_on) {
+    SharedPlanEntry entry;
+    entry.planned =
+        std::make_shared<const PlannedQuery>(ClonePlannedQuery(*st.planned));
+    entry.stats_epoch = st.stamp_epoch;
+    entry.rel_mods = st.stamp_mods;
+    entry.template_range_empty.reserve(st.template_probes.size());
+    for (const auto& [range, was_empty] : st.template_probes) {
+      (void)range;
+      entry.template_range_empty.push_back(was_empty);
+    }
+    entry.plan_probes = st.plan_probes;
+    db.shared_plans().Insert(shared_key, std::move(entry));
+  }
   return Status::OK();
 }
 
@@ -181,6 +276,10 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   // under the statement path) and open an "execute" trace — nested as a
   // span when Session::Query already opened the query's trace.
   ScopedTracerInstall install_tracer(session_->active_tracer());
+  // One consistent read point for plan validation AND execution (reuses
+  // the caller's when one is already installed; null while serving is
+  // off). Captured before any catalog or relation read below.
+  ScopedSnapshotInstall install_snapshot(session_->db_->SnapshotForRead());
   QueryTraceGuard query_guard("execute", "");
   const auto t0 = std::chrono::steady_clock::now();
   bool cache_hit = false;
@@ -192,6 +291,8 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
       Cursor cursor, Cursor::Open(std::move(plan), *session_->db_, nullptr));
   PreparedExecution out;
   out.plan_cache_hit = cache_hit;
+  const Snapshot* snap = CurrentSnapshot();
+  out.snapshot_version = snap == nullptr ? 0 : snap->db_version;
   Tuple tuple;
   while (true) {
     PASCALR_ASSIGN_OR_RETURN(bool more, cursor.Next(&tuple));
@@ -232,6 +333,10 @@ Result<Cursor> PreparedQuery::OpenCursor(const ParamBindings& params) {
     return Status::InvalidArgument("prepared query is empty");
   }
   ScopedTracerInstall install_tracer(session_->active_tracer());
+  // The cursor captures the ambient snapshot at Open and re-installs it
+  // for every Next/Close, so a half-drained cursor keeps its read point
+  // after this guard unwinds.
+  ScopedSnapshotInstall install_snapshot(session_->db_->SnapshotForRead());
   // No QueryTraceGuard here: the cursor outlives this call, so its drain
   // is recorded as one complete span at Cursor::Close instead.
   bool cache_hit = false;
@@ -248,6 +353,7 @@ Result<std::string> PreparedQuery::Explain(const ParamBindings& params) {
   if (session_ == nullptr || state_ == nullptr) {
     return Status::InvalidArgument("prepared query is empty");
   }
+  ScopedSnapshotInstall install_snapshot(session_->db_->SnapshotForRead());
   // With a plan already cached, explain it as-is — no bindings needed
   // (and none validated); otherwise plan with the given params first.
   if (state_->planned == nullptr) {

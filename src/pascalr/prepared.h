@@ -62,6 +62,11 @@ struct PreparedExecution {
   ExecStats stats;
   CollectionResult collection;
   bool plan_cache_hit = false;
+  /// The db_version this execution read at (0 while concurrent serving is
+  /// off). The concurrency stress test keys its serial-oracle replay on
+  /// this: the result must be bit-identical to replaying the committed
+  /// write log up to exactly this version.
+  uint64_t snapshot_version = 0;
 };
 
 class PreparedQuery {
@@ -104,6 +109,9 @@ class PreparedQuery {
     /// Pre-bind selection — the rebind source when a referenced relation
     /// is dropped and re-created (no re-parse needed, Prepare parsed it).
     SelectionExpr raw_selection;
+    /// Normalized source text (FormatSelection of raw_selection), cached
+    /// at Prepare: the shared-plan-cache key base.
+    std::string source;
     /// Parsed + bound once, parameters marked and typed.
     BoundQuery template_query;
     std::map<std::string, Type> param_types;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/str_util.h"
+#include "calculus/printer.h"
 #include "obs/profile.h"
 #include "opt/explain.h"
 #include "semantics/binder.h"
@@ -253,11 +254,46 @@ Status Session::RunStatsSeed(const StatsStmt& stmt) {
   return db_->SeedStats(std::move(stats));
 }
 
+namespace {
+
+/// Statements that mutate the database (relations, catalog, or
+/// statistics) and therefore run under the write-statement guard.
+bool IsWriteStatement(const Statement& stmt) {
+  return std::holds_alternative<TypeDeclStmt>(stmt) ||
+         std::holds_alternative<RelationDeclStmt>(stmt) ||
+         std::holds_alternative<AssignStmt>(stmt) ||
+         std::holds_alternative<InsertStmt>(stmt) ||
+         std::holds_alternative<DeleteStmt>(stmt) ||
+         std::holds_alternative<AnalyzeStmt>(stmt) ||
+         std::holds_alternative<StatsStmt>(stmt) ||
+         std::holds_alternative<IndexStmt>(stmt);
+}
+
+}  // namespace
+
 Status Session::ExecuteStatement(const Statement& stmt) {
   // While tracing is on, the session tracer is thread-current for the
   // whole statement; every deeper span guard attaches to it. While off
   // this installs nullptr and every guard below is a no-op.
   ScopedTracerInstall install_tracer(active_tracer());
+  if (IsWriteStatement(stmt)) {
+    Status status;
+    {
+      Database::WriteStatementGuard guard = db_->BeginWriteStatement();
+      status = ExecuteStatementImpl(stmt);
+      last_commit_version_ = guard.Commit();
+    }
+    // Outside the guard (the write mutex is not recursive): reclaim dead
+    // versions opportunistically once enough have accumulated.
+    db_->MaybeCompact();
+    return status;
+  }
+  // Read statements share one consistent read point end to end.
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
+  return ExecuteStatementImpl(stmt);
+}
+
+Status Session::ExecuteStatementImpl(const Statement& stmt) {
   if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
     switch (type_decl->type.kind) {
       case RawType::Kind::kInlineEnum: {
@@ -432,8 +468,10 @@ Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
 
 Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
   ScopedTracerInstall install_tracer(active_tracer());
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   auto state = std::make_shared<PreparedQuery::State>();
   state->raw_selection = selection.Clone();
+  state->source = FormatSelection(state->raw_selection);
   Binder binder(db_);
   {
     TraceSpanGuard span("bind");
@@ -452,6 +490,9 @@ Result<QueryRun> Session::Query(std::string_view selection_source) {
   // Thin compatibility wrapper: Prepare + Execute (no parameters) + drain.
   // Execute accumulates the stats into total_stats_ itself.
   ScopedTracerInstall install_tracer(active_tracer());
+  // One snapshot covers parse, bind, plan, and execution (Prepare and
+  // Execute below reuse it instead of capturing their own).
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   QueryTraceGuard query_guard("query", std::string(selection_source),
                               &total_stats_);
   PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(selection_source));
@@ -529,6 +570,7 @@ Status Session::RunExecute(const ExecuteStmt& stmt) {
 }
 
 Result<std::string> Session::Explain(std::string_view selection_source) {
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, Bind(selection_source));
   PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
                            PlanQuery(*db_, std::move(bound), options_));
@@ -550,6 +592,7 @@ Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
 
 Result<std::string> Session::ExplainAnalyzeSelection(SelectionExpr selection) {
   ScopedTracerInstall install_tracer(active_tracer());
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   QueryTraceGuard query_guard("explain-analyze", "");
   Binder binder(db_);
   BoundQuery bound;

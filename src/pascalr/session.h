@@ -38,7 +38,17 @@ class Session {
   /// Parses and executes a whole script.
   Status ExecuteScript(std::string_view source);
 
+  /// Executes one statement. Mutating statements (declarations, :+ / :-,
+  /// :=, ANALYZE, STATS, INDEX) run under the database's write-statement
+  /// guard — serialised against other writers, published atomically at
+  /// commit; everything else runs under a read snapshot (no-ops while
+  /// concurrent serving is off).
   Status ExecuteStatement(const Statement& stmt);
+
+  /// The db_version the most recent write statement committed as (0 before
+  /// any, and always 0 while concurrent serving is off). The concurrency
+  /// stress test logs each writer's statements keyed on this.
+  uint64_t last_commit_version() const { return last_commit_version_; }
 
   /// Parses and binds `selection_source` once, returning a reusable
   /// prepared query. `$name` parameter markers are typed by the binder;
@@ -99,6 +109,10 @@ class Session {
   /// while tracing is on, nullptr (a no-op install) while off.
   Tracer* active_tracer() { return tracing_ ? &tracer_ : nullptr; }
 
+  /// Statement dispatch body; ExecuteStatement wraps it in the write
+  /// guard / read snapshot.
+  Status ExecuteStatementImpl(const Statement& stmt);
+
   Result<Type> ResolveType(const RawType& raw, const std::string& owner);
   Result<Value> ResolveLiteral(const RawLiteral& raw, const Type& type);
   Status RunAssign(const AssignStmt& stmt);
@@ -122,6 +136,7 @@ class Session {
   ExecStats total_stats_;
   std::map<std::string, PreparedQuery> named_prepared_;
   int anon_enum_counter_ = 0;
+  uint64_t last_commit_version_ = 0;
 
   bool tracing_ = false;
   Tracer tracer_;

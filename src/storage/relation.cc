@@ -4,82 +4,215 @@
 
 namespace pascalr {
 
+uint64_t Relation::ReadWatermark() const {
+  if (concurrency_ != nullptr) {
+    // Inside a write statement, the statement reads its own (still
+    // unpublished) mutations. Writers are serialised, so write_mod_ is
+    // stable for the statement's duration.
+    WriteBatch* batch = CurrentWriteBatch();
+    if (batch != nullptr && batch->state() == concurrency_) return write_mod_;
+    const Snapshot* snap = CurrentSnapshot();
+    if (snap != nullptr && snap->origin == concurrency_) {
+      return snap->WatermarkFor(id_);
+    }
+  }
+  return published_mod_.load(std::memory_order_acquire);
+}
+
+uint64_t Relation::mod_count() const { return ReadWatermark(); }
+
+size_t Relation::cardinality() const {
+  if (concurrency_ != nullptr) {
+    WriteBatch* batch = CurrentWriteBatch();
+    if (batch != nullptr && batch->state() == concurrency_) {
+      return live_count_;
+    }
+    const Snapshot* snap = CurrentSnapshot();
+    if (snap != nullptr && snap->origin == concurrency_) {
+      return snap->LiveCountFor(id_);
+    }
+  }
+  return published_live_.load(std::memory_order_acquire);
+}
+
+uint32_t Relation::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot_index = free_slots_.back();
+    free_slots_.pop_back();
+    return slot_index;
+  }
+  return static_cast<uint32_t>(slots_.Append());
+}
+
+void Relation::AfterMutation() {
+  if (serving()) {
+    WriteBatch* batch = CurrentWriteBatch();
+    if (batch != nullptr && batch->state() == concurrency_) {
+      batch->Touch(this);
+      return;
+    }
+  }
+  PublishPendingVersions();
+}
+
+void Relation::PublishPendingVersions() {
+  published_live_.store(live_count_, std::memory_order_release);
+  published_mod_.store(write_mod_, std::memory_order_release);
+}
+
 Result<Ref> Relation::Insert(Tuple tuple) {
   PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
   Tuple key = schema_.KeyOf(tuple);
-  if (key_to_slot_.find(key) != key_to_slot_.end()) {
-    return Status::AlreadyExists("relation '" + name_ +
-                                 "' already contains key " + key.ToString());
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  auto it = key_to_slot_.find(key);
+  uint32_t prev_head = kNoSlot;
+  if (it != key_to_slot_.end()) {
+    // A map entry may be a tombstone head (serving mode keeps dead chains
+    // reachable for snapshot readers); only a version visible to this
+    // writer makes the key a duplicate.
+    if (VisibleAt(slots_[it->second], write_mod_)) {
+      return Status::AlreadyExists("relation '" + name_ +
+                                   "' already contains key " + key.ToString());
+    }
+    prev_head = it->second;
   }
-  uint32_t slot_index;
-  if (!free_slots_.empty()) {
-    slot_index = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot_index = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
+  const uint64_t mod = write_mod_ + 1;
+  const uint32_t slot_index = AllocateSlot();
   Slot& slot = slots_[slot_index];
   slot.tuple = std::move(tuple);
-  slot.live = true;
   ++slot.generation;
-  key_to_slot_.emplace(std::move(key), slot_index);
+  slot.prev = prev_head;
+  slot.died.store(kNeverDies, std::memory_order_relaxed);
+  // The born stamp goes last: it is what makes the fully constructed
+  // version reachable to lock-free scans.
+  slot.born.store(mod, std::memory_order_release);
+  if (it != key_to_slot_.end()) {
+    it->second = slot_index;
+  } else {
+    key_to_slot_.emplace(std::move(key), slot_index);
+  }
+  write_mod_ = mod;
   ++live_count_;
-  ++mod_count_;
+  if (serving()) delta_.NoteAppend();
+  AfterMutation();
   return Ref{id_, slot_index, slot.generation};
 }
 
 Result<Ref> Relation::Upsert(Tuple tuple) {
   PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
   Tuple key = schema_.KeyOf(tuple);
+  std::unique_lock<std::shared_mutex> latch(latch_);
   auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) return Insert(std::move(tuple));
-  Slot& slot = slots_[it->second];
+  if (it == key_to_slot_.end() ||
+      !VisibleAt(slots_[it->second], write_mod_)) {
+    latch.unlock();
+    return Insert(std::move(tuple));
+  }
+  const uint32_t old_index = it->second;
+  if (!serving()) {
+    // Legacy: replace in place. The element identity (key) is unchanged;
+    // existing refs stay valid.
+    Slot& slot = slots_[old_index];
+    slot.tuple = std::move(tuple);
+    ++write_mod_;
+    AfterMutation();
+    return Ref{id_, old_index, slot.generation};
+  }
+  // Serving: retire the current version and chain a replacement, so any
+  // snapshot captured before this statement commits keeps reading the old
+  // tuple.
+  const uint64_t mod = write_mod_ + 1;
+  const uint32_t slot_index = AllocateSlot();
+  Slot& slot = slots_[slot_index];
   slot.tuple = std::move(tuple);
-  ++mod_count_;
-  // The element identity (key) is unchanged; existing refs stay valid.
-  return Ref{id_, it->second, slot.generation};
+  ++slot.generation;
+  slot.prev = old_index;
+  slot.died.store(kNeverDies, std::memory_order_relaxed);
+  slot.born.store(mod, std::memory_order_release);
+  slots_[old_index].died.store(mod, std::memory_order_release);
+  if (old_index < delta_.base_size()) delta_.NoteBaseDelete();
+  it->second = slot_index;
+  write_mod_ = mod;
+  delta_.NoteAppend();
+  AfterMutation();
+  return Ref{id_, slot_index, slot.generation};
 }
 
 Status Relation::EraseByKey(const Tuple& key) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) {
+  if (it == key_to_slot_.end() ||
+      !VisibleAt(slots_[it->second], write_mod_)) {
     return Status::NotFound("relation '" + name_ + "' has no key " +
                             key.ToString());
   }
-  uint32_t slot_index = it->second;
-  key_to_slot_.erase(it);
-  slots_[slot_index].live = false;
-  slots_[slot_index].tuple = Tuple();
-  free_slots_.push_back(slot_index);
+  const uint32_t slot_index = it->second;
+  const uint64_t mod = write_mod_ + 1;
+  Slot& slot = slots_[slot_index];
+  slot.died.store(mod, std::memory_order_release);
+  if (serving()) {
+    // Keep the map entry as a tombstone head: snapshot readers walk the
+    // chain from it, and a later insert of the same key links through it.
+    if (slot_index < delta_.base_size()) delta_.NoteBaseDelete();
+  } else {
+    // Legacy: free the slot immediately for reuse.
+    key_to_slot_.erase(it);
+    slot.tuple = Tuple();
+    slot.prev = kNoSlot;
+    free_slots_.push_back(slot_index);
+  }
+  write_mod_ = mod;
   --live_count_;
-  ++mod_count_;
+  AfterMutation();
   return Status::OK();
 }
 
 Status Relation::EraseByRef(const Ref& ref) {
-  if (!IsLive(ref)) {
-    return Status::NotFound("dangling or foreign reference " + ref.ToString());
+  Tuple key;
+  {
+    std::shared_lock<std::shared_mutex> latch(latch_);
+    if (ref.relation != id_ || ref.slot >= slots_.size()) {
+      return Status::NotFound("dangling or foreign reference " +
+                              ref.ToString());
+    }
+    const Slot& slot = slots_[ref.slot];
+    if (!VisibleAt(slot, write_mod_) || slot.generation != ref.generation) {
+      return Status::NotFound("dangling or foreign reference " +
+                              ref.ToString());
+    }
+    key = schema_.KeyOf(slot.tuple);
   }
-  return EraseByKey(schema_.KeyOf(slots_[ref.slot].tuple));
+  return EraseByKey(key);
 }
 
 Result<Ref> Relation::RefByKey(const Tuple& key) const {
+  const uint64_t watermark = ReadWatermark();
+  std::shared_lock<std::shared_mutex> latch(latch_);
   auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) {
-    return Status::NotFound("relation '" + name_ + "' has no key " +
-                            key.ToString());
+  uint32_t slot_index = it == key_to_slot_.end() ? kNoSlot : it->second;
+  while (slot_index != kNoSlot) {
+    const Slot& slot = slots_[slot_index];
+    if (VisibleAt(slot, watermark)) {
+      return Ref{id_, slot_index, slot.generation};
+    }
+    slot_index = slot.prev;
   }
-  return Ref{id_, it->second, slots_[it->second].generation};
+  return Status::NotFound("relation '" + name_ + "' has no key " +
+                          key.ToString());
 }
 
 Result<const Tuple*> Relation::SelectByKey(const Tuple& key) const {
+  const uint64_t watermark = ReadWatermark();
+  std::shared_lock<std::shared_mutex> latch(latch_);
   auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) {
-    return Status::NotFound("relation '" + name_ + "' has no key " +
-                            key.ToString());
+  uint32_t slot_index = it == key_to_slot_.end() ? kNoSlot : it->second;
+  while (slot_index != kNoSlot) {
+    const Slot& slot = slots_[slot_index];
+    if (VisibleAt(slot, watermark)) return &slot.tuple;
+    slot_index = slot.prev;
   }
-  return &slots_[it->second].tuple;
+  return Status::NotFound("relation '" + name_ + "' has no key " +
+                          key.ToString());
 }
 
 Result<const Tuple*> Relation::Deref(const Ref& ref) const {
@@ -88,31 +221,42 @@ Result<const Tuple*> Relation::Deref(const Ref& ref) const {
         StrFormat("reference into relation %u dereferenced against '%s' (%u)",
                   ref.relation, name_.c_str(), id_));
   }
-  if (ref.slot >= slots_.size() || !slots_[ref.slot].live ||
-      slots_[ref.slot].generation != ref.generation) {
+  const uint64_t watermark = ReadWatermark();
+  if (ref.slot >= slots_.size()) {
     return Status::NotFound("dangling reference " + ref.ToString() +
                             " into relation '" + name_ + "'");
   }
-  return &slots_[ref.slot].tuple;
+  const Slot& slot = slots_[ref.slot];
+  if (!VisibleAt(slot, watermark) || slot.generation != ref.generation) {
+    return Status::NotFound("dangling reference " + ref.ToString() +
+                            " into relation '" + name_ + "'");
+  }
+  return &slot.tuple;
 }
 
 bool Relation::IsLive(const Ref& ref) const {
-  return ref.relation == id_ && ref.slot < slots_.size() &&
-         slots_[ref.slot].live && slots_[ref.slot].generation == ref.generation;
+  if (ref.relation != id_ || ref.slot >= slots_.size()) return false;
+  const Slot& slot = slots_[ref.slot];
+  return VisibleAt(slot, ReadWatermark()) && slot.generation == ref.generation;
 }
 
 void Relation::Scan(
     const std::function<bool(const Ref&, const Tuple&)>& visit) const {
-  for (uint32_t i = 0; i < slots_.size(); ++i) {
+  const uint64_t watermark = ReadWatermark();
+  const size_t published_size = slots_.size();
+  ConcurrencyCounters* counters =
+      serving() ? &concurrency_->counters : nullptr;
+  delta_.MergeScan(published_size, counters, [&](size_t i) {
     const Slot& slot = slots_[i];
-    if (!slot.live) continue;
-    if (!visit(Ref{id_, i, slot.generation}, slot.tuple)) return;
-  }
+    if (!VisibleAt(slot, watermark)) return true;
+    return visit(Ref{id_, static_cast<uint32_t>(i), slot.generation},
+                 slot.tuple);
+  });
 }
 
 std::vector<Ref> Relation::AllRefs() const {
   std::vector<Ref> out;
-  out.reserve(live_count_);
+  out.reserve(cardinality());
   Scan([&](const Ref& r, const Tuple&) {
     out.push_back(r);
     return true;
@@ -121,16 +265,73 @@ std::vector<Ref> Relation::AllRefs() const {
 }
 
 void Relation::Clear() {
-  slots_.clear();
-  free_slots_.clear();
-  key_to_slot_.clear();
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  if (!serving()) {
+    slots_.Reset();
+    free_slots_.clear();
+    key_to_slot_.clear();
+    live_count_ = 0;
+    ++write_mod_;
+    AfterMutation();
+    return;
+  }
+  // Serving: one mass delete — every currently visible version is stamped
+  // dead at one mod; snapshots captured earlier keep reading everything.
+  const uint64_t mod = write_mod_ + 1;
+  for (const auto& [key, head] : key_to_slot_) {
+    (void)key;
+    Slot& slot = slots_[head];
+    if (!VisibleAt(slot, write_mod_)) continue;
+    slot.died.store(mod, std::memory_order_release);
+    if (head < delta_.base_size()) delta_.NoteBaseDelete();
+  }
+  write_mod_ = mod;
   live_count_ = 0;
-  ++mod_count_;
+  AfterMutation();
+}
+
+size_t Relation::CompactVersions() {
+  // Fully exclusive (Database write mutex + registry quiesce): plain
+  // stores, no readers to race with.
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  const uint64_t published = published_mod_.load(std::memory_order_relaxed);
+  const size_t size = slots_.size();
+  // Drop map heads whose whole chain is dead; cut surviving chains.
+  for (auto it = key_to_slot_.begin(); it != key_to_slot_.end();) {
+    if (slots_[it->second].died.load(std::memory_order_relaxed) <=
+        published) {
+      it = key_to_slot_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  size_t retired = 0;
+  for (size_t i = 0; i < size; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.born.load(std::memory_order_relaxed) == kNeverVisible) {
+      continue;  // already free
+    }
+    if (slot.died.load(std::memory_order_relaxed) <= published) {
+      slot.tuple = Tuple();
+      ++slot.generation;  // stale refs detect the reclamation
+      slot.prev = kNoSlot;
+      slot.died.store(kNeverDies, std::memory_order_relaxed);
+      slot.born.store(kNeverVisible, std::memory_order_relaxed);
+      free_slots_.push_back(static_cast<uint32_t>(i));
+      ++retired;
+    } else {
+      // Every predecessor version is dead by definition (prev is always
+      // older); the chain is no longer needed.
+      slot.prev = kNoSlot;
+    }
+  }
+  delta_.Compacted(size, published);
+  return retired;
 }
 
 std::string Relation::DebugString(size_t max_elements) const {
   std::string out =
-      StrFormat("%s (%zu elements): ", name_.c_str(), live_count_);
+      StrFormat("%s (%zu elements): ", name_.c_str(), cardinality());
   size_t shown = 0;
   Scan([&](const Ref&, const Tuple& t) {
     if (shown == max_elements) {

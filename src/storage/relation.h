@@ -3,16 +3,44 @@
 // stable across unrelated inserts/deletes, so Refs remain valid until their
 // element is deleted. A built-in hash map from key to slot implements the
 // key-oriented selector rel[keyval] (paper §3.1).
+//
+// Concurrency (src/concurrency/): every slot is a *version* stamped with
+// the mod counts it was born at and died at, and readers resolve
+// visibility against a watermark — the ambient Snapshot's captured mod
+// count, or the relation's published mod count when no snapshot is
+// installed. The slot heap is a StableVector (stable addresses, atomic
+// published size), so Scan / AllRefs / Deref are entirely lock-free: a
+// reader never blocks behind a writer, and a writer publishes a version
+// only after it is fully constructed (born stamp is store-released last).
+// Key lookups share the key-map latch with mutators — held per operation,
+// never across a statement. The DeltaLayer tracks the slots appended or
+// killed since the last compaction; Database::Compact reclaims dead
+// versions under the SnapshotRegistry's exclusive quiesce.
+//
+// Two behavioural modes, switched by ConcurrencyState::serving:
+//  - legacy (default, every single-threaded test): in-place Upsert keeps
+//    existing Refs valid, deletes free their slot immediately, freed slots
+//    are reused — byte-identical behaviour to the pre-concurrency engine.
+//  - serving (SessionManager / EnableConcurrentServing): Upsert and
+//    EraseByKey append/stamp versions instead of destroying state that a
+//    concurrent snapshot may still read; publication of a statement's
+//    stamps is deferred to its WriteBatch commit, so a snapshot observes
+//    either all of a statement's effects or none.
 
 #ifndef PASCALR_STORAGE_RELATION_H_
 #define PASCALR_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/stable_vector.h"
 #include "base/status.h"
+#include "concurrency/delta.h"
+#include "concurrency/snapshot.h"
 #include "storage/ref.h"
 #include "value/schema.h"
 #include "value/tuple.h"
@@ -31,13 +59,30 @@ class Relation {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
-  /// Number of live elements.
-  size_t cardinality() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
+  /// Number of elements visible at the caller's watermark: the ambient
+  /// snapshot's captured count, or the published count otherwise (within
+  /// a write statement, the statement's own pending mutations count).
+  size_t cardinality() const;
+  bool empty() const { return cardinality() == 0; }
 
   /// Monotonic counter bumped by every successful mutation; the catalog
-  /// uses it to detect stale permanent indexes.
-  uint64_t mod_count() const { return mod_count_; }
+  /// uses it to detect stale permanent indexes and it doubles as the
+  /// version clock for snapshot visibility. Ambient-aware like
+  /// cardinality(): under a snapshot it reports the captured watermark,
+  /// inside a write statement the statement's own (unpublished) count.
+  uint64_t mod_count() const;
+
+  /// The last *published* mod count — what a snapshot captured now would
+  /// record as this relation's watermark.
+  uint64_t published_mod() const {
+    return published_mod_.load(std::memory_order_acquire);
+  }
+
+  /// The published live-element count (pairs with published_mod()); what a
+  /// snapshot captured now would record as this relation's cardinality.
+  size_t published_live() const {
+    return published_live_.load(std::memory_order_acquire);
+  }
 
   /// PASCAL/R `:+` — inserts one element. Rejects schema violations and
   /// duplicate keys (relations are sets keyed by the declared key).
@@ -45,6 +90,9 @@ class Relation {
 
   /// Inserts, replacing any existing element with the same key (PASCAL/R
   /// assignment-style update). Returns the ref of the stored element.
+  /// Legacy mode replaces in place (existing refs stay valid); serving
+  /// mode appends a new version, so refs to the old version dangle once
+  /// the replacement publishes.
   Result<Ref> Upsert(Tuple tuple);
 
   /// PASCAL/R `:-` — deletes the element with the given key.
@@ -63,37 +111,105 @@ class Relation {
   /// reused slot) and InvalidArgument on refs of other relations.
   Result<const Tuple*> Deref(const Ref& ref) const;
 
-  /// True if `ref` currently names a live element of this relation.
+  /// True if `ref` currently names a visible element of this relation.
   bool IsLive(const Ref& ref) const;
 
-  /// One-element-at-a-time scan (paper §4.1's "reading the relation").
-  /// The visitor receives each live element and its ref; returning false
-  /// stops the scan early.
+  /// One-element-at-a-time scan (paper §4.1's "reading the relation") of
+  /// the versions visible at the caller's watermark, in slot order (base
+  /// region, then the delta region — see concurrency/delta.h). The
+  /// visitor receives each visible element and its ref; returning false
+  /// stops the scan early. Lock-free.
   void Scan(const std::function<bool(const Ref&, const Tuple&)>& visit) const;
 
-  /// All live refs in slot order.
+  /// All visible refs in slot order.
   std::vector<Ref> AllRefs() const;
 
-  /// Removes every element.
+  /// Removes every element. Legacy mode releases all storage; serving
+  /// mode stamps every visible version dead (snapshots keep reading).
   void Clear();
 
   std::string DebugString(size_t max_elements = 16) const;
 
+  // ---- concurrency plumbing (Database / WriteBatch / compaction) ------
+
+  /// Attaches the owning Database's shared concurrency state. Relations
+  /// constructed standalone (unit tests) stay unattached and permanently
+  /// legacy-mode.
+  void AttachConcurrency(ConcurrencyState* state) { concurrency_ = state; }
+
+  /// Makes every stamp this relation's pending statement wrote visible to
+  /// new watermarks. Called by WriteBatch::Commit under commit_mu.
+  void PublishPendingVersions();
+
+  /// Reclaims every version dead at the published watermark: payload
+  /// freed, generation bumped (stale refs detect), slot returned to the
+  /// free list; surviving versions' chains are cut and the delta folds
+  /// into the base. Caller must hold the Database write mutex AND the
+  /// registry quiesce (no concurrent readers or writers). Returns the
+  /// number of versions retired.
+  size_t CompactVersions();
+
+  const DeltaLayer& delta() const { return delta_; }
+
  private:
+  /// One version of one element. `born`/`died` are mod-count stamps:
+  /// the version is visible at watermark w iff born <= w < died. `prev`
+  /// chains to the previous version of the same key (kNoSlot when none),
+  /// so key lookups under an old snapshot can walk back to the version
+  /// that was current then.
   struct Slot {
     Tuple tuple;
     uint32_t generation = 0;
-    bool live = false;
+    uint32_t prev = kNoSlot;
+    std::atomic<uint64_t> born{kNeverVisible};
+    std::atomic<uint64_t> died{kNeverDies};
   };
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  /// Sentinel `born` of a free / mid-construction slot: no watermark
+  /// reaches it, so lock-free readers skip the slot without touching its
+  /// tuple or generation.
+  static constexpr uint64_t kNeverVisible = UINT64_MAX;
+  static constexpr uint64_t kNeverDies = UINT64_MAX;
+
+  static bool VisibleAt(const Slot& slot, uint64_t watermark) {
+    if (slot.born.load(std::memory_order_acquire) > watermark) return false;
+    return slot.died.load(std::memory_order_acquire) > watermark;
+  }
+
+  bool serving() const {
+    return concurrency_ != nullptr &&
+           concurrency_->serving.load(std::memory_order_relaxed);
+  }
+
+  /// The watermark this thread reads at (snapshot / write-statement /
+  /// published) — the value mod_count() reports.
+  uint64_t ReadWatermark() const;
+
+  /// Pops a free slot or appends a fresh one. Caller holds latch_.
+  uint32_t AllocateSlot();
+
+  /// Mutation epilogue: hand the pending publication to the ambient
+  /// WriteBatch (serving mode inside a statement) or publish immediately.
+  void AfterMutation();
 
   RelationId id_;
   std::string name_;
   Schema schema_;
-  std::vector<Slot> slots_;
-  std::vector<uint32_t> free_slots_;
+  StableVector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;  ///< latch-guarded
+  /// Key -> head of its version chain (latest version, live or dead).
+  /// Latch-guarded: mutators exclusive, key lookups shared.
   std::unordered_map<Tuple, uint32_t, TupleHash> key_to_slot_;
-  size_t live_count_ = 0;
-  uint64_t mod_count_ = 0;
+  mutable std::shared_mutex latch_;
+
+  size_t live_count_ = 0;    ///< writer-side (current, incl. unpublished)
+  uint64_t write_mod_ = 0;   ///< writer-side version clock
+  std::atomic<size_t> published_live_{0};
+  std::atomic<uint64_t> published_mod_{0};
+
+  DeltaLayer delta_;
+  ConcurrencyState* concurrency_ = nullptr;
 };
 
 }  // namespace pascalr

@@ -1,0 +1,220 @@
+// Multi-session stress test with a serial oracle: N writer threads commit
+// single-statement inserts/deletes while M reader threads execute a
+// prepared query in a loop. Every reader result must be BIT-IDENTICAL to
+// replaying the committed-statement log — keyed by commit version — up to
+// that execution's snapshot version into a fresh database. That property
+// is exactly snapshot isolation: a reader sees all statements committed
+// at or before its snapshot and none after, never a torn statement.
+//
+// Writers use DML statements only (insert / delete): each commits as ONE
+// db_version bump, so commit versions enumerate the serial write history
+// densely and a log prefix is a well-defined database state. (Assignment
+// `:=` is drop+create+inserts and commits several versions per statement
+// — it is deliberately not part of this workload; see catalog/database.h.)
+//
+// Run under ThreadSanitizer in CI (the sanitizers job) — the assertions
+// prove isolation, TSan proves the absence of data races.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrency/session_manager.h"
+#include "pascalr/session.h"
+#include "test_util.h"
+
+namespace pascalr {
+namespace {
+
+using testing_util::MakeUniversityDb;
+using testing_util::TupleStrings;
+
+constexpr int kWriters = 2;
+constexpr int kStatementsPerWriter = 50;
+constexpr int kReaders = 4;
+
+const char kQuery[] = "[<e.ename> OF EACH e IN employees: e.enr >= 1]";
+
+struct ReaderObservation {
+  uint64_t snapshot_version = 0;
+  std::multiset<std::string> tuples;
+};
+
+TEST(ConcurrencyStressTest, ReadersMatchSerialOracleAtTheirSnapshot) {
+  auto db = MakeUniversityDb();
+  SessionManager manager(db.get());
+
+  // The committed write history: commit version -> the statement that
+  // committed as it. Writers append under a mutex *after* their statement
+  // returns; versions are unique because write statements serialise on
+  // the database write mutex and each DML statement bumps db_version
+  // exactly once.
+  std::mutex log_mu;
+  std::map<uint64_t, std::string> commit_log;
+
+  // Phase coordination makes the interleaving deterministic, not just
+  // likely: every reader records one observation BEFORE any writer runs
+  // and one AFTER the last writer committed, so each reader provably
+  // spans at least two database versions. In between, readers free-run
+  // against the live writers — that window is what TSan inspects.
+  std::atomic<int> readers_ready{0};
+  std::atomic<bool> writers_go{false};
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!writers_go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      auto session = manager.CreateSession();
+      // Disjoint key ranges per writer: every statement succeeds, so the
+      // log needs no failure bookkeeping.
+      const int base = 1000 + w * 1000;
+      for (int i = 0; i < kStatementsPerWriter; ++i) {
+        std::string stmt;
+        if (i % 3 == 2) {
+          // Delete a key this writer inserted two statements ago.
+          stmt = "employees :- [<" + std::to_string(base + i - 2) + ">];";
+        } else {
+          stmt = "employees :+ [<" + std::to_string(base + i) + ", 'W" +
+                 std::to_string(w) + "x" + std::to_string(i) +
+                 "', student>];";
+        }
+        Status status = session->ExecuteScript(stmt);
+        ASSERT_TRUE(status.ok()) << stmt << ": " << status.ToString();
+        uint64_t version = session->last_commit_version();
+        std::lock_guard<std::mutex> lock(log_mu);
+        auto inserted = commit_log.emplace(version, stmt);
+        ASSERT_TRUE(inserted.second)
+            << "two statements committed as version " << version;
+      }
+    });
+  }
+
+  std::vector<std::vector<ReaderObservation>> observations(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto session = manager.CreateSession();
+      auto prepared = session->Prepare(kQuery);
+      ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+      auto observe = [&] {
+        auto exec = prepared->Execute({});
+        ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+        ReaderObservation obs;
+        obs.snapshot_version = exec->snapshot_version;
+        obs.tuples = TupleStrings(exec->tuples);
+        observations[r].push_back(std::move(obs));
+      };
+      observe();  // Pre-write observation (writers are still gated).
+      readers_ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        observe();
+      }
+      observe();  // Post-write observation (all statements committed).
+    });
+  }
+
+  while (readers_ready.load(std::memory_order_acquire) < kReaders) {
+    std::this_thread::yield();
+  }
+  writers_go.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_EQ(commit_log.size(),
+            static_cast<size_t>(kWriters * kStatementsPerWriter));
+
+  // Serial oracle: replay the log prefix `<= version` into a fresh
+  // database and run the same query single-threaded. Memoised per
+  // version — many observations share a snapshot.
+  std::map<uint64_t, std::multiset<std::string>> oracle;
+  auto oracle_at = [&](uint64_t version) -> const std::multiset<std::string>& {
+    auto found = oracle.find(version);
+    if (found != oracle.end()) return found->second;
+    auto fresh = MakeUniversityDb();
+    Session replay(fresh.get());
+    for (const auto& [v, stmt] : commit_log) {
+      if (v > version) break;
+      Status status = replay.ExecuteScript(stmt);
+      EXPECT_TRUE(status.ok()) << stmt << ": " << status.ToString();
+    }
+    auto run = replay.Query(kQuery);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return oracle.emplace(version, TupleStrings(run->tuples)).first->second;
+  };
+
+  const uint64_t final_version = commit_log.rbegin()->first;
+  size_t total = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    // At minimum the gated pre-write and post-write observations.
+    ASSERT_GE(observations[r].size(), 2u);
+    uint64_t prev_version = 0;
+    for (size_t i = 0; i < observations[r].size(); ++i) {
+      const ReaderObservation& obs = observations[r][i];
+      // Snapshots move forward within one session.
+      EXPECT_GE(obs.snapshot_version, prev_version) << "reader " << r;
+      prev_version = obs.snapshot_version;
+      EXPECT_EQ(obs.tuples, oracle_at(obs.snapshot_version))
+          << "reader " << r << " execute " << i << " at snapshot version "
+          << obs.snapshot_version;
+      ++total;
+    }
+    // The phase gates force every reader across at least two states:
+    // one from before the first commit, one at the final version.
+    EXPECT_LT(observations[r].front().snapshot_version, final_version)
+        << "reader " << r;
+    EXPECT_EQ(observations[r].back().snapshot_version, final_version)
+        << "reader " << r;
+  }
+  EXPECT_GE(total, static_cast<size_t>(kReaders) * 2);
+  EXPECT_GE(oracle.size(), 2u) << "no interleaving happened";
+
+  // The final state equals replaying the whole log.
+  auto final_run = manager.CreateSession()->Query(kQuery);
+  ASSERT_TRUE(final_run.ok()) << final_run.status().ToString();
+  EXPECT_EQ(TupleStrings(final_run->tuples),
+            oracle_at(commit_log.rbegin()->first));
+}
+
+TEST(ConcurrencyStressTest, SharedPlanCacheStaysHotAcrossSessionChurn) {
+  auto db = MakeUniversityDb();
+  SessionManager manager(db.get());
+
+  // Warm the cache once, then hammer it from short-lived sessions on
+  // several threads — the workload bench_concurrent measures. With no
+  // interleaved writes every adoption must validate and hit.
+  ASSERT_TRUE(manager.CreateSession()->Query(kQuery).ok());
+  auto warm = manager.counters();
+
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        auto session = manager.CreateSession();
+        auto run = session->Query(kQuery);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  auto after = manager.counters();
+  EXPECT_EQ(after.shared_plan_hits - warm.shared_plan_hits,
+            static_cast<uint64_t>(kThreads * kSessionsPerThread))
+      << "every post-warmup session must adopt the shared plan";
+  EXPECT_EQ(after.shared_plan_misses, warm.shared_plan_misses);
+}
+
+}  // namespace
+}  // namespace pascalr

@@ -1,5 +1,9 @@
 #include "base/logging.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace pascalr {
@@ -60,6 +64,49 @@ TEST(LoggingTest, LinesCarrySeverityTagAndLocation) {
   EXPECT_NE(captured.find("[W "), std::string::npos);
   EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
   EXPECT_NE(captured.find("] tagged\n"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentThreadsNeverInterleaveWithinALine) {
+  std::string captured;
+  ScopedLogConfig config(&captured);
+  constexpr int kThreads = 2;
+  constexpr int kLinesPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        PASCALR_LOG_INFO << "thread=" << t << " line=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Every message must arrive whole: the capture splits into exactly
+  // kThreads * kLinesPerThread newline-terminated lines, each of the
+  // canonical form — no torn or merged lines.
+  size_t lines = 0;
+  size_t pos = 0;
+  int per_thread[kThreads] = {};
+  while (pos < captured.size()) {
+    size_t nl = captured.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "capture must end in a newline";
+    std::string line = captured.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lines;
+    size_t tag = line.find("thread=");
+    ASSERT_NE(tag, std::string::npos) << "torn line: " << line;
+    EXPECT_EQ(line.find("thread=", tag + 1), std::string::npos)
+        << "merged line: " << line;
+    EXPECT_NE(line.find(" end"), std::string::npos) << "torn line: " << line;
+    int thread_id = line[tag + 7] - '0';
+    ASSERT_GE(thread_id, 0);
+    ASSERT_LT(thread_id, kThreads);
+    ++per_thread[thread_id];
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(kThreads * kLinesPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kLinesPerThread) << "thread " << t;
+  }
 }
 
 TEST(LoggingTest, ThresholdRestoredBetweenTests) {

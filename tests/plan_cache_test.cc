@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "base/counters.h"
+#include "concurrency/session_manager.h"
 #include "pascalr/prepared.h"
 #include "pascalr/session.h"
 #include "tests/test_util.h"
@@ -298,6 +299,48 @@ TEST(PlanCacheTest, SharedCollectionWalkPerAutoCandidate) {
   EXPECT_EQ(with_reuse.weighted_cost, from_scratch.weighted_cost);
   EXPECT_EQ(with_reuse.predicted.TotalWork(),
             from_scratch.predicted.TotalWork());
+}
+
+TEST(PlanCacheTest, InterleavedWritesFromAnotherSessionInvalidate) {
+  // Concurrent serving: session A's cached plan must go stale when
+  // session B — a different session, write guard and all — mutates a
+  // referenced relation between A's executes, and every re-execute must
+  // see exactly the rows committed before its snapshot.
+  auto db = MakeUniversityDb();
+  SessionManager manager(db.get());
+  auto a = manager.CreateSession();
+  auto b = manager.CreateSession();
+
+  auto prepared = a->Prepare(
+      "[<e.ename> OF EACH e IN employees: e.enr >= $lo]");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto first = prepared->Execute({{"lo", Value::MakeInt(1)}});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(prepared->stats().plan_compiles, 1u);
+  size_t baseline_rows = first->tuples.size();
+
+  // B's committed write lands between A's executes: A must replan (its
+  // stamps are stale) and the adopted-or-recompiled plan must produce
+  // the new row.
+  ASSERT_TRUE(
+      b->ExecuteScript("employees :+ [<81, 'Ivy', professor>];").ok());
+  auto second = prepared->Execute({{"lo", Value::MakeInt(1)}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->plan_cache_hit);
+  EXPECT_EQ(second->tuples.size(), baseline_rows + 1);
+
+  // Steady state resumes: no interleaved write, the replanned entry hits.
+  auto third = prepared->Execute({{"lo", Value::MakeInt(1)}});
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->plan_cache_hit);
+  EXPECT_EQ(TupleStrings(third->tuples), TupleStrings(second->tuples));
+
+  // A delete from B invalidates again and shrinks the visible set.
+  ASSERT_TRUE(b->ExecuteScript("employees :- [<81>];").ok());
+  auto fourth = prepared->Execute({{"lo", Value::MakeInt(1)}});
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_FALSE(fourth->plan_cache_hit);
+  EXPECT_EQ(fourth->tuples.size(), baseline_rows);
 }
 
 }  // namespace
