@@ -74,6 +74,7 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
       static_cast<double>(stats.relations_read);
   state.counters["elements_scanned"] =
       static_cast<double>(stats.elements_scanned);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
   state.counters["sl_refs"] = static_cast<double>(stats.single_list_refs);
   state.counters["ij_refs"] = static_cast<double>(stats.indirect_join_refs);
   state.counters["combination_rows"] =
@@ -82,7 +83,11 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
       static_cast<double>(stats.division_input_rows);
   state.counters["quant_probes"] =
       static_cast<double>(stats.quantifier_probes);
+  state.counters["comparisons"] = static_cast<double>(stats.comparisons);
   state.counters["dereferences"] = static_cast<double>(stats.dereferences);
+  state.counters["replans"] = static_cast<double>(stats.replans);
+  state.counters["perm_index_hits"] =
+      static_cast<double>(stats.permanent_index_hits);
   state.counters["peak_rows"] =
       static_cast<double>(stats.peak_intermediate_rows);
   state.counters["structures_built"] =

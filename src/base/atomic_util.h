@@ -1,0 +1,54 @@
+// Named relaxed-atomic helpers. Raw `std::memory_order_relaxed` is easy
+// to cargo-cult onto an operation that actually needs ordering, so the
+// repo's convention — enforced by tools/lint_invariants.py — is:
+//
+//  - outside src/base/ and src/obs/, the bare token
+//    `memory_order_relaxed` is banned; relaxed operations go through
+//    these helpers, whose names state the intent at every call site;
+//  - operations that DO carry ordering semantics keep their explicit
+//    std::memory_order_acquire / _release arguments, which remain
+//    allowed everywhere — needing ordering is the interesting case and
+//    should stay loud.
+//
+// Relaxed is correct in exactly two situations in this engine, and the
+// helpers exist for both:
+//
+//  1. Pure tallies (ConcurrencyCounters, compile counters, metrics):
+//     monotonically merged totals where no reader infers the state of
+//     any other memory from the value.
+//  2. Values already ordered by an enclosing protocol: e.g. db_version
+//     is mutated and snapshotted only under commit_mu, so the mutex —
+//     not the atomic — provides the happens-before edge and the atomic
+//     only serves unsynchronised monitoring reads.
+
+#ifndef PASCALR_BASE_ATOMIC_UTIL_H_
+#define PASCALR_BASE_ATOMIC_UTIL_H_
+
+#include <atomic>
+
+namespace pascalr {
+
+/// Relaxed read: a tally or a protocol-ordered value; the load itself
+/// synchronises nothing.
+template <typename T>
+inline T RelaxedLoad(const std::atomic<T>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+/// Relaxed write: publication (if any) is provided by an enclosing lock
+/// or a later release store, never by this store.
+template <typename T, typename U>
+inline void RelaxedStore(std::atomic<T>& a, U value) {
+  a.store(static_cast<T>(value), std::memory_order_relaxed);
+}
+
+/// Relaxed increment of a pure tally. Returns the PREVIOUS value (the
+/// fetch_add convention).
+template <typename T, typename U>
+inline T RelaxedFetchAdd(std::atomic<T>& a, U delta) {
+  return a.fetch_add(static_cast<T>(delta), std::memory_order_relaxed);
+}
+
+}  // namespace pascalr
+
+#endif  // PASCALR_BASE_ATOMIC_UTIL_H_

@@ -43,6 +43,11 @@ struct AtomicCompileCounters {
   std::atomic<uint64_t> collection_walks{0};
 
   operator CompileCounters() const {
+    // Relaxed: pure work tallies, read in isolation — a snapshot racing
+    // concurrent increments may pair fields from adjacent instants, and
+    // no caller infers other memory state from the values. (Bumps use
+    // seq-cst operator++ at the half-dozen compile-stage call sites,
+    // where a stronger-than-needed order costs nothing measurable.)
     CompileCounters snap;
     snap.parses = parses.load(std::memory_order_relaxed);
     snap.binds = binds.load(std::memory_order_relaxed);

@@ -3,23 +3,24 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace pascalr {
 
 namespace {
-// Concurrent sessions log from many threads: the severity threshold and
-// capture pointer are atomics (readable without a lock on the fast
-// filtered-out path) and the emission itself is serialised by a mutex so
-// lines never interleave mid-message — whether appended to a capture
-// string or written to stderr.
+// Concurrent sessions log from many threads: the severity threshold is an
+// atomic (readable without a lock on the fast filtered-out path) and the
+// emission itself is serialised by a mutex so lines never interleave
+// mid-message — whether appended to a capture string or written to
+// stderr. Mutex is constexpr-constructible, so a namespace-scope instance
+// needs no dynamic initialisation dance.
+// Relaxed: the threshold is a standalone filter value; no reader infers
+// other state from it (src/base/ may spell the ordering directly).
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
-std::atomic<std::string*> g_capture{nullptr};
-
-std::mutex& EmitMutex() {
-  static std::mutex mu;
-  return mu;
-}
+Mutex g_emit_mu;
+std::string* g_capture GUARDED_BY(g_emit_mu) = nullptr;
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) {
@@ -32,8 +33,8 @@ LogSeverity MinLogSeverity() {
 
 void SetLogCaptureForTest(std::string* capture) {
   // The emit lock makes swapping the sink safe against in-flight messages.
-  std::lock_guard<std::mutex> lock(EmitMutex());
-  g_capture.store(capture, std::memory_order_relaxed);
+  MutexLock lock(g_emit_mu);
+  g_capture = capture;
 }
 
 namespace internal {
@@ -68,10 +69,9 @@ LogMessage::~LogMessage() {
   }
   stream_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(EmitMutex());
-    std::string* capture = g_capture.load(std::memory_order_relaxed);
-    if (capture != nullptr) {
-      *capture += stream_.str();
+    MutexLock lock(g_emit_mu);
+    if (g_capture != nullptr) {
+      *g_capture += stream_.str();
     } else {
       std::fputs(stream_.str().c_str(), stderr);
       std::fflush(stderr);

@@ -49,6 +49,9 @@ class StableVector {
   /// flipping whatever visibility stamp readers check — the size
   /// publication alone only guarantees the element is constructed.
   size_t Append() {
+    // Relaxed self-reads: writers are externally serialised, so this
+    // thread is reading its own prior writes; the release stores below
+    // are what publish to readers.
     size_t i = size_.load(std::memory_order_relaxed);
     size_t block, offset;
     Split(i, &block, &offset);
@@ -65,6 +68,8 @@ class StableVector {
   /// Destroys everything. Single-threaded only (legacy Relation::Clear);
   /// never call while any reader may be active.
   void Reset() {
+    // Relaxed: single-threaded by contract (see above) — no publication
+    // to race with.
     for (size_t b = 0; b < kNumBlocks; ++b) {
       T* base = blocks_[b].load(std::memory_order_relaxed);
       if (base != nullptr) delete[] base;

@@ -1,0 +1,98 @@
+// Clang thread-safety analysis attributes, macro-gated so every other
+// compiler sees plain C++. With clang, building with
+//
+//   -Wthread-safety -Werror=thread-safety
+//
+// turns the lock discipline declared here into compile errors: a
+// GUARDED_BY member touched without its mutex, a REQUIRES function called
+// without the capability, a lock leaked out of a scope — all rejected at
+// compile time instead of hoping a ThreadSanitizer interleaving catches
+// them. CMake adds the flags automatically for clang builds (option
+// PASCALR_THREAD_SAFETY) and the CI `static-analysis` job builds the
+// whole library that way.
+//
+// The annotated primitives living on top of these macros are in
+// base/mutex.h; annotate members with GUARDED_BY(mu_) and internal
+// helpers with REQUIRES(mu_). Deliberately unanalyzed code (lock-free
+// publication protocols, capability transfer through return values) opts
+// out with NO_THREAD_SAFETY_ANALYSIS plus a justification comment — the
+// invariant linter (tools/lint_invariants.py) keeps those honest.
+//
+// Naming follows the modern clang/abseil convention (ACQUIRE/RELEASE/
+// REQUIRES rather than the legacy LOCK/UNLOCK spellings).
+
+#ifndef PASCALR_BASE_THREAD_ANNOTATIONS_H_
+#define PASCALR_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PASCALR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PASCALR_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability ("mutex" in diagnostics).
+#define CAPABILITY(x) PASCALR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY PASCALR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member readable with the capability held shared, writable with it
+/// held exclusively.
+#define GUARDED_BY(x) PASCALR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) PASCALR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) \
+  PASCALR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PASCALR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry
+/// and does not release it.
+#define REQUIRES(...) \
+  PASCALR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PASCALR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it
+/// past return.
+#define ACQUIRE(...) \
+  PASCALR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PASCALR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (a generic RELEASE() also releases a
+/// shared hold — used on scoped-lock destructors).
+#define RELEASE(...) \
+  PASCALR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PASCALR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value meaning success.
+#define TRY_ACQUIRE(...) \
+  PASCALR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PASCALR_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held.
+#define EXCLUDES(...) PASCALR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (at runtime) that the capability is held.
+#define ASSERT_CAPABILITY(x) \
+  PASCALR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) PASCALR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use MUST carry a comment
+/// justifying why the protocol is safe but inexpressible (lock-free
+/// publication, single-serialised-writer reads, capability transfer
+/// through a return value) — the invariant linter's conventions expect
+/// one.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PASCALR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PASCALR_BASE_THREAD_ANNOTATIONS_H_

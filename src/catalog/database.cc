@@ -16,16 +16,39 @@ const Snapshot* Database::AmbientSnapshot() const {
   return nullptr;
 }
 
-std::unique_lock<std::mutex> Database::LockCommitIfServing() const {
-  if (!serving()) return {};
-  return std::unique_lock<std::mutex>(concurrency_.commit_mu);
-}
+namespace {
+/// Catalog mutation prologue for serving mode: DDL self-commits — the
+/// change plus its db_version bump happen atomically under commit_mu, so
+/// a snapshot never observes a half-created or half-dropped relation.
+/// Holds nothing while serving is off.
+//
+// Unanalyzed: conditional acquisition is outside clang's scope-based
+// analysis; commit_mu is a protocol lock with no GUARDED_BY members, so
+// opting out forfeits no member checking.
+class CommitLockIfServing {
+ public:
+  CommitLockIfServing(bool serving, Mutex& mu) NO_THREAD_SAFETY_ANALYSIS
+      : mu_(serving ? &mu : nullptr) {
+    if (mu_ != nullptr) mu_->Lock();
+  }
+  ~CommitLockIfServing() NO_THREAD_SAFETY_ANALYSIS {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+  CommitLockIfServing(const CommitLockIfServing&) = delete;
+  CommitLockIfServing& operator=(const CommitLockIfServing&) = delete;
+
+  bool owns_lock() const { return mu_ != nullptr; }
+
+ private:
+  Mutex* mu_;
+};
+}  // namespace
 
 Status Database::RegisterEnum(std::shared_ptr<const EnumInfo> info) {
   if (info == nullptr || info->name.empty()) {
     return Status::InvalidArgument("enum type needs a name");
   }
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  WriterMutexLock cat(catalog_mu_);
   if (enums_.count(info->name) > 0) {
     return Status::AlreadyExists("type '" + info->name + "' already declared");
   }
@@ -39,7 +62,7 @@ Status Database::RegisterEnum(std::shared_ptr<const EnumInfo> info) {
 
 std::shared_ptr<const EnumInfo> Database::FindEnum(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   auto it = enums_.find(name);
   return it == enums_.end() ? nullptr : it->second;
 }
@@ -50,8 +73,8 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   // DDL self-commits: while serving, the catalog change and its db_version
   // bump are one atomic step under commit_mu, so no snapshot can observe a
   // half-created relation.
-  std::unique_lock<std::mutex> commit = LockCommitIfServing();
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  CommitLockIfServing commit(serving(), concurrency_.commit_mu);
+  WriterMutexLock cat(catalog_mu_);
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("relation '" + name + "' already declared");
   }
@@ -60,14 +83,14 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   relations_.back()->AttachConcurrency(&concurrency_);
   by_name_[name] = id;
   if (commit.owns_lock()) {
-    concurrency_.db_version.fetch_add(1, std::memory_order_relaxed);
+    RelaxedFetchAdd(concurrency_.db_version, 1);
   }
   return relations_.back().get();
 }
 
 Status Database::DropRelation(const std::string& name) {
-  std::unique_lock<std::mutex> commit = LockCommitIfServing();
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  CommitLockIfServing commit(serving(), concurrency_.commit_mu);
+  WriterMutexLock cat(catalog_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
@@ -76,8 +99,9 @@ Status Database::DropRelation(const std::string& name) {
   // their own strong refs, so readers over the dropped relation are safe.
   relations_[it->second].reset();
   by_name_.erase(it);
+  const std::string index_prefix = name + ".";
   for (auto idx = indexes_.begin(); idx != indexes_.end();) {
-    if (idx->first.rfind(name + ".", 0) == 0) {
+    if (idx->first.rfind(index_prefix, 0) == 0) {
       if (serving()) {
         // An executing plan in another session may still hold the raw
         // index pointer; park it until the next compaction quiesce.
@@ -95,13 +119,13 @@ Status Database::DropRelation(const std::string& name) {
   }
   stats_epoch_.fetch_add(1, std::memory_order_release);
   if (commit.owns_lock()) {
-    concurrency_.db_version.fetch_add(1, std::memory_order_relaxed);
+    RelaxedFetchAdd(concurrency_.db_version, 1);
   }
   return Status::OK();
 }
 
 std::vector<Database::IndexDescription> Database::ListIndexes() const {
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   std::vector<IndexDescription> out;
   for (const auto& [key, entry] : indexes_) {
     std::string::size_type dot = key.rfind('.');
@@ -120,7 +144,7 @@ Relation* Database::FindRelation(const std::string& name) const {
     }
     return nullptr;
   }
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return nullptr;
   return relations_[it->second].get();
@@ -130,7 +154,7 @@ Relation* Database::FindRelation(RelationId id) const {
   if (const Snapshot* snap = AmbientSnapshot()) {
     return id < snap->relations.size() ? snap->relations[id].get() : nullptr;
   }
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   if (id >= relations_.size()) return nullptr;
   return relations_[id].get();
 }
@@ -147,7 +171,7 @@ Result<const Tuple*> Database::Deref(const Ref& ref) const {
 Result<ComponentIndex*> Database::EnsureIndex(const std::string& relation,
                                               const std::string& component,
                                               bool ordered) {
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  WriterMutexLock cat(catalog_mu_);
   auto rel_it = by_name_.find(relation);
   Relation* rel =
       rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
@@ -198,7 +222,7 @@ ComponentIndex* Database::FindFreshIndex(const std::string& relation,
   // gets the index when it was built at exactly its watermark.
   Relation* rel = FindRelation(relation);
   if (rel == nullptr) return nullptr;
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   auto it = indexes_.find(IndexKey(relation, component));
   if (it == indexes_.end()) return nullptr;
   if (it->second.built_at_mod != rel->mod_count()) return nullptr;
@@ -206,7 +230,7 @@ ComponentIndex* Database::FindFreshIndex(const std::string& relation,
 }
 
 Result<const RelationStats*> Database::Analyze(const std::string& relation) {
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  WriterMutexLock cat(catalog_mu_);
   auto rel_it = by_name_.find(relation);
   Relation* rel =
       rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
@@ -238,7 +262,7 @@ Status Database::AnalyzeAll() {
 }
 
 Status Database::SeedStats(RelationStats stats) {
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  WriterMutexLock cat(catalog_mu_);
   auto rel_it = by_name_.find(stats.relation);
   Relation* rel =
       rel_it == by_name_.end() ? nullptr : relations_[rel_it->second].get();
@@ -268,7 +292,7 @@ const RelationStats* Database::FindFreshStats(
     const std::string& relation) const {
   Relation* rel = FindRelation(relation);
   if (rel == nullptr) return nullptr;
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   auto it = stats_.find(relation);
   if (it == stats_.end()) return nullptr;
   if (it->second->built_at_mod != rel->mod_count()) return nullptr;
@@ -276,7 +300,7 @@ const RelationStats* Database::FindFreshStats(
 }
 
 std::vector<std::string> Database::RelationNames() const {
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   std::vector<std::string> out;
   out.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) out.push_back(name);
@@ -284,7 +308,7 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 std::string Database::DebugString() const {
-  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  ReaderMutexLock cat(catalog_mu_);
   std::string out = "database:\n";
   for (const auto& [name, id] : by_name_) {
     const Relation* rel = relations_[id].get();
@@ -313,9 +337,9 @@ SnapshotRef Database::TakeSnapshot() const {
     snap->origin = &concurrency_;
     // commit_mu pins (db_version, watermarks, live counts) to one commit
     // boundary; the catalog shared lock pins the relation set.
-    std::lock_guard<std::mutex> commit(concurrency_.commit_mu);
-    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
-    snap->db_version = concurrency_.db_version.load(std::memory_order_relaxed);
+    MutexLock commit(concurrency_.commit_mu);
+    ReaderMutexLock cat(catalog_mu_);
+    snap->db_version = RelaxedLoad(concurrency_.db_version);
     snap->relations = relations_;
     snap->watermarks.reserve(relations_.size());
     snap->live_counts.reserve(relations_.size());
@@ -323,8 +347,7 @@ SnapshotRef Database::TakeSnapshot() const {
       snap->watermarks.push_back(rel == nullptr ? 0 : rel->published_mod());
       snap->live_counts.push_back(rel == nullptr ? 0 : rel->published_live());
     }
-    concurrency_.counters.snapshots_taken.fetch_add(1,
-                                                    std::memory_order_relaxed);
+    RelaxedFetchAdd(concurrency_.counters.snapshots_taken, 1);
     return std::unique_ptr<const Snapshot>(std::move(snap));
   });
 }
@@ -341,13 +364,13 @@ uint64_t Database::WriteStatementGuard::Commit() {
     version = batch_->Commit();
     batch_.reset();
   }
-  if (lock_.owns_lock()) lock_.unlock();
+  lock_.Unlock();  // no-op when the guard was default-constructed
   return version;
 }
 
 Database::WriteStatementGuard Database::BeginWriteStatement() {
   WriteStatementGuard guard;
-  guard.lock_ = std::unique_lock<std::mutex>(write_mu_);
+  guard.lock_ = MovableMutexLock(write_mu_);
   guard.batch_ = std::make_unique<WriteBatch>(&concurrency_);
   guard.install_ =
       std::make_unique<ScopedWriteBatchInstall>(guard.batch_.get());
@@ -355,7 +378,7 @@ Database::WriteStatementGuard Database::BeginWriteStatement() {
 }
 
 size_t Database::CompactAllLocked() {
-  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  WriterMutexLock cat(catalog_mu_);
   size_t retired = 0;
   for (const auto& rel : relations_) {
     if (rel != nullptr) retired += rel->CompactVersions();
@@ -366,12 +389,11 @@ size_t Database::CompactAllLocked() {
 }
 
 size_t Database::Compact() {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  MutexLock write_lock(write_mu_);
   size_t retired = 0;
   concurrency_.registry.Quiesce([&] { retired = CompactAllLocked(); });
-  concurrency_.counters.compactions.fetch_add(1, std::memory_order_relaxed);
-  concurrency_.counters.versions_retired.fetch_add(retired,
-                                                   std::memory_order_relaxed);
+  RelaxedFetchAdd(concurrency_.counters.compactions, 1);
+  RelaxedFetchAdd(concurrency_.counters.versions_retired, retired);
   return retired;
 }
 
@@ -379,7 +401,7 @@ bool Database::MaybeCompact() {
   if (!serving()) return false;
   size_t dead = 0;
   {
-    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+    ReaderMutexLock cat(catalog_mu_);
     for (const auto& rel : relations_) {
       if (rel != nullptr) dead += rel->delta().delta_deletes();
     }
@@ -387,16 +409,15 @@ bool Database::MaybeCompact() {
   if (dead < kCompactionThreshold) return false;
   // Callers must NOT hold a WriteStatementGuard (write_mu_ is
   // non-recursive); sessions call this after their statement commits.
-  std::unique_lock<std::mutex> write_lock(write_mu_, std::try_to_lock);
-  if (!write_lock.owns_lock()) return false;
+  if (!write_mu_.TryLock()) return false;
   size_t retired = 0;
   const bool ran =
       concurrency_.registry.TryQuiesce([&] { retired = CompactAllLocked(); });
   if (ran) {
-    concurrency_.counters.compactions.fetch_add(1, std::memory_order_relaxed);
-    concurrency_.counters.versions_retired.fetch_add(
-        retired, std::memory_order_relaxed);
+    RelaxedFetchAdd(concurrency_.counters.compactions, 1);
+    RelaxedFetchAdd(concurrency_.counters.versions_retired, retired);
   }
+  write_mu_.Unlock();
   return ran;
 }
 

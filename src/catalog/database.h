@@ -35,12 +35,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "base/atomic_util.h"
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "catalog/relation_stats.h"
 #include "concurrency/plan_cache.h"
 #include "concurrency/snapshot.h"
@@ -137,15 +138,14 @@ class Database {
   /// Flips every relation (current and future) into versioned serving
   /// mode. One-way; called by SessionManager's constructor.
   void EnableConcurrentServing();
-  bool serving() const {
-    return concurrency_.serving.load(std::memory_order_relaxed);
-  }
+  /// Relaxed: the one-way flip happens before any concurrent session
+  /// exists (SessionManager's constructor), so no reader can race it.
+  bool serving() const { return RelaxedLoad(concurrency_.serving); }
 
   /// The commit version: bumped once per committed write statement and
-  /// once per catalog change while serving.
-  uint64_t db_version() const {
-    return concurrency_.db_version.load(std::memory_order_relaxed);
-  }
+  /// once per catalog change while serving. Relaxed: ordered by commit_mu
+  /// where it matters; bare reads are monitoring only.
+  uint64_t db_version() const { return RelaxedLoad(concurrency_.db_version); }
 
   /// Captures a consistent read point and registers it with the
   /// SnapshotRegistry (so compaction waits for it). Returns null while
@@ -175,7 +175,7 @@ class Database {
 
    private:
     friend class Database;
-    std::unique_lock<std::mutex> lock_;
+    MovableMutexLock lock_;
     std::unique_ptr<WriteBatch> batch_;
     std::unique_ptr<ScopedWriteBatchInstall> install_;
   };
@@ -221,28 +221,32 @@ class Database {
   /// Compaction body: caller holds write_mu_ and the registry quiesce.
   size_t CompactAllLocked();
 
-  /// Catalog mutation prologue for serving mode: DDL self-commits — the
-  /// change plus its db_version bump happen atomically under commit_mu,
-  /// so a snapshot never observes a half-created or half-dropped
-  /// relation. Returns a lock that is empty while serving is off.
-  std::unique_lock<std::mutex> LockCommitIfServing() const;
-
-  mutable std::shared_mutex catalog_mu_;
-  std::vector<std::shared_ptr<Relation>> relations_;  // index == RelationId
-  std::map<std::string, RelationId> by_name_;
-  std::map<std::string, std::shared_ptr<const EnumInfo>> enums_;
-  std::map<std::string, IndexEntry> indexes_;
-  std::map<std::string, std::shared_ptr<const RelationStats>> stats_;
+  mutable SharedMutex catalog_mu_;
+  // index == RelationId
+  std::vector<std::shared_ptr<Relation>> relations_ GUARDED_BY(catalog_mu_);
+  std::map<std::string, RelationId> by_name_ GUARDED_BY(catalog_mu_);
+  std::map<std::string, std::shared_ptr<const EnumInfo>> enums_
+      GUARDED_BY(catalog_mu_);
+  std::map<std::string, IndexEntry> indexes_ GUARDED_BY(catalog_mu_);
+  std::map<std::string, std::shared_ptr<const RelationStats>> stats_
+      GUARDED_BY(catalog_mu_);
   std::atomic<uint64_t> stats_epoch_{0};
 
   /// Replaced/dropped permanent indexes and statistics that an executing
   /// plan in another session may still reference. Freed at compaction
   /// (quiesce ⇒ no snapshot ⇒ no plan mid-execution).
-  std::vector<std::unique_ptr<ComponentIndex>> retired_indexes_;
-  std::vector<std::shared_ptr<const RelationStats>> retired_stats_;
+  std::vector<std::unique_ptr<ComponentIndex>> retired_indexes_
+      GUARDED_BY(catalog_mu_);
+  std::vector<std::shared_ptr<const RelationStats>> retired_stats_
+      GUARDED_BY(catalog_mu_);
 
   /// Serialises write statements; outermost lock of the order above.
-  std::mutex write_mu_;
+  /// lint: mutex-protocol(guards the one-writer-statement-at-a-time
+  /// discipline, not data members — the statement's effects live in the
+  /// relations and publish under commit_mu; held across BeginWriteStatement
+  /// ... guard.Commit() via MovableMutexLock, which scope-based analysis
+  /// cannot follow)
+  Mutex write_mu_;
 
   mutable ConcurrencyState concurrency_;
   SharedPlanCache shared_plans_;

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/atomic_util.h"
 #include "concurrency/snapshot.h"
 
 namespace pascalr {
@@ -36,27 +37,18 @@ class DeltaLayer {
   size_t base_size() const {
     return base_size_.load(std::memory_order_acquire);
   }
-  /// The relation's mod count at the last compaction.
-  uint64_t base_mod() const {
-    return base_mod_.load(std::memory_order_relaxed);
-  }
+  /// The relation's mod count at the last compaction. Relaxed: written
+  /// only inside the compaction quiesce, which fences everything.
+  uint64_t base_mod() const { return RelaxedLoad(base_mod_); }
 
-  size_t delta_inserts() const {
-    return delta_inserts_.load(std::memory_order_relaxed);
-  }
-  size_t delta_deletes() const {
-    return delta_deletes_.load(std::memory_order_relaxed);
-  }
+  size_t delta_inserts() const { return RelaxedLoad(delta_inserts_); }
+  size_t delta_deletes() const { return RelaxedLoad(delta_deletes_); }
   bool empty() const { return delta_inserts() == 0 && delta_deletes() == 0; }
 
   /// Writer-side (under the relation latch): a version was appended past
   /// the boundary / a `died` stamp was set on a base-region slot.
-  void NoteAppend() {
-    delta_inserts_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void NoteBaseDelete() {
-    delta_deletes_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void NoteAppend() { RelaxedFetchAdd(delta_inserts_, 1); }
+  void NoteBaseDelete() { RelaxedFetchAdd(delta_deletes_, 1); }
 
   /// Drives one merged scan over `published_size` slots: the base region
   /// first, then the delta. `visit(slot_index)` returns false to stop.
@@ -70,7 +62,7 @@ class DeltaLayer {
     }
     if (published_size <= boundary) return;
     if (counters != nullptr) {
-      counters->delta_merges.fetch_add(1, std::memory_order_relaxed);
+      RelaxedFetchAdd(counters->delta_merges, 1);  // pure tally
     }
     for (size_t i = boundary; i < published_size; ++i) {
       if (!visit(i)) return;
@@ -81,10 +73,12 @@ class DeltaLayer {
   /// writers): the delta is folded, the boundary moves to `new_base_size`
   /// and the deltas reset.
   void Compacted(size_t new_base_size, uint64_t mod) {
+    // The release store on the boundary publishes the whole epilogue; the
+    // other fields ride behind it (and the quiesce already fenced us).
     base_size_.store(new_base_size, std::memory_order_release);
-    base_mod_.store(mod, std::memory_order_relaxed);
-    delta_inserts_.store(0, std::memory_order_relaxed);
-    delta_deletes_.store(0, std::memory_order_relaxed);
+    RelaxedStore(base_mod_, mod);
+    RelaxedStore(delta_inserts_, 0);
+    RelaxedStore(delta_deletes_, 0);
   }
 
  private:

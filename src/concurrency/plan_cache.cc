@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/atomic_util.h"
 #include "base/str_util.h"
 #include "opt/planner.h"
 
@@ -20,7 +21,7 @@ std::string EncodePlannerOptions(const PlannerOptions& o) {
 
 bool SharedPlanCache::Lookup(const std::string& key,
                              SharedPlanEntry* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   *out = it->second;
@@ -28,7 +29,7 @@ bool SharedPlanCache::Lookup(const std::string& key,
 }
 
 void SharedPlanCache::Insert(const std::string& key, SharedPlanEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second = std::move(entry);  // replace in place; keeps FIFO position
@@ -48,41 +49,41 @@ void SharedPlanCache::EvictIfNeededLocked() {
 
 void SharedPlanCache::RecordHit() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++hits_;
   }
   if (counters_ != nullptr) {
-    counters_->shared_plan_hits.fetch_add(1, std::memory_order_relaxed);
+    RelaxedFetchAdd(counters_->shared_plan_hits, 1);
   }
 }
 
 void SharedPlanCache::RecordMiss() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++misses_;
   }
   if (counters_ != nullptr) {
-    counters_->shared_plan_misses.fetch_add(1, std::memory_order_relaxed);
+    RelaxedFetchAdd(counters_->shared_plan_misses, 1);
   }
 }
 
 uint64_t SharedPlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t SharedPlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 size_t SharedPlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void SharedPlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   insertion_order_.clear();
 }

@@ -25,11 +25,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "concurrency/snapshot.h"
 
 namespace pascalr {
@@ -41,6 +42,8 @@ struct PlannerOptions;  // opt/planner.h
 /// participates in plan choice — the options half of the cache key.
 std::string EncodePlannerOptions(const PlannerOptions& options);
 
+/// lint: thread-compatible(a value type — Lookup hands out copies made
+/// under the cache mutex; entries are never shared by reference)
 struct SharedPlanEntry {
   /// The plan as compiled (parameter slots carry the *compiling*
   /// session's bindings — adopters must clone and re-patch).
@@ -82,14 +85,16 @@ class SharedPlanCache {
   void Clear();
 
  private:
-  void EvictIfNeededLocked();
+  void EvictIfNeededLocked() REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::map<std::string, SharedPlanEntry> entries_;
-  std::deque<std::string> insertion_order_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, SharedPlanEntry> entries_ GUARDED_BY(mu_);
+  std::deque<std::string> insertion_order_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  /// lint: unguarded(set once by AttachCounters before concurrent use,
+  /// read-only afterwards; the pointed-to counters are atomics)
   ConcurrencyCounters* counters_ = nullptr;
 };
 

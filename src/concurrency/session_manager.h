@@ -24,6 +24,7 @@
 #include <memory>
 #include <ostream>
 
+#include "base/atomic_util.h"
 #include "pascalr/session.h"
 
 namespace pascalr {
@@ -42,14 +43,12 @@ class SessionManager {
   /// session's PRINT/EXPLAIN output (nullptr discards). Thread-compatible:
   /// call from any thread, use each Session from one thread at a time.
   std::unique_ptr<Session> CreateSession(std::ostream* out = nullptr) {
-    sessions_created_.fetch_add(1, std::memory_order_relaxed);
+    RelaxedFetchAdd(sessions_created_, 1);  // pure tally
     return std::make_unique<Session>(db_, out);
   }
 
   Database* db() const { return db_; }
-  uint64_t sessions_created() const {
-    return sessions_created_.load(std::memory_order_relaxed);
-  }
+  uint64_t sessions_created() const { return RelaxedLoad(sessions_created_); }
 
   /// Convenience pass-throughs for serving-side observability and
   /// maintenance.
@@ -63,7 +62,7 @@ class SessionManager {
   size_t Compact() { return db_->Compact(); }
 
  private:
-  Database* db_;
+  Database* const db_;
   std::atomic<uint64_t> sessions_created_{0};
 };
 

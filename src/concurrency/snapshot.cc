@@ -18,8 +18,10 @@ SnapshotRef SnapshotRegistry::Register(
     const std::function<std::unique_ptr<const Snapshot>()>& build) {
   std::unique_ptr<const Snapshot> snap;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !gate_closed_; });
+    // `build` deliberately runs under mu_ so a Quiesce can never slip in
+    // between capture and registration (see the declaration comment).
+    MutexLock lock(mu_);
+    while (gate_closed_) cv_.Wait(mu_);
     snap = build();
     ++active_;
   }
@@ -30,23 +32,23 @@ SnapshotRef SnapshotRegistry::Register(
 }
 
 void SnapshotRegistry::Unregister() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --active_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SnapshotRegistry::Quiesce(const std::function<void()>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !gate_closed_; });
+  MutexLock lock(mu_);
+  while (gate_closed_) cv_.Wait(mu_);
   gate_closed_ = true;
-  cv_.wait(lock, [this] { return active_ == 0; });
+  while (active_ != 0) cv_.Wait(mu_);
   fn();
   gate_closed_ = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool SnapshotRegistry::TryQuiesce(const std::function<void()>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (gate_closed_ || active_ != 0) return false;
   // Holding mu_ keeps Register() out for the duration of fn.
   fn();
@@ -54,7 +56,7 @@ bool SnapshotRegistry::TryQuiesce(const std::function<void()>& fn) {
 }
 
 size_t SnapshotRegistry::ActiveCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
@@ -80,14 +82,15 @@ void WriteBatch::Touch(Relation* rel) {
 uint64_t WriteBatch::Commit() {
   if (committed_) return committed_version_;
   committed_ = true;
-  std::lock_guard<std::mutex> lock(state_->commit_mu);
+  MutexLock lock(state_->commit_mu);
   for (Relation* rel : touched_) rel->PublishPendingVersions();
+  // db_version moves only under commit_mu; the mutex provides the
+  // ordering and the atomic only serves unsynchronised monitoring reads.
   if (!touched_.empty()) {
-    committed_version_ =
-        state_->db_version.fetch_add(1, std::memory_order_relaxed) + 1;
-    state_->counters.write_statements.fetch_add(1, std::memory_order_relaxed);
+    committed_version_ = RelaxedFetchAdd(state_->db_version, 1) + 1;
+    RelaxedFetchAdd(state_->counters.write_statements, 1);
   } else {
-    committed_version_ = state_->db_version.load(std::memory_order_relaxed);
+    committed_version_ = RelaxedLoad(state_->db_version);
   }
   return committed_version_;
 }

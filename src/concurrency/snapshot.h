@@ -30,13 +30,14 @@
 #define PASCALR_CONCURRENCY_SNAPSHOT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/atomic_util.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "storage/ref.h"
 
 namespace pascalr {
@@ -57,6 +58,7 @@ struct ConcurrencyCounters {
   std::atomic<uint64_t> shared_plan_misses{0};
 
   /// Plain copyable readout.
+  /// lint: thread-compatible(a per-call local copy, never shared)
   struct View {
     uint64_t snapshots_taken = 0;
     uint64_t delta_merges = 0;
@@ -67,20 +69,24 @@ struct ConcurrencyCounters {
     uint64_t shared_plan_misses = 0;
   };
   View Read() const {
+    // Pure tallies: fields racing concurrent increments may come from
+    // adjacent instants, the usual monitoring-readout contract.
     View v;
-    v.snapshots_taken = snapshots_taken.load(std::memory_order_relaxed);
-    v.delta_merges = delta_merges.load(std::memory_order_relaxed);
-    v.compactions = compactions.load(std::memory_order_relaxed);
-    v.versions_retired = versions_retired.load(std::memory_order_relaxed);
-    v.write_statements = write_statements.load(std::memory_order_relaxed);
-    v.shared_plan_hits = shared_plan_hits.load(std::memory_order_relaxed);
-    v.shared_plan_misses = shared_plan_misses.load(std::memory_order_relaxed);
+    v.snapshots_taken = RelaxedLoad(snapshots_taken);
+    v.delta_merges = RelaxedLoad(delta_merges);
+    v.compactions = RelaxedLoad(compactions);
+    v.versions_retired = RelaxedLoad(versions_retired);
+    v.write_statements = RelaxedLoad(write_statements);
+    v.shared_plan_hits = RelaxedLoad(shared_plan_hits);
+    v.shared_plan_misses = RelaxedLoad(shared_plan_misses);
     return v;
   }
 };
 
 /// A consistent read point: the database version and, per relation id, the
 /// relation's published mod count at capture time. Immutable once built.
+/// lint: thread-compatible(built privately inside SnapshotRegistry::
+/// Register, then shared strictly read-only through SnapshotRef)
 struct Snapshot {
   /// Database commit version at capture (every committed write statement
   /// and every catalog change bumps it by one).
@@ -146,10 +152,10 @@ class SnapshotRegistry {
  private:
   void Unregister();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t active_ = 0;
-  bool gate_closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool gate_closed_ GUARDED_BY(mu_) = false;
 };
 
 /// The shared concurrency state of one Database, attached to each of its
@@ -165,7 +171,10 @@ struct ConcurrencyState {
   /// holding this, and capture reads db_version + all watermarks while
   /// holding it — so a snapshot can never pair a version number with a
   /// half-published set of watermarks. Held for microseconds only.
-  std::mutex commit_mu;
+  /// lint: mutex-protocol(orders the publication protocol; db_version is
+  /// an atomic for unsynchronised monitoring reads and the watermarks
+  /// live on the relations, so no member here is GUARDED_BY it)
+  Mutex commit_mu;
   SnapshotRegistry registry;
   ConcurrencyCounters counters;
 };
@@ -178,6 +187,7 @@ const Snapshot* CurrentSnapshot();
 
 /// RAII ambient installation, nestable (a Cursor re-installs its captured
 /// snapshot inside whatever the caller had current).
+/// lint: thread-compatible(swaps a thread_local; never crosses threads)
 class ScopedSnapshotInstall {
  public:
   explicit ScopedSnapshotInstall(SnapshotRef snap);
@@ -196,6 +206,8 @@ class ScopedSnapshotInstall {
 /// db_version in one commit_mu-protected step. The committed version is
 /// returned so callers (the stress test's serial oracle) can key a log of
 /// statements by commit order.
+/// lint: thread-compatible(owned by the one serialised write statement —
+/// writers hold the database write mutex, so a batch is never shared)
 class WriteBatch {
  public:
   explicit WriteBatch(ConcurrencyState* state) : state_(state) {}
@@ -224,6 +236,7 @@ class WriteBatch {
 /// The thread-current write batch (null outside a write statement).
 WriteBatch* CurrentWriteBatch();
 
+/// lint: thread-compatible(swaps a thread_local; never crosses threads)
 class ScopedWriteBatchInstall {
  public:
   explicit ScopedWriteBatchInstall(WriteBatch* batch);

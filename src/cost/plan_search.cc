@@ -8,6 +8,7 @@
 #include "base/str_util.h"
 #include "cost/cost_model.h"
 #include "normalize/standard_form.h"
+#include "obs/span_names.h"
 #include "obs/trace.h"
 
 namespace pascalr {
@@ -113,7 +114,7 @@ Result<PlannedQuery> SearchBestPlan(const Database& db,
                                     const BoundQuery& query,
                                     const PlannerOptions& base) {
   ++GlobalCompileCounters().plan_searches;
-  TraceSpanGuard trace_span("plan-search");
+  TraceSpanGuard trace_span(spans::kPlanSearch);
   // The physical knobs that can matter for this query and catalog:
   // divisions only differ when a quantifier can survive to the
   // combination phase, permanent indexes only when the catalog has one.

@@ -6,6 +6,7 @@
 #include "exec/eval_util.h"
 #include "index/btree_index.h"
 #include "index/hash_index.h"
+#include "obs/span_names.h"
 #include "obs/trace.h"
 
 namespace pascalr {
@@ -163,7 +164,7 @@ Status CollectionBuilders::RunScanFiltered(size_t scan_index,
   // One span per relation pass — the paper's collection-phase unit of
   // work; a demand-driven partial pass traces the same way as an eager
   // full one, with the counters telling them apart.
-  TraceSpanGuard trace_span("scan", stats_, scan.relation);
+  TraceSpanGuard trace_span(spans::kScan, stats_, scan.relation);
   const Relation* rel = db_.FindRelation(scan.relation);
   if (rel == nullptr) {
     return Status::NotFound("no relation named '" + scan.relation + "'");
@@ -401,7 +402,7 @@ Status CollectionBuilders::EnsureRange(const std::string& var) {
 
 Status CollectionBuilders::EnsureIndex(size_t index_id) {
   if (index_built_[index_id]) return Status::OK();
-  TraceSpanGuard trace_span("build-index", stats_,
+  TraceSpanGuard trace_span(spans::kBuildIndex, stats_,
                             plan_.indexes[index_id].debug_name);
   ScanWants wants;
   wants.want_index = true;
@@ -422,7 +423,7 @@ Status CollectionBuilders::EnsureValueList(size_t value_list_id) {
   if (vl_building_[value_list_id]) {
     return Status::Internal("cyclic value-list dependency");
   }
-  TraceSpanGuard trace_span("build-value-list", stats_,
+  TraceSpanGuard trace_span(spans::kBuildValueList, stats_,
                             plan_.value_lists[value_list_id].debug_name);
   vl_building_[value_list_id] = true;
   // Cascaded eliminations (Example 4.7): the gating lists feed this one,
@@ -481,7 +482,7 @@ Status CollectionBuilders::EnsureElementPrereqs(size_t structure_id) {
 
 Status CollectionBuilders::EnsureStructure(size_t structure_id) {
   if (structure_built_[structure_id]) return Status::OK();
-  TraceSpanGuard trace_span("build-structure", stats_,
+  TraceSpanGuard trace_span(spans::kBuildStructure, stats_,
                             plan_.structures[structure_id].debug_name);
   PASCALR_RETURN_IF_ERROR(EnsureElementPrereqs(structure_id));
   ScanWants wants;

@@ -6,6 +6,7 @@
 #include "exec/combination.h"
 #include "exec/construction.h"
 #include "obs/profile.h"
+#include "obs/span_names.h"
 #include "obs/trace.h"
 
 namespace pascalr {
@@ -60,7 +61,7 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   const bool lazy = c.plan_->pipeline &&
                     c.plan_->collection == CollectionPolicy::kLazy;
   if (!lazy) {
-    TraceSpanGuard span("collection", &run.stats);
+    TraceSpanGuard span(spans::kCollection, &run.stats);
     PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
   }
   if (c.plan_->pipeline) {
@@ -97,11 +98,11 @@ Result<Cursor> Cursor::Open(std::shared_ptr<const QueryPlan> plan,
   // Materializing fallback: needs the whole collection up front (a no-op
   // unless the lazy policy skipped it above).
   {
-    TraceSpanGuard span("collection", &run.stats);
+    TraceSpanGuard span(spans::kCollection, &run.stats);
     PASCALR_RETURN_IF_ERROR(run.builders->EnsureAll());
   }
   {
-    TraceSpanGuard span("combination", &run.stats);
+    TraceSpanGuard span(spans::kCombination, &run.stats);
     const uint64_t t0 = profile != nullptr ? MonotonicNowNs() : 0;
     PASCALR_ASSIGN_OR_RETURN(
         run.combined,
@@ -192,7 +193,7 @@ void Cursor::Close() {
     if (run_->tracer != nullptr && run_->drain_ns > 0) {
       auto counters = ExecStatsDelta(run_->stats_at_open, run_->stats);
       counters.emplace_back("rows_emitted", run_->rows_emitted);
-      run_->tracer->AddCompleteSpan("drain", "", run_->drain_start_ns,
+      run_->tracer->AddCompleteSpan(spans::kDrain, "", run_->drain_start_ns,
                                     run_->drain_ns, std::move(counters));
     }
     // Tear down the iterator tree first: its operators hold pointers into

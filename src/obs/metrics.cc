@@ -35,6 +35,10 @@ uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
 }
 
 void LatencyHistogram::Record(uint64_t value) {
+  // All relaxed: each field is an independent tally; a Dump racing a
+  // Record may pair count/sum/buckets from adjacent instants, which is
+  // the documented monitoring contract (header comment). The min/max CAS
+  // loops need atomicity, not ordering.
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -83,26 +87,26 @@ std::string LatencyHistogram::Summary() const {
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const LatencyHistogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::Dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("counter   %-28s %llu\n", name.c_str(),

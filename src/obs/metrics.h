@@ -20,13 +20,17 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace pascalr {
 
 class Counter {
  public:
+  // Relaxed throughout: a metric value is a pure tally — no reader infers
+  // the state of other memory from it, so no ordering is needed.
   void Inc(uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
@@ -38,6 +42,7 @@ class Counter {
 
 class Gauge {
  public:
+  // Relaxed: last-writer-wins monitoring value, read in isolation.
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -96,15 +101,15 @@ class LatencyHistogram {
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_[name];
   }
   Gauge& gauge(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return gauges_[name];
   }
   LatencyHistogram& histogram(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return histograms_[name];
   }
 
@@ -117,10 +122,10 @@ class MetricsRegistry {
   std::string Dump() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, LatencyHistogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace pascalr

@@ -6,6 +6,7 @@
 #include "joinorder/attach.h"
 #include "normalize/fold_empty.h"
 #include "normalize/standard_form.h"
+#include "obs/span_names.h"
 #include "obs/trace.h"
 #include "opt/params.h"
 #include "opt/scan_plan.h"
@@ -76,7 +77,7 @@ Result<StandardForm> StandardFormWithFolding(const Database& db,
                                              BoundQuery query,
                                              std::string* notes,
                                              uint64_t* replans) {
-  TraceSpanGuard trace_span("normalize");
+  TraceSpanGuard trace_span(spans::kNormalize);
   PASCALR_ASSIGN_OR_RETURN(StandardForm sf,
                            BuildStandardForm(std::move(query)));
   bool any_empty = false;
@@ -111,7 +112,7 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
     return SearchBestPlan(db, query, options);
   }
   ++GlobalCompileCounters().plans;
-  TraceSpanGuard trace_span("plan", nullptr,
+  TraceSpanGuard trace_span(spans::kPlan, nullptr,
                             std::string(OptLevelToString(options.level)));
   PlannedQuery out;
   BoundQuery backup = CloneBoundQuery(query);

@@ -6,6 +6,7 @@
 
 #include "concurrency/plan_cache.h"
 #include "concurrency/snapshot.h"
+#include "obs/span_names.h"
 #include "obs/trace.h"
 #include "opt/explain.h"
 #include "pascalr/session.h"
@@ -280,7 +281,7 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   // the caller's when one is already installed; null while serving is
   // off). Captured before any catalog or relation read below.
   ScopedSnapshotInstall install_snapshot(session_->db_->SnapshotForRead());
-  QueryTraceGuard query_guard("execute", "");
+  QueryTraceGuard query_guard(spans::kExecute, "");
   const auto t0 = std::chrono::steady_clock::now();
   bool cache_hit = false;
   PASCALR_RETURN_IF_ERROR(EnsurePlan(params, &cache_hit));

@@ -5,6 +5,7 @@
 #include "base/str_util.h"
 #include "calculus/printer.h"
 #include "obs/profile.h"
+#include "obs/span_names.h"
 #include "opt/explain.h"
 #include "semantics/binder.h"
 
@@ -456,11 +457,11 @@ Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
   // Under an open query trace the guard nests as a "prepare" span;
   // standalone it opens its own trace.
   ScopedTracerInstall install_tracer(active_tracer());
-  QueryTraceGuard query_guard("prepare", std::string(selection_source));
+  QueryTraceGuard query_guard(spans::kPrepare, std::string(selection_source));
   Parser parser(selection_source);
   SelectionExpr sel;
   {
-    TraceSpanGuard span("parse");
+    TraceSpanGuard span(spans::kParse);
     PASCALR_ASSIGN_OR_RETURN(sel, parser.ParseSelectionOnly());
   }
   return PrepareSelection(std::move(sel));
@@ -474,7 +475,7 @@ Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
   state->source = FormatSelection(state->raw_selection);
   Binder binder(db_);
   {
-    TraceSpanGuard span("bind");
+    TraceSpanGuard span(spans::kBind);
     PASCALR_ASSIGN_OR_RETURN(state->template_query,
                              binder.Bind(std::move(selection)));
   }
@@ -493,7 +494,7 @@ Result<QueryRun> Session::Query(std::string_view selection_source) {
   // One snapshot covers parse, bind, plan, and execution (Prepare and
   // Execute below reuse it instead of capturing their own).
   ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
-  QueryTraceGuard query_guard("query", std::string(selection_source),
+  QueryTraceGuard query_guard(spans::kQuery, std::string(selection_source),
                               &total_stats_);
   PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(selection_source));
   PASCALR_ASSIGN_OR_RETURN(PreparedExecution exec, prepared.Execute());
@@ -513,7 +514,7 @@ PreparedQuery* Session::FindPrepared(const std::string& name) {
 Status Session::RunPrepare(const PrepareStmt& stmt) {
   // ExecuteStatement installed the tracer; this opens the statement's
   // query trace so the bind span below it has a home.
-  QueryTraceGuard query_guard("prepare", stmt.name);
+  QueryTraceGuard query_guard(spans::kPrepare, stmt.name);
   PASCALR_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PrepareSelection(stmt.selection.Clone()));
   std::vector<std::string> params = prepared.param_names();
@@ -579,12 +580,12 @@ Result<std::string> Session::Explain(std::string_view selection_source) {
 
 Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
   ScopedTracerInstall install_tracer(active_tracer());
-  QueryTraceGuard query_guard("explain-analyze",
+  QueryTraceGuard query_guard(spans::kExplainAnalyze,
                               std::string(selection_source));
   Parser parser(selection_source);
   SelectionExpr sel;
   {
-    TraceSpanGuard span("parse");
+    TraceSpanGuard span(spans::kParse);
     PASCALR_ASSIGN_OR_RETURN(sel, parser.ParseSelectionOnly());
   }
   return ExplainAnalyzeSelection(std::move(sel));
@@ -593,11 +594,11 @@ Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
 Result<std::string> Session::ExplainAnalyzeSelection(SelectionExpr selection) {
   ScopedTracerInstall install_tracer(active_tracer());
   ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
-  QueryTraceGuard query_guard("explain-analyze", "");
+  QueryTraceGuard query_guard(spans::kExplainAnalyze, "");
   Binder binder(db_);
   BoundQuery bound;
   {
-    TraceSpanGuard span("bind");
+    TraceSpanGuard span(spans::kBind);
     PASCALR_ASSIGN_OR_RETURN(bound, binder.Bind(std::move(selection)));
   }
   PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,

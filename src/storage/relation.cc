@@ -4,7 +4,10 @@
 
 namespace pascalr {
 
-uint64_t Relation::ReadWatermark() const {
+// Unanalyzed: write_mod_ is read latch-free here, but only on the path
+// where this thread IS the (serialised) write statement — no other thread
+// can be mutating it, and the read is of this thread's own prior writes.
+uint64_t Relation::ReadWatermark() const NO_THREAD_SAFETY_ANALYSIS {
   if (concurrency_ != nullptr) {
     // Inside a write statement, the statement reads its own (still
     // unpublished) mutations. Writers are serialised, so write_mod_ is
@@ -21,7 +24,9 @@ uint64_t Relation::ReadWatermark() const {
 
 uint64_t Relation::mod_count() const { return ReadWatermark(); }
 
-size_t Relation::cardinality() const {
+// Unanalyzed for the same reason as ReadWatermark: live_count_ is read
+// latch-free only from inside this thread's own serialised write statement.
+size_t Relation::cardinality() const NO_THREAD_SAFETY_ANALYSIS {
   if (concurrency_ != nullptr) {
     WriteBatch* batch = CurrentWriteBatch();
     if (batch != nullptr && batch->state() == concurrency_) {
@@ -55,7 +60,11 @@ void Relation::AfterMutation() {
   PublishPendingVersions();
 }
 
-void Relation::PublishPendingVersions() {
+// Unanalyzed: called either under latch_ (AfterMutation) or latch-free
+// from WriteBatch::Commit under commit_mu — where the writer-side fields
+// are quiescent because the owning statement has finished mutating and
+// writers are serialised on the database write mutex.
+void Relation::PublishPendingVersions() NO_THREAD_SAFETY_ANALYSIS {
   published_live_.store(live_count_, std::memory_order_release);
   published_mod_.store(write_mod_, std::memory_order_release);
 }
@@ -63,7 +72,7 @@ void Relation::PublishPendingVersions() {
 Result<Ref> Relation::Insert(Tuple tuple) {
   PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
   Tuple key = schema_.KeyOf(tuple);
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   auto it = key_to_slot_.find(key);
   uint32_t prev_head = kNoSlot;
   if (it != key_to_slot_.end()) {
@@ -82,7 +91,7 @@ Result<Ref> Relation::Insert(Tuple tuple) {
   slot.tuple = std::move(tuple);
   ++slot.generation;
   slot.prev = prev_head;
-  slot.died.store(kNeverDies, std::memory_order_relaxed);
+  RelaxedStore(slot.died, kNeverDies);  // ordered by the born release below
   // The born stamp goes last: it is what makes the fully constructed
   // version reachable to lock-free scans.
   slot.born.store(mod, std::memory_order_release);
@@ -101,11 +110,11 @@ Result<Ref> Relation::Insert(Tuple tuple) {
 Result<Ref> Relation::Upsert(Tuple tuple) {
   PASCALR_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
   Tuple key = schema_.KeyOf(tuple);
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   auto it = key_to_slot_.find(key);
   if (it == key_to_slot_.end() ||
       !VisibleAt(slots_[it->second], write_mod_)) {
-    latch.unlock();
+    latch.Release();
     return Insert(std::move(tuple));
   }
   const uint32_t old_index = it->second;
@@ -127,7 +136,7 @@ Result<Ref> Relation::Upsert(Tuple tuple) {
   slot.tuple = std::move(tuple);
   ++slot.generation;
   slot.prev = old_index;
-  slot.died.store(kNeverDies, std::memory_order_relaxed);
+  RelaxedStore(slot.died, kNeverDies);  // ordered by the born release below
   slot.born.store(mod, std::memory_order_release);
   slots_[old_index].died.store(mod, std::memory_order_release);
   if (old_index < delta_.base_size()) delta_.NoteBaseDelete();
@@ -139,7 +148,7 @@ Result<Ref> Relation::Upsert(Tuple tuple) {
 }
 
 Status Relation::EraseByKey(const Tuple& key) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   auto it = key_to_slot_.find(key);
   if (it == key_to_slot_.end() ||
       !VisibleAt(slots_[it->second], write_mod_)) {
@@ -170,7 +179,7 @@ Status Relation::EraseByKey(const Tuple& key) {
 Status Relation::EraseByRef(const Ref& ref) {
   Tuple key;
   {
-    std::shared_lock<std::shared_mutex> latch(latch_);
+    ReaderMutexLock latch(latch_);
     if (ref.relation != id_ || ref.slot >= slots_.size()) {
       return Status::NotFound("dangling or foreign reference " +
                               ref.ToString());
@@ -187,7 +196,7 @@ Status Relation::EraseByRef(const Ref& ref) {
 
 Result<Ref> Relation::RefByKey(const Tuple& key) const {
   const uint64_t watermark = ReadWatermark();
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(latch_);
   auto it = key_to_slot_.find(key);
   uint32_t slot_index = it == key_to_slot_.end() ? kNoSlot : it->second;
   while (slot_index != kNoSlot) {
@@ -203,7 +212,7 @@ Result<Ref> Relation::RefByKey(const Tuple& key) const {
 
 Result<const Tuple*> Relation::SelectByKey(const Tuple& key) const {
   const uint64_t watermark = ReadWatermark();
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(latch_);
   auto it = key_to_slot_.find(key);
   uint32_t slot_index = it == key_to_slot_.end() ? kNoSlot : it->second;
   while (slot_index != kNoSlot) {
@@ -265,7 +274,7 @@ std::vector<Ref> Relation::AllRefs() const {
 }
 
 void Relation::Clear() {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(latch_);
   if (!serving()) {
     slots_.Reset();
     free_slots_.clear();
@@ -293,13 +302,12 @@ void Relation::Clear() {
 size_t Relation::CompactVersions() {
   // Fully exclusive (Database write mutex + registry quiesce): plain
   // stores, no readers to race with.
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  const uint64_t published = published_mod_.load(std::memory_order_relaxed);
+  WriterMutexLock latch(latch_);
+  const uint64_t published = RelaxedLoad(published_mod_);
   const size_t size = slots_.size();
   // Drop map heads whose whole chain is dead; cut surviving chains.
   for (auto it = key_to_slot_.begin(); it != key_to_slot_.end();) {
-    if (slots_[it->second].died.load(std::memory_order_relaxed) <=
-        published) {
+    if (RelaxedLoad(slots_[it->second].died) <= published) {
       it = key_to_slot_.erase(it);
     } else {
       ++it;
@@ -308,15 +316,15 @@ size_t Relation::CompactVersions() {
   size_t retired = 0;
   for (size_t i = 0; i < size; ++i) {
     Slot& slot = slots_[i];
-    if (slot.born.load(std::memory_order_relaxed) == kNeverVisible) {
+    if (RelaxedLoad(slot.born) == kNeverVisible) {
       continue;  // already free
     }
-    if (slot.died.load(std::memory_order_relaxed) <= published) {
+    if (RelaxedLoad(slot.died) <= published) {
       slot.tuple = Tuple();
       ++slot.generation;  // stale refs detect the reclamation
       slot.prev = kNoSlot;
-      slot.died.store(kNeverDies, std::memory_order_relaxed);
-      slot.born.store(kNeverVisible, std::memory_order_relaxed);
+      RelaxedStore(slot.died, kNeverDies);
+      RelaxedStore(slot.born, kNeverVisible);
       free_slots_.push_back(static_cast<uint32_t>(i));
       ++retired;
     } else {

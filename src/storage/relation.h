@@ -32,13 +32,15 @@
 
 #include <atomic>
 #include <functional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/atomic_util.h"
+#include "base/mutex.h"
 #include "base/stable_vector.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "concurrency/delta.h"
 #include "concurrency/snapshot.h"
 #include "storage/ref.h"
@@ -178,33 +180,40 @@ class Relation {
   }
 
   bool serving() const {
-    return concurrency_ != nullptr &&
-           concurrency_->serving.load(std::memory_order_relaxed);
+    // Relaxed: the serving flip happens before concurrent sessions exist.
+    return concurrency_ != nullptr && RelaxedLoad(concurrency_->serving);
   }
 
   /// The watermark this thread reads at (snapshot / write-statement /
   /// published) — the value mod_count() reports.
   uint64_t ReadWatermark() const;
 
-  /// Pops a free slot or appends a fresh one. Caller holds latch_.
-  uint32_t AllocateSlot();
+  /// Pops a free slot or appends a fresh one.
+  uint32_t AllocateSlot() REQUIRES(latch_);
 
   /// Mutation epilogue: hand the pending publication to the ambient
   /// WriteBatch (serving mode inside a statement) or publish immediately.
-  void AfterMutation();
+  void AfterMutation() REQUIRES(latch_);
 
   RelationId id_;
   std::string name_;
   Schema schema_;
+  /// Deliberately unguarded: stable addresses + atomic published size +
+  /// the born/died release protocol make slot reads lock-free (see file
+  /// comment); mutators touch it only under latch_.
   StableVector<Slot> slots_;
-  std::vector<uint32_t> free_slots_;  ///< latch-guarded
+  std::vector<uint32_t> free_slots_ GUARDED_BY(latch_);
   /// Key -> head of its version chain (latest version, live or dead).
-  /// Latch-guarded: mutators exclusive, key lookups shared.
-  std::unordered_map<Tuple, uint32_t, TupleHash> key_to_slot_;
-  mutable std::shared_mutex latch_;
+  /// Mutators exclusive, key lookups shared.
+  std::unordered_map<Tuple, uint32_t, TupleHash> key_to_slot_
+      GUARDED_BY(latch_);
+  mutable SharedMutex latch_;
 
-  size_t live_count_ = 0;    ///< writer-side (current, incl. unpublished)
-  uint64_t write_mod_ = 0;   ///< writer-side version clock
+  /// Writer-side state (current, incl. unpublished). Guarded by latch_
+  /// for mutators; ReadWatermark/cardinality also read them latch-free
+  /// from inside the serialised write statement (see relation.cc).
+  size_t live_count_ GUARDED_BY(latch_) = 0;
+  uint64_t write_mod_ GUARDED_BY(latch_) = 0;
   std::atomic<size_t> published_live_{0};
   std::atomic<uint64_t> published_mod_{0};
 

@@ -91,8 +91,8 @@ TEST_P(DivisionAlgorithmTest, UnknownColumnError) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, DivisionAlgorithmTest,
                          ::testing::Values(DivisionAlgorithm::kHash,
                                            DivisionAlgorithm::kSort),
-                         [](const auto& info) {
-                           return info.param == DivisionAlgorithm::kHash
+                         [](const auto& param_info) {
+                           return param_info.param == DivisionAlgorithm::kHash
                                       ? "Hash"
                                       : "Sort";
                          });

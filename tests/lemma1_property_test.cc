@@ -105,8 +105,8 @@ TEST_P(Lemma1Test, Rule4_OrAll_HoldsAlways) {
 
 INSTANTIATE_TEST_SUITE_P(EmptyAndNonEmpty, Lemma1Test,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "PapersEmpty"
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "PapersEmpty"
                                              : "PapersNonEmpty";
                          });
 

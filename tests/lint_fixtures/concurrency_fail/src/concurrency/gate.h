@@ -1,0 +1,8 @@
+
+#include "base/mutex.h"
+class Gate {
+ private:
+  mutable Mutex mu_;
+  bool closed_ GUARDED_BY(mu_) = false;
+  int racy_count_ = 0;
+};

@@ -1,0 +1,16 @@
+
+#include <atomic>
+#include "base/mutex.h"
+class Gate {
+ private:
+  mutable Mutex mu_;
+  bool closed_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> waits_{0};
+  /// lint: unguarded(set once before concurrent use)
+  int* sink_ = nullptr;
+};
+
+/// lint: thread-compatible(immutable once built)
+struct GateSnapshot {
+  uint64_t version = 0;
+};

@@ -1,0 +1,8 @@
+
+inline void ExportStats(benchmark::State& state, const ExecStats& stats,
+                        size_t result_size) {
+  state.counters["rows_read"] = static_cast<double>(stats.rows_read);
+  state.counters["not_merged"] = static_cast<double>(stats.not_merged);
+  state.counters["not_in_totalwork"] =
+      static_cast<double>(stats.not_in_totalwork);
+}

@@ -1,0 +1,6 @@
+
+void ExecStats::Merge(const ExecStats& o) {
+  rows_read += o.rows_read;
+  not_exported += o.not_exported;
+  not_in_totalwork += o.not_in_totalwork;
+}

@@ -1,0 +1,13 @@
+
+struct ExecStats {
+  uint64_t rows_read = 0;        ///< fine everywhere
+  uint64_t not_merged = 0;       ///< missing from Merge; out of TotalWork()
+  uint64_t not_exported = 0;     ///< missing export column; out of TotalWork()
+  uint64_t not_in_totalwork = 0; ///< undocumented and unsummed
+
+  void Merge(const ExecStats& o);
+
+  uint64_t TotalWork() const {
+    return rows_read;
+  }
+};

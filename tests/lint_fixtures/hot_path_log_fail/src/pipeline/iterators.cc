@@ -1,0 +1,6 @@
+
+#include "base/logging.h"
+bool ScanIterator::Next(Row* out) {
+  PASCALR_LOG_INFO << "row";
+  return false;
+}

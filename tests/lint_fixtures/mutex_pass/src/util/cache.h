@@ -1,0 +1,7 @@
+
+#include "base/mutex.h"
+class Cache {
+ private:
+  mutable Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,7 @@
+
+#include <mutex>
+class Cache {
+ private:
+  mutable std::mutex mu_;
+  int entries_ = 0;
+};

@@ -1,0 +1,6 @@
+
+#include <atomic>
+// a comment saying memory_order_relaxed must not fire the rule
+void Bump(std::atomic<int>& a) {
+  a.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,5 @@
+
+#include <atomic>
+inline void Bump(std::atomic<int>& a) {
+  a.fetch_add(1, std::memory_order_relaxed);
+}

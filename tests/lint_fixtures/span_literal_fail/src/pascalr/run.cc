@@ -1,0 +1,6 @@
+
+void Run() {
+  QueryTraceGuard query_guard("query", "");
+  TraceSpanGuard span("parse");
+  tracer->AddCompleteSpan("drain", "", 0, 1);
+}

@@ -1,0 +1,6 @@
+
+#include "obs/span_names.h"
+void Run() {
+  QueryTraceGuard query_guard(spans::kQuery, "");
+  TraceSpanGuard span(spans::kParse);
+}

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires a capability
+// and returns without releasing it on one path — the classic early-return
+// leak the RAII guards exist to prevent.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Gate {
+ public:
+  bool Enter(bool fast) {
+    mu_.Lock();
+    if (fast) return true;  // leaks mu_: thread-safety error
+    open_ = true;
+    mu_.Unlock();
+    return false;
+  }
+
+ private:
+  pascalr::Mutex mu_;
+  bool open_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate gate;
+  return gate.Enter(false) ? 1 : 0;
+}

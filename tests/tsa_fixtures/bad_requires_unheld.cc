@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a REQUIRES(mu)
+// function without holding mu — dropping a lock acquisition at a call
+// site is a build error.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Bump() { CountLocked(); }  // missing MutexLock: error
+
+ private:
+  void CountLocked() REQUIRES(mu_) { ++count_; }
+
+  pascalr::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Bump();
+  return 0;
+}

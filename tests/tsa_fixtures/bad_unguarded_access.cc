@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads and writes a
+// GUARDED_BY member without holding its mutex. If this fixture ever
+// compiles, the analysis gate is off (macro misconfiguration, missing
+// flags) and the CI job must fail.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // no lock held: thread-safety error
+  }
+  int balance() const { return balance_; }  // ditto
+
+ private:
+  mutable pascalr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}

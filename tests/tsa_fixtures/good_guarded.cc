@@ -1,0 +1,55 @@
+// Correctly disciplined code must pass the analysis: every access to a
+// GUARDED_BY member happens under its lock, via the annotated wrappers.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    pascalr::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  int balance() const {
+    pascalr::MutexLock lock(mu_);
+    return balance_;
+  }
+  void Drain() {
+    mu_.Lock();
+    balance_ = 0;
+    mu_.Unlock();
+  }
+
+ private:
+  mutable pascalr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+class Ledger {
+ public:
+  void Append(int entry) {
+    pascalr::WriterMutexLock lock(mu_);
+    entries_[count_++ % 8] = entry;
+  }
+  int Read(int i) const {
+    pascalr::ReaderMutexLock lock(mu_);
+    return entries_[i % 8];
+  }
+
+ private:
+  mutable pascalr::SharedMutex mu_;
+  int entries_[8] GUARDED_BY(mu_) = {};
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.Drain();
+  Ledger ledger;
+  ledger.Append(account.balance());
+  return ledger.Read(0);
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Thread-safety gate check: proves -Werror=thread-safety has teeth.
+
+Compiles each fixture under tests/tsa_fixtures/ with clang's thread-safety
+analysis as errors:
+
+  good_*.cc  must compile — the annotated-wrapper vocabulary
+             (base/mutex.h) really lets correct code through;
+  bad_*.cc   must FAIL to compile — dropping a lock acquisition or an
+             annotation around guarded state is a build error, not a
+             landmine.
+
+Without the bad_* half, the annotations could silently rot: a header
+change that turned the whole analysis off (say, a macro gate typo) would
+still build everything "clean". This script is registered as a ctest only
+when the compiler is Clang; gcc ignores the annotations by design.
+
+Usage: check_thread_safety.py --compiler <clang++> --src <repo>/src
+"""
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+FLAGS = [
+    "-std=c++17",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Werror=thread-safety",
+]
+
+
+def compile_ok(compiler, src_dir, path):
+    proc = subprocess.run(
+        [compiler] + FLAGS + ["-I", src_dir, path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode == 0, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--src", required=True,
+                    help="repository src/ include directory")
+    ap.add_argument("--fixtures", default=None,
+                    help="fixture directory (default: tests/tsa_fixtures "
+                    "next to src)")
+    args = ap.parse_args()
+
+    fixtures = args.fixtures or os.path.join(
+        os.path.dirname(os.path.abspath(args.src)), "tests", "tsa_fixtures")
+    cases = sorted(glob.glob(os.path.join(fixtures, "*.cc")))
+    if not cases:
+        print("no fixtures under %s" % fixtures)
+        return 1
+
+    failures = 0
+    for path in cases:
+        name = os.path.basename(path)
+        ok, stderr = compile_ok(args.compiler, args.src, path)
+        want_ok = name.startswith("good_")
+        if ok == want_ok:
+            print("PASS %s (%s)" % (
+                name, "compiles" if ok else "rejected as expected"))
+        else:
+            failures += 1
+            if want_ok:
+                print("FAIL %s: expected to compile under "
+                      "-Werror=thread-safety but did not:\n%s"
+                      % (name, stderr))
+            else:
+                print("FAIL %s: expected a thread-safety error but it "
+                      "compiled — the analysis gate is not engaged"
+                      % name)
+    print("%d/%d thread-safety fixtures behaved"
+          % (len(cases) - failures, len(cases)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
