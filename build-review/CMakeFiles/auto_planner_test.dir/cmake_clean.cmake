@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_planner_test.dir/tests/auto_planner_test.cc.o"
+  "CMakeFiles/auto_planner_test.dir/tests/auto_planner_test.cc.o.d"
+  "auto_planner_test"
+  "auto_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

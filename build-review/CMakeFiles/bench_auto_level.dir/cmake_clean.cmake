@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auto_level.dir/bench/bench_auto_level.cc.o"
+  "CMakeFiles/bench_auto_level.dir/bench/bench_auto_level.cc.o.d"
+  "bench_auto_level"
+  "bench_auto_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auto_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_btree.dir/bench/bench_btree.cc.o"
+  "CMakeFiles/bench_btree.dir/bench/bench_btree.cc.o.d"
+  "bench_btree"
+  "bench_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_division.dir/bench/bench_division.cc.o"
+  "CMakeFiles/bench_division.dir/bench/bench_division.cc.o.d"
+  "bench_division"
+  "bench_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

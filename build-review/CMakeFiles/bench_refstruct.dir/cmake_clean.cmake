@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refstruct.dir/bench/bench_refstruct.cc.o"
+  "CMakeFiles/bench_refstruct.dir/bench/bench_refstruct.cc.o.d"
+  "bench_refstruct"
+  "bench_refstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

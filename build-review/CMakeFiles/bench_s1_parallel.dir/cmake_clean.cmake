@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_parallel.dir/bench/bench_s1_parallel.cc.o"
+  "CMakeFiles/bench_s1_parallel.dir/bench/bench_s1_parallel.cc.o.d"
+  "bench_s1_parallel"
+  "bench_s1_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

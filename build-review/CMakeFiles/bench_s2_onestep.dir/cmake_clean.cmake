@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2_onestep.dir/bench/bench_s2_onestep.cc.o"
+  "CMakeFiles/bench_s2_onestep.dir/bench/bench_s2_onestep.cc.o.d"
+  "bench_s2_onestep"
+  "bench_s2_onestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2_onestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

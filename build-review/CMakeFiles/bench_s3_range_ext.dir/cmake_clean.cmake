@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s3_range_ext.dir/bench/bench_s3_range_ext.cc.o"
+  "CMakeFiles/bench_s3_range_ext.dir/bench/bench_s3_range_ext.cc.o.d"
+  "bench_s3_range_ext"
+  "bench_s3_range_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_range_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s3_range_ext.
+# This may be replaced when dependencies are built.

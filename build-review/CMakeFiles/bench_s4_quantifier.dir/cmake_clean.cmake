@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s4_quantifier.dir/bench/bench_s4_quantifier.cc.o"
+  "CMakeFiles/bench_s4_quantifier.dir/bench/bench_s4_quantifier.cc.o.d"
+  "bench_s4_quantifier"
+  "bench_s4_quantifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_quantifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

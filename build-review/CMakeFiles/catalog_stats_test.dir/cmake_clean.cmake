@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_stats_test.dir/tests/catalog_stats_test.cc.o"
+  "CMakeFiles/catalog_stats_test.dir/tests/catalog_stats_test.cc.o.d"
+  "catalog_stats_test"
+  "catalog_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combination_test.dir/tests/combination_test.cc.o"
+  "CMakeFiles/combination_test.dir/tests/combination_test.cc.o.d"
+  "combination_test"
+  "combination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

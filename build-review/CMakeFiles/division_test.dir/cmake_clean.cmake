@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/division_test.dir/tests/division_test.cc.o"
+  "CMakeFiles/division_test.dir/tests/division_test.cc.o.d"
+  "division_test"
+  "division_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_test.dir/tests/dsl_test.cc.o"
+  "CMakeFiles/dsl_test.dir/tests/dsl_test.cc.o.d"
+  "dsl_test"
+  "dsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

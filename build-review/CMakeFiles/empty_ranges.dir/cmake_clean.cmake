@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empty_ranges.dir/examples/empty_ranges.cpp.o"
+  "CMakeFiles/empty_ranges.dir/examples/empty_ranges.cpp.o.d"
+  "empty_ranges"
+  "empty_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empty_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_util_test.dir/tests/eval_util_test.cc.o"
+  "CMakeFiles/eval_util_test.dir/tests/eval_util_test.cc.o.d"
+  "eval_util_test"
+  "eval_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

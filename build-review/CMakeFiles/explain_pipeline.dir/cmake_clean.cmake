@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_pipeline.dir/examples/explain_pipeline.cpp.o"
+  "CMakeFiles/explain_pipeline.dir/examples/explain_pipeline.cpp.o.d"
+  "explain_pipeline"
+  "explain_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_test.dir/tests/figure2_test.cc.o"
+  "CMakeFiles/figure2_test.dir/tests/figure2_test.cc.o.d"
+  "figure2_test"
+  "figure2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

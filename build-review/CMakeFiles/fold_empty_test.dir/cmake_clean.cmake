@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_empty_test.dir/tests/fold_empty_test.cc.o"
+  "CMakeFiles/fold_empty_test.dir/tests/fold_empty_test.cc.o.d"
+  "fold_empty_test"
+  "fold_empty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_empty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

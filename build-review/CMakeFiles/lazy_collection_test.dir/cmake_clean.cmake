@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_collection_test.dir/tests/lazy_collection_test.cc.o"
+  "CMakeFiles/lazy_collection_test.dir/tests/lazy_collection_test.cc.o.d"
+  "lazy_collection_test"
+  "lazy_collection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

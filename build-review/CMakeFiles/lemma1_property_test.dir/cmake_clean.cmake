@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_property_test.dir/tests/lemma1_property_test.cc.o"
+  "CMakeFiles/lemma1_property_test.dir/tests/lemma1_property_test.cc.o.d"
+  "lemma1_property_test"
+  "lemma1_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnf_test.dir/tests/nnf_test.cc.o"
+  "CMakeFiles/nnf_test.dir/tests/nnf_test.cc.o.d"
+  "nnf_test"
+  "nnf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observability_test.dir/tests/observability_test.cc.o"
+  "CMakeFiles/observability_test.dir/tests/observability_test.cc.o.d"
+  "observability_test"
+  "observability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "CMakeFiles/pascalr.dir/src/base/logging.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/base/logging.cc.o.d"
+  "/root/repo/src/base/status.cc" "CMakeFiles/pascalr.dir/src/base/status.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/base/status.cc.o.d"
+  "/root/repo/src/base/str_util.cc" "CMakeFiles/pascalr.dir/src/base/str_util.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/base/str_util.cc.o.d"
+  "/root/repo/src/calculus/ast.cc" "CMakeFiles/pascalr.dir/src/calculus/ast.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/calculus/ast.cc.o.d"
+  "/root/repo/src/calculus/printer.cc" "CMakeFiles/pascalr.dir/src/calculus/printer.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/calculus/printer.cc.o.d"
+  "/root/repo/src/catalog/database.cc" "CMakeFiles/pascalr.dir/src/catalog/database.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/catalog/database.cc.o.d"
+  "/root/repo/src/catalog/relation_stats.cc" "CMakeFiles/pascalr.dir/src/catalog/relation_stats.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/catalog/relation_stats.cc.o.d"
+  "/root/repo/src/concurrency/plan_cache.cc" "CMakeFiles/pascalr.dir/src/concurrency/plan_cache.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/concurrency/plan_cache.cc.o.d"
+  "/root/repo/src/concurrency/snapshot.cc" "CMakeFiles/pascalr.dir/src/concurrency/snapshot.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/concurrency/snapshot.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "CMakeFiles/pascalr.dir/src/cost/cost_model.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/plan_search.cc" "CMakeFiles/pascalr.dir/src/cost/plan_search.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/cost/plan_search.cc.o.d"
+  "/root/repo/src/cost/selectivity.cc" "CMakeFiles/pascalr.dir/src/cost/selectivity.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/cost/selectivity.cc.o.d"
+  "/root/repo/src/exec/collection.cc" "CMakeFiles/pascalr.dir/src/exec/collection.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/collection.cc.o.d"
+  "/root/repo/src/exec/combination.cc" "CMakeFiles/pascalr.dir/src/exec/combination.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/combination.cc.o.d"
+  "/root/repo/src/exec/construction.cc" "CMakeFiles/pascalr.dir/src/exec/construction.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/construction.cc.o.d"
+  "/root/repo/src/exec/cursor.cc" "CMakeFiles/pascalr.dir/src/exec/cursor.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/cursor.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "CMakeFiles/pascalr.dir/src/exec/evaluator.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/naive.cc" "CMakeFiles/pascalr.dir/src/exec/naive.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/naive.cc.o.d"
+  "/root/repo/src/exec/stats.cc" "CMakeFiles/pascalr.dir/src/exec/stats.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/exec/stats.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "CMakeFiles/pascalr.dir/src/index/btree_index.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/index/btree_index.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "CMakeFiles/pascalr.dir/src/index/hash_index.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/index/hash_index.cc.o.d"
+  "/root/repo/src/joinorder/attach.cc" "CMakeFiles/pascalr.dir/src/joinorder/attach.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/joinorder/attach.cc.o.d"
+  "/root/repo/src/joinorder/dp.cc" "CMakeFiles/pascalr.dir/src/joinorder/dp.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/joinorder/dp.cc.o.d"
+  "/root/repo/src/joinorder/heuristics.cc" "CMakeFiles/pascalr.dir/src/joinorder/heuristics.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/joinorder/heuristics.cc.o.d"
+  "/root/repo/src/joinorder/join_graph.cc" "CMakeFiles/pascalr.dir/src/joinorder/join_graph.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/joinorder/join_graph.cc.o.d"
+  "/root/repo/src/normalize/dnf.cc" "CMakeFiles/pascalr.dir/src/normalize/dnf.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/dnf.cc.o.d"
+  "/root/repo/src/normalize/fold_empty.cc" "CMakeFiles/pascalr.dir/src/normalize/fold_empty.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/fold_empty.cc.o.d"
+  "/root/repo/src/normalize/nnf.cc" "CMakeFiles/pascalr.dir/src/normalize/nnf.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/nnf.cc.o.d"
+  "/root/repo/src/normalize/one_sorted.cc" "CMakeFiles/pascalr.dir/src/normalize/one_sorted.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/one_sorted.cc.o.d"
+  "/root/repo/src/normalize/prenex.cc" "CMakeFiles/pascalr.dir/src/normalize/prenex.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/prenex.cc.o.d"
+  "/root/repo/src/normalize/rename.cc" "CMakeFiles/pascalr.dir/src/normalize/rename.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/rename.cc.o.d"
+  "/root/repo/src/normalize/standard_form.cc" "CMakeFiles/pascalr.dir/src/normalize/standard_form.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/normalize/standard_form.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "CMakeFiles/pascalr.dir/src/obs/metrics.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/profile.cc" "CMakeFiles/pascalr.dir/src/obs/profile.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/obs/profile.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "CMakeFiles/pascalr.dir/src/obs/trace.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/obs/trace.cc.o.d"
+  "/root/repo/src/obs/trace_export.cc" "CMakeFiles/pascalr.dir/src/obs/trace_export.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/obs/trace_export.cc.o.d"
+  "/root/repo/src/opt/explain.cc" "CMakeFiles/pascalr.dir/src/opt/explain.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/explain.cc.o.d"
+  "/root/repo/src/opt/params.cc" "CMakeFiles/pascalr.dir/src/opt/params.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/params.cc.o.d"
+  "/root/repo/src/opt/planner.cc" "CMakeFiles/pascalr.dir/src/opt/planner.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/planner.cc.o.d"
+  "/root/repo/src/opt/quant_pushdown.cc" "CMakeFiles/pascalr.dir/src/opt/quant_pushdown.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/quant_pushdown.cc.o.d"
+  "/root/repo/src/opt/range_extension.cc" "CMakeFiles/pascalr.dir/src/opt/range_extension.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/range_extension.cc.o.d"
+  "/root/repo/src/opt/scan_plan.cc" "CMakeFiles/pascalr.dir/src/opt/scan_plan.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/opt/scan_plan.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "CMakeFiles/pascalr.dir/src/parser/lexer.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "CMakeFiles/pascalr.dir/src/parser/parser.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/parser/parser.cc.o.d"
+  "/root/repo/src/pascalr/dsl.cc" "CMakeFiles/pascalr.dir/src/pascalr/dsl.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pascalr/dsl.cc.o.d"
+  "/root/repo/src/pascalr/export.cc" "CMakeFiles/pascalr.dir/src/pascalr/export.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pascalr/export.cc.o.d"
+  "/root/repo/src/pascalr/prepared.cc" "CMakeFiles/pascalr.dir/src/pascalr/prepared.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pascalr/prepared.cc.o.d"
+  "/root/repo/src/pascalr/sample_db.cc" "CMakeFiles/pascalr.dir/src/pascalr/sample_db.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pascalr/sample_db.cc.o.d"
+  "/root/repo/src/pascalr/session.cc" "CMakeFiles/pascalr.dir/src/pascalr/session.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pascalr/session.cc.o.d"
+  "/root/repo/src/pipeline/compile.cc" "CMakeFiles/pascalr.dir/src/pipeline/compile.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pipeline/compile.cc.o.d"
+  "/root/repo/src/pipeline/iterators.cc" "CMakeFiles/pascalr.dir/src/pipeline/iterators.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pipeline/iterators.cc.o.d"
+  "/root/repo/src/pipeline/shape.cc" "CMakeFiles/pascalr.dir/src/pipeline/shape.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/pipeline/shape.cc.o.d"
+  "/root/repo/src/refstruct/division.cc" "CMakeFiles/pascalr.dir/src/refstruct/division.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/refstruct/division.cc.o.d"
+  "/root/repo/src/refstruct/ops.cc" "CMakeFiles/pascalr.dir/src/refstruct/ops.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/refstruct/ops.cc.o.d"
+  "/root/repo/src/refstruct/ref_relation.cc" "CMakeFiles/pascalr.dir/src/refstruct/ref_relation.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/refstruct/ref_relation.cc.o.d"
+  "/root/repo/src/refstruct/value_list.cc" "CMakeFiles/pascalr.dir/src/refstruct/value_list.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/refstruct/value_list.cc.o.d"
+  "/root/repo/src/semantics/binder.cc" "CMakeFiles/pascalr.dir/src/semantics/binder.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/semantics/binder.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "CMakeFiles/pascalr.dir/src/storage/relation.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/storage/relation.cc.o.d"
+  "/root/repo/src/value/schema.cc" "CMakeFiles/pascalr.dir/src/value/schema.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/value/schema.cc.o.d"
+  "/root/repo/src/value/tuple.cc" "CMakeFiles/pascalr.dir/src/value/tuple.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/value/tuple.cc.o.d"
+  "/root/repo/src/value/type.cc" "CMakeFiles/pascalr.dir/src/value/type.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/value/type.cc.o.d"
+  "/root/repo/src/value/value.cc" "CMakeFiles/pascalr.dir/src/value/value.cc.o" "gcc" "CMakeFiles/pascalr.dir/src/value/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

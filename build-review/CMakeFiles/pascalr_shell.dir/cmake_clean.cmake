@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pascalr_shell.dir/examples/pascalr_shell.cpp.o"
+  "CMakeFiles/pascalr_shell.dir/examples/pascalr_shell.cpp.o.d"
+  "pascalr_shell"
+  "pascalr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pascalr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permanent_index_test.dir/tests/permanent_index_test.cc.o"
+  "CMakeFiles/permanent_index_test.dir/tests/permanent_index_test.cc.o.d"
+  "permanent_index_test"
+  "permanent_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permanent_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_equivalence_property_test.dir/tests/plan_equivalence_property_test.cc.o"
+  "CMakeFiles/plan_equivalence_property_test.dir/tests/plan_equivalence_property_test.cc.o.d"
+  "plan_equivalence_property_test"
+  "plan_equivalence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_equivalence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prenex_test.dir/tests/prenex_test.cc.o"
+  "CMakeFiles/prenex_test.dir/tests/prenex_test.cc.o.d"
+  "prenex_test"
+  "prenex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prenex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

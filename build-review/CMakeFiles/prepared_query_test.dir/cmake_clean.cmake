@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepared_query_test.dir/tests/prepared_query_test.cc.o"
+  "CMakeFiles/prepared_query_test.dir/tests/prepared_query_test.cc.o.d"
+  "prepared_query_test"
+  "prepared_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepared_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_pushdown_test.dir/tests/quant_pushdown_test.cc.o"
+  "CMakeFiles/quant_pushdown_test.dir/tests/quant_pushdown_test.cc.o.d"
+  "quant_pushdown_test"
+  "quant_pushdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

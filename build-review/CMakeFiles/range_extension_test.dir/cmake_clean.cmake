@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_extension_test.dir/tests/range_extension_test.cc.o"
+  "CMakeFiles/range_extension_test.dir/tests/range_extension_test.cc.o.d"
+  "range_extension_test"
+  "range_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

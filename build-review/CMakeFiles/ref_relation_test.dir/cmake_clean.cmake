@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_relation_test.dir/tests/ref_relation_test.cc.o"
+  "CMakeFiles/ref_relation_test.dir/tests/ref_relation_test.cc.o.d"
+  "ref_relation_test"
+  "ref_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

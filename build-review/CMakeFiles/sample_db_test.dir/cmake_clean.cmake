@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_db_test.dir/tests/sample_db_test.cc.o"
+  "CMakeFiles/sample_db_test.dir/tests/sample_db_test.cc.o.d"
+  "sample_db_test"
+  "sample_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

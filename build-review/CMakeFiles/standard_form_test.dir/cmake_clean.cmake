@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_form_test.dir/tests/standard_form_test.cc.o"
+  "CMakeFiles/standard_form_test.dir/tests/standard_form_test.cc.o.d"
+  "standard_form_test"
+  "standard_form_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_reports.dir/examples/university_reports.cpp.o"
+  "CMakeFiles/university_reports.dir/examples/university_reports.cpp.o.d"
+  "university_reports"
+  "university_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

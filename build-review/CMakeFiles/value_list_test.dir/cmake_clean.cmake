@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_list_test.dir/tests/value_list_test.cc.o"
+  "CMakeFiles/value_list_test.dir/tests/value_list_test.cc.o.d"
+  "value_list_test"
+  "value_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
