@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "exec/cursor.h"
+#include "obs/stmt_stats.h"
 
 namespace pascalr {
 namespace {
@@ -261,6 +262,88 @@ BENCHMARK(RunDrainLatency)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// Overhead gate for the always-on statement statistics (PR invariant:
+// collection stays off the hot row path — ONE fold per statement, at
+// drain end). Pairs of drains run back to back, one bare and one
+// followed by the StmtStatsStore fold every statement pays, with the
+// order alternating to cancel cache-warmth drift; the exported
+// fold_overhead_pct is the relative cost of the folded half and CI
+// fails the smoke run when it exceeds 5%.
+void RunStmtStatsFoldOverhead(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto db = MakeScaledDb(n);
+  const std::string query =
+      "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses:"
+      " SOME t IN timetable ((e.enr = t.tenr) AND (c.cnr = t.tcnr))]";
+  Parser parser(query);
+  Result<SelectionExpr> sel = parser.ParseSelectionOnly();
+  if (!sel.ok()) std::abort();
+  Binder binder(db.get());
+  Result<BoundQuery> bound = binder.Bind(std::move(sel).value());
+  if (!bound.ok()) std::abort();
+  PlannerOptions options;
+  options.level = OptLevel::kOneStep;
+  Result<PlannedQuery> planned =
+      PlanQuery(*db, std::move(bound).value(), options);
+  if (!planned.ok()) std::abort();
+  auto plan = std::make_shared<const QueryPlan>(std::move(planned->plan));
+
+  StmtStatsStore store;
+  auto drain = [&](bool fold) -> uint64_t {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<Cursor> cursor = Cursor::Open(plan, *db, nullptr);
+    if (!cursor.ok()) std::abort();
+    Tuple t;
+    uint64_t rows = 0;
+    while (true) {
+      Result<bool> more = cursor->Next(&t);
+      if (!more.ok()) std::abort();
+      if (!*more) break;
+      ++rows;
+    }
+    const ExecStats stats = cursor->stats();
+    cursor->Close();
+    if (fold) {
+      StmtObservation obs;
+      obs.latency_us = 1;
+      obs.rows = rows;
+      obs.stats = &stats;
+      store.Fold(query, obs);
+    }
+    benchmark::DoNotOptimize(rows);
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+
+  uint64_t ns_bare = 0;
+  uint64_t ns_folded = 0;
+  bool bare_first = true;
+  for (auto _ : state) {
+    if (bare_first) {
+      ns_bare += drain(false);
+      ns_folded += drain(true);
+    } else {
+      ns_folded += drain(true);
+      ns_bare += drain(false);
+    }
+    bare_first = !bare_first;
+  }
+  const double overhead_pct =
+      ns_bare == 0 ? 0.0
+                   : (static_cast<double>(ns_folded) -
+                      static_cast<double>(ns_bare)) *
+                         100.0 / static_cast<double>(ns_bare);
+  state.counters["fold_overhead_pct"] = overhead_pct;
+  state.SetLabel("one fold per drained statement");
+}
+
+BENCHMARK(RunStmtStatsFoldOverhead)
+    ->Arg(16)
+    ->Arg(64)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -11,6 +11,10 @@
 //                    (demand-driven structure builders behind Next)
 //   .stats           cumulative session statistics
 //   .metrics         session metrics (latency percentiles, plan cache, ...)
+//   .metrics prom    server-wide metrics in Prometheus text format
+//   .slow            dump the slow-query flight recorder (newest first)
+//   .slow N|off      arm the recorder at N microseconds / disarm it
+//                    (same as SET SLOWLOG N|OFF;)
 //   .trace on|off    query tracing (same as SET TRACE ON|OFF;)
 //   .trace FILE      export collected traces as Chrome trace-event JSON
 //                    (load in chrome://tracing or Perfetto), then clear
@@ -26,6 +30,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/prom_export.h"
 #include "obs/trace_export.h"
 #include "pascalr/export.h"
 #include "pascalr/pascalr.h"
@@ -58,9 +63,12 @@ void PrintHelp() {
       "  SET TRACE ON;       -- per-query span traces (.trace FILE exports)\n"
       "  EXPLAIN ANALYZE [<x.s> OF EACH x IN r: x.a < 10];\n"
       "  METRICS;            -- session metrics (same as .metrics)\n"
+      "  SET SLOWLOG 1000;   -- record queries slower than 1000us (.slow)\n"
+      "  out := [<s.fingerprint, s.calls> OF EACH s IN sys$statements: TRUE];\n"
+      "                      -- the engine's own telemetry is queryable\n"
       "meta: .help .level N|auto .joinorder dp|bushy|greedy .pipeline on|off "
-      ".collection eager|lazy .stats .metrics .trace on|off|FILE .dump "
-      ".quit\n";
+      ".collection eager|lazy .stats .metrics [prom] .slow [N|off] "
+      ".trace on|off|FILE .dump .quit\n";
 }
 
 }  // namespace
@@ -94,8 +102,31 @@ int main(int argc, char** argv) {
         PrintHelp();
       } else if (line == ".stats") {
         std::cout << session.total_stats().ToString() << "\n";
-      } else if (line == ".metrics") {
-        std::cout << session.metrics().Dump();
+      } else if (line.rfind(".metrics", 0) == 0) {
+        std::string arg = pascalr::AsciiToLower(Trim(line.substr(8)));
+        if (arg == "prom") {
+          std::cout << pascalr::ExportPrometheus(db.server_metrics(),
+                                                 &db.stmt_stats(),
+                                                 &db.slow_log());
+        } else if (arg.empty()) {
+          std::cout << session.metrics().Dump();
+        } else {
+          std::cout << ".metrics takes no argument, or 'prom'\n";
+        }
+      } else if (line.rfind(".slow", 0) == 0) {
+        std::string arg = pascalr::AsciiToLower(Trim(line.substr(5)));
+        if (arg.empty()) {
+          std::cout << db.slow_log().Dump();
+        } else if (arg == "off") {
+          db.slow_log().set_threshold_us(0);
+          std::cout << "slow-query log disarmed\n";
+        } else if (arg.find_first_not_of("0123456789") == std::string::npos) {
+          db.slow_log().set_threshold_us(std::stoull(arg));
+          std::cout << "recording queries slower than " << arg << "us\n";
+        } else {
+          std::cout << ".slow takes no argument, a microsecond threshold, "
+                       "or 'off'\n";
+        }
       } else if (line.rfind(".trace", 0) == 0) {
         std::string arg = Trim(line.substr(6));
         std::string lower = pascalr::AsciiToLower(arg);

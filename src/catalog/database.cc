@@ -3,6 +3,7 @@
 #include "base/str_util.h"
 #include "index/btree_index.h"
 #include "index/hash_index.h"
+#include "obs/system_relations.h"
 
 namespace pascalr {
 
@@ -255,6 +256,9 @@ Result<const RelationStats*> Database::Analyze(const std::string& relation) {
 
 Status Database::AnalyzeAll() {
   for (const std::string& name : RelationNames()) {
+    // System relations keep their quietly seeded trivial statistics —
+    // ANALYZE over them would bump the stats epoch on every refresh.
+    if (IsSystemRelationName(name)) continue;
     PASCALR_ASSIGN_OR_RETURN(const RelationStats* ignored, Analyze(name));
     (void)ignored;
   }
@@ -262,6 +266,14 @@ Status Database::AnalyzeAll() {
 }
 
 Status Database::SeedStats(RelationStats stats) {
+  return SeedStatsImpl(std::move(stats), /*bump_epoch=*/true);
+}
+
+Status Database::SeedStatsQuiet(RelationStats stats) {
+  return SeedStatsImpl(std::move(stats), /*bump_epoch=*/false);
+}
+
+Status Database::SeedStatsImpl(RelationStats stats, bool bump_epoch) {
   WriterMutexLock cat(catalog_mu_);
   auto rel_it = by_name_.find(stats.relation);
   Relation* rel =
@@ -284,7 +296,7 @@ Status Database::SeedStats(RelationStats stats) {
   } else {
     stats_[name] = std::move(fresh);
   }
-  stats_epoch_.fetch_add(1, std::memory_order_release);
+  if (bump_epoch) stats_epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

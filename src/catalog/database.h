@@ -46,6 +46,8 @@
 #include "concurrency/plan_cache.h"
 #include "concurrency/snapshot.h"
 #include "index/index.h"
+#include "obs/metrics.h"
+#include "obs/stmt_stats.h"
 #include "storage/relation.h"
 #include "value/type.h"
 
@@ -128,6 +130,13 @@ class Database {
   /// (column names are trusted to have been resolved by the caller).
   Status SeedStats(RelationStats stats);
 
+  /// SeedStats without the stats-epoch bump. Reserved for the system
+  /// relations (obs/system_relations.cc): their statistics change on
+  /// every refresh, and bumping the epoch each time would invalidate
+  /// every cached plan in the server. Plans over the views themselves
+  /// still revalidate through the per-relation mod_count watermarks.
+  Status SeedStatsQuiet(RelationStats stats);
+
   std::vector<std::string> RelationNames() const;
 
   /// Human-readable catalog summary.
@@ -199,6 +208,28 @@ class Database {
   SharedPlanCache& shared_plans() { return shared_plans_; }
   const SharedPlanCache& shared_plans() const { return shared_plans_; }
 
+  // ---- self-observation (obs/) --------------------------------------
+  // Server-wide: every session folds into these, and the sys$ system
+  // relations (obs/system_relations.h) materialize them as queryable
+  // catalog relations. Each is internally synchronized.
+
+  /// Per-normalized-statement execution statistics (sys$statements).
+  StmtStatsStore& stmt_stats() { return stmt_stats_; }
+  const StmtStatsStore& stmt_stats() const { return stmt_stats_; }
+
+  /// Server-wide named counters/gauges/latency histograms (sys$metrics,
+  /// `.metrics` in the shell, the Prometheus exporter).
+  MetricsRegistry& server_metrics() { return server_metrics_; }
+  const MetricsRegistry& server_metrics() const { return server_metrics_; }
+
+  /// Bounded ring of above-threshold queries (SET SLOWLOG <usec>).
+  SlowQueryLog& slow_log() { return slow_log_; }
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+
+  /// Live sessions with per-session tallies (sys$sessions).
+  SessionRegistry& session_registry() { return session_registry_; }
+  const SessionRegistry& session_registry() const { return session_registry_; }
+
  private:
   struct IndexEntry {
     std::unique_ptr<ComponentIndex> index;
@@ -248,8 +279,16 @@ class Database {
   /// cannot follow)
   Mutex write_mu_;
 
+  /// Shared SeedStats body; the quiet variant skips the epoch bump.
+  Status SeedStatsImpl(RelationStats stats, bool bump_epoch);
+
   mutable ConcurrencyState concurrency_;
   SharedPlanCache shared_plans_;
+
+  StmtStatsStore stmt_stats_;
+  MetricsRegistry server_metrics_;
+  SlowQueryLog slow_log_;
+  SessionRegistry session_registry_;
 };
 
 }  // namespace pascalr

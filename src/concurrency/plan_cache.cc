@@ -88,4 +88,19 @@ void SharedPlanCache::Clear() {
   insertion_order_.clear();
 }
 
+std::vector<SharedPlanCache::Description> SharedPlanCache::Describe() const {
+  MutexLock lock(mu_);
+  std::vector<Description> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    Description d;
+    d.key = key;
+    d.stats_epoch = entry.stats_epoch;
+    d.relations = entry.rel_mods.size();
+    d.param_probes = entry.template_range_empty.size() + entry.plan_probes.size();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 }  // namespace pascalr

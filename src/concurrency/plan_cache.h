@@ -82,6 +82,18 @@ class SharedPlanCache {
   uint64_t misses() const;
   size_t size() const;
 
+  /// One row per cached entry, for the sys$plan_cache system relation:
+  /// the cache key plus the entry's validity-stamp shape.
+  /// lint: thread-compatible(a value type — Describe builds these copies
+  /// under the cache mutex and hands them out by value)
+  struct Description {
+    std::string key;
+    uint64_t stats_epoch = 0;
+    size_t relations = 0;     // rel_mods watermarks carried
+    size_t param_probes = 0;  // template + plan-prefix emptiness probes
+  };
+  std::vector<Description> Describe() const;
+
   void Clear();
 
  private:

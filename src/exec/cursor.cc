@@ -31,11 +31,14 @@ Cursor& Cursor::operator=(Cursor&& other) noexcept {
   plan_ = std::move(other.plan_);
   db_ = other.db_;
   sink_ = other.sink_;
+  close_hook_ = std::move(other.close_hook_);
   run_ = std::move(other.run_);
   open_ = other.open_;
-  // The moved-from cursor must not flush the sink again on destruction.
+  // The moved-from cursor must not flush the sink (or fire the close
+  // hook) again on destruction.
   other.open_ = false;
   other.sink_ = nullptr;
+  other.close_hook_ = nullptr;
   other.plan_.reset();
   return *this;
 }
@@ -200,7 +203,14 @@ void Cursor::Close() {
     // the plan and the collection builders.
     run_->pipeline.root.reset();
     if (sink_ != nullptr) sink_->Merge(run_->stats);
+    if (close_hook_) {
+      // seen's size is exactly the emitted-tuple count on both execution
+      // paths (every emitted tuple passes dedup), unlike rows_emitted
+      // which only counts when a tracer is attached.
+      close_hook_(run_->stats, run_->seen.size());
+    }
   }
+  close_hook_ = nullptr;
   sink_ = nullptr;
   plan_.reset();
 }

@@ -26,6 +26,7 @@
 #ifndef PASCALR_EXEC_CURSOR_H_
 #define PASCALR_EXEC_CURSOR_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -79,6 +80,15 @@ class Cursor {
   void Close();
 
   bool is_open() const { return open_; }
+
+  /// Registers a hook invoked exactly once, at Close (or destruction),
+  /// with this run's final ExecStats and the number of result tuples the
+  /// cursor emitted. The statement-statistics layer uses this to fold a
+  /// partially drained cursor's run when the client abandons it — the
+  /// fold happens at teardown, never on the row hot path.
+  void set_close_hook(std::function<void(const ExecStats&, uint64_t)> hook) {
+    close_hook_ = std::move(hook);
+  }
 
   /// True when this cursor streams the combination phase through the
   /// join-iterator pipeline (false: materializing fallback).
@@ -142,6 +152,7 @@ class Cursor {
   std::shared_ptr<const QueryPlan> plan_;
   const Database* db_ = nullptr;
   ExecStats* sink_ = nullptr;
+  std::function<void(const ExecStats&, uint64_t)> close_hook_;
   std::unique_ptr<RunState> run_;
   bool open_ = false;
 };

@@ -105,6 +105,37 @@ const LatencyHistogram* MetricsRegistry::FindHistogram(
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+std::map<std::string, uint64_t> MetricsRegistry::CountersSnapshot() const {
+  MutexLock lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter.value();
+  return out;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::GaugesSnapshot() const {
+  MutexLock lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge.value();
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSnapshot>
+MetricsRegistry::HistogramsSnapshot() const {
+  MutexLock lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot& snap = out[name];
+    snap.count = hist.count();
+    snap.sum = hist.sum();
+    snap.mean = hist.Mean();
+    snap.p50 = hist.Percentile(0.50);
+    snap.p95 = hist.Percentile(0.95);
+    snap.p99 = hist.Percentile(0.99);
+    snap.max = hist.max();
+  }
+  return out;
+}
+
 std::string MetricsRegistry::Dump() const {
   MutexLock lock(mu_);
   std::string out;

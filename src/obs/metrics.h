@@ -121,6 +121,22 @@ class MetricsRegistry {
   /// All metrics, one per line, sorted by name within each kind.
   std::string Dump() const;
 
+  /// Point-in-time copies for exporters (sys$metrics, the Prometheus
+  /// text surface). Same per-instrument race contract as Dump: each
+  /// value is coherent, adjacent values may be from adjacent instants.
+  struct HistogramSnapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+  };
+  std::map<std::string, uint64_t> CountersSnapshot() const;
+  std::map<std::string, int64_t> GaugesSnapshot() const;
+  std::map<std::string, HistogramSnapshot> HistogramsSnapshot() const;
+
  private:
   mutable Mutex mu_;
   std::map<std::string, Counter> counters_ GUARDED_BY(mu_);

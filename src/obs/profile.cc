@@ -28,6 +28,17 @@ double QError(double est, uint64_t actual) {
   return q < 1.0 ? 1.0 : q;
 }
 
+double MaxQError(const PipelineProfile& profile) {
+  double worst = 0.0;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    const OpNode& n = profile.node(static_cast<int>(i));
+    if (n.est_rows < 0.0) continue;
+    double q = QError(n.est_rows, n.prof.rows_out);
+    if (q > worst) worst = q;
+  }
+  return worst;
+}
+
 int PipelineProfile::Add(std::string label, double est_rows,
                          std::vector<int> children) {
   OpNode node;

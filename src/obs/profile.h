@@ -83,6 +83,12 @@ class PipelineProfile {
 /// >= 1; by convention 0-vs-0 is a perfect 1. Exposed for tests.
 double QError(double est, uint64_t actual);
 
+/// Worst per-operator q-error of a profiled run — the scalar the
+/// statement-statistics store harvests per EXPLAIN ANALYZE. Operators
+/// without an estimate (est_rows < 0) are skipped; 0 when no operator
+/// carries one.
+double MaxQError(const PipelineProfile& profile);
+
 /// Transparent counting/timing decorator. Conforms to the one-method
 /// RefIterator protocol: the wrapped operator's first Next doubles as its
 /// open, so open_calls counts first-Next preparations.

@@ -1,0 +1,78 @@
+#include "obs/prom_export.h"
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+/// "query.latency_us" → "pascalr_query_latency_us". Prometheus metric
+/// names admit [a-zA-Z0-9_:]; everything else flattens to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "pascalr_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void EmitScalar(const std::string& name, const char* type,
+                unsigned long long value, std::string* out) {
+  *out += StrFormat("# TYPE %s %s\n%s %llu\n", name.c_str(), type,
+                    name.c_str(), value);
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& metrics,
+                             const StmtStatsStore* stmt_stats,
+                             const SlowQueryLog* slow_log) {
+  std::string out;
+  for (const auto& [name, value] : metrics.CountersSnapshot()) {
+    EmitScalar(PromName(name), "counter",
+               static_cast<unsigned long long>(value), &out);
+  }
+  for (const auto& [name, value] : metrics.GaugesSnapshot()) {
+    const std::string prom = PromName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %lld\n", prom.c_str(), prom.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, hist] : metrics.HistogramsSnapshot()) {
+    const std::string prom = PromName(name);
+    out += StrFormat("# TYPE %s summary\n", prom.c_str());
+    out += StrFormat("%s{quantile=\"0.5\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(hist.p50));
+    out += StrFormat("%s{quantile=\"0.95\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(hist.p95));
+    out += StrFormat("%s{quantile=\"0.99\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(hist.p99));
+    out += StrFormat("%s_sum %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(hist.sum));
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(hist.count));
+  }
+  if (stmt_stats != nullptr) {
+    uint64_t calls = 0;
+    uint64_t rows = 0;
+    uint64_t work = 0;
+    const std::vector<StmtStatsSnapshot> all = stmt_stats->SnapshotAll();
+    for (const StmtStatsSnapshot& s : all) {
+      calls += s.calls;
+      rows += s.rows;
+      work += s.counters.TotalWork();
+    }
+    EmitScalar("pascalr_statements_distinct", "gauge", all.size(), &out);
+    EmitScalar("pascalr_statements_calls_total", "counter", calls, &out);
+    EmitScalar("pascalr_statements_rows_total", "counter", rows, &out);
+    EmitScalar("pascalr_statements_work_total", "counter", work, &out);
+  }
+  if (slow_log != nullptr) {
+    EmitScalar("pascalr_slow_queries_total", "counter", slow_log->recorded(),
+               &out);
+  }
+  return out;
+}
+
+}  // namespace pascalr

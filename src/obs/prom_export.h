@@ -1,0 +1,31 @@
+// Prometheus text-format exporter over the engine's metrics surface:
+// renders a MetricsRegistry (counters, gauges, histogram summaries with
+// quantile labels) and, optionally, the server-wide statement-statistics
+// aggregates into the exposition format a Prometheus scrape endpoint (or
+// the shell's `.metrics prom`) can serve directly.
+//
+// Metric names are prefixed "pascalr_" and dotted registry names are
+// flattened to underscores ("plan_cache.hits" → pascalr_plan_cache_hits).
+// Per-fingerprint series are deliberately NOT exported — statement text
+// is unbounded-cardinality label data; the per-statement surface is the
+// sys$statements system relation instead.
+
+#ifndef PASCALR_OBS_PROM_EXPORT_H_
+#define PASCALR_OBS_PROM_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/stmt_stats.h"
+
+namespace pascalr {
+
+/// Renders `metrics` (and, when non-null, `stmt_stats` aggregates) in
+/// the Prometheus text exposition format.
+std::string ExportPrometheus(const MetricsRegistry& metrics,
+                             const StmtStatsStore* stmt_stats = nullptr,
+                             const SlowQueryLog* slow_log = nullptr);
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OBS_PROM_EXPORT_H_

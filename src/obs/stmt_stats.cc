@@ -1,0 +1,176 @@
+#include "obs/stmt_stats.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace pascalr {
+
+namespace {
+
+constexpr char kOverflowKey[] = "<overflow>";
+
+}  // namespace
+
+void StmtStatsStore::Fold(const std::string& fingerprint,
+                          const StmtObservation& obs) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    if (entries_.size() >= kMaxEntries) {
+      it = entries_.try_emplace(kOverflowKey).first;
+    } else {
+      it = entries_.try_emplace(fingerprint).first;
+    }
+  }
+  Entry& e = it->second;
+  ++e.calls;
+  e.rows += obs.rows;
+  if (obs.plan_cache_hit) {
+    ++e.plan_hits;
+  } else {
+    ++e.plan_misses;
+  }
+  if (obs.max_qerror > 0.0) {
+    const uint64_t scaled = static_cast<uint64_t>(obs.max_qerror * 100.0);
+    e.max_qerror_x100 = std::max(e.max_qerror_x100, scaled);
+  }
+  e.latency.Record(obs.latency_us);
+  if (obs.stats != nullptr) e.counters.Merge(*obs.stats);
+}
+
+StmtStatsSnapshot StmtStatsStore::Materialize(const std::string& fingerprint,
+                                              const Entry& entry) {
+  StmtStatsSnapshot out;
+  out.fingerprint = fingerprint;
+  out.calls = entry.calls;
+  out.rows = entry.rows;
+  out.total_us = entry.latency.sum();
+  out.mean_us = entry.latency.Mean();
+  out.p50_us = entry.latency.Percentile(0.50);
+  out.p95_us = entry.latency.Percentile(0.95);
+  out.p99_us = entry.latency.Percentile(0.99);
+  out.max_us = entry.latency.max();
+  out.plan_hits = entry.plan_hits;
+  out.plan_misses = entry.plan_misses;
+  out.max_qerror_x100 = entry.max_qerror_x100;
+  out.counters = entry.counters;
+  return out;
+}
+
+std::vector<StmtStatsSnapshot> StmtStatsStore::SnapshotAll() const {
+  MutexLock lock(mu_);
+  std::vector<StmtStatsSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [fingerprint, entry] : entries_) {
+    out.push_back(Materialize(fingerprint, entry));
+  }
+  return out;  // map iteration order == sorted by fingerprint
+}
+
+StmtStatsSnapshot StmtStatsStore::SnapshotOne(
+    const std::string& fingerprint) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    StmtStatsSnapshot empty;
+    empty.fingerprint = fingerprint;
+    return empty;
+  }
+  return Materialize(fingerprint, it->second);
+}
+
+void StmtStatsStore::Clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+}
+
+size_t StmtStatsStore::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  MutexLock lock(mu_);
+  record.seq = ++next_seq_;
+  ring_.push_back(std::move(record));
+  if (ring_.size() > kCapacity) ring_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::SnapshotAll() const {
+  MutexLock lock(mu_);
+  return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  MutexLock lock(mu_);
+  return next_seq_;
+}
+
+void SlowQueryLog::Clear() {
+  MutexLock lock(mu_);
+  ring_.clear();
+}
+
+std::string SlowQueryLog::Dump() const {
+  std::vector<SlowQueryRecord> records = SnapshotAll();
+  const uint64_t threshold = threshold_us();
+  std::string out =
+      threshold == 0
+          ? std::string("slow-query log disarmed (SET SLOWLOG <usec>;)\n")
+          : StrFormat("slow-query log: threshold=%lluus, %zu record(s)\n",
+                      static_cast<unsigned long long>(threshold),
+                      records.size());
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    out += StrFormat("#%llu  %lluus  %llu row(s)  work=%llu  [%s]\n    %s\n",
+                     static_cast<unsigned long long>(it->seq),
+                     static_cast<unsigned long long>(it->latency_us),
+                     static_cast<unsigned long long>(it->rows),
+                     static_cast<unsigned long long>(it->total_work),
+                     it->plan_summary.c_str(), it->source.c_str());
+  }
+  return out;
+}
+
+uint64_t SessionRegistry::Register() {
+  MutexLock lock(mu_);
+  const uint64_t id = ++next_id_;
+  Row& row = rows_[id];
+  row.id = id;
+  return id;
+}
+
+void SessionRegistry::Unregister(uint64_t id) {
+  MutexLock lock(mu_);
+  rows_.erase(id);
+}
+
+void SessionRegistry::RecordQuery(uint64_t id) {
+  MutexLock lock(mu_);
+  auto it = rows_.find(id);
+  if (it != rows_.end()) ++it->second.queries;
+}
+
+void SessionRegistry::RecordWrite(uint64_t id) {
+  MutexLock lock(mu_);
+  auto it = rows_.find(id);
+  if (it != rows_.end()) ++it->second.writes;
+}
+
+std::vector<SessionRegistry::Row> SessionRegistry::SnapshotAll() const {
+  MutexLock lock(mu_);
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) {
+    (void)id;
+    out.push_back(row);
+  }
+  return out;
+}
+
+size_t SessionRegistry::size() const {
+  MutexLock lock(mu_);
+  return rows_.size();
+}
+
+}  // namespace pascalr

@@ -1,0 +1,190 @@
+// Server-wide statement statistics, session registry, and the slow-query
+// flight recorder — the pg_stat_statements analogue for this engine.
+//
+// One StmtStatsStore lives on the Database and every session folds into
+// it: each completed Execute/Query (and each EXPLAIN ANALYZE run)
+// contributes one observation keyed by the statement's normalized
+// fingerprint (FormatSelection of the prepared template — parameter
+// markers included, values excluded, so all bindings of one template
+// share a row). An observation carries the end-to-end latency, rows
+// returned, the run's full ExecStats, whether the plan cache hit, and —
+// when the run was profiled — the worst per-operator q-error of the
+// profile tree.
+//
+// The fold happens once per statement, after the cursor closes (or after
+// Execute's drain) — never per Next — so the always-on collection stays
+// off the row hot path and tracing-off drains remain counter-bit-
+// identical to an uninstrumented build.
+//
+// SlowQueryLog is the flight recorder: a bounded ring of the most recent
+// above-threshold statements (source, latency, plan summary, counters),
+// armed by `SET SLOWLOG <usec>;` (0 disarms) and read by the shell's
+// `.slow`. SessionRegistry tracks the live sessions for sys$sessions.
+//
+// All three are internally synchronised (one mutex each, folds are
+// statement-granular) and safe to share across every serving thread.
+
+#ifndef PASCALR_OBS_STMT_STATS_H_
+#define PASCALR_OBS_STMT_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "exec/stats.h"
+#include "obs/metrics.h"
+
+namespace pascalr {
+
+/// One statement's accumulated telemetry, as folded so far. Also the
+/// materialized row shape of the sys$statements system relation.
+struct StmtStatsSnapshot {
+  std::string fingerprint;
+  uint64_t calls = 0;
+  uint64_t rows = 0;
+  uint64_t total_us = 0;
+  uint64_t mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  /// Worst per-operator q-error seen across this statement's profiled
+  /// runs, scaled by 100 (the relations are integer-typed); 0 until an
+  /// EXPLAIN ANALYZE has run the statement.
+  uint64_t max_qerror_x100 = 0;
+  /// Summed work counters of every run (peak_intermediate_rows merges by
+  /// max, like ExecStats::Merge everywhere else).
+  ExecStats counters;
+};
+
+/// One observation of one completed statement run.
+struct StmtObservation {
+  uint64_t latency_us = 0;
+  uint64_t rows = 0;
+  bool plan_cache_hit = false;
+  /// max per-operator q-error of the run's profile tree; <= 0 when the
+  /// run was not profiled (the common case — profiling is opt-in).
+  double max_qerror = 0.0;
+  const ExecStats* stats = nullptr;  ///< required
+};
+
+class StmtStatsStore {
+ public:
+  /// Entries beyond this many distinct fingerprints fold into the
+  /// catch-all "<overflow>" row instead of growing without bound.
+  static constexpr size_t kMaxEntries = 4096;
+
+  /// Folds one completed run into the fingerprint's row. Thread-safe;
+  /// called once per statement, off the row hot path.
+  void Fold(const std::string& fingerprint, const StmtObservation& obs);
+
+  /// Consistent copy of every row, sorted by fingerprint.
+  std::vector<StmtStatsSnapshot> SnapshotAll() const;
+
+  /// The row for one fingerprint; calls == 0 when never folded.
+  StmtStatsSnapshot SnapshotOne(const std::string& fingerprint) const;
+
+  void Clear();
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t calls = 0;
+    uint64_t rows = 0;
+    uint64_t plan_hits = 0;
+    uint64_t plan_misses = 0;
+    uint64_t max_qerror_x100 = 0;
+    LatencyHistogram latency;
+    ExecStats counters;
+  };
+
+  static StmtStatsSnapshot Materialize(const std::string& fingerprint,
+                                       const Entry& entry);
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+};
+
+/// One recorded slow query.
+struct SlowQueryRecord {
+  uint64_t seq = 0;  ///< monotonically increasing admission number
+  std::string source;
+  std::string plan_summary;  ///< one line: level/pipeline/cache verdicts
+  uint64_t latency_us = 0;
+  uint64_t rows = 0;
+  uint64_t total_work = 0;  ///< ExecStats::TotalWork of the run
+};
+
+/// Bounded ring buffer of recent above-threshold statements. The
+/// threshold is an atomic read on the record path, so a disarmed log
+/// (threshold 0, the default) costs one relaxed load per statement.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kCapacity = 128;
+
+  void set_threshold_us(uint64_t t) {
+    threshold_us_.store(t, std::memory_order_relaxed);
+  }
+  uint64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+  /// True when armed and `latency_us` crosses the threshold — callers
+  /// gate on this before building a record.
+  bool ShouldRecord(uint64_t latency_us) const {
+    const uint64_t t = threshold_us();
+    return t > 0 && latency_us >= t;
+  }
+
+  void Record(SlowQueryRecord record);
+  std::vector<SlowQueryRecord> SnapshotAll() const;
+  /// Total admissions, including records the ring has since evicted.
+  uint64_t recorded() const;
+  void Clear();
+
+  /// Human-readable dump (newest first) for the shell's `.slow`.
+  std::string Dump() const;
+
+ private:
+  std::atomic<uint64_t> threshold_us_{0};
+  mutable Mutex mu_;
+  std::deque<SlowQueryRecord> ring_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+};
+
+/// Live sessions of one Database, for sys$sessions: Session registers in
+/// its constructor and unregisters in its destructor, and bumps its row
+/// as it executes.
+class SessionRegistry {
+ public:
+  struct Row {
+    uint64_t id = 0;
+    uint64_t queries = 0;  ///< read statements / query executions
+    uint64_t writes = 0;   ///< committed write statements
+  };
+
+  /// Returns the new session's id (ids start at 1 and are never reused).
+  uint64_t Register();
+  void Unregister(uint64_t id);
+  void RecordQuery(uint64_t id);
+  void RecordWrite(uint64_t id);
+
+  /// Rows for every live session, sorted by id.
+  std::vector<Row> SnapshotAll() const;
+  size_t size() const;
+
+ private:
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, Row> rows_ GUARDED_BY(mu_);
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_OBS_STMT_STATS_H_

@@ -157,8 +157,10 @@ Token Lexer::LexIdentOrKeyword() {
   Token t;
   t.line = line_;
   t.column = column_;
+  // '$' continues an identifier (the sys$ system relations) but cannot
+  // start one — at token start it still introduces a $param marker.
   while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
-                      Peek() == '_')) {
+                      Peek() == '_' || Peek() == '$')) {
     t.text += Advance();
   }
   std::string lower = AsciiToLower(t.text);

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "base/str_util.h"
+#include "obs/system_relations.h"
 
 namespace pascalr {
 
@@ -145,6 +146,7 @@ Result<std::string> ExportScript(const Database& db) {
   // Enum types used by any relation, in first-use order.
   std::set<std::string> emitted;
   for (const std::string& name : db.RelationNames()) {
+    if (IsSystemRelationName(name)) continue;
     const Relation* rel = db.FindRelation(name);
     for (const Component& c : rel->schema().components()) {
       if (c.type.kind() != TypeKind::kEnum || c.type.enum_info() == nullptr) {
@@ -157,6 +159,9 @@ Result<std::string> ExportScript(const Database& db) {
   }
   const std::vector<Database::IndexDescription> indexes = db.ListIndexes();
   for (const std::string& name : db.RelationNames()) {
+    // System relations are derived telemetry — a replayed script must
+    // regenerate, not restore, them.
+    if (IsSystemRelationName(name)) continue;
     PASCALR_ASSIGN_OR_RETURN(std::string rel_src, ExportRelation(db, name));
     out += "\n" + rel_src;
     // Permanent indexes are re-declared after the inserts, so replaying

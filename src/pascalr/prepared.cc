@@ -4,9 +4,11 @@
 #include <chrono>
 #include <utility>
 
+#include "base/str_util.h"
 #include "concurrency/plan_cache.h"
 #include "concurrency/snapshot.h"
 #include "obs/span_names.h"
+#include "obs/system_relations.h"
 #include "obs/trace.h"
 #include "opt/explain.h"
 #include "pascalr/session.h"
@@ -17,6 +19,13 @@ namespace pascalr {
 namespace {
 
 const Schema kEmptySchema;
+
+/// One line for the slow-query log: what kind of plan ran this.
+std::string PlanSummary(const QueryPlan& plan, bool cache_hit) {
+  return StrFormat("level=%s pipeline=%s cache=%s",
+                   std::string(OptLevelToString(plan.level)).c_str(),
+                   plan.pipeline ? "on" : "off", cache_hit ? "hit" : "miss");
+}
 
 }  // namespace
 
@@ -276,6 +285,9 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   // Direct C++ entry point: install the session tracer (a no-op re-install
   // under the statement path) and open an "execute" trace — nested as a
   // span when Session::Query already opened the query's trace.
+  PASCALR_RETURN_IF_ERROR(
+      RefreshSystemViewsForSource(session_->db_, state_->source));
+  ScopedSystemViewPin pin;
   ScopedTracerInstall install_tracer(session_->active_tracer());
   // One consistent read point for plan validation AND execution (reuses
   // the caller's when one is already installed; null while serving is
@@ -310,11 +322,18 @@ Result<PreparedExecution> PreparedQuery::Execute(const ParamBindings& params) {
   // shows lazy-build savings without a trace.
   MetricsRegistry& metrics = session_->metrics_;
   metrics.counter("query.count").Inc();
-  metrics.histogram("query.latency_us")
-      .Record(static_cast<uint64_t>(
-                  std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count()));
+  const uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics.histogram("query.latency_us").Record(latency_us);
+  // Server-wide fold: this run's whole story — latency, rows, counters,
+  // cache verdict — becomes one observation on the statement's
+  // sys$statements row (and the slow log, when armed).
+  session_->FoldStatementStats(state_->source, latency_us,
+                               out.tuples.size(), out.stats, cache_hit,
+                               /*max_qerror=*/0.0,
+                               PlanSummary(state_->planned->plan, cache_hit));
   if (out.stats.replans > 0) {
     metrics.counter("query.replans").Inc(out.stats.replans);
   }
@@ -333,7 +352,11 @@ Result<Cursor> PreparedQuery::OpenCursor(const ParamBindings& params) {
   if (session_ == nullptr || state_ == nullptr) {
     return Status::InvalidArgument("prepared query is empty");
   }
+  PASCALR_RETURN_IF_ERROR(
+      RefreshSystemViewsForSource(session_->db_, state_->source));
+  ScopedSystemViewPin pin;
   ScopedTracerInstall install_tracer(session_->active_tracer());
+  const auto t0 = std::chrono::steady_clock::now();
   // The cursor captures the ambient snapshot at Open and re-installs it
   // for every Next/Close, so a half-drained cursor keeps its read point
   // after this guard unwinds.
@@ -346,8 +369,28 @@ Result<Cursor> PreparedQuery::OpenCursor(const ParamBindings& params) {
   session_->metrics_.counter("query.count").Inc();
   std::shared_ptr<const QueryPlan> plan(state_->planned,
                                         &state_->planned->plan);
-  return Cursor::Open(std::move(plan), *session_->db_,
-                      &session_->total_stats_);
+  PASCALR_ASSIGN_OR_RETURN(
+      Cursor cursor,
+      Cursor::Open(std::move(plan), *session_->db_,
+                   &session_->total_stats_));
+  // The fold happens when the cursor closes — also for a half-drained
+  // cursor the client abandons — so open-cursor latency covers plan +
+  // drain, and rows are whatever was actually emitted. The hook must not
+  // outlive the session (the cursor already must not, see class docs).
+  Session* session = session_;
+  std::shared_ptr<State> state = state_;
+  std::string summary = PlanSummary(state_->planned->plan, cache_hit);
+  cursor.set_close_hook(
+      [session, state = std::move(state), t0, cache_hit,
+       summary = std::move(summary)](const ExecStats& stats, uint64_t rows) {
+        const uint64_t latency_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        session->FoldStatementStats(state->source, latency_us, rows, stats,
+                                    cache_hit, /*max_qerror=*/0.0, summary);
+      });
+  return cursor;
 }
 
 Result<std::string> PreparedQuery::Explain(const ParamBindings& params) {

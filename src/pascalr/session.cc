@@ -6,6 +6,7 @@
 #include "calculus/printer.h"
 #include "obs/profile.h"
 #include "obs/span_names.h"
+#include "obs/system_relations.h"
 #include "opt/explain.h"
 #include "semantics/binder.h"
 
@@ -148,6 +149,24 @@ Status Session::ApplyOption(const std::string& name,
     return Status::InvalidArgument("SET TRACE expects ON or OFF, got '" +
                                    value + "'");
   }
+  if (name == "slowlog") {
+    // Database-wide, like the log itself: any session may arm or disarm
+    // the flight recorder. Not a PlannerOptions member — observability
+    // must not perturb plan choice or the plan-cache key.
+    if (value == "off") {
+      db_->slow_log().set_threshold_us(0);
+      return Status::OK();
+    }
+    if (!value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos) {
+      db_->slow_log().set_threshold_us(
+          static_cast<uint64_t>(std::stoull(value)));
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "SET SLOWLOG expects a threshold in microseconds or OFF, got '" +
+        value + "'");
+  }
   if (name == "joinorder") {
     if (value == "dp") {
       options_.join_order_dp = true;
@@ -169,7 +188,7 @@ Status Session::ApplyOption(const std::string& name,
   return Status::InvalidArgument("unknown option '" + name +
                                  "' (expected OPTLEVEL, DIVISION, "
                                  "PERMINDEXES, JOINORDER, PIPELINE, "
-                                 "COLLECTION, or TRACE)");
+                                 "COLLECTION, TRACE, or SLOWLOG)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {
@@ -177,9 +196,23 @@ Status Session::RunAssign(const AssignStmt& stmt) {
   PASCALR_ASSIGN_OR_RETURN(BoundQuery bound,
                            binder.Bind(stmt.selection.Clone()));
   Schema output_schema = bound.output_schema;
+  const auto t0 = std::chrono::steady_clock::now();
   PASCALR_ASSIGN_OR_RETURN(QueryRun run,
                            RunQuery(*db_, std::move(bound), options_));
   total_stats_.Merge(run.stats);
+  // Assignments run the one-shot path (no prepared layer), so they fold
+  // here — every query surface reports into sys$statements.
+  FoldStatementStats(
+      FormatSelection(stmt.selection),
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      run.tuples.size(), run.stats, /*plan_cache_hit=*/false,
+      /*max_qerror=*/0.0,
+      StrFormat("level=%s pipeline=%s cache=off",
+                std::string(OptLevelToString(run.planned.plan.level)).c_str(),
+                run.planned.plan.pipeline ? "on" : "off"));
 
   // Create or replace the target relation.
   if (db_->FindRelation(stmt.target) != nullptr) {
@@ -272,7 +305,42 @@ bool IsWriteStatement(const Statement& stmt) {
 
 }  // namespace
 
+std::string Session::StatementSourceForRefresh(const Statement& stmt) {
+  if (const auto* print = std::get_if<PrintStmt>(&stmt)) {
+    return print->relation;
+  }
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    return FormatSelection(assign->selection);
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    return FormatSelection(explain->selection);
+  }
+  if (const auto* prepare = std::get_if<PrepareStmt>(&stmt)) {
+    return FormatSelection(prepare->selection);
+  }
+  if (const auto* execute = std::get_if<ExecuteStmt>(&stmt)) {
+    PreparedQuery* prepared = FindPrepared(execute->name);
+    if (prepared != nullptr && prepared->state_ != nullptr) {
+      return prepared->state_->source;
+    }
+    return {};
+  }
+  if (const auto* analyze = std::get_if<AnalyzeStmt>(&stmt)) {
+    return analyze->relation;
+  }
+  return {};
+}
+
 Status Session::ExecuteStatement(const Statement& stmt) {
+  // System views referenced by this statement materialize NOW, before the
+  // write guard / read snapshot below — the refresh is its own write
+  // statement, and a snapshot taken after it sees one consistent
+  // materialization. The pin keeps nested entry points (RunExecute →
+  // PreparedQuery::Execute, EXPLAIN ANALYZE → ExplainAnalyzeSelection)
+  // from re-materializing mid-statement.
+  PASCALR_RETURN_IF_ERROR(
+      RefreshSystemViewsForSource(db_, StatementSourceForRefresh(stmt)));
+  ScopedSystemViewPin pin;
   // While tracing is on, the session tracer is thread-current for the
   // whole statement; every deeper span guard attaches to it. While off
   // this installs nullptr and every guard below is a no-op.
@@ -287,6 +355,10 @@ Status Session::ExecuteStatement(const Statement& stmt) {
     // Outside the guard (the write mutex is not recursive): reclaim dead
     // versions opportunistically once enough have accumulated.
     db_->MaybeCompact();
+    if (status.ok()) {
+      db_->session_registry().RecordWrite(session_id_);
+      db_->server_metrics().counter("server.write.count").Inc();
+    }
     return status;
   }
   // Read statements share one consistent read point end to end.
@@ -444,7 +516,37 @@ Status Session::ExecuteStatementImpl(const Statement& stmt) {
   return Status::Internal("unknown statement kind");
 }
 
+void Session::FoldStatementStats(const std::string& fingerprint,
+                                 uint64_t latency_us, uint64_t rows,
+                                 const ExecStats& stats, bool plan_cache_hit,
+                                 double max_qerror,
+                                 const std::string& plan_summary) {
+  StmtObservation obs;
+  obs.latency_us = latency_us;
+  obs.rows = rows;
+  obs.plan_cache_hit = plan_cache_hit;
+  obs.max_qerror = max_qerror;
+  obs.stats = &stats;
+  db_->stmt_stats().Fold(fingerprint, obs);
+  db_->session_registry().RecordQuery(session_id_);
+  MetricsRegistry& server = db_->server_metrics();
+  server.counter("server.query.count").Inc();
+  server.histogram("server.query.latency_us").Record(latency_us);
+  SlowQueryLog& slow = db_->slow_log();
+  if (slow.ShouldRecord(latency_us)) {
+    SlowQueryRecord record;
+    record.source = fingerprint;
+    record.plan_summary = plan_summary;
+    record.latency_us = latency_us;
+    record.rows = rows;
+    record.total_work = stats.TotalWork();
+    slow.Record(std::move(record));
+  }
+}
+
 Result<BoundQuery> Session::Bind(std::string_view selection_source) {
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, selection_source));
+  ScopedSystemViewPin pin;
   Parser parser(selection_source);
   PASCALR_ASSIGN_OR_RETURN(SelectionExpr sel, parser.ParseSelectionOnly());
   Binder binder(db_);
@@ -452,6 +554,10 @@ Result<BoundQuery> Session::Bind(std::string_view selection_source) {
 }
 
 Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
+  // Any referenced system views materialize before PrepareSelection
+  // captures the bind snapshot (no-op when an outer entry point pinned).
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, selection_source));
+  ScopedSystemViewPin pin;
   // Direct C++ entry point: install the tracer ourselves (the statement
   // path installed it already; re-installing the same tracer is benign).
   // Under an open query trace the guard nests as a "prepare" span;
@@ -469,10 +575,15 @@ Result<PreparedQuery> Session::Prepare(std::string_view selection_source) {
 
 Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
   ScopedTracerInstall install_tracer(active_tracer());
-  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   auto state = std::make_shared<PreparedQuery::State>();
   state->raw_selection = selection.Clone();
   state->source = FormatSelection(state->raw_selection);
+  // The DSL path enters here directly (no source text upstream): the
+  // normalized source is the reference scan. Must precede the snapshot —
+  // a refresh after capture would be invisible to this bind.
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, state->source));
+  ScopedSystemViewPin pin;
+  ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   Binder binder(db_);
   {
     TraceSpanGuard span(spans::kBind);
@@ -490,6 +601,8 @@ Result<PreparedQuery> Session::PrepareSelection(SelectionExpr selection) {
 Result<QueryRun> Session::Query(std::string_view selection_source) {
   // Thin compatibility wrapper: Prepare + Execute (no parameters) + drain.
   // Execute accumulates the stats into total_stats_ itself.
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, selection_source));
+  ScopedSystemViewPin pin;
   ScopedTracerInstall install_tracer(active_tracer());
   // One snapshot covers parse, bind, plan, and execution (Prepare and
   // Execute below reuse it instead of capturing their own).
@@ -571,6 +684,8 @@ Status Session::RunExecute(const ExecuteStmt& stmt) {
 }
 
 Result<std::string> Session::Explain(std::string_view selection_source) {
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, selection_source));
+  ScopedSystemViewPin pin;
   ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   PASCALR_ASSIGN_OR_RETURN(BoundQuery bound, Bind(selection_source));
   PASCALR_ASSIGN_OR_RETURN(PlannedQuery planned,
@@ -579,6 +694,8 @@ Result<std::string> Session::Explain(std::string_view selection_source) {
 }
 
 Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, selection_source));
+  ScopedSystemViewPin pin;
   ScopedTracerInstall install_tracer(active_tracer());
   QueryTraceGuard query_guard(spans::kExplainAnalyze,
                               std::string(selection_source));
@@ -593,6 +710,12 @@ Result<std::string> Session::ExplainAnalyze(std::string_view selection_source) {
 
 Result<std::string> Session::ExplainAnalyzeSelection(SelectionExpr selection) {
   ScopedTracerInstall install_tracer(active_tracer());
+  // The normalized source doubles as the stmt-stats fingerprint: an
+  // EXPLAIN ANALYZE run folds into the same sys$statements row as the
+  // statement it analyzes, contributing the row's q-error column.
+  const std::string fingerprint = FormatSelection(selection);
+  PASCALR_RETURN_IF_ERROR(RefreshSystemViewsForSource(db_, fingerprint));
+  ScopedSystemViewPin pin;
   ScopedSnapshotInstall install_snapshot(db_->SnapshotForRead());
   QueryTraceGuard query_guard(spans::kExplainAnalyze, "");
   Binder binder(db_);
@@ -637,6 +760,12 @@ Result<std::string> Session::ExplainAnalyzeSelection(SelectionExpr selection) {
   if (stats.replans > 0) {
     metrics_.counter("query.replans").Inc(stats.replans);
   }
+  FoldStatementStats(
+      fingerprint, wall_ns / 1000, result_tuples, stats,
+      /*plan_cache_hit=*/false, MaxQError(profile),
+      StrFormat("level=%s pipeline=%s cache=miss",
+                std::string(OptLevelToString(shared->plan.level)).c_str(),
+                shared->plan.pipeline ? "on" : "off"));
 
   std::string report = ExplainPlan(*shared);
   report +=

@@ -30,10 +30,23 @@ class Session {
  public:
   /// `out` receives PRINT/EXPLAIN output; pass nullptr to discard.
   explicit Session(Database* db, std::ostream* out = nullptr)
-      : db_(db), out_(out) {}
+      : db_(db),
+        out_(out),
+        session_id_(db == nullptr ? 0 : db->session_registry().Register()) {}
+  ~Session() {
+    if (db_ != nullptr && session_id_ != 0) {
+      db_->session_registry().Unregister(session_id_);
+    }
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   PlannerOptions& options() { return options_; }
   Database* db() const { return db_; }
+
+  /// This session's id in the database's SessionRegistry (the sys$sessions
+  /// row key); ids start at 1 and are never reused.
+  uint64_t session_id() const { return session_id_; }
 
   /// Parses and executes a whole script.
   Status ExecuteScript(std::string_view source);
@@ -130,6 +143,20 @@ class Session {
   Status ApplyOption(const std::string& name, const std::string& value);
   void Emit(const std::string& text);
 
+  /// The statement text to scan for sys$ references before the statement
+  /// captures its snapshot (empty when the statement kind cannot read a
+  /// relation by name).
+  std::string StatementSourceForRefresh(const Statement& stmt);
+
+  /// Folds one completed query run into the database-wide observability
+  /// surfaces: the statement-statistics store, the session registry, the
+  /// server metrics, and — when armed and over threshold — the slow-query
+  /// log. Called once per statement, after the run's cursor has closed.
+  void FoldStatementStats(const std::string& fingerprint, uint64_t latency_us,
+                          uint64_t rows, const ExecStats& stats,
+                          bool plan_cache_hit, double max_qerror,
+                          const std::string& plan_summary);
+
   Database* db_;
   std::ostream* out_;
   PlannerOptions options_;
@@ -137,6 +164,7 @@ class Session {
   std::map<std::string, PreparedQuery> named_prepared_;
   int anon_enum_counter_ = 0;
   uint64_t last_commit_version_ = 0;
+  uint64_t session_id_ = 0;
 
   bool tracing_ = false;
   Tracer tracer_;

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include "concurrency/session_manager.h"
+#include "obs/stmt_stats.h"
 #include "pascalr/session.h"
 #include "test_util.h"
 
@@ -183,6 +184,73 @@ TEST(ConcurrencyStressTest, ReadersMatchSerialOracleAtTheirSnapshot) {
   ASSERT_TRUE(final_run.ok()) << final_run.status().ToString();
   EXPECT_EQ(TupleStrings(final_run->tuples),
             oracle_at(commit_log.rbegin()->first));
+}
+
+TEST(ConcurrencyStressTest, StmtStatsFoldingMatchesSerialOracleExactly) {
+  auto db = MakeUniversityDb();
+  SessionManager manager(db.get());
+
+  // N sessions hammer the SAME prepared statement concurrently; the
+  // statement-stats row must afterwards equal what a serial tally of the
+  // very same executions produces — folds are statement-granular and
+  // lossless, no double counts, no drops, under contention.
+  constexpr int kThreads = 6;
+  constexpr int kExecsPerThread = 25;
+
+  struct Tally {
+    uint64_t rows = 0;
+    uint64_t plan_hits = 0;
+    ExecStats counters;
+  };
+  std::vector<Tally> tallies(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = manager.CreateSession();
+      auto prepared = session->Prepare(kQuery);
+      ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kExecsPerThread; ++i) {
+        auto exec = prepared->Execute({});
+        ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+        tallies[t].rows += exec->tuples.size();
+        if (exec->plan_cache_hit) ++tallies[t].plan_hits;
+        tallies[t].counters.Merge(exec->stats);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  Tally expected;
+  for (const Tally& tally : tallies) {
+    expected.rows += tally.rows;
+    expected.plan_hits += tally.plan_hits;
+    expected.counters.Merge(tally.counters);
+  }
+  const uint64_t calls = static_cast<uint64_t>(kThreads) * kExecsPerThread;
+
+  // FormatSelection normalization of kQuery — the store's key.
+  const std::string fingerprint =
+      "[<e.ename> OF EACH e IN employees: (e.enr >= 1)]";
+  StmtStatsSnapshot row = db->stmt_stats().SnapshotOne(fingerprint);
+  EXPECT_EQ(row.calls, calls);
+  EXPECT_EQ(row.rows, expected.rows);
+  EXPECT_EQ(row.plan_hits, expected.plan_hits);
+  EXPECT_EQ(row.plan_misses, calls - expected.plan_hits);
+  EXPECT_EQ(row.counters.elements_scanned, expected.counters.elements_scanned);
+  EXPECT_EQ(row.counters.comparisons, expected.counters.comparisons);
+  EXPECT_EQ(row.counters.dereferences, expected.counters.dereferences);
+  EXPECT_EQ(row.counters.peak_intermediate_rows,
+            expected.counters.peak_intermediate_rows);
+  EXPECT_EQ(row.counters.TotalWork(), expected.counters.TotalWork());
+  // Latency quantiles cannot be predicted, but they must be ordered and
+  // total_us must cover the per-call mean exactly.
+  EXPECT_LE(row.p50_us, row.p95_us);
+  EXPECT_LE(row.p95_us, row.p99_us);
+  EXPECT_LE(row.p99_us, row.max_us);
+  EXPECT_EQ(row.mean_us, row.total_us / calls);
 }
 
 TEST(ConcurrencyStressTest, SharedPlanCacheStaysHotAcrossSessionChurn) {

@@ -1,0 +1,6 @@
+
+inline void ExportStats(benchmark::State& state, const ExecStats& stats,
+                        size_t result_size) {
+  state.counters["rows_read"] = static_cast<double>(stats.rows_read);
+  state.counters["replans"] = static_cast<double>(stats.replans);
+}

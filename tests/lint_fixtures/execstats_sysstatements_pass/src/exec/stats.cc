@@ -1,0 +1,5 @@
+
+void ExecStats::Merge(const ExecStats& o) {
+  rows_read += o.rows_read;
+  replans += o.replans;
+}

@@ -1,0 +1,12 @@
+
+struct ExecStats {
+  uint64_t rows_read = 0;      ///< rows visited
+  /// Event count, not work: stays out of TotalWork().
+  uint64_t replans = 0;
+
+  void Merge(const ExecStats& o);
+
+  uint64_t TotalWork() const {
+    return rows_read;
+  }
+};

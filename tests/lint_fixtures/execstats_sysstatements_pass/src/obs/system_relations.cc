@@ -1,0 +1,7 @@
+
+void FillStatements(Relation* rel) {
+  for (const auto& s : snapshots) {
+    t.Append(V(s.counters.rows_read));
+    t.Append(V(s.counters.replans));
+  }
+}

@@ -1,0 +1,13 @@
+
+namespace spans {
+
+inline constexpr char kQuery[] = "query";
+inline constexpr char kParse[] = "parse";
+inline constexpr char kOrphan[] = "orphan";  // forgot to register below
+
+inline constexpr const char* kAllSpanNames[] = {
+    kQuery,
+    kParse,
+};
+
+}  // namespace spans

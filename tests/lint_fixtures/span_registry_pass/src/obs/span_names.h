@@ -1,0 +1,12 @@
+
+namespace spans {
+
+inline constexpr char kQuery[] = "query";
+inline constexpr char kParse[] = "parse";
+
+inline constexpr const char* kAllSpanNames[] = {
+    kQuery,
+    kParse,
+};
+
+}  // namespace spans

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json runs against a baseline and flag counter
+regressions.
+
+The engine's benchmarks export deterministic work counters (ExecStats via
+bench_util::ExportStats — total_work, comparisons, elements_scanned, …)
+next to the noisy wall-clock numbers. Wall time cannot be gated in shared
+CI, but the counters can: same code + same seed = same counters, so a
+counter that grew is a real plan/executor change, not machine noise.
+
+For every benchmark present in both the baseline and the current run,
+every comparable counter is checked; growth beyond --threshold (default
+10%) is a regression and exits 1. Shrinkage beyond the threshold is
+reported as an improvement — refresh the baseline to lock it in.
+
+Skipped as noisy (never compared): real_time, cpu_time, iterations, and
+any counter whose name mentions time/rate/latency/pct/per_second — those
+are timing-derived.
+
+Usage:
+  bench_compare.py --baseline <dir> --current <dir> [--threshold 0.10]
+
+Directories hold BENCH_<binary>.json files (google-benchmark JSON, the
+format bench_util.h's shared main emits). Baseline files with no current
+counterpart are skipped with a note; a benchmark present in the baseline
+but missing from the current run fails only under --strict (CI filters
+legitimately narrow the run). Stdlib only.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+NOISY_NAME_RE = re.compile(r"time|rate|latency|pct|per_second", re.I)
+STANDARD_KEYS = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "time_unit", "label", "aggregate_name", "aggregate_unit",
+}
+
+
+def comparable_counters(bench):
+    out = {}
+    for key, value in bench.items():
+        if key in STANDARD_KEYS or NOISY_NAME_RE.search(key):
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        out[key] = float(value)
+    return out
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True,
+                    help="directory of baseline BENCH_*.json files")
+    ap.add_argument("--current", required=True,
+                    help="directory of current BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative growth that counts as a regression")
+    ap.add_argument("--strict", action="store_true",
+                    help="a baseline benchmark missing from the current "
+                         "run is a failure, not a note")
+    args = ap.parse_args()
+
+    baseline_files = sorted(
+        glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not baseline_files:
+        print("no BENCH_*.json under %s — nothing to compare" % args.baseline)
+        return 0
+
+    regressions = 0
+    improvements = 0
+    compared = 0
+    for base_path in baseline_files:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            print("note: %s has no current run, skipped" % name)
+            continue
+        base_benches = load_benchmarks(base_path)
+        cur_benches = load_benchmarks(cur_path)
+        for bench_name in sorted(base_benches):
+            if bench_name not in cur_benches:
+                if args.strict:
+                    print("MISSING %s: %s not in current run"
+                          % (name, bench_name))
+                    regressions += 1
+                else:
+                    print("note: %s skipped (not in current run)"
+                          % bench_name)
+                continue
+            base = comparable_counters(base_benches[bench_name])
+            cur = comparable_counters(cur_benches[bench_name])
+            for counter in sorted(base):
+                if counter not in cur:
+                    continue
+                want, got = base[counter], cur[counter]
+                compared += 1
+                if want == 0:
+                    if got != 0:
+                        print("REGRESSION %s %s: %g, baseline 0"
+                              % (bench_name, counter, got))
+                        regressions += 1
+                    continue
+                delta = (got - want) / want
+                if delta > args.threshold:
+                    print("REGRESSION %s %s: %g -> %g (+%.1f%%)"
+                          % (bench_name, counter, want, got, delta * 100))
+                    regressions += 1
+                elif delta < -args.threshold:
+                    print("improved %s %s: %g -> %g (%.1f%%) — refresh "
+                          "the baseline to lock it in"
+                          % (bench_name, counter, want, got, delta * 100))
+                    improvements += 1
+
+    print("%d counter(s) compared, %d regression(s), %d improvement(s)"
+          % (compared, regressions, improvements))
+    if compared == 0:
+        print("warning: nothing overlapped — check the filters")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

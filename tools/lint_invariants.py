@@ -11,9 +11,19 @@ each been broken (or nearly broken) by ordinary drift:
   execstats-totalwork   every ExecStats counter is either summed in
                         TotalWork() or documented out of it (the field's
                         doc comment, or TotalWork's, must say why)
+  execstats-sysstatements
+                        every ExecStats counter is exposed as a
+                        sys$statements column (the FillStatements body in
+                        src/obs/system_relations.cc must read it) — the
+                        queryable telemetry surface must not silently lag
+                        the counter set
   span-name-literal     trace span names at call sites come from the
                         registered constants in src/obs/span_names.h,
                         never from string literals
+  span-unregistered     every span constant declared in
+                        src/obs/span_names.h appears in kAllSpanNames —
+                        iteration-based validation and dashboards see the
+                        whole vocabulary
   raw-mutex-member      no std::mutex / std::shared_mutex /
                         std::condition_variable members outside
                         src/base/mutex.h — the annotated wrappers are what
@@ -252,6 +262,12 @@ def check_execstats(root, findings):
         export_body = find_function_body(
             read(bench_path), r"void\s+ExportStats\s*\(") or ""
 
+    # None (skip) in fixture trees without the system-relations surface.
+    sys_text = None
+    sys_path = os.path.join(root, "src/obs/system_relations.cc")
+    if os.path.exists(sys_path):
+        sys_text = read(sys_path)
+
     stats_h_rel = rel(root, stats_h_path)
     for name, line, doc in fields:
         word = re.compile(r"\b%s\b" % re.escape(name))
@@ -273,6 +289,14 @@ def check_execstats(root, findings):
                 "ExecStats::%s is neither summed in TotalWork() nor "
                 "documented out of it (mention TotalWork in the field's "
                 "doc comment or list the field in TotalWork's)" % name))
+        if sys_text is not None and not re.search(
+                r"counters\.%s\b" % re.escape(name), sys_text):
+            findings.append(Finding(
+                "execstats-sysstatements", "src/obs/system_relations.cc", 1,
+                "ExecStats::%s has no sys$statements column — add it to "
+                "StatementsSchema() and FillStatements in "
+                "src/obs/system_relations.cc so the queryable telemetry "
+                "surface keeps up with the counter set" % name))
 
 
 # ---- span-name-literal ------------------------------------------------
@@ -294,6 +318,39 @@ def check_span_literals(root, findings):
                         "span name \"%s\" passed as a string literal to "
                         "%s — use a spans:: constant from "
                         "src/obs/span_names.h" % (m.group(1), call)))
+
+
+# ---- span-unregistered ------------------------------------------------
+
+
+def check_span_registry(root, findings):
+    path = os.path.join(root, "src/obs/span_names.h")
+    if not os.path.exists(path):
+        return  # fixture tree without the span vocabulary
+    text = read(path)
+    rp = rel(root, path)
+    constants = []
+    for i, line in enumerate(text.split("\n"), start=1):
+        m = re.search(r"inline\s+constexpr\s+char\s+(k\w+)\s*\[\]", line)
+        if m:
+            constants.append((m.group(1), i))
+    if not constants:
+        return
+    array_m = re.search(r"kAllSpanNames\s*\[\]\s*=\s*\{", text)
+    if not array_m:
+        findings.append(Finding(
+            "span-unregistered", rp, 1,
+            "span_names.h declares span constants but no kAllSpanNames "
+            "registry array — iteration-based validation sees nothing"))
+        return
+    array_body = extract_body(text, text.find("{", array_m.start()))
+    for name, line in constants:
+        if not re.search(r"\b%s\b" % re.escape(name), array_body):
+            findings.append(Finding(
+                "span-unregistered", rp, line,
+                "span constant %s is not listed in kAllSpanNames — "
+                "register it so validation code and dashboards iterate "
+                "the full vocabulary" % name))
 
 
 # ---- raw-mutex-member / mutex-unannotated -----------------------------
@@ -486,6 +543,7 @@ def check_relaxed_tokens(root, findings):
 ALL_CHECKS = (
     check_execstats,
     check_span_literals,
+    check_span_registry,
     check_mutex_members,
     check_concurrency_members,
     check_hot_path_logs,
