@@ -94,6 +94,10 @@ inline void ExportStats(benchmark::State& state, const ExecStats& stats,
       static_cast<double>(stats.structures_built);
   state.counters["structure_elements"] =
       static_cast<double>(stats.structure_elements_built);
+  state.counters["batches_emitted"] =
+      static_cast<double>(stats.batches_emitted);
+  state.counters["morsels_dispatched"] =
+      static_cast<double>(stats.morsels_dispatched);
   state.counters["total_work"] = static_cast<double>(stats.TotalWork());
   state.counters["result"] = static_cast<double>(result_size);
 }

@@ -1,0 +1,26 @@
+#include "concurrency/worker_pool.h"
+
+namespace pascalr {
+
+void WorkerPool::Start(std::function<void(size_t)> body) {
+  threads_.reserve(workers_);
+  for (size_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, body, i] {
+      // The cursor's Open-time snapshot becomes this thread's ambient
+      // read state for the whole body — every structure probe and
+      // dereference inside the worker chain sees the same epoch the
+      // serial drain would.
+      ScopedSnapshotInstall install(snapshot_);
+      body(i);
+    });
+  }
+}
+
+void WorkerPool::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace pascalr

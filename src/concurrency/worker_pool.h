@@ -1,0 +1,60 @@
+// WorkerPool: the intra-query parallel drain's thread crew. Owns N
+// std::threads for the lifetime of one morsel-driven drain (spawned at
+// the first pull, joined at exhaustion or early close) and installs the
+// owning cursor's snapshot on every worker before its body runs — the
+// snapshot/epoch rule that makes a parallel drain read exactly the
+// Open-time database state, concurrent-session writers notwithstanding
+// (the SnapshotRef copies shared ownership, so workers also keep
+// dropped relations and unreclaimed versions alive for the drain).
+//
+// Deliberately minimal: no task queue, no reuse across drains. Morsel
+// dispatch, result ordering, and back-pressure live with the pipeline
+// operator (src/pipeline/parallel.cc); the pool only carries threads
+// and the snapshot discipline.
+
+#ifndef PASCALR_CONCURRENCY_WORKER_POOL_H_
+#define PASCALR_CONCURRENCY_WORKER_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "concurrency/snapshot.h"
+
+namespace pascalr {
+
+/// lint: thread-compatible(owned and driven — Start, Join, destruction —
+/// by the single consumer thread; worker threads run the supplied body
+/// but never touch the pool object itself)
+class WorkerPool {
+ public:
+  /// `snapshot` may be null (concurrent serving off): workers then run
+  /// with no ambient snapshot, exactly like the serial drain.
+  WorkerPool(size_t workers, SnapshotRef snapshot)
+      : workers_(workers), snapshot_(std::move(snapshot)) {}
+  ~WorkerPool() { Join(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Launches the worker threads; `body(i)` runs on thread i with the
+  /// pool's snapshot installed. Call at most once.
+  void Start(std::function<void(size_t)> body);
+
+  /// Blocks until every worker body returned. Idempotent. The caller
+  /// must first make the bodies finish (e.g. raise a stop flag they
+  /// check) — the pool never interrupts them.
+  void Join();
+
+  size_t workers() const { return workers_; }
+
+ private:
+  size_t workers_;
+  SnapshotRef snapshot_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_CONCURRENCY_WORKER_POOL_H_

@@ -615,11 +615,18 @@ class CostWalker {
                   dereferences_;
     est.weighted_cost = work + extra_cost_;
     est.pipelined_combination_rows = pipelined_combination_rows_;
+    // Per-batch drain term: one unit per root chunk refill. At the
+    // default 1024-row chunks this is noise; at SET BATCH 1 it restores
+    // the full per-row pull overhead the vectorized drain amortises.
+    const double batch =
+        static_cast<double>(plan_.batch_size > 0 ? plan_.batch_size : 1);
+    est.est_batches = std::ceil(pipelined_final_rows_ / batch);
     est.pipelined_total_work =
         work - combination_rows_ - division_input_rows_ - dereferences_ +
         pipelined_combination_rows_ + pipelined_division_rows_ +
         pipelined_final_rows_ *
-            static_cast<double>(plan_.sf.projection.size());
+            static_cast<double>(plan_.sf.projection.size()) +
+        est.est_batches;
     est.pipelined_weighted_cost = est.pipelined_total_work + extra_cost_;
     est.est_peak_materialized = mat_peak_;
     est.est_peak_pipelined = pipe_peak_;

@@ -162,6 +162,29 @@ Result<bool> Cursor::Next(Tuple* out) {
 Result<bool> Cursor::NextImpl(Tuple* out) {
   RunState& run = *run_;
   if (run.pipeline.ok()) {
+    if (plan_->batch_size > 1) {
+      // Batched drain: refill a column-major chunk from the sink, then
+      // construct tuples row-by-row out of it. The sink accumulates
+      // full chunks, so batches_emitted is ceil(rows / batch) for a
+      // full drain regardless of upstream (morsel) chunking.
+      while (true) {
+        if (run.chunk_pos >= run.chunk.rows) {
+          run.chunk.capacity = plan_->batch_size;
+          PASCALR_ASSIGN_OR_RETURN(bool more,
+                                   run.pipeline.root->NextBatch(&run.chunk));
+          if (!more) return false;
+          run.chunk_pos = 0;
+          ++run.stats.batches_emitted;
+        }
+        run.chunk.RowAt(run.chunk_pos++, &run.scratch);
+        PASCALR_ASSIGN_OR_RETURN(
+            Tuple tuple, ConstructRow(*plan_, run.scratch, run.column_of_var,
+                                      *db_, &run.stats));
+        if (!run.seen.insert(tuple).second) continue;  // duplicate row
+        *out = std::move(tuple);
+        return true;
+      }
+    }
     RefRow row;
     while (true) {
       PASCALR_ASSIGN_OR_RETURN(bool more, run.pipeline.root->Next(&row));

@@ -130,6 +130,9 @@ class Cursor {
     PeakTracker tracker{&stats};
     std::unique_ptr<CollectionBuilders> builders;
     CompiledPipeline pipeline;  ///< root null on the materializing path
+    Chunk chunk;                ///< batched drain: current sink chunk
+    size_t chunk_pos = 0;       ///< next unconstructed row of `chunk`
+    RefRow scratch;             ///< reused per-row construction input
     RefRelation combined;       ///< materializing path only
     size_t row = 0;
     std::vector<int> column_of_var;

@@ -304,6 +304,22 @@ struct QueryPlan {
   /// always build eagerly.
   CollectionPolicy collection = CollectionPolicy::kEager;
 
+  /// Rows per pipeline chunk on the batched drain (`SET BATCH <n>;`).
+  /// 1 selects the exact row-at-a-time execution (the bit-identity
+  /// oracle for the vectorized path); values > 1 pull column-major
+  /// chunks through NextBatch. Same rows, order, and counters either
+  /// way — batching only changes the call pattern.
+  size_t batch_size = 1024;
+
+  /// Worker threads for morsel-driven intra-query parallel drains
+  /// (`SET PARALLEL <n>;`). 1 (the default) runs fully serial on the
+  /// calling thread; >1 lets eligible conjunction chains split their
+  /// driving scan into morsels across a worker pool, with an
+  /// order-preserving merge that restores the serial row order
+  /// bit-identically. Ineligible shapes (lazy collection, bushy trees,
+  /// profiled runs, materializing fallback) run serial regardless.
+  size_t parallel = 1;
+
   bool IsEliminated(const std::string& var) const {
     for (const std::string& v : eliminated_vars) {
       if (v == var) return true;

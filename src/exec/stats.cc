@@ -19,6 +19,8 @@ void ExecStats::Merge(const ExecStats& o) {
   permanent_index_hits += o.permanent_index_hits;
   structures_built += o.structures_built;
   structure_elements_built += o.structure_elements_built;
+  batches_emitted += o.batches_emitted;
+  morsels_dispatched += o.morsels_dispatched;
   // A memory high-water mark, not a flow: accumulating runs keeps the
   // largest peak seen, it does not sum them.
   if (o.peak_intermediate_rows > peak_intermediate_rows) {
@@ -33,6 +35,7 @@ std::string ExecStats::ToString() const {
       "division_input_rows=%llu quantifier_probes=%llu comparisons=%llu "
       "dereferences=%llu replans=%llu permanent_index_hits=%llu "
       "structures_built=%llu structure_elements_built=%llu "
+      "batches_emitted=%llu morsels_dispatched=%llu "
       "peak_intermediate_rows=%llu",
       static_cast<unsigned long long>(relations_read),
       static_cast<unsigned long long>(elements_scanned),
@@ -48,6 +51,8 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(permanent_index_hits),
       static_cast<unsigned long long>(structures_built),
       static_cast<unsigned long long>(structure_elements_built),
+      static_cast<unsigned long long>(batches_emitted),
+      static_cast<unsigned long long>(morsels_dispatched),
       static_cast<unsigned long long>(peak_intermediate_rows));
 }
 

@@ -65,6 +65,13 @@ void PipelineProfile::RenderNode(int id, int depth, std::string* out) const {
                     static_cast<unsigned long long>(n.prof.rows_out),
                     static_cast<unsigned long long>(n.prof.next_calls),
                     static_cast<double>(self_ns) / 1e6);
+  if (n.prof.batch_calls > 0) {
+    *out += StrFormat(
+        " batches=%llu rows/batch=%.1f",
+        static_cast<unsigned long long>(n.prof.batch_calls),
+        static_cast<double>(n.prof.rows_out) /
+            static_cast<double>(n.prof.batch_calls));
+  }
   if (n.est_rows >= 0.0) {
     *out += StrFormat(" est=%.0f q-err=%.2f", n.est_rows,
                       QError(n.est_rows, n.prof.rows_out));
@@ -82,10 +89,15 @@ std::string PipelineProfile::Render() const {
 
 std::vector<std::pair<std::string, uint64_t>> PipelineProfile::Totals() const {
   uint64_t nexts = 0;
-  for (const OpNode& n : nodes_) nexts += n.prof.next_calls;
+  uint64_t batches = 0;
+  for (const OpNode& n : nodes_) {
+    nexts += n.prof.next_calls;
+    batches += n.prof.batch_calls;
+  }
   std::vector<std::pair<std::string, uint64_t>> out;
   out.emplace_back("pipeline.operators", nodes_.size());
   out.emplace_back("pipeline.next_calls", nexts);
+  out.emplace_back("pipeline.batch_calls", batches);
   if (root_ >= 0) {
     out.emplace_back("pipeline.rows_out", node(root_).prof.rows_out);
   }
@@ -102,6 +114,19 @@ Result<bool> ProfiledIter::Next(RefRow* out) {
   Result<bool> result = inner_->Next(out);
   prof_->time_ns += NowNs() - start;
   if (result.ok() && result.value()) ++prof_->rows_out;
+  return result;
+}
+
+Result<bool> ProfiledIter::NextBatch(Chunk* out) {
+  if (!opened_) {
+    opened_ = true;
+    ++prof_->open_calls;
+  }
+  ++prof_->batch_calls;
+  uint64_t start = NowNs();
+  Result<bool> result = inner_->NextBatch(out);
+  prof_->time_ns += NowNs() - start;
+  if (result.ok() && result.value()) prof_->rows_out += out->rows;
   return result;
 }
 

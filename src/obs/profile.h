@@ -32,9 +32,10 @@ namespace pascalr {
 
 struct OpProfile {
   uint64_t open_calls = 0;  ///< first-Next preparations observed
-  uint64_t next_calls = 0;
-  uint64_t rows_out = 0;
-  uint64_t time_ns = 0;  ///< inclusive (children included)
+  uint64_t next_calls = 0;  ///< row-at-a-time pulls
+  uint64_t batch_calls = 0; ///< NextBatch pulls (batched drains)
+  uint64_t rows_out = 0;    ///< rows produced over both contracts
+  uint64_t time_ns = 0;     ///< inclusive (children included)
 };
 
 /// One operator of the profiled tree. `est_rows` < 0 means the planner
@@ -97,6 +98,12 @@ class ProfiledIter : public RefIterator {
   ProfiledIter(RefIteratorPtr inner, OpProfile* prof)
       : inner_(std::move(inner)), prof_(prof) {}
   Result<bool> Next(RefRow* out) override;
+  /// Forwards to the inner operator's NextBatch — NOT the row bridge —
+  /// so a profiled run takes exactly the execution path an unprofiled
+  /// one does. Times the whole batch pull once (inclusive); Render's
+  /// child-time subtraction then attributes self-time per batch, never
+  /// double-counting the child pulls performed inside it.
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
   RefIteratorPtr inner_;

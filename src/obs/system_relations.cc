@@ -46,7 +46,8 @@ Result<Schema> StatementsSchema() {
        IntCol("division_input_rows"), IntCol("quantifier_probes"),
        IntCol("comparisons"), IntCol("dereferences"), IntCol("replans"),
        IntCol("permanent_index_hits"), IntCol("structures_built"),
-       IntCol("structure_elements_built"), IntCol("peak_intermediate_rows"),
+       IntCol("structure_elements_built"), IntCol("batches_emitted"),
+       IntCol("morsels_dispatched"), IntCol("peak_intermediate_rows"),
        IntCol("total_work")},
       {"fingerprint"});
 }
@@ -80,6 +81,8 @@ Status FillStatements(Database* db, Relation* rel) {
     t.Append(V(s.counters.permanent_index_hits));
     t.Append(V(s.counters.structures_built));
     t.Append(V(s.counters.structure_elements_built));
+    t.Append(V(s.counters.batches_emitted));
+    t.Append(V(s.counters.morsels_dispatched));
     t.Append(V(s.counters.peak_intermediate_rows));
     t.Append(V(s.counters.TotalWork()));
     PASCALR_ASSIGN_OR_RETURN(Ref ignored, rel->Insert(std::move(t)));

@@ -50,26 +50,84 @@ const char* ModeName(ValueList::Mode mode) {
   return "?";
 }
 
+int IndexOfCol(const std::vector<std::string>& cols,
+               const std::string& name) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Which internal nodes the eager pipelined lowering runs as membership
+/// filters (compile.cc NodePlan::filter): right child a leaf whose
+/// columns are ALL already bound upstream. Replays the lowering's
+/// column accumulation so the printed operator is the executed one.
+std::vector<bool> CoveredFilterNodes(const QueryPlan& plan, size_t conj,
+                                     const JoinTree& tree,
+                                     const std::vector<bool>& semi) {
+  std::vector<bool> filter(tree.nodes.size(), false);
+  if (plan.collection == CollectionPolicy::kLazy) return filter;
+  std::vector<std::vector<std::string>> cols(tree.nodes.size());
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    const JoinTreeNode& node = tree.nodes[i];
+    if (node.leaf) {
+      cols[i] = plan.structures[plan.conj_inputs[conj][node.input]].columns;
+      continue;
+    }
+    const std::vector<std::string>& left =
+        cols[static_cast<size_t>(node.left)];
+    const std::vector<std::string>& right =
+        cols[static_cast<size_t>(node.right)];
+    bool any_key = false;
+    bool all_covered = true;
+    std::vector<std::string> extras;
+    for (const std::string& col : right) {
+      if (IndexOfCol(left, col) >= 0) {
+        any_key = true;
+      } else {
+        all_covered = false;
+        extras.push_back(col);
+      }
+    }
+    filter[i] = tree.nodes[static_cast<size_t>(node.right)].leaf &&
+                any_key && all_covered;
+    cols[i] = left;
+    if (!semi[i]) {
+      cols[i].insert(cols[i].end(), extras.begin(), extras.end());
+    }
+  }
+  return filter;
+}
+
 /// Renders one join-tree node (and its children) at `depth`, leaves named
 /// after their structure, internal nodes showing the join columns and the
 /// optimizer's estimated output cardinality. Under the pipelined mode the
 /// nodes are the iterator tree itself: internal nodes print as streamed
-/// probe-joins, with EXISTS-style first-match probes marked `semi`.
+/// probe-joins, with EXISTS-style first-match probes marked `semi` and
+/// covered leaves (residual predicates) printed as membership filters.
 void RenderJoinTree(const QueryPlan& plan, size_t conj, const JoinTree& tree,
-                    const std::vector<bool>* semi, size_t node_id, int depth,
-                    std::string* out) {
+                    const std::vector<bool>* semi,
+                    const std::vector<bool>* filter, size_t node_id,
+                    int depth, std::string* out, bool membership_leaf) {
   const JoinTreeNode& node = tree.nodes[node_id];
   *out += std::string(6 + 2 * static_cast<size_t>(depth), ' ');
   if (node.leaf) {
     size_t structure_id = plan.conj_inputs[conj][node.input];
-    *out += StrFormat("%s%s ~%.0f rows\n", semi != nullptr ? "scan " : "",
+    const char* kind =
+        semi != nullptr ? (membership_leaf ? "membership-probe " : "scan ")
+                        : "";
+    *out += StrFormat("%s%s ~%.0f rows\n", kind,
                       plan.structures[structure_id].debug_name.c_str(),
                       node.est_rows);
     return;
   }
-  const char* op = semi != nullptr ? "probe-join" : "join";
+  const bool as_filter = filter != nullptr && (*filter)[node_id];
+  const char* op =
+      as_filter ? "filter" : (semi != nullptr ? "probe-join" : "join");
   const char* mark =
-      semi != nullptr && (*semi)[node_id] ? " (semi: first match)" : "";
+      as_filter ? " (membership)"
+                : (semi != nullptr && (*semi)[node_id] ? " (semi: first match)"
+                                                       : "");
   if (node.join_columns.empty()) {
     *out += StrFormat("cross %s%s ~%.0f rows\n", op, mark, node.est_rows);
   } else {
@@ -77,10 +135,10 @@ void RenderJoinTree(const QueryPlan& plan, size_t conj, const JoinTree& tree,
                       Join(node.join_columns, ", ").c_str(), mark,
                       node.est_rows);
   }
-  RenderJoinTree(plan, conj, tree, semi, static_cast<size_t>(node.left),
-                 depth + 1, out);
-  RenderJoinTree(plan, conj, tree, semi, static_cast<size_t>(node.right),
-                 depth + 1, out);
+  RenderJoinTree(plan, conj, tree, semi, filter,
+                 static_cast<size_t>(node.left), depth + 1, out, false);
+  RenderJoinTree(plan, conj, tree, semi, filter,
+                 static_cast<size_t>(node.right), depth + 1, out, as_filter);
 }
 
 }  // namespace
@@ -208,6 +266,13 @@ std::string ExplainPlan(const PlannedQuery& planned) {
   if (plan.pipeline) {
     out += "  mode: pipelined (streamed join iterators; Cursor::Next pulls "
            "one combination row)\n";
+    out += StrFormat("  vectorized: %zu-row chunks", plan.batch_size);
+    if (plan.parallel > 1) {
+      out += StrFormat(
+          "; parallel drain: up to %zu workers (eligible conjunctions only)",
+          plan.parallel);
+    }
+    out += "\n";
     if (!shape.existential.empty()) {
       out += "  existential-only vars (semi-join probes, no extension): " +
              Join(shape.existential, ", ") + "\n";
@@ -227,19 +292,22 @@ std::string ExplainPlan(const PlannedQuery& planned) {
         plan.join_trees[c].Matches(plan.conj_inputs[c].size())) {
       const JoinTree& tree = plan.join_trees[c];
       std::vector<bool> semi;
+      std::vector<bool> filter;
       if (plan.pipeline) {
         std::vector<std::vector<std::string>> input_cols;
         for (size_t id : plan.conj_inputs[c]) {
           input_cols.push_back(plan.structures[id].columns);
         }
         semi = SemiJoinEligible(tree, input_cols, shape);
+        filter = CoveredFilterNodes(plan, c, tree, semi);
       }
       out += StrFormat(
           "    %s (%s):\n",
           plan.pipeline ? "iterator tree" : "join order",
           std::string(JoinOrderSourceToString(tree.source)).c_str());
       RenderJoinTree(plan, c, tree, plan.pipeline ? &semi : nullptr,
-                     tree.nodes.size() - 1, 0, &out);
+                     plan.pipeline ? &filter : nullptr, tree.nodes.size() - 1,
+                     0, &out, false);
     } else if (plan.conj_inputs[c].size() > 1) {
       out += "    join order: greedy smallest-first at execution\n";
     }

@@ -52,6 +52,8 @@ QueryPlan CloneQueryPlan(const QueryPlan& plan) {
   out.division = plan.division;
   out.pipeline = plan.pipeline;
   out.collection = plan.collection;
+  out.batch_size = plan.batch_size;
+  out.parallel = plan.parallel;
   return out;
 }
 
@@ -160,6 +162,8 @@ Result<PlannedQuery> PlanQuery(const Database& db, BoundQuery query,
   out.plan.division = options.division;
   out.plan.pipeline = options.pipeline;
   out.plan.collection = options.collection;
+  out.plan.batch_size = options.batch_size;
+  out.plan.parallel = options.parallel;
   if (options.prefer_ordered_indexes) {
     for (IndexBuildSpec& spec : out.plan.indexes) spec.ordered = true;
   }

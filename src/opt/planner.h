@@ -75,6 +75,12 @@ struct PlannerOptions {
   /// stop early and can lose on full drains of small relations (repeat
   /// scans). Only the pipelined path can exploit it.
   CollectionPolicy collection = CollectionPolicy::kEager;
+  /// Rows per pipeline chunk on the batched cursor drain
+  /// (`SET BATCH <n>;`); 1 recovers exact row-at-a-time execution.
+  size_t batch_size = 1024;
+  /// Worker threads for morsel-driven parallel drains
+  /// (`SET PARALLEL <n>;`); 1 = fully serial.
+  size_t parallel = 1;
 };
 
 /// Field-wise equality — the prepared-query plan cache uses it to detect
@@ -88,7 +94,8 @@ inline bool operator==(const PlannerOptions& a, const PlannerOptions& b) {
          a.join_order_dp == b.join_order_dp &&
          a.join_dp_max_inputs == b.join_dp_max_inputs &&
          a.join_dp_bushy == b.join_dp_bushy && a.pipeline == b.pipeline &&
-         a.collection == b.collection;
+         a.collection == b.collection && a.batch_size == b.batch_size &&
+         a.parallel == b.parallel;
 }
 inline bool operator!=(const PlannerOptions& a, const PlannerOptions& b) {
   return !(a == b);

@@ -167,6 +167,36 @@ Status Session::ApplyOption(const std::string& name,
         "SET SLOWLOG expects a threshold in microseconds or OFF, got '" +
         value + "'");
   }
+  if (name == "batch") {
+    // Rows per pipeline chunk on the batched cursor drain. 1 is the
+    // exact row-at-a-time execution (the bit-identity oracle for the
+    // vectorized path).
+    if (!value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos) {
+      uint64_t n = std::stoull(value);
+      if (n >= 1 && n <= 65536) {
+        options_.batch_size = static_cast<size_t>(n);
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument(
+        "SET BATCH expects a chunk size in rows (1..65536), got '" + value +
+        "'");
+  }
+  if (name == "parallel") {
+    // Worker threads for morsel-driven intra-query parallel drains;
+    // 1 (the default) runs fully serial on the session thread.
+    if (!value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos) {
+      uint64_t n = std::stoull(value);
+      if (n >= 1 && n <= 64) {
+        options_.parallel = static_cast<size_t>(n);
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument(
+        "SET PARALLEL expects a worker count (1..64), got '" + value + "'");
+  }
   if (name == "joinorder") {
     if (value == "dp") {
       options_.join_order_dp = true;
@@ -188,7 +218,8 @@ Status Session::ApplyOption(const std::string& name,
   return Status::InvalidArgument("unknown option '" + name +
                                  "' (expected OPTLEVEL, DIVISION, "
                                  "PERMINDEXES, JOINORDER, PIPELINE, "
-                                 "COLLECTION, TRACE, or SLOWLOG)");
+                                 "COLLECTION, BATCH, PARALLEL, TRACE, "
+                                 "or SLOWLOG)");
 }
 
 Status Session::RunAssign(const AssignStmt& stmt) {

@@ -1,8 +1,13 @@
 // Volcano-style pull iterators over reference structures — the streamed
 // combination phase (paper §3.3 step 2, evaluated tuple-at-a-time in the
 // classic pipelined model surveyed by arXiv:0903.4305). Each operator
-// produces one RefRow per Next; the cursor's Next drives the whole tree,
-// so an early Close skips all unperformed join work.
+// produces one RefRow per Next — or, on the vectorized path, one
+// column-major Chunk of ~batch-size rows per NextBatch (see chunk.h);
+// the cursor drives the whole tree either way, so an early Close skips
+// all unperformed join work. Both contracts coexist on every operator:
+// NextBatch has a row-bridging default, so batched plans run unchanged
+// while operators are vectorized one by one, and `SET BATCH 1;` recovers
+// the exact row-at-a-time execution for bit-identity oracles.
 //
 // Under the demand-driven collection policy (CollectionPolicy::kLazy) the
 // leaves additionally pull the *collection* phase on demand: scans and
@@ -34,10 +39,13 @@
 //                   existential) variable's range is empty — the lazy
 //                   form of the compile-time empty-range check
 //   FilterIter      residual predicate over the stream (reference-level
-//                   column comparisons). Not yet emitted by compile.cc —
-//                   every current predicate is realised as a collection
-//                   gate or a join structure — kept (unit-tested) as the
-//                   seam for predicates that outlive those forms
+//                   column comparisons, or membership in a structure
+//                   every column of which the stream already binds).
+//                   compile.cc emits the membership form for covered
+//                   join-tree leaves — a structure that contributes no
+//                   new column is a predicate that outlived its
+//                   collection gate, not a join. The vectorized
+//                   selection-vector reference example.
 //   ProjectIter     column drop/reorder; with dedup on, the sink that
 //                   suppresses duplicates (seen rows are peak-counted)
 //   ConcatIter      union of the disjunct streams (children share one
@@ -65,6 +73,7 @@
 #include "exec/collection.h"
 #include "exec/plan.h"
 #include "exec/stats.h"
+#include "pipeline/chunk.h"
 #include "refstruct/ref_relation.h"
 
 namespace pascalr {
@@ -75,6 +84,14 @@ class RefIterator {
   /// Produces the next row into `*out` (arity = the operator's column
   /// layout). Returns false when the stream is exhausted.
   virtual Result<bool> Next(RefRow* out) = 0;
+  /// Produces up to `out->capacity` rows into `*out` (overwritten
+  /// completely). Returns false only on exhaustion with zero rows; a
+  /// short chunk does not signal exhaustion. The base implementation
+  /// bridges Next() row-at-a-time — the adapter that keeps
+  /// not-yet-vectorized operators (QuantifierTailIter's stream-out,
+  /// BaseScanIter, lazy keyed probes) working inside batched plans;
+  /// vectorized operators override it with tight column loops.
+  virtual Result<bool> NextBatch(Chunk* out);
 };
 
 using RefIteratorPtr = std::unique_ptr<RefIterator>;
@@ -97,17 +114,25 @@ class UnitIter : public RefIterator {
 class ScanIter : public RefIterator {
  public:
   explicit ScanIter(const RefRelation* rel) : rel_(rel) {}
+  /// Morsel form: scans only rows [begin, end) — the parallel drain
+  /// hands each worker one of these over the shared driving structure.
+  ScanIter(const RefRelation* rel, size_t begin, size_t end)
+      : rel_(rel), pos_(begin), end_(end) {}
   /// Demand-driven: EnsureStructure(structure_id) at the first Next, then
   /// scan the materialised rows.
   ScanIter(CollectionBuilders* builders, size_t structure_id)
       : builders_(builders), structure_id_(structure_id) {}
   Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
+  Status Ensure();
+
   const RefRelation* rel_ = nullptr;
   CollectionBuilders* builders_ = nullptr;
   size_t structure_id_ = 0;
   size_t pos_ = 0;
+  size_t end_ = static_cast<size_t>(-1);  ///< exclusive; clamped to size
 };
 
 /// Collection mode (c): streams the structure's base relation element at
@@ -130,6 +155,20 @@ class BaseScanIter : public RefIterator {
   std::vector<RefRow> pending_;  ///< rows of the current element
   size_t pending_pos_ = 0;
 };
+
+/// Join-key hash index over a structure: key hash -> row indices. Built
+/// once and shared read-only across the parallel drain's worker chains
+/// (each worker would otherwise rebuild an identical table per morsel).
+struct JoinHashTable {
+  std::unordered_map<uint64_t, std::vector<size_t>> map;
+};
+
+/// Builds the join-key index over `rel` exactly as ProbeJoinIter's
+/// first-Next build would — row indices appended in scan order, so a
+/// shared table produces match chains in the identical order. The
+/// parallel drain prebuilds these on the consumer thread.
+JoinHashTable BuildJoinHashTable(const RefRelation& rel,
+                                 const std::vector<int>& key);
 
 /// Streaming join. Probes an index (join-key -> row indices) over the
 /// right side, built lazily at the first Next. With an empty key the join
@@ -161,11 +200,23 @@ class ProbeJoinIter : public RefIterator {
                 std::vector<int> right_extras, bool semi, ExecStats* stats,
                 PeakTracker* tracker);
 
+  /// Worker-chain form: right side is an existing structure and the
+  /// join-key index was prebuilt (shared, read-only) by the parallel
+  /// drain — Prepare skips the build entirely.
+  ProbeJoinIter(RefIteratorPtr left, const RefRelation* right,
+                const JoinHashTable* shared, std::vector<int> left_key,
+                std::vector<int> right_key, std::vector<int> right_extras,
+                bool semi, ExecStats* stats);
+
   Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
   Status Prepare();
   bool Emit(const RefRow& right_row, RefRow* out);
+  /// Appends left row `l` of `left_chunk_` (plus `right_row`'s extras
+  /// unless semi) to `out` — the batched Emit.
+  void EmitBatch(size_t l, const RefRow* right_row, Chunk* out);
 
   RefIteratorPtr left_;
   const RefRelation* right_ = nullptr;
@@ -183,12 +234,15 @@ class ProbeJoinIter : public RefIterator {
   bool prepared_ = false;
   bool keyed_mode_ = false;  ///< per-join-key population of the right side
   int key_probe_pos_ = -1;   ///< left column probed in keyed mode (-1: off)
-  std::unordered_map<uint64_t, std::vector<size_t>> table_;
+  JoinHashTable table_;
+  const JoinHashTable* shared_table_ = nullptr;  ///< prebuilt (parallel)
   RefRow left_row_;
   bool have_left_ = false;
   const std::vector<size_t>* matches_ = nullptr;  ///< keyed probe chain
   const std::vector<RefRow>* keyed_rows_ = nullptr;  ///< keyed-partial rows
   size_t match_pos_ = 0;  ///< position in chain (keyed) or right rows (cross)
+  Chunk left_chunk_;      ///< batched path: current left batch
+  size_t left_pos_ = 0;   ///< next unconsumed row of left_chunk_
 };
 
 /// Cartesian extension with a materialised range: each child row is
@@ -206,8 +260,11 @@ class ExtendIter : public RefIterator {
         var_(std::move(var)),
         stats_(stats) {}
   Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
+  Status EnsureRefs();
+
   RefIteratorPtr child_;
   const std::vector<Ref>* refs_ = nullptr;
   CollectionBuilders* builders_ = nullptr;
@@ -216,6 +273,8 @@ class ExtendIter : public RefIterator {
   RefRow row_;
   size_t pos_ = 0;
   bool have_ = false;
+  Chunk child_chunk_;     ///< batched path: current child batch
+  size_t child_pos_ = 0;  ///< row of child_chunk_ being extended
 };
 
 /// Annihilates the stream when `var`'s range is empty, passing rows
@@ -230,8 +289,13 @@ class RangeGuardIter : public RefIterator {
                  std::string var)
       : child_(std::move(child)), builders_(builders), var_(std::move(var)) {}
   Result<bool> Next(RefRow* out) override;
+  /// Forwards the child's batches once the guard passes, so the guard
+  /// never demotes a vectorized subtree to the row bridge.
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
+  Status Check();
+
   RefIteratorPtr child_;
   CollectionBuilders* builders_;
   std::string var_;
@@ -239,12 +303,21 @@ class RangeGuardIter : public RefIterator {
   bool empty_ = false;
 };
 
-/// Residual predicate over the stream: keeps rows whose columns at
-/// `left_pos` / `right_pos` compare equal (resp. unequal). The seam for
-/// predicates that would survive into the combination phase without a
-/// supporting structure; today every predicate is realised as a
-/// collection gate or join structure, so compile.cc does not emit this
-/// operator yet (unit tests keep it honest).
+/// Residual predicate over the stream, in one of two forms:
+///
+///   pair mode        keeps rows whose columns at `left_pos` /
+///                    `right_pos` compare equal (resp. unequal)
+///   membership mode  keeps rows whose columns at `key_pos` form a row
+///                    of `*member_of` — a join structure ALL of whose
+///                    columns the stream already binds is exactly a
+///                    residual predicate that outlived its collection
+///                    gate, and compile.cc lowers such covered leaves
+///                    here instead of to a degenerate probe-join
+///
+/// NextBatch is the pipeline's vectorized reference example: evaluate
+/// the predicate over the child chunk into a SelectionVector, then
+/// gather the survivors column-by-column. Each evaluation counts one
+/// ExecStats::comparisons.
 class FilterIter : public RefIterator {
  public:
   FilterIter(RefIteratorPtr child, int left_pos, int right_pos, bool equal,
@@ -254,14 +327,32 @@ class FilterIter : public RefIterator {
         right_pos_(right_pos),
         equal_(equal),
         stats_(stats) {}
+  /// Membership mode: `key_pos[i]` is the stream column matched against
+  /// `member_of`'s column i (the full structure row, by construction of
+  /// the covered-leaf lowering).
+  FilterIter(RefIteratorPtr child, const RefRelation* member_of,
+             std::vector<int> key_pos, ExecStats* stats)
+      : child_(std::move(child)),
+        member_of_(member_of),
+        key_pos_(std::move(key_pos)),
+        stats_(stats) {}
   Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
+  bool Keeps(const Chunk& chunk, size_t row);
+
   RefIteratorPtr child_;
-  int left_pos_;
-  int right_pos_;
-  bool equal_;
+  int left_pos_ = -1;
+  int right_pos_ = -1;
+  bool equal_ = true;
+  const RefRelation* member_of_ = nullptr;
+  std::vector<int> key_pos_;
   ExecStats* stats_;
+  RefRow key_;                   ///< scratch for membership probes
+  std::vector<uint64_t> hashes_; ///< scratch for bulk key hashing
+  Chunk child_chunk_;
+  SelectionVector sel_;
 };
 
 /// Column drop/reorder (`positions[i]` = child column of output column
@@ -273,6 +364,12 @@ class ProjectIter : public RefIterator {
               std::vector<std::string> columns, bool dedup, ExecStats* stats,
               PeakTracker* tracker);
   Result<bool> Next(RefRow* out) override;
+  /// Non-dedup: one child chunk in, its columns gathered, one chunk out.
+  /// Dedup (the sink): accumulates child chunks until the output chunk
+  /// is full, so chunk boundaries at the cursor — and the
+  /// batches_emitted counter — depend only on the result cardinality and
+  /// batch size, not on upstream (e.g. per-morsel) chunking.
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
   RefIteratorPtr child_;
@@ -281,6 +378,10 @@ class ProjectIter : public RefIterator {
   RefRelation seen_;
   ExecStats* stats_;
   PeakTracker* tracker_;
+  Chunk child_chunk_;
+  size_t child_pos_ = 0;  ///< dedup path: next unconsumed child row
+  bool child_done_ = false;
+  RefRow scratch_;
 };
 
 /// Union of the disjunct streams: children are drained in order. All
@@ -291,6 +392,7 @@ class ConcatIter : public RefIterator {
   explicit ConcatIter(std::vector<RefIteratorPtr> children)
       : children_(std::move(children)) {}
   Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
   std::vector<RefIteratorPtr> children_;
@@ -315,6 +417,10 @@ class QuantifierTailIter : public RefIterator {
                      DivisionAlgorithm division, ExecStats* stats,
                      PeakTracker* tracker);
   Result<bool> Next(RefRow* out) override;
+  /// Streams the buffered result in chunks (the blocking tail itself —
+  /// division, projections — is not vectorized; the child stream is
+  /// drained through NextBatch so a vectorized subtree stays batched).
+  Result<bool> NextBatch(Chunk* out) override;
 
  private:
   Status Materialize();

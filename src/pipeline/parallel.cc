@@ -1,0 +1,216 @@
+#include "pipeline/parallel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/str_util.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
+
+namespace pascalr {
+
+namespace {
+
+/// Smallest morsel worth a dispatch round-trip; below this the claim +
+/// chain-build overhead dominates the drain itself.
+constexpr size_t kMinMorselRows = 64;
+
+/// Morsels per worker the grid aims for — enough slack that an uneven
+/// morsel (a hot join key) rebalances onto idle workers, few enough
+/// that dispatch overhead stays negligible.
+constexpr size_t kMorselsPerWorker = 8;
+
+/// Assembles one worker's private chain over morsel [begin, end) of the
+/// driving structure — the serial chain's operators in the serial
+/// chain's order, with join tables swapped for the shared prebuilt ones.
+RefIteratorPtr BuildWorkerChain(const ParallelChainSpec& spec, size_t begin,
+                                size_t end, ExecStats* stats) {
+  RefIteratorPtr it = std::make_unique<ScanIter>(spec.driving, begin, end);
+  for (const ParallelJoinStep& step : spec.joins) {
+    if (step.filter) {
+      it = std::make_unique<FilterIter>(std::move(it), step.right,
+                                        step.left_key, stats);
+    } else {
+      it = std::make_unique<ProbeJoinIter>(
+          std::move(it), step.right, &step.table, step.left_key,
+          step.right_key, step.right_extras, step.semi, stats);
+    }
+  }
+  for (const std::vector<Ref>* refs : spec.extends) {
+    it = std::make_unique<ExtendIter>(std::move(it), refs, stats);
+  }
+  if (spec.project) {
+    it = std::make_unique<ProjectIter>(std::move(it), spec.project_positions,
+                                       spec.project_cols, /*dedup=*/false,
+                                       stats, /*tracker=*/nullptr);
+  }
+  return it;
+}
+
+}  // namespace
+
+MorselParallelIter::MorselParallelIter(ParallelChainSpec spec,
+                                       ExecStats* stats)
+    : spec_(std::move(spec)), stats_(stats) {}
+
+MorselParallelIter::~MorselParallelIter() {
+  // Early close (LIMIT-style cursor teardown, query error upstream):
+  // raise the stop latch, wake window-waiters, join, and still merge the
+  // partial worker counters — a closed drain must not lose work done.
+  stop_.store(true);
+  {
+    MutexLock lock(mu_);
+    cv_.NotifyAll();
+  }
+  Finish();
+}
+
+Status MorselParallelIter::Start() {
+  TraceSpanGuard span(spans::kParallelDrain, stats_);
+  const size_t n = spec_.driving->size();
+  const size_t target = spec_.workers * kMorselsPerWorker;
+  morsel_rows_ = std::max(kMinMorselRows, (n + target - 1) / target);
+  num_morsels_ = (n + morsel_rows_ - 1) / morsel_rows_;
+  // Shared join tables: built once here on the consumer thread — the
+  // build is identical to the serial ProbeJoinIter::Prepare, so tables
+  // iterate match chains in the same row order and the merged output
+  // stays bit-identical to the serial drain.
+  for (ParallelJoinStep& step : spec_.joins) {
+    if (!step.filter && !step.left_key.empty()) {
+      step.table = BuildJoinHashTable(*step.right, step.right_key);
+    }
+  }
+  pool_ = std::make_unique<WorkerPool>(spec_.workers, CurrentSnapshotRef());
+  pool_->Start([this](size_t w) { WorkerBody(w); });
+  started_ = true;
+  return Status::OK();
+}
+
+void MorselParallelIter::WorkerBody(size_t worker) {
+  (void)worker;
+  ExecStats local;
+  while (!stop_.load()) {
+    const size_t m = next_morsel_.fetch_add(1);
+    if (m >= num_morsels_) break;
+    {
+      // Back-pressure: stay at most `window` morsels ahead of the
+      // consumer. The claimant of the smallest unfinished morsel always
+      // has m < emit_pos_ + window, so someone is always runnable.
+      MutexLock lock(mu_);
+      const size_t window = spec_.workers * 2 + 2;
+      while (!stop_.load() && m >= emit_pos_ + window) cv_.Wait(mu_);
+      if (stop_.load()) break;
+    }
+    ++local.morsels_dispatched;
+    const size_t begin = m * morsel_rows_;
+    const size_t end = std::min(begin + morsel_rows_, spec_.driving->size());
+    RefIteratorPtr chain = BuildWorkerChain(spec_, begin, end, &local);
+    std::vector<Chunk> chunks;
+    bool failed = false;
+    while (!stop_.load()) {
+      Chunk chunk;
+      chunk.capacity = spec_.batch_size;
+      Result<bool> more = chain->NextBatch(&chunk);
+      if (!more.ok()) {
+        MutexLock lock(mu_);
+        if (error_.ok()) error_ = more.status();
+        stop_.store(true);
+        cv_.NotifyAll();
+        failed = true;
+        break;
+      }
+      if (!more.value()) break;
+      chunks.push_back(std::move(chunk));
+    }
+    if (failed || stop_.load()) break;
+    {
+      MutexLock lock(mu_);
+      ready_[m] = std::move(chunks);
+      cv_.NotifyAll();
+    }
+  }
+  MutexLock lock(mu_);
+  worker_stats_.Merge(local);
+  cv_.NotifyAll();
+}
+
+void MorselParallelIter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (pool_ != nullptr) pool_->Join();
+  // Workers are joined: worker_stats_ is quiescent, but the annotation
+  // contract still wants the lock.
+  MutexLock lock(mu_);
+  if (stats_ != nullptr) stats_->Merge(worker_stats_);
+}
+
+Result<bool> MorselParallelIter::NextBatch(Chunk* out) {
+  if (!started_) PASCALR_RETURN_IF_ERROR(Start());
+  while (true) {
+    if (current_pos_ < current_.size()) {
+      *out = std::move(current_[current_pos_++]);
+      return true;
+    }
+    current_.clear();
+    current_pos_ = 0;
+    bool exhausted = false;
+    Status failed;
+    {
+      MutexLock lock(mu_);
+      while (true) {
+        if (!error_.ok()) {
+          // Join outside the lock scope: workers take mu_ for their
+          // final stats merge.
+          failed = error_;
+          break;
+        }
+        if (emit_pos_ >= num_morsels_) {
+          exhausted = true;
+          break;
+        }
+        auto it = ready_.find(emit_pos_);
+        if (it != ready_.end()) {
+          current_ = std::move(it->second);
+          ready_.erase(it);
+          ++emit_pos_;
+          // Window-waiting workers may now run one morsel further.
+          cv_.NotifyAll();
+          break;
+        }
+        cv_.Wait(mu_);
+      }
+    }
+    if (!failed.ok()) {
+      stop_.store(true);
+      {
+        MutexLock lock(mu_);
+        cv_.NotifyAll();
+      }
+      Finish();
+      return failed;
+    }
+    if (exhausted) {
+      Finish();
+      out->Reset(out->arity());
+      return false;
+    }
+    // current_ may be empty (a morsel whose rows all filtered out):
+    // loop and take the next morsel rather than signalling exhaustion.
+  }
+}
+
+Result<bool> MorselParallelIter::Next(RefRow* out) {
+  // Row bridge over the chunked merge, for callers on the row contract
+  // (quantifier tails, bushy parents — not expected for eligible chains,
+  // but the iterator contract requires it).
+  while (row_pos_ >= row_chunk_.rows) {
+    row_chunk_.capacity = spec_.batch_size;
+    PASCALR_ASSIGN_OR_RETURN(bool more, NextBatch(&row_chunk_));
+    if (!more) return false;
+    row_pos_ = 0;
+  }
+  row_chunk_.RowAt(row_pos_++, out);
+  return true;
+}
+
+}  // namespace pascalr

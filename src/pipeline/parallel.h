@@ -1,0 +1,124 @@
+// Morsel-driven parallel drain (SET PARALLEL <n>). One operator,
+// MorselParallelIter, replaces an entire eligible conjunction chain:
+// the driving structure's rows are split into fixed-size morsels, a
+// WorkerPool drains each morsel through a private copy of the serial
+// chain (scan → probe-joins/filters over SHARED prebuilt hash tables →
+// extends → alignment project), and the consumer thread re-emits the
+// per-morsel chunk lists in morsel-index order.
+//
+// Determinism contract: morsel boundaries partition the driving scan's
+// row order, every worker chain applies exactly the operators the serial
+// chain would in the same per-row order, and the ordered merge
+// concatenates morsel outputs by index — so a parallel drain emits the
+// bit-identical row sequence of the serial chain, at any worker count.
+// Work counters are deterministic too: each worker accumulates into a
+// private ExecStats, merged once into the query's stats at exhaustion
+// (or early close); totals equal the serial chain's counters exactly,
+// morsels_dispatched excepted (0 serially, = morsel count here).
+//
+// Eligibility is decided in compile.cc (eager collection, unprofiled,
+// left-deep tree over prebuilt structures); everything ineligible keeps
+// the serial chain, so PARALLEL never changes which plans exist — only
+// how many threads drain one.
+
+#ifndef PASCALR_PIPELINE_PARALLEL_H_
+#define PASCALR_PIPELINE_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "concurrency/snapshot.h"
+#include "concurrency/worker_pool.h"
+#include "pipeline/iterators.h"
+
+namespace pascalr {
+
+/// One join step of the per-worker chain. `filter` selects the
+/// membership lowering (covered leaf: FilterIter against `right`);
+/// otherwise a ProbeJoinIter probing `table`, which the consumer thread
+/// builds once before the workers spawn and all workers share read-only.
+struct ParallelJoinStep {
+  const RefRelation* right = nullptr;
+  std::vector<int> left_key;
+  std::vector<int> right_key;
+  std::vector<int> right_extras;
+  bool semi = false;
+  bool filter = false;
+  JoinHashTable table;  ///< built at Start(); unused in filter mode
+};
+
+/// The recipe every worker builds its private chain from. All pointers
+/// reference collection-phase results owned by the cursor's RunState,
+/// which outlives the drain.
+struct ParallelChainSpec {
+  const RefRelation* driving = nullptr;
+  std::vector<ParallelJoinStep> joins;  ///< applied in order
+  std::vector<const std::vector<Ref>*> extends;
+  bool project = false;  ///< align onto `project_cols` after extends
+  std::vector<int> project_positions;
+  std::vector<std::string> project_cols;
+  size_t batch_size = Chunk::kDefaultRows;
+  size_t workers = 2;
+};
+
+/// lint: thread-compatible(the iterator object itself is only touched by
+/// the consumer thread — Next/NextBatch/destruction; workers communicate
+/// exclusively through the mu_-guarded merge state and the atomics
+/// below, never through unguarded members)
+class MorselParallelIter : public RefIterator {
+ public:
+  MorselParallelIter(ParallelChainSpec spec, ExecStats* stats);
+  ~MorselParallelIter() override;
+
+  Result<bool> Next(RefRow* out) override;
+  Result<bool> NextBatch(Chunk* out) override;
+
+ private:
+  /// First pull: builds the shared join tables, fixes the morsel grid,
+  /// spawns the pool (under the parallel-drain trace span).
+  Status Start();
+  void WorkerBody(size_t worker);
+  /// Joins the pool and folds the workers' ExecStats into the query's —
+  /// exactly once, at exhaustion, error, or early close.
+  void Finish();
+
+  ParallelChainSpec spec_;
+  ExecStats* stats_;
+  size_t num_morsels_ = 0;
+  size_t morsel_rows_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  std::unique_ptr<WorkerPool> pool_;
+
+  /// Dispatch: workers claim morsel indices with fetch_add — ascending,
+  /// no two workers the same morsel. stop_ is the early-close/error
+  /// latch workers poll between chunks.
+  std::atomic<size_t> next_morsel_{0};
+  std::atomic<bool> stop_{false};
+
+  Mutex mu_;
+  CondVar cv_;
+  /// Finished morsels parked until the consumer reaches their index.
+  std::map<size_t, std::vector<Chunk>> ready_ GUARDED_BY(mu_);
+  /// Next morsel index the consumer will emit. Workers holding a claim
+  /// >= emit_pos_ + window wait — bounded in-flight buffering.
+  size_t emit_pos_ GUARDED_BY(mu_) = 0;
+  Status error_ GUARDED_BY(mu_);
+  ExecStats worker_stats_ GUARDED_BY(mu_);
+
+  // Consumer-side cursor over the morsel being emitted.
+  std::vector<Chunk> current_;
+  size_t current_pos_ = 0;
+  // Row-at-a-time bridge state (Next on a parallel root).
+  Chunk row_chunk_;
+  size_t row_pos_ = 0;
+};
+
+}  // namespace pascalr
+
+#endif  // PASCALR_PIPELINE_PARALLEL_H_

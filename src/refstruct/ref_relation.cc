@@ -13,7 +13,7 @@ int RefRelation::ColumnIndex(const std::string& var) const {
 }
 
 uint64_t RefRelation::HashRow(const RefRow& row) {
-  uint64_t h = 0x9ae16a3b2f90404fULL;
+  uint64_t h = kRowHashSeed;
   for (const Ref& r : row) h = HashCombine(h, r.Hash());
   return h;
 }
@@ -33,7 +33,11 @@ bool RefRelation::Add(RefRow row) {
 }
 
 bool RefRelation::Contains(const RefRow& row) const {
-  auto it = index_.find(HashRow(row));
+  return ContainsPrehashed(HashRow(row), row);
+}
+
+bool RefRelation::ContainsPrehashed(uint64_t hash, const RefRow& row) const {
+  auto it = index_.find(hash);
   if (it == index_.end()) return false;
   for (size_t idx : it->second) {
     if (rows_[idx] == row) return true;

@@ -51,6 +51,15 @@ class RefRelation {
 
   bool Contains(const RefRow& row) const;
 
+  /// Seed of the row hash, public so vectorized probers (the pipeline's
+  /// membership filter) can bulk-compute compatible hashes column-wise.
+  static constexpr uint64_t kRowHashSeed = 0x9ae16a3b2f90404fULL;
+
+  /// Contains with a caller-computed hash: `hash` must be the fold of
+  /// kRowHashSeed with each ref's Hash() in column order (what HashRow
+  /// computes). Skips re-hashing on the per-row probe path.
+  bool ContainsPrehashed(uint64_t hash, const RefRow& row) const;
+
   void Clear();
 
   /// Total refs stored (rows * arity) — the "size of intermediate

@@ -405,6 +405,10 @@ TEST(PipelineEarlyCloseTest, CloseAfterOneTupleSkipsJoinWork) {
       " SOME t IN timetable ((e.enr = t.tenr) AND (c.cnr = t.tcnr))]";
 
   Session session(db.get());
+  // Early close skips work at chunk granularity: under the default
+  // 1024-row batch the whole combination fits in the first pull at this
+  // scale, so pin a small batch to keep the streaming skip observable.
+  ASSERT_TRUE(session.ExecuteScript("SET BATCH 16;").ok());
   auto prepared = session.Prepare(src);
   ASSERT_TRUE(prepared.ok());
 
